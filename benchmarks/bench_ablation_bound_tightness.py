@@ -1,0 +1,48 @@
+"""Ablation A2: how tight are the lemma bounds in practice?
+
+Measures the realised rank displacement of each bound against the
+deterministic budget ``n/s``, across all the stress distributions.  The
+paper's tables show errors ~2x under the bound; this quantifies it.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.core import OPAQ, OPAQConfig, bounds_for
+from repro.experiments import TableResult
+from repro.metrics import dectile_fractions
+from repro.workloads import make_generator
+
+
+def _tightness():
+    n, m, s = 100_000, 10_000, 500
+    config = OPAQConfig(run_size=m, sample_size=s)
+    result = TableResult(
+        title=f"Ablation A2: realised rank error vs the n/s budget (n={n:,}, s={s})",
+        header=["distribution", "worst below", "worst above", "budget n/s", "utilisation"],
+    )
+    utilisations = {}
+    for name in ("uniform", "zipf", "normal", "sorted", "few_distinct", "constant"):
+        data = make_generator(name).generate(n, seed=7)
+        summary = OPAQ(config).summarize(data)
+        sd = np.sort(data)
+        worst_below = worst_above = 0
+        for b in bounds_for(summary, dectile_fractions()):
+            below = b.rank - np.searchsorted(sd, b.lower, side="right")
+            above = np.searchsorted(sd, b.upper, side="left") - b.rank
+            worst_below = max(worst_below, int(below))
+            worst_above = max(worst_above, int(above))
+        budget = summary.guaranteed_rank_error()
+        util = max(worst_below, worst_above) / budget
+        utilisations[name] = util
+        result.add_row(name, worst_below, worst_above, budget, f"{util:.2f}")
+    result.paper_reference["utilisations"] = utilisations
+    return result
+
+
+def bench_bound_tightness(benchmark, show):
+    result = run_once(benchmark, _tightness)
+    show(result)
+    for name, util in result.paper_reference["utilisations"].items():
+        assert util <= 1.0, f"{name}: measured error exceeded the deterministic bound"
+    benchmark.extra_info["utilisations"] = result.paper_reference["utilisations"]

@@ -1,0 +1,70 @@
+"""Ablation A8: summary compaction — bounded memory for long-lived summaries.
+
+A library extension past the paper: incremental summaries grow by ``r·s``
+samples per ingested batch.  :meth:`OPAQSummary.compact_to` bounds them by
+collapsing adjacent gap groups; the original sub-run bookkeeping keeps the
+guarantee proportional to the *coarsened gap*, not to ``runs × gap``.
+This bench sweeps the memory/accuracy frontier that trade creates.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.core import IncrementalOPAQ, OPAQConfig, quantile_bounds
+from repro.experiments import TableResult
+from repro.metrics import dectile_fractions
+
+
+def _frontier():
+    rng = np.random.default_rng(29)
+    batches = [rng.uniform(size=20_000) for _ in range(10)]
+    sd = np.sort(np.concatenate(batches))
+    n = sd.size
+    config = OPAQConfig(run_size=4000, sample_size=200)
+    result = TableResult(
+        title=f"Ablation A8: compaction frontier (n={n:,}, 10 batches)",
+        header=["max samples", "kept", "guarantee", "worst actual rank err"],
+    )
+    rows = []
+    for max_samples in (None, 4000, 1000, 250):
+        inc = IncrementalOPAQ(config, max_samples=max_samples)
+        for batch in batches:
+            inc.update(batch)
+        worst = 0
+        enclosed = True
+        for phi in dectile_fractions():
+            b = quantile_bounds(inc.summary, float(phi))
+            true = sd[b.rank - 1]
+            enclosed &= b.lower <= true <= b.upper
+            below = b.rank - np.searchsorted(sd, b.lower, side="right")
+            above = np.searchsorted(sd, b.upper, side="left") - b.rank
+            worst = max(worst, int(below), int(above))
+        guarantee = inc.guaranteed_rank_error()
+        rows.append((max_samples, inc.summary.num_samples, guarantee, worst, enclosed))
+        result.add_row(
+            max_samples if max_samples else "unbounded",
+            inc.summary.num_samples,
+            guarantee,
+            worst,
+        )
+    result.paper_reference["rows"] = rows
+    return result
+
+
+def bench_compaction_frontier(benchmark, show):
+    result = run_once(benchmark, _frontier)
+    show(result)
+    rows = result.paper_reference["rows"]
+    for max_samples, kept, guarantee, worst, enclosed in rows:
+        assert enclosed
+        assert worst <= guarantee
+        if max_samples:
+            assert kept <= max_samples
+    # Guarantees degrade monotonically as memory shrinks...
+    guarantees = [g for _, _, g, _, _ in rows]
+    assert guarantees == sorted(guarantees)
+    # ...but stay a small fraction of n even at 250 samples for 200k keys.
+    assert guarantees[-1] < 0.05 * 200_000
+    benchmark.extra_info["frontier"] = [
+        {"max_samples": r[0], "guarantee": r[2], "worst": r[3]} for r in rows
+    ]

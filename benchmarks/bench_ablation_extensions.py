@@ -1,0 +1,58 @@
+"""Ablation A5: the section-4 extensions.
+
+* Exact two-pass refinement: how much extra I/O and memory does exactness
+  cost over the one-pass bounds?  (Paper: one extra pass, <= 2n/s keys.)
+* Incremental maintenance: merging per-batch summaries must match a full
+  recompute bit-for-bit while touching only the new data.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.core import OPAQ, IncrementalOPAQ, OPAQConfig, exact_quantiles
+from repro.experiments import TableResult
+from repro.metrics import dectile_fractions
+from repro.storage import DiskDataset, RunReader
+from repro.workloads import UniformGenerator, write_dataset
+
+
+def _extensions(tmpdir):
+    n = 100_000
+    config = OPAQConfig(run_size=10_000, sample_size=500)
+    ds = write_dataset(tmpdir / "ext.opaq", UniformGenerator(), n, seed=23)
+    result = TableResult(
+        title=f"Ablation A5: section-4 extensions (n={n:,}, s=500)",
+        header=["extension", "metric", "value"],
+    )
+
+    # Exact two-pass refinement.
+    phis = dectile_fractions()
+    values, bounds, summary = exact_quantiles(ds, phis, config)
+    sd = np.sort(ds.read_all())
+    assert all(values[i] == sd[bounds[i].rank - 1] for i in range(len(bounds)))
+    window_total = sum(b.max_between for b in bounds)
+    result.add_row("exact 2-pass", "extra passes", 1)
+    result.add_row("exact 2-pass", "worst window (keys)", max(b.max_between for b in bounds))
+    result.add_row("exact 2-pass", "window bound 2n/s", 2 * n // 500)
+
+    # Incremental merge vs recompute.
+    data = ds.read_all()
+    inc = IncrementalOPAQ(config)
+    for i in range(0, n, 20_000):
+        inc.update(data[i : i + 20_000])
+    full = OPAQ(config).summarize(data)
+    identical = np.array_equal(np.sort(inc.summary.samples), np.sort(full.samples))
+    result.add_row("incremental", "merged == recomputed", identical)
+    result.add_row("incremental", "batches", inc.batches)
+    result.paper_reference["identical"] = identical
+    result.paper_reference["windows"] = [b.max_between for b in bounds]
+    return result
+
+
+def bench_extensions(benchmark, show, tmp_path):
+    result = run_once(benchmark, _extensions, tmp_path)
+    show(result)
+    assert result.paper_reference["identical"]
+    n, s = 100_000, 500
+    assert max(result.paper_reference["windows"]) <= 2 * n // s
+    benchmark.extra_info["worst_window"] = max(result.paper_reference["windows"])

@@ -1,0 +1,71 @@
+"""Ablation A3: run size versus accuracy at a fixed memory budget.
+
+The constraint ``r·s + m <= M`` trades run buffer against sample list:
+small runs leave room for large ``s`` (tighter bounds) but cost more merge
+work; large runs the reverse.  This sweeps the frontier the paper's
+section 2.3 describes.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.core import OPAQ, OPAQConfig, bounds_for
+from repro.experiments import TableResult
+from repro.metrics import dectile_fractions, score_bounds
+from repro.storage import MemoryModel
+
+
+def _frontier():
+    n, memory = 200_000, 30_000
+    rng = np.random.default_rng(3)
+    data = rng.uniform(size=n)
+    sd = np.sort(data)
+    model = MemoryModel(memory)
+    result = TableResult(
+        title=f"Ablation A3: run-size frontier at fixed memory (n={n:,}, M={memory:,})",
+        header=["m (run)", "r", "max s", "n/s bound", "RERA max", "RERN"],
+    )
+    rows = []
+    for m in (5_000, 10_000, 20_000, 25_000):
+        r = -(-n // m)
+        s_max = (memory - m) // r
+        if s_max < 10:
+            continue
+        config = OPAQConfig(run_size=m, sample_size=min(s_max, m), memory=memory)
+        model.validate(n, config.run_size, config.sample_size)
+        summary = OPAQ(config).summarize(data)
+        phis = dectile_fractions()
+        bounds = bounds_for(summary, phis)
+        rep = score_bounds(
+            sd,
+            phis,
+            np.array([b.lower for b in bounds]),
+            np.array([b.upper for b in bounds]),
+            sample_size=config.sample_size,
+        )
+        rows.append((m, summary.guaranteed_rank_error(), rep))
+        result.add_row(
+            m,
+            r,
+            config.sample_size,
+            summary.guaranteed_rank_error(),
+            f"{rep.rera_max:.3f}",
+            f"{rep.rern:.3f}",
+        )
+    result.paper_reference["rows"] = rows
+    return result
+
+
+def bench_run_size_frontier(benchmark, show):
+    result = run_once(benchmark, _frontier)
+    show(result)
+    rows = result.paper_reference["rows"]
+    assert len(rows) >= 3
+    # Every point on the frontier honours its own bound.
+    for _, _, rep in rows:
+        assert rep.within_bounds()
+    # Larger s (allowed by mid-sized runs) gives tighter guarantees than
+    # the extreme points: check the guarantee is minimised in the middle.
+    guarantees = [g for _, g, _ in rows]
+    assert min(guarantees) < guarantees[-1]
+    benchmark.extra_info["guarantees"] = guarantees

@@ -1,0 +1,35 @@
+"""Ablation A1: the selection strategy behind the sample phase.
+
+The paper discusses three ways to extract the regular samples of a run
+(deterministic selection, randomized selection, sorting).  All produce
+identical samples; this ablation measures what they cost — the one bench
+in the suite where the *wall time* is the result.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import OPAQ, OPAQConfig
+
+_N = 200_000
+_RUN = 20_000
+_S = 1000
+
+
+@pytest.fixture(scope="module")
+def data():
+    return np.random.default_rng(42).uniform(size=_N)
+
+
+@pytest.mark.parametrize(
+    "strategy", ["numpy", "sort", "median_of_medians", "floyd_rivest"]
+)
+def bench_sample_phase_strategy(benchmark, data, strategy):
+    config = OPAQConfig(run_size=_RUN, sample_size=_S, strategy=strategy)
+    opaq = OPAQ(config)
+    summary = benchmark(opaq.summarize, data)
+    # All strategies agree on the samples (determinism of regular ranks).
+    reference = OPAQ(
+        OPAQConfig(run_size=_RUN, sample_size=_S, strategy="sort")
+    ).summarize(data)
+    np.testing.assert_array_equal(summary.samples, reference.samples)

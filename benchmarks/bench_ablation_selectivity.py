@@ -1,0 +1,83 @@
+"""Ablation A9: equi-depth (OPAQ) vs equi-width selectivity under skew.
+
+The paper's opening motivation, made measurable: "equi-depth histograms
+... have been used to estimate query result sizes.  In the past,
+equi-depth histograms have not worked well for range queries when data
+distribution skew has been high.  Our new algorithm ... promises better
+results due to its combination of accuracy and efficiency features."
+
+Both histograms get the same memory; range queries of several widths run
+over increasingly skewed Zipf workloads.  Reported: mean absolute
+selectivity error.  The equal-width grid degrades with skew; the
+OPAQ-backed equi-depth bands do not (and only they carry guarantees).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.apps import EquiDepthHistogram, EquiWidthHistogram
+from repro.core import OPAQ, OPAQConfig
+from repro.experiments import TableResult
+
+_N = 200_000
+_BUCKETS = 50  # equi-depth buckets; equal-width gets 3x the counters
+
+
+def _quantile_anchored_queries(rng, sorted_data, count=200):
+    """Range predicates where real queries live: anchored at data
+    quantiles, so every query covers actual value mass."""
+    u = rng.uniform(0.0, 0.95, size=count)
+    w = rng.uniform(0.01, 0.3, size=count)
+    n = sorted_data.size
+    lo_idx = (u * (n - 1)).astype(np.int64)
+    hi_idx = (np.minimum(u + w, 1.0) * (n - 1)).astype(np.int64)
+    return np.column_stack([sorted_data[lo_idx], sorted_data[hi_idx]])
+
+
+def _compare():
+    rng = np.random.default_rng(41)
+    result = TableResult(
+        title=(
+            f"Ablation A9: range-selectivity error vs value skew "
+            f"(n={_N:,}, {_BUCKETS} equi-depth buckets, mean |error|)"
+        ),
+        header=["value skew (lognormal sigma)", "equi-depth (OPAQ)", "equi-width", "width/depth"],
+    )
+    ratios = {}
+    for sigma in (0.0, 1.0, 2.0, 3.0):
+        base = rng.normal(size=_N) * sigma
+        data = np.exp(base) if sigma else rng.uniform(0.0, 1.0, size=_N)
+        sd = np.sort(data)
+        lo, hi = float(sd[0]), float(sd[-1])
+        summary = OPAQ(OPAQConfig(run_size=_N // 10, sample_size=1000)).summarize(data)
+        depth = EquiDepthHistogram(summary, _BUCKETS)
+        width = EquiWidthHistogram(lo, np.nextafter(hi, np.inf), 3 * _BUCKETS)
+        width.update(data)
+        queries = _quantile_anchored_queries(rng, sd)
+        depth_err = []
+        width_err = []
+        for q_lo, q_hi in queries:
+            true = (
+                np.searchsorted(sd, q_hi, side="right")
+                - np.searchsorted(sd, q_lo, side="left")
+            ) / data.size
+            depth_err.append(abs(depth.selectivity(q_lo, q_hi).estimate - true))
+            width_err.append(abs(width.selectivity(q_lo, q_hi) - true))
+        d, w = float(np.mean(depth_err)), float(np.mean(width_err))
+        ratios[sigma] = w / max(d, 1e-9)
+        result.add_row(sigma, f"{d:.5f}", f"{w:.5f}", f"{ratios[sigma]:.1f}x")
+    result.paper_reference["ratios"] = ratios
+    return result
+
+
+def bench_selectivity_vs_skew(benchmark, show):
+    result = run_once(benchmark, _compare)
+    show(result)
+    ratios = result.paper_reference["ratios"]
+    # Under heavy value skew the equal-width error dwarfs equi-depth's...
+    assert ratios[3.0] > 10.0
+    # ...while equi-depth stays essentially skew-independent (and is the
+    # only one of the two with deterministic bands).
+    depth_errors = [float(r[1]) for r in result.rows]
+    assert max(depth_errors) < 0.01
+    benchmark.extra_info["width_over_depth"] = ratios

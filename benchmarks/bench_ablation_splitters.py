@@ -1,0 +1,88 @@
+"""Ablation A10: OPAQ splitters vs probabilistic splitting ([DNS91]).
+
+The paper cites DeWitt, Naughton & Schneider's *probabilistic splitting*
+as the load-balancing state of the art it improves upon: sample-based
+splitters balance partitions only *in expectation*, so an external sort
+sized to the expected bucket must over-provision memory or risk overflow.
+OPAQ's splitters carry a deterministic bucket-size cap.
+
+This ablation sorts the same data many times with both splitter sources
+at equal splitter-derivation budgets and records the distribution of the
+largest bucket: random splitters' worst case drifts past OPAQ's
+deterministic cap, while every OPAQ run obeys it.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.core import OPAQ, OPAQConfig
+from repro.core.quantile_phase import splitters
+from repro.experiments import TableResult
+
+_N = 100_000
+_Q = 8  # partitions
+_TRIALS = 40
+
+
+def _bucket_sizes(data: np.ndarray, cuts: np.ndarray) -> np.ndarray:
+    idx = np.searchsorted(cuts, data, side="left")
+    return np.bincount(idx, minlength=cuts.size + 1)
+
+
+def _compare():
+    rng = np.random.default_rng(91)
+    data = rng.lognormal(0.0, 1.0, size=_N)
+    config = OPAQConfig(run_size=_N // 10, sample_size=300)
+    summary = OPAQ(config).summarize(data)
+    budget = summary.num_samples  # equal splitter-derivation budget
+
+    # OPAQ: deterministic, one derivation suffices (it cannot vary).
+    opaq_cuts = splitters(summary, _Q, which="upper")
+    opaq_max = int(_bucket_sizes(data, opaq_cuts).max())
+    opaq_cap = _N // _Q + summary.guaranteed_rank_error()
+
+    # Probabilistic splitting: random sample of the same size, repeated.
+    random_maxima = []
+    for trial in range(_TRIALS):
+        sample = np.sort(rng.choice(data, size=budget, replace=False))
+        cut_idx = (np.arange(1, _Q) * sample.size) // _Q
+        random_maxima.append(int(_bucket_sizes(data, sample[cut_idx]).max()))
+    random_maxima = np.array(random_maxima)
+
+    ideal = _N // _Q
+    result = TableResult(
+        title=(
+            f"Ablation A10: splitter quality, OPAQ vs probabilistic "
+            f"splitting (n={_N:,}, q={_Q}, {_TRIALS} trials, "
+            f"ideal bucket {ideal:,})"
+        ),
+        header=["splitter", "max bucket (median)", "max bucket (worst)", "guarantee"],
+    )
+    result.add_row("OPAQ", opaq_max, opaq_max, opaq_cap)
+    result.add_row(
+        "random sample",
+        int(np.median(random_maxima)),
+        int(random_maxima.max()),
+        "expectation only",
+    )
+    result.paper_reference.update(
+        {
+            "opaq_max": opaq_max,
+            "opaq_cap": opaq_cap,
+            "random_worst": int(random_maxima.max()),
+            "random_median": int(np.median(random_maxima)),
+        }
+    )
+    return result
+
+
+def bench_splitters_vs_probabilistic(benchmark, show):
+    result = run_once(benchmark, _compare)
+    show(result)
+    ref = result.paper_reference
+    # OPAQ honours its deterministic cap.
+    assert ref["opaq_max"] <= ref["opaq_cap"]
+    # The random splitters' observed worst case exceeds OPAQ's worst case
+    # (they only control the expectation).
+    assert ref["random_worst"] > ref["opaq_max"]
+    benchmark.extra_info.update(ref)

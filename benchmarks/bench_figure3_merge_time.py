@@ -1,0 +1,24 @@
+"""Figure 3: executed merge time, bitonic vs sample, 1K-128K bytes/proc.
+
+Paper claim: "The Bitonic merge outperforms the sample merge for small
+number of processors and small data sets.  For large number of processors
+and large data sets, the sample merge outperforms the Bitonic merge."
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import figure3
+
+
+def bench_figure3(benchmark, show):
+    result = run_once(benchmark, figure3)
+    show(result)
+    # Crossovers must exist for the larger machines.
+    assert result.paper_reference["crossover_p8"] != "none"
+    assert result.paper_reference["crossover_p4"] != "none"
+    # Bitonic wins the smallest configuration (1KB, p=2).
+    first = result.rows[0]
+    assert float(first[1]) < float(first[4])
+    # Sample merge wins the largest (128KB, p=8).
+    last = result.rows[-1]
+    assert float(last[6]) < float(last[3])
+    benchmark.extra_info["crossover_p8"] = result.paper_reference["crossover_p8"]

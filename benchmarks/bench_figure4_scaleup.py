@@ -1,0 +1,19 @@
+"""Figure 4: scale-up — total time versus processors at fixed n/p.
+
+Paper claim: the curves are near-flat because the only parallel overhead,
+the global merge, is a tiny fraction of the total.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import figure4, resolve_n
+
+
+def bench_figure4(benchmark, show):
+    result = run_once(benchmark, figure4)
+    show(result)
+    for s in (resolve_n(500_000), resolve_n(4_000_000)):
+        ratio = result.paper_reference[f"scaleup_ratio_{s}"]
+        assert ratio < 1.15  # p=16 at most 15% slower than p=1
+    benchmark.extra_info.update(
+        {k: v for k, v in result.paper_reference.items() if k.startswith("scaleup")}
+    )

@@ -1,0 +1,19 @@
+"""Figure 5: size-up — total time versus per-processor size at fixed p.
+
+Paper claim: near-linear in n/p (an 8x larger per-processor share takes
+~8x longer), again because the global merge is negligible.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import figure5
+
+
+def bench_figure5(benchmark, show):
+    result = run_once(benchmark, figure5)
+    show(result)
+    for p in (1, 4, 16):
+        ratio = result.paper_reference[f"sizeup_ratio_p{p}"]
+        assert 6.5 < ratio < 9.5  # ideal is 8x for the 0.5M -> 4M sweep
+    benchmark.extra_info.update(
+        {k: v for k, v in result.paper_reference.items() if k.startswith("sizeup")}
+    )

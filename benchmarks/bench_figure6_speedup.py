@@ -1,0 +1,17 @@
+"""Figure 6: speed-up at a fixed total size (paper: 4M elements).
+
+Paper claim: near-linear speed-up through p=8 ("our algorithm has a high
+speedup performance ... due to the low cost of the global merge").
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import figure6
+
+
+def bench_figure6(benchmark, show):
+    result = run_once(benchmark, figure6)
+    show(result)
+    speedup_at_8 = result.paper_reference["speedup_at_8"]
+    assert speedup_at_8 > 6.5  # paper's figure shows ~7 at p=8
+    benchmark.extra_info["speedup_at_8"] = speedup_at_8
+    benchmark.extra_info["paper_speedup_at_8"] = 7.0

@@ -1,0 +1,19 @@
+"""Table 10: parallel RERL and RERN versus total size (p=8).
+
+Paper claim: ~0.5-0.7 % at 1024 samples/run, flat in the data size.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import parallel_error_reports, resolve_n, table10
+from repro.metrics import rerl_bound, rern_bound
+
+
+def bench_table10(benchmark, show):
+    result = run_once(benchmark, table10)
+    show(result)
+    sizes = [resolve_n(n) for n in (500_000, 4_000_000)]
+    for n, rep in parallel_error_reports(sizes=sizes).items():
+        assert rep.rerl <= rerl_bound(10, 1024)
+        assert rep.rern <= rern_bound(10, 1024)
+    benchmark.extra_info["paper_rerl_range"] = (0.51, 0.62)
+    benchmark.extra_info["paper_rern_range"] = (0.52, 0.67)

@@ -1,0 +1,19 @@
+"""Table 11: the fraction of total time spent in I/O.
+
+Paper claim: "The algorithm spends around 50% of the total execution time
+in performing I/O", independent of the data and machine size.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import table11
+
+
+def bench_table11(benchmark, show):
+    result = run_once(benchmark, table11)
+    show(result)
+    fractions = [
+        float(cell) for row in result.rows for cell in row[1:]
+    ]
+    assert all(0.40 <= f <= 0.62 for f in fractions)
+    benchmark.extra_info["io_fraction_range"] = (min(fractions), max(fractions))
+    benchmark.extra_info["paper_range"] = (0.40, 0.57)

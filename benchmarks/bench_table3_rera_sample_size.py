@@ -1,0 +1,31 @@
+"""Table 3: RERA per dectile versus sample size (uniform and Zipf, n=1M).
+
+Paper claim: error roughly halves when ``s`` doubles, stays far below the
+analytic bound ``2/s·100``, and does not depend on the distribution.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments import opaq_error_report, resolve_n, table3
+from repro.metrics import rera_bound
+
+
+def bench_table3(benchmark, show):
+    result = run_once(benchmark, table3)
+    show(result)
+    n = resolve_n(1_000_000)
+    means = {}
+    for dist in ("uniform", "zipf"):
+        for s in (250, 500, 1000):
+            rep = opaq_error_report(dist, n, s)
+            means[(dist, s)] = float(rep.rera.mean())
+            # Every dectile within the deterministic bound.
+            assert rep.rera.max() <= rera_bound(s)
+    for dist in ("uniform", "zipf"):
+        assert means[(dist, 250)] > means[(dist, 500)] > means[(dist, 1000)]
+    # Distribution independence: uniform and Zipf agree within the bound.
+    assert abs(means[("uniform", 1000)] - means[("zipf", 1000)]) < rera_bound(1000)
+    benchmark.extra_info["rera_mean_s1000_uniform"] = means[("uniform", 1000)]
+    benchmark.extra_info["rera_mean_s1000_zipf"] = means[("zipf", 1000)]
+    benchmark.extra_info["paper_rera_s1000"] = 0.09

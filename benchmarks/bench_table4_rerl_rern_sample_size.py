@@ -1,0 +1,30 @@
+"""Table 4: RERL and RERN versus sample size (uniform and Zipf, n=1M).
+
+Paper claim: both rates roughly halve as ``s`` doubles and respect the
+``q/s·100`` analytic bound.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import opaq_error_report, resolve_n, table4
+from repro.metrics import rerl_bound, rern_bound
+
+
+def bench_table4(benchmark, show):
+    result = run_once(benchmark, table4)
+    show(result)
+    n = resolve_n(1_000_000)
+    for dist in ("uniform", "zipf"):
+        rerls, rerns = [], []
+        for s in (250, 500, 1000):
+            rep = opaq_error_report(dist, n, s)
+            assert rep.rerl <= rerl_bound(10, s)
+            assert rep.rern <= rern_bound(10, s)
+            rerls.append(rep.rerl)
+            rerns.append(rep.rern)
+        assert rerls[0] > rerls[2]
+        assert rerns[0] > rerns[2]
+    rep1000 = opaq_error_report("uniform", n, 1000)
+    benchmark.extra_info["rerl_s1000_uniform"] = rep1000.rerl
+    benchmark.extra_info["rern_s1000_uniform"] = rep1000.rern
+    benchmark.extra_info["paper_rerl_s1000_uniform"] = 0.46
+    benchmark.extra_info["paper_rern_s1000_uniform"] = 0.60

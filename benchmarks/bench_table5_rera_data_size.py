@@ -1,0 +1,24 @@
+"""Table 5: RERA per dectile versus data size (s=1000, 1M/5M/10M).
+
+Paper claim: at fixed ``s``, the error rate does not grow with ``n``.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import opaq_error_report, resolve_n, table5
+from repro.metrics import rera_bound
+
+
+def bench_table5(benchmark, show):
+    result = run_once(benchmark, table5)
+    show(result)
+    sizes = [resolve_n(n) for n in (1_000_000, 5_000_000, 10_000_000)]
+    for dist in ("uniform", "zipf"):
+        means = []
+        for n in sizes:
+            rep = opaq_error_report(dist, n, 1000)
+            assert rep.rera.max() <= rera_bound(1000)
+            means.append(float(rep.rera.mean()))
+        # Independence of n: no systematic growth (3x head-room for noise).
+        assert max(means) < 3 * max(min(means), 1e-6)
+        benchmark.extra_info[f"rera_means_{dist}"] = means
+    benchmark.extra_info["paper_typical"] = 0.09

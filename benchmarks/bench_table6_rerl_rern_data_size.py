@@ -1,0 +1,22 @@
+"""Table 6: RERL and RERN versus data size (s=1000).
+
+Paper claim: both rates are flat in ``n`` and near 0.5-0.6 %.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import opaq_error_report, resolve_n, table6
+from repro.metrics import rerl_bound, rern_bound
+
+
+def bench_table6(benchmark, show):
+    result = run_once(benchmark, table6)
+    show(result)
+    sizes = [resolve_n(n) for n in (1_000_000, 5_000_000, 10_000_000)]
+    for dist in ("uniform", "zipf"):
+        for n in sizes:
+            rep = opaq_error_report(dist, n, 1000)
+            assert rep.rerl <= rerl_bound(10, 1000)
+            assert rep.rern <= rern_bound(10, 1000)
+    rep = opaq_error_report("uniform", sizes[0], 1000)
+    benchmark.extra_info["rerl_1M_uniform"] = rep.rerl
+    benchmark.extra_info["paper_rerl_1M_uniform"] = 0.46

@@ -1,0 +1,33 @@
+"""Table 7: OPAQ versus [AS95] and random sampling at equal memory.
+
+Paper claim: OPAQ is comparable or better — and, crucially, the only one
+of the three whose error carries a deterministic bound.  On randomly
+ordered stationary data the interval method interpolates very well (see
+the note in EXPERIMENTS.md); the structural claim checked here is that
+OPAQ respects its bound while the competitors' errors are unbounded in
+principle (the sorted-arrival ablation shows them failing).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments import PAPER_RUNS, resolve_n, table7
+from repro.metrics import rera_bound
+
+
+def bench_table7(benchmark, show):
+    result = run_once(benchmark, table7)
+    show(result)
+    opaq_cols = [row for row in result.rows]
+    # OPAQ columns are 1 and 4 (uniform, zipf); assert bound compliance.
+    s = 3000 // PAPER_RUNS
+    for row in opaq_cols:
+        assert float(row[1]) <= rera_bound(s) + 0.005
+        assert float(row[4]) <= rera_bound(s) + 0.005
+    # Random sampling is typically the loosest of the three.
+    rsamp = np.array([float(r[3]) for r in result.rows])
+    opaq = np.array([float(r[1]) for r in result.rows])
+    assert opaq.mean() <= rsamp.mean() + 0.05
+    benchmark.extra_info["opaq_mean"] = float(opaq.mean())
+    benchmark.extra_info["rsamp_mean"] = float(rsamp.mean())
+    benchmark.extra_info["paper_claim"] = "OPAQ comparable or better, only OPAQ bounded"

@@ -1,0 +1,38 @@
+"""Table 8: the analytic cost formulas of the two global merges.
+
+Paper claim: bitonic merge is preferable for small machines/lists, sample
+merge for large ones.  This bench evaluates the closed-form model and
+cross-checks it against the executed simulation.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments import table8
+from repro.parallel import (
+    MachineModel,
+    SimulatedMachine,
+    predict_merge_time,
+    sample_merge,
+)
+
+
+def bench_table8(benchmark, show):
+    result = run_once(benchmark, table8)
+    show(result)
+    model = MachineModel.sp2()
+    # Small list, small p: bitonic wins.
+    assert predict_merge_time(2, 125, model, "bitonic") < predict_merge_time(
+        2, 125, model, "sample"
+    )
+    # Large list, large p: sample merge wins.
+    assert predict_merge_time(16, 16000, model, "sample") < predict_merge_time(
+        16, 16000, model, "bitonic"
+    )
+    # The model tracks the executed simulation within a small factor.
+    rng = np.random.default_rng(0)
+    machine = SimulatedMachine(8, model)
+    sample_merge([np.sort(rng.uniform(size=4096)) for _ in range(8)], machine)
+    ratio = machine.elapsed() / predict_merge_time(8, 4096, model, "sample")
+    assert 0.2 < ratio < 5.0
+    benchmark.extra_info["sim_over_model_ratio"] = ratio

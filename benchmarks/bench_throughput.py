@@ -1,0 +1,51 @@
+"""Library throughput: what a downstream user pays per key and per query.
+
+Not a paper experiment — release engineering.  Measures the real wall
+time of the one-pass summary build (keys/second) and of the quantile
+phase (queries/second), which are the two numbers an adopter sizes their
+pipeline with.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import OPAQ, OPAQConfig, bounds_for
+from repro.metrics import dectile_fractions
+
+_N = 2_000_000
+
+
+@pytest.fixture(scope="module")
+def data():
+    return np.random.default_rng(7).uniform(size=_N)
+
+
+@pytest.fixture(scope="module")
+def summary(data):
+    config = OPAQConfig(run_size=_N // 10, sample_size=1000)
+    return OPAQ(config).summarize(data)
+
+
+def bench_summarize_throughput(benchmark, data):
+    config = OPAQConfig(run_size=_N // 10, sample_size=1000)
+    opaq = OPAQ(config)
+    result = benchmark(opaq.summarize, data)
+    assert result.count == _N
+    keys_per_second = _N / benchmark.stats["mean"]
+    benchmark.extra_info["keys_per_second"] = keys_per_second
+    # Regression floor: a pure-numpy sample phase should sustain millions
+    # of keys per second even on one modest core.
+    assert keys_per_second > 1e6
+
+
+def bench_quantile_query_throughput(benchmark, summary):
+    phis = dectile_fractions()
+
+    def nine_queries():
+        return bounds_for(summary, phis)
+
+    bounds = benchmark(nine_queries)
+    assert len(bounds) == 9
+    queries_per_second = 9 / benchmark.stats["mean"]
+    benchmark.extra_info["queries_per_second"] = queries_per_second
+    assert queries_per_second > 10_000

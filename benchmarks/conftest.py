@@ -1,0 +1,33 @@
+"""Shared helpers for the reproduction benchmarks.
+
+Each benchmark regenerates one table or figure of the paper at the active
+scale (CI scale by default; ``REPRO_FULL=1`` for the paper's sizes), prints
+it in the paper's layout, asserts the shape claims, and records headline
+numbers in ``benchmark.extra_info`` so ``--benchmark-json`` output carries
+the reproduction data.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def show():
+    """Print a rendered table, visibly separated from pytest's output."""
+
+    def _show(table_result) -> None:
+        print()
+        print(table_result.render())
+
+    return _show
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark.
+
+    The experiments are full sweeps (seconds each); statistical rounds
+    would multiply the suite's runtime for no insight — the interesting
+    numbers are *inside* the tables, not the wall time.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

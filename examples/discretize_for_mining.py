@@ -1,0 +1,59 @@
+"""Equi-depth discretisation for quantitative rule mining ([AS96]).
+
+The paper's data-mining motivation: mining quantitative association rules
+requires discretising numeric attributes into equi-depth intervals, whose
+near-equal support bounds the *partial completeness* of the rules found.
+
+This example discretises two skewed numeric attributes ("age"-like and
+"income"-like) from one OPAQ pass each, shows the interval labels and
+populations, and computes the [AS96] partial-completeness level the
+deterministic bounds buy.
+
+Run:  python examples/discretize_for_mining.py
+"""
+
+import numpy as np
+
+from repro import OPAQ, OPAQConfig
+from repro.apps import EquiDepthDiscretizer
+
+N = 250_000
+INTERVALS = 8
+
+
+def main() -> None:
+    rng = np.random.default_rng(1996)  # [AS96] was SIGMOD'96
+    attributes = {
+        "age": np.clip(rng.normal(38, 14, size=N), 16, 95),
+        "income": rng.lognormal(10.5, 0.8, size=N),  # heavy right tail
+    }
+    config = OPAQConfig(run_size=N // 10, sample_size=800)
+
+    for name, values in attributes.items():
+        summary = OPAQ(config).summarize(values)
+        disc = EquiDepthDiscretizer(summary, INTERVALS)
+        ids = disc.transform(values)
+        counts = np.bincount(ids, minlength=INTERVALS)
+
+        print(f"attribute {name!r}: {INTERVALS} equi-depth intervals "
+              f"(ideal population {N // INTERVALS:,})")
+        for i, label in enumerate(disc.labels()):
+            bar = "#" * int(round(counts[i] / (N / INTERVALS) * 20))
+            print(f"  {i}: {label:>24}  {counts[i]:>7,}  {bar}")
+        print(
+            f"  max deviation guaranteed <= {disc.max_population_excess():,} "
+            f"(measured {int(np.abs(counts - N / INTERVALS).max()):,})"
+        )
+        print(
+            f"  partial completeness K = {disc.partial_completeness():.4f} "
+            f"(1.0 = information-lossless for rule mining)\n"
+        )
+
+    print(
+        "skew does not unbalance the intervals: equal support is what the "
+        "rule miner's support thresholds rely on."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Equi-depth histograms for query optimisation (the paper's motivation).
+
+The paper opens with query optimizers: "quantile algorithms can generate
+equi-depth histograms, which have been used to estimate query result
+sizes", and notes that equi-depth histograms had "not worked well for
+range queries when data distribution skew has been high".
+
+This example builds a 20-bucket equi-depth histogram over a *heavily
+skewed* Zipf workload from one OPAQ pass, then answers range-selectivity
+queries with deterministic bands and compares them with the truth.
+
+Run:  python examples/histogram_selectivity.py
+"""
+
+import numpy as np
+
+from repro import OPAQ, OPAQConfig
+from repro.apps import EquiDepthHistogram
+from repro.workloads import ZipfGenerator
+
+N = 300_000
+BUCKETS = 20
+
+
+def main() -> None:
+    generator = ZipfGenerator(parameter=0.3)  # much harsher than the paper's 0.86
+    data = generator.generate(N, seed=7)
+    print(
+        f"{N:,} Zipf(parameter=0.3) keys — heavy skew: median "
+        f"{np.median(data):,.0f} vs max {data.max():,.0f}"
+    )
+
+    config = OPAQConfig(run_size=N // 10, sample_size=1000)
+    summary = OPAQ(config).summarize(data)
+    hist = EquiDepthHistogram(summary, BUCKETS)
+    print(
+        f"\n{BUCKETS}-bucket equi-depth histogram from one pass; every "
+        f"bucket holds {hist.depth:,.0f} +/- {hist.max_depth_error():,} keys "
+        f"(deterministic)"
+    )
+    print(hist.describe())
+
+    # Range predicates of very different selectivities.
+    lo_all, hi_all = float(data.min()), float(data.max())
+    queries = [
+        (lo_all, lo_all + 0.001 * (hi_all - lo_all)),  # the dense low end
+        (lo_all, np.median(data)),
+        (np.median(data), hi_all),
+        (0.9 * hi_all, hi_all),  # the sparse high end
+    ]
+    print(f"\n{'predicate':>42}  {'estimate':>9}  {'band':>19}  {'true':>8}  ok")
+    for lo, hi in queries:
+        est = hist.selectivity(lo, hi)
+        true = np.count_nonzero((data >= lo) & (data <= hi)) / data.size
+        ok = est.lower <= true <= est.upper
+        print(
+            f"[{lo:>18,.1f}, {hi:>18,.1f}]  {est.estimate:>8.4f}  "
+            f"[{est.lower:.4f}, {est.upper:.4f}]  {true:>8.4f}  {'yes' if ok else 'NO!'}"
+        )
+
+    print(
+        "\nskew does not widen the bands: OPAQ's guarantees are rank-based, "
+        "which is exactly why the paper promises 'better results' for "
+        "skewed range queries."
+    )
+
+
+if __name__ == "__main__":
+    main()

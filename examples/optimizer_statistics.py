@@ -1,0 +1,76 @@
+"""Optimizer statistics over a multi-column table ([PS84] motivation).
+
+The paper's very first use case: "Query optimizers need accurate
+estimates of the number of tuples satisfying various predicates."  This
+example plays a nightly ANALYZE job: one OPAQ pass per column of a
+columnar table, then cardinality estimation for range predicates and
+their conjunctions — including a correlated column pair where the
+textbook independence assumption goes wrong while the assumption-free
+Fréchet band stays honest.
+
+Run:  python examples/optimizer_statistics.py
+"""
+
+import tempfile
+
+import numpy as np
+
+from repro.apps import Predicate, TableStatistics
+from repro.core import OPAQConfig
+from repro.storage import TableDataset
+
+N = 200_000
+
+
+def main() -> None:
+    rng = np.random.default_rng(84)  # [PS84]
+    # An orders-like table: amount is lognormal, latency correlates with
+    # amount (big orders take longer), discount is independent.
+    amount = rng.lognormal(4.0, 1.0, size=N)
+    latency = amount * 0.02 + rng.exponential(1.0, size=N)
+    discount = rng.uniform(0.0, 0.3, size=N)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        table = TableDataset.create(
+            f"{tmp}/orders",
+            {"amount": amount, "latency": latency, "discount": discount},
+        )
+        config = OPAQConfig(run_size=N // 10, sample_size=800)
+        print(f"ANALYZE: one OPAQ pass per column over {N:,} rows ...")
+        stats = TableStatistics.collect(table, config)
+
+        queries = {
+            "amount BETWEEN 50 AND 200": [Predicate("amount", 50.0, 200.0)],
+            "latency <= 3": [Predicate("latency", 0.0, 3.0)],
+            "amount >= 150 AND latency >= 4 (correlated!)": [
+                Predicate("amount", 150.0, float(amount.max())),
+                Predicate("latency", 4.0, float(latency.max())),
+            ],
+            "amount >= 150 AND discount <= 0.1 (independent)": [
+                Predicate("amount", 150.0, float(amount.max())),
+                Predicate("discount", 0.0, 0.1),
+            ],
+        }
+        cols = {"amount": amount, "latency": latency, "discount": discount}
+        print(f"\n{'predicate':>48}  {'est rows':>9}  {'guar. band':>21}  {'true':>8}")
+        for label, preds in queries.items():
+            est = stats.conjunction(preds)
+            mask = np.ones(N, dtype=bool)
+            for p in preds:
+                mask &= (cols[p.column] >= p.lo) & (cols[p.column] <= p.hi)
+            true = int(mask.sum())
+            band = f"[{est.lower * N:>8,.0f}, {est.upper * N:>9,.0f}]"
+            print(
+                f"{label:>48}  {est.independence * N:>9,.0f}  {band:>21}  {true:>8,}"
+            )
+            assert est.lower * N - 1 <= true <= est.upper * N + 1
+
+        print(
+            "\nnote the correlated conjunction: the independence estimate "
+            "misses badly, the Fréchet band (from OPAQ's deterministic "
+            "per-column bounds, no assumptions) still contains the truth."
+        )
+
+
+if __name__ == "__main__":
+    main()

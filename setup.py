@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline environment lacks the ``wheel`` package, so PEP 517 editable
+installs (``pip install -e .``) cannot build; this shim lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` work with plain
+setuptools.  All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

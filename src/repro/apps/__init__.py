@@ -1,0 +1,34 @@
+"""Applications of OPAQ from the paper's motivation section.
+
+Equi-depth histograms / selectivity estimation (:class:`EquiDepthHistogram`,
+with :class:`EquiWidthHistogram` as the classic strawman it beats under
+skew), external sorting with quantile splitters (:func:`external_sort`),
+parallel load balancing (:class:`LoadBalancer`), and equi-depth attribute
+discretisation for quantitative rule mining
+(:class:`EquiDepthDiscretizer`).
+"""
+
+from repro.apps.discretization import EquiDepthDiscretizer
+from repro.apps.equiwidth import EquiWidthHistogram
+from repro.apps.external_sort import SortReport, external_sort
+from repro.apps.histogram import EquiDepthHistogram, SelectivityEstimate
+from repro.apps.load_balance import BalanceReport, LoadBalancer
+from repro.apps.table_stats import (
+    ConjunctionEstimate,
+    Predicate,
+    TableStatistics,
+)
+
+__all__ = [
+    "EquiDepthHistogram",
+    "EquiWidthHistogram",
+    "SelectivityEstimate",
+    "EquiDepthDiscretizer",
+    "external_sort",
+    "SortReport",
+    "LoadBalancer",
+    "BalanceReport",
+    "TableStatistics",
+    "Predicate",
+    "ConjunctionEstimate",
+]

@@ -1,0 +1,185 @@
+"""Optimizer-style table statistics from per-column OPAQ passes.
+
+The paper's first motivation: "Query optimizers need accurate estimates
+of the number of tuples satisfying various predicates" [PS84].  Real
+optimizers keep per-attribute statistics; :class:`TableStatistics` is
+that object, built by one OPAQ pass per column of a
+:class:`~repro.storage.TableDataset`.
+
+Single-column range predicates get OPAQ's deterministic selectivity
+bands.  Conjunctions get two estimates:
+
+* the textbook **independence** point estimate (product of per-column
+  selectivities — what System-R-style optimizers actually do), and
+* deterministic **Fréchet bounds**: for any joint distribution,
+  ``max(0, Σ selᵢ − (k−1)) ≤ sel(⋀ predᵢ) ≤ min(selᵢ)``.  Combined with
+  the per-column bands these give a *guaranteed* envelope on the
+  conjunctive selectivity with no independence assumption at all.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.apps.histogram import EquiDepthHistogram, SelectivityEstimate
+from repro.core.config import OPAQConfig
+from repro.core.estimator import OPAQ
+from repro.core.summary import OPAQSummary
+from repro.errors import ConfigError, DataError, EstimationError
+from repro.storage.table import TableDataset
+
+__all__ = ["TableStatistics", "Predicate", "ConjunctionEstimate"]
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """A range predicate ``lo <= column <= hi``."""
+
+    column: str
+    lo: float
+    hi: float
+
+    def __post_init__(self) -> None:
+        if self.hi < self.lo:
+            raise ConfigError(f"predicate on {self.column!r} has hi < lo")
+
+
+@dataclass(frozen=True)
+class ConjunctionEstimate:
+    """Selectivity of a conjunction of range predicates."""
+
+    independence: float  # the optimizer's product estimate
+    lower: float  # Fréchet lower bound (guaranteed, no assumptions)
+    upper: float  # Fréchet upper bound (guaranteed, no assumptions)
+    per_column: tuple[SelectivityEstimate, ...]
+
+    @property
+    def width(self) -> float:
+        return self.upper - self.lower
+
+
+class TableStatistics:
+    """Per-column OPAQ summaries over one table."""
+
+    def __init__(
+        self, summaries: dict[str, OPAQSummary], histogram_buckets: int = 20
+    ) -> None:
+        if not summaries:
+            raise ConfigError("need at least one column summary")
+        counts = {s.count for s in summaries.values()}
+        if len(counts) != 1:
+            raise ConfigError(
+                f"column summaries disagree on the row count: {counts}"
+            )
+        self._summaries = dict(summaries)
+        self._histograms = {
+            name: EquiDepthHistogram(summary, histogram_buckets)
+            for name, summary in summaries.items()
+        }
+
+    @classmethod
+    def collect(
+        cls,
+        table: TableDataset,
+        config: OPAQConfig,
+        columns: Iterable[str] | None = None,
+        histogram_buckets: int = 20,
+    ) -> "TableStatistics":
+        """One OPAQ pass per column (the nightly ANALYZE job)."""
+        names = list(columns) if columns is not None else list(table.columns)
+        estimator = OPAQ(config)
+        summaries = {name: estimator.summarize(table.column(name)) for name in names}
+        return cls(summaries, histogram_buckets=histogram_buckets)
+
+    @property
+    def columns(self) -> list[str]:
+        return list(self._summaries)
+
+    @property
+    def row_count(self) -> int:
+        return next(iter(self._summaries.values())).count
+
+    def summary(self, column: str) -> OPAQSummary:
+        """The raw per-column summary."""
+        try:
+            return self._summaries[column]
+        except KeyError:
+            raise EstimationError(
+                f"no statistics for column {column!r}; have {self.columns}"
+            ) from None
+
+    def selectivity(self, predicate: Predicate) -> SelectivityEstimate:
+        """Deterministic selectivity band for one range predicate."""
+        if predicate.column not in self._histograms:
+            raise EstimationError(
+                f"no statistics for column {predicate.column!r}"
+            )
+        return self._histograms[predicate.column].selectivity(
+            predicate.lo, predicate.hi
+        )
+
+    def conjunction(self, predicates: Sequence[Predicate]) -> ConjunctionEstimate:
+        """Estimate ``sel(p1 AND p2 AND ...)``.
+
+        The ``independence`` field multiplies point estimates (what an
+        optimizer reports); ``lower``/``upper`` are assumption-free
+        Fréchet bounds built from the per-column deterministic bands, so
+        the true conjunctive selectivity is guaranteed inside them.
+        """
+        if not predicates:
+            raise EstimationError("need at least one predicate")
+        per_column = tuple(self.selectivity(p) for p in predicates)
+        independence = 1.0
+        for est in per_column:
+            independence *= est.estimate
+        k = len(per_column)
+        frechet_lower = max(0.0, sum(e.lower for e in per_column) - (k - 1))
+        frechet_upper = min(e.upper for e in per_column)
+        return ConjunctionEstimate(
+            independence=independence,
+            lower=frechet_lower,
+            upper=max(frechet_upper, frechet_lower),
+            per_column=per_column,
+        )
+
+    def estimated_rows(self, predicates: Sequence[Predicate]) -> float:
+        """Cardinality estimate for the conjunction (independence)."""
+        return self.conjunction(predicates).independence * self.row_count
+
+    # ------------------------------------------------------------------
+    # Persistence (the ANALYZE catalog)
+    # ------------------------------------------------------------------
+
+    def save(self, directory: str | os.PathLike) -> None:
+        """Persist the statistics as a directory of per-column summaries."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        for name, summary in self._summaries.items():
+            summary.save(directory / f"{name}.summary.npz")
+        (directory / "stats.json").write_text(
+            json.dumps({"columns": self.columns, "rows": self.row_count})
+        )
+
+    @classmethod
+    def load(
+        cls, directory: str | os.PathLike, histogram_buckets: int = 20
+    ) -> "TableStatistics":
+        """Load statistics saved with :meth:`save`."""
+        directory = Path(directory)
+        manifest = directory / "stats.json"
+        if not manifest.exists():
+            raise DataError(f"no statistics catalog at {directory}")
+        try:
+            meta = json.loads(manifest.read_text())
+            columns = list(meta["columns"])
+        except (KeyError, ValueError, TypeError) as exc:
+            raise DataError(f"malformed statistics catalog: {exc}") from None
+        summaries = {
+            name: OPAQSummary.load(directory / f"{name}.summary.npz")
+            for name in columns
+        }
+        return cls(summaries, histogram_buckets=histogram_buckets)

@@ -1,0 +1,49 @@
+"""The estimators OPAQ is compared against (paper section 1 and Table 7).
+
+One-pass point estimators (streaming interface):
+
+- :class:`RandomSamplingEstimator` — uniform reservoir sample [Coc77];
+- :class:`P2Estimator` — Jain & Chlamtac's P² markers [RC85];
+- :class:`AdaptiveIntervalEstimator` — Agrawal & Swami's adaptive interval
+  counts [AS95];
+- :class:`CellMidpointEstimator` — Schmeiser & Deutsch's fixed-grid cell
+  midpoints [SD77];
+- :class:`GreenwaldKhanna` — the post-paper (2001) sketch, for the modern
+  comparison ablation;
+- :class:`TDigest` and :class:`KLLSketch` — the later (2013/2016) sketches
+  that, with GK, superseded this line of work.
+
+Multi-pass exact algorithms:
+
+- :class:`MunroPatersonSelector` — bounded-memory exact selection [MP80];
+- :class:`RecursiveMedianPartitioner` — exact equi-depth boundaries via
+  recursive median finding [GS90].
+"""
+
+from repro.baselines.as95 import AdaptiveIntervalEstimator
+from repro.baselines.base import StreamingQuantileEstimator, consume
+from repro.baselines.gk01 import GreenwaldKhanna
+from repro.baselines.gs90 import PartitionResult, RecursiveMedianPartitioner
+from repro.baselines.kll import KLLSketch
+from repro.baselines.mp80 import MunroPatersonSelector, SelectionResult
+from repro.baselines.p2 import P2Estimator, P2SingleQuantile
+from repro.baselines.random_sampling import RandomSamplingEstimator
+from repro.baselines.sd77 import CellMidpointEstimator
+from repro.baselines.tdigest import TDigest
+
+__all__ = [
+    "StreamingQuantileEstimator",
+    "consume",
+    "RandomSamplingEstimator",
+    "P2Estimator",
+    "P2SingleQuantile",
+    "AdaptiveIntervalEstimator",
+    "CellMidpointEstimator",
+    "GreenwaldKhanna",
+    "TDigest",
+    "KLLSketch",
+    "MunroPatersonSelector",
+    "SelectionResult",
+    "RecursiveMedianPartitioner",
+    "PartitionResult",
+]

@@ -1,0 +1,162 @@
+"""The one-pass interval algorithm of Agrawal & Swami ([AS95]).
+
+The paper describes it as: "The algorithm partitions the range of the
+values into k intervals and counts the values in each interval.  The
+boundaries of intervals are determined on-the-fly and are continuously
+adjusted as data is read from disk."  Its limitation — the reason OPAQ
+exists — is that "it does not provide an upper bound of the error rate."
+
+This implementation follows that published description:
+
+* the first buffer of data seeds ``k`` equi-depth interval boundaries;
+* subsequent values increment the count of the interval they fall in;
+* values outside the current range extend the extreme intervals;
+* whenever one interval's count grows past ``split_factor`` times the
+  average, it is split at its midpoint (counts halved — the on-the-fly
+  adjustment that keeps intervals balanced without a second pass) and the
+  pair of adjacent intervals with the smallest combined count is merged to
+  keep the memory constant;
+* a quantile is answered by linear interpolation inside the interval that
+  contains the target rank.
+
+The interpolation step is where the distribution dependence (and hence the
+unbounded error) comes from: inside an interval the value mass is assumed
+uniform, which skewed or duplicate-heavy data violates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import StreamingQuantileEstimator
+from repro.errors import ConfigError
+
+__all__ = ["AdaptiveIntervalEstimator"]
+
+
+class AdaptiveIntervalEstimator(StreamingQuantileEstimator):
+    """Adaptive equi-depth interval counts ([AS95]-style).
+
+    Parameters
+    ----------
+    intervals:
+        ``k`` — the number of intervals.  Memory is ~2 keys per interval
+        (a boundary and a count), so an equal-memory comparison against
+        OPAQ with ``r*s`` samples uses ``k = r*s / 2``.
+    split_factor:
+        An interval is split when its count exceeds ``split_factor``
+        times the average interval count.
+    """
+
+    name = "as95"
+
+    def __init__(self, intervals: int, split_factor: float = 2.0) -> None:
+        super().__init__()
+        if intervals < 4:
+            raise ConfigError("need at least 4 intervals")
+        if split_factor <= 1.0:
+            raise ConfigError("split_factor must exceed 1")
+        self.intervals = intervals
+        self.split_factor = split_factor
+        self._bounds: np.ndarray | None = None  # k+1 boundaries
+        self._counts: np.ndarray | None = None  # k counts
+        self._pending: list[np.ndarray] = []
+        self._pending_size = 0
+
+    @property
+    def memory_footprint(self) -> int:
+        return 2 * self.intervals + 1
+
+    # ------------------------------------------------------------------
+
+    def _seed(self) -> None:
+        """Build the initial boundaries from the buffered first chunk."""
+        first = np.sort(np.concatenate(self._pending))
+        self._pending.clear()
+        k = self.intervals
+        # Equi-depth seed boundaries from the first buffer's quantiles.
+        grid = np.linspace(0, first.size - 1, k + 1).astype(np.int64)
+        bounds = first[grid].astype(np.float64)
+        # De-duplicate collapsed boundaries (heavy ties in the first chunk)
+        # by nudging with the smallest representable step.
+        for i in range(1, bounds.size):
+            if bounds[i] <= bounds[i - 1]:
+                bounds[i] = np.nextafter(bounds[i - 1], np.inf)
+        self._bounds = bounds
+        self._counts = np.zeros(k, dtype=np.float64)
+        self._ingest(first)
+
+    def _ingest(self, chunk: np.ndarray) -> None:
+        bounds, counts = self._bounds, self._counts
+        lo, hi = chunk.min(), chunk.max()
+        if lo < bounds[0]:
+            bounds[0] = lo
+        if hi > bounds[-1]:
+            bounds[-1] = hi
+        idx = np.clip(np.searchsorted(bounds, chunk, side="right") - 1, 0, counts.size - 1)
+        counts += np.bincount(idx, minlength=counts.size)
+        self._rebalance()
+
+    def _rebalance(self) -> None:
+        bounds, counts = self._bounds, self._counts
+        total = counts.sum()
+        if total <= 0:
+            return
+        limit = self.split_factor * total / counts.size
+        # Split the heaviest offender; pay for it by merging the lightest
+        # adjacent pair.  A few iterations per chunk keep things balanced.
+        for _ in range(8):
+            heavy = int(np.argmax(counts))
+            if counts[heavy] <= limit:
+                break
+            pair_sums = counts[:-1] + counts[1:]
+            # Do not merge into the interval being split.
+            pair_sums = pair_sums.copy()
+            for j in (heavy - 1, heavy):
+                if 0 <= j < pair_sums.size:
+                    pair_sums[j] = np.inf
+            light = int(np.argmin(pair_sums))
+            if not np.isfinite(pair_sums[light]):
+                break
+            mid = 0.5 * (bounds[heavy] + bounds[heavy + 1])
+            if not bounds[heavy] < mid < bounds[heavy + 1]:
+                break  # interval too narrow to split (ties)
+            new_bounds = np.delete(bounds, light + 1)
+            new_counts = counts.copy()
+            new_counts[light] += new_counts[light + 1]
+            new_counts = np.delete(new_counts, light + 1)
+            # Indices shift after the merge when the split point is later.
+            h = heavy if heavy < light else heavy - 1
+            new_bounds = np.insert(new_bounds, h + 1, mid)
+            half = new_counts[h] / 2.0
+            new_counts[h] = half
+            new_counts = np.insert(new_counts, h + 1, half)
+            self._bounds = bounds = new_bounds
+            self._counts = counts = new_counts
+
+    def _consume(self, chunk: np.ndarray) -> None:
+        if self._bounds is None:
+            self._pending.append(chunk.copy())
+            self._pending_size += chunk.size
+            # Seed once we have enough to draw k meaningful boundaries.
+            if self._pending_size >= 4 * self.intervals:
+                self._seed()
+            return
+        self._ingest(chunk)
+
+    def query(self, phi: float) -> float:
+        self._require_data()
+        if self._bounds is None:
+            # Everything still buffered: answer exactly from the buffer.
+            data = np.sort(np.concatenate(self._pending))
+            rank = max(1, min(data.size, round(phi * data.size)))
+            return float(data[rank - 1])
+        counts = self._counts
+        cum = np.cumsum(counts)
+        target = phi * cum[-1]
+        cell = int(np.searchsorted(cum, target, side="left"))
+        cell = min(cell, counts.size - 1)
+        before = cum[cell] - counts[cell]
+        inside = (target - before) / counts[cell] if counts[cell] > 0 else 0.5
+        left, right = self._bounds[cell], self._bounds[cell + 1]
+        return float(left + inside * (right - left))

@@ -1,0 +1,95 @@
+"""Common interface for the baseline quantile estimators.
+
+The paper compares OPAQ against several prior algorithms (section 1 and
+Table 7).  All baselines here implement one small streaming interface —
+feed chunks, query fractions — so the comparison harness can run any of
+them over the same single pass of a disk-resident dataset and charge each
+the same memory budget.
+
+Unlike OPAQ, these produce *point estimates* without deterministic bounds
+(that asymmetry is the paper's main claim); the harness scores them with
+:func:`repro.metrics.rera_point_estimates`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError, EstimationError
+from repro.storage import DiskDataset, RunReader
+
+__all__ = ["StreamingQuantileEstimator", "consume"]
+
+
+class StreamingQuantileEstimator(ABC):
+    """One-pass point estimator of quantiles."""
+
+    #: Registry/display name; subclasses override.
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self._n = 0
+
+    @property
+    def n(self) -> int:
+        """Elements consumed so far."""
+        return self._n
+
+    @property
+    @abstractmethod
+    def memory_footprint(self) -> int:
+        """Keys of memory the estimator's state occupies (for the
+        equal-memory comparison of the paper's Table 7)."""
+
+    @abstractmethod
+    def _consume(self, chunk: np.ndarray) -> None:
+        """Absorb one chunk of keys."""
+
+    @abstractmethod
+    def query(self, phi: float) -> float:
+        """Point estimate of the φ-quantile of everything consumed."""
+
+    def update(self, chunk: np.ndarray) -> None:
+        """Absorb one chunk of keys (validating input)."""
+        chunk = np.asarray(chunk, dtype=np.float64)
+        if chunk.ndim != 1:
+            raise ConfigError("chunks must be one-dimensional")
+        if chunk.size == 0:
+            return
+        self._consume(chunk)
+        self._n += chunk.size
+
+    def query_many(self, phis: Sequence[float]) -> np.ndarray:
+        """Point estimates for several fractions."""
+        return np.array([self.query(float(phi)) for phi in phis])
+
+    def _require_data(self) -> None:
+        if self._n == 0:
+            raise EstimationError(f"{self.name}: no data consumed yet")
+
+
+def consume(
+    estimator: StreamingQuantileEstimator,
+    source,
+    run_size: int = 1 << 17,
+) -> StreamingQuantileEstimator:
+    """Feed a whole data source through an estimator in one pass.
+
+    ``source`` may be a :class:`~repro.storage.DiskDataset` (read through a
+    single-pass reader), a numpy array, or any iterable of chunks.  Returns
+    the estimator for chaining.
+    """
+    if isinstance(source, DiskDataset):
+        chunks: Iterable[np.ndarray] = RunReader(source, run_size=run_size)
+    elif isinstance(source, np.ndarray):
+        chunks = (
+            source[i : i + run_size] for i in range(0, source.size, run_size)
+        )
+    else:
+        chunks = source
+    for chunk in chunks:
+        estimator.update(np.asarray(chunk))
+    return estimator

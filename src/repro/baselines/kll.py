@@ -1,0 +1,118 @@
+"""The KLL sketch (Karnin, Lang & Liberty 2016), rank-space modern sketch.
+
+The third post-paper reference point: randomized, mergeable, and
+near-optimal in space — ``O((1/ε)·sqrt(log(1/ε)))`` items for an ``εn``
+rank guarantee *with constant probability* (contrast OPAQ's deterministic
+``n/s`` with ``r·s`` keys, and GK's deterministic ``εn``).
+
+Structure: a stack of compactors.  Level ``h`` holds items of weight
+``2^h``; when a level overflows its capacity (``k·c^(depth-h)``, geometric
+decay ``c = 2/3``), it sorts itself and promotes every other item (random
+even/odd choice) to the level above.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import StreamingQuantileEstimator
+from repro.errors import ConfigError
+
+__all__ = ["KLLSketch"]
+
+_DECAY = 2.0 / 3.0
+
+
+class KLLSketch(StreamingQuantileEstimator):
+    """KLL quantile sketch.
+
+    Parameters
+    ----------
+    k:
+        Capacity of the top compactor — the accuracy knob.  Rank error is
+        ``O(n/k)`` with high probability.
+    seed:
+        Seed for the (essential) compaction randomness.
+    """
+
+    name = "kll"
+
+    def __init__(self, k: int = 200, seed: int = 0) -> None:
+        super().__init__()
+        if k < 8:
+            raise ConfigError("k must be at least 8")
+        self.k = k
+        self._rng = np.random.default_rng(seed)
+        self._levels: list[list[np.ndarray]] = [[]]
+        self._sizes: list[int] = [0]
+
+    # ------------------------------------------------------------------
+
+    def _capacity(self, level: int) -> int:
+        depth = len(self._levels) - 1
+        return max(8, int(self.k * _DECAY ** (depth - level)))
+
+    def _compact(self, level: int) -> None:
+        items = np.sort(np.concatenate(self._levels[level]))
+        leftover = None
+        if items.size % 2:
+            # An odd item cannot pair up; it stays at this level so the
+            # total represented weight is conserved exactly.
+            leftover = items[-1:]
+            items = items[:-1]
+        keep_odd = bool(self._rng.integers(0, 2))
+        promoted = items[1::2] if keep_odd else items[0::2]
+        self._levels[level] = [] if leftover is None else [leftover]
+        self._sizes[level] = 0 if leftover is None else 1
+        if level + 1 == len(self._levels):
+            self._levels.append([])
+            self._sizes.append(0)
+        self._levels[level + 1].append(promoted)
+        self._sizes[level + 1] += promoted.size
+
+    def _consume(self, chunk: np.ndarray) -> None:
+        self._levels[0].append(chunk.copy())
+        self._sizes[0] += chunk.size
+        level = 0
+        while level < len(self._levels):
+            if self._sizes[level] > self._capacity(level):
+                self._compact(level)
+            level += 1
+
+    # ------------------------------------------------------------------
+
+    @property
+    def memory_footprint(self) -> int:
+        return sum(self._sizes)
+
+    @property
+    def num_levels(self) -> int:
+        return len(self._levels)
+
+    def _weighted_items(self) -> tuple[np.ndarray, np.ndarray]:
+        values = []
+        weights = []
+        for h, pieces in enumerate(self._levels):
+            if not pieces:
+                continue
+            v = np.concatenate(pieces)
+            values.append(v)
+            weights.append(np.full(v.size, 2.0**h))
+        v = np.concatenate(values)
+        w = np.concatenate(weights)
+        order = np.argsort(v, kind="stable")
+        return v[order], w[order]
+
+    def query(self, phi: float) -> float:
+        self._require_data()
+        values, weights = self._weighted_items()
+        cum = np.cumsum(weights)
+        target = phi * cum[-1]
+        idx = min(
+            int(np.searchsorted(cum, target, side="left")), values.size - 1
+        )
+        return float(values[idx])
+
+    def rank_error_estimate(self) -> float:
+        """Heuristic one-sigma rank error: ~1.7 n / k (empirical KLL)."""
+        return 1.7 * self._n / self.k

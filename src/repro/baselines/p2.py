@@ -1,0 +1,139 @@
+"""The P² algorithm (Jain & Chlamtac 1985; [RC85] in the paper).
+
+Dynamic quantile calculation *without storing observations*: five markers
+per tracked quantile (min, two intermediates, the quantile marker, max)
+whose heights are nudged toward their desired positions with piecewise-
+parabolic (hence P²) interpolation as elements stream by.
+
+The paper cites this as the constant-memory prior work that "does not
+provide any error bounds" — exactly the behaviour the comparison needs:
+tiny memory, decent accuracy on smooth distributions, no guarantees (and
+visibly worse behaviour on skewed/duplicated data).
+
+This implementation follows the original paper's update rules, including
+the fallback to linear interpolation when the parabolic step would leave
+marker heights non-monotonic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import StreamingQuantileEstimator
+from repro.errors import ConfigError, EstimationError
+
+__all__ = ["P2SingleQuantile", "P2Estimator"]
+
+
+class P2SingleQuantile:
+    """Five-marker P² tracker for one quantile fraction."""
+
+    def __init__(self, phi: float) -> None:
+        if not 0.0 < phi < 1.0:
+            raise ConfigError("P2 tracks fractions strictly inside (0, 1)")
+        self.phi = phi
+        self._heights: list[float] = []  # marker heights q_1..q_5
+        self._positions = np.array([1.0, 2.0, 3.0, 4.0, 5.0])  # n_i
+        self._desired = np.array([1.0, 1.0, 1.0, 1.0, 1.0])  # n'_i
+        self._increments = np.array([0.0, phi / 2.0, phi, (1 + phi) / 2.0, 1.0])
+        self._count = 0
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def _parabolic(self, i: int, d: float) -> float:
+        q, n = self._heights, self._positions
+        return q[i] + d / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + d) * (q[i + 1] - q[i]) / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - d) * (q[i] - q[i - 1]) / (n[i] - n[i - 1])
+        )
+
+    def _linear(self, i: int, d: int) -> float:
+        q, n = self._heights, self._positions
+        return q[i] + d * (q[i + d] - q[i]) / (n[i + d] - n[i])
+
+    def add(self, x: float) -> None:
+        """Absorb one observation."""
+        self._count += 1
+        q = self._heights
+        if len(q) < 5:
+            q.append(float(x))
+            if len(q) == 5:
+                q.sort()
+            return
+        n = self._positions
+        # 1. Find the cell k containing x and bump extreme markers.
+        if x < q[0]:
+            q[0] = float(x)
+            k = 0
+        elif x >= q[4]:
+            q[4] = max(q[4], float(x))
+            k = 3
+        else:
+            k = int(np.searchsorted(q, x, side="right")) - 1
+            k = min(max(k, 0), 3)
+        # 2. Shift positions of markers above the cell.
+        n[k + 1 :] += 1.0
+        self._desired += self._increments
+        # 3. Adjust the three middle markers if off their desired spot.
+        for i in (1, 2, 3):
+            d = self._desired[i] - n[i]
+            if (d >= 1.0 and n[i + 1] - n[i] > 1.0) or (
+                d <= -1.0 and n[i - 1] - n[i] < -1.0
+            ):
+                step = 1 if d >= 1.0 else -1
+                candidate = self._parabolic(i, step)
+                if q[i - 1] < candidate < q[i + 1]:
+                    q[i] = candidate
+                else:
+                    q[i] = self._linear(i, step)
+                n[i] += step
+
+    def value(self) -> float:
+        """Current estimate of the tracked quantile."""
+        if self._count == 0:
+            raise EstimationError("P2: no data consumed yet")
+        if len(self._heights) < 5:
+            # Fewer than five observations: answer from the sorted buffer.
+            buf = sorted(self._heights)
+            rank = max(1, min(len(buf), round(self.phi * len(buf))))
+            return float(buf[rank - 1])
+        return float(self._heights[2])
+
+
+class P2Estimator(StreamingQuantileEstimator):
+    """P² over a set of fractions (one five-marker tracker per fraction).
+
+    Memory: 15 floats per tracked fraction — by far the smallest footprint
+    of any estimator in the comparison, and the reason its errors come with
+    no guarantee of any kind.
+    """
+
+    name = "p2"
+
+    def __init__(self, phis) -> None:
+        super().__init__()
+        self._trackers = {float(phi): P2SingleQuantile(float(phi)) for phi in phis}
+        if not self._trackers:
+            raise ConfigError("P2Estimator needs at least one fraction")
+
+    @property
+    def memory_footprint(self) -> int:
+        return 15 * len(self._trackers)
+
+    def _consume(self, chunk: np.ndarray) -> None:
+        trackers = list(self._trackers.values())
+        for x in chunk:
+            for t in trackers:
+                t.add(float(x))
+
+    def query(self, phi: float) -> float:
+        self._require_data()
+        key = float(phi)
+        if key not in self._trackers:
+            raise EstimationError(
+                f"P2 was not configured to track phi={phi}; tracked: "
+                f"{sorted(self._trackers)}"
+            )
+        return self._trackers[key].value()

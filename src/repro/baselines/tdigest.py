@@ -1,0 +1,127 @@
+"""A merging t-digest (Dunning & Ertl), the value-space modern sketch.
+
+Included (with GK01 and KLL) as a post-paper reference point: the
+reproduction's novelty note is that OPAQ was superseded by these sketches,
+so the ablation benchmarks show where each lands on the memory/accuracy/
+guarantee map.  t-digest gives *relative* rank accuracy — very tight at
+the tails, looser in the middle — but only probabilistic/heuristic
+guarantees, versus OPAQ's uniform deterministic ``n/s``.
+
+This is the "merging" variant: incoming values are buffered, and a
+compression pass merge-sorts buffer + centroids and re-clusters them
+greedily under the scale-function capacity ``4·δ·n·q(1−q) + 1`` (the
+``k₀``-style bound), which keeps at most ~``2δ``-ish centroids.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import StreamingQuantileEstimator
+from repro.errors import ConfigError
+
+__all__ = ["TDigest"]
+
+
+class TDigest(StreamingQuantileEstimator):
+    """Merging t-digest with ``q(1-q)`` capacity shaping.
+
+    Parameters
+    ----------
+    compression:
+        δ — more means more centroids and higher accuracy.  Memory is
+        ~``2*compression`` centroids (mean + weight each).
+    buffer_size:
+        How many raw values to buffer between compressions.
+    """
+
+    name = "tdigest"
+
+    def __init__(self, compression: float = 100.0, buffer_size: int = 512) -> None:
+        super().__init__()
+        if compression < 10:
+            raise ConfigError("compression must be at least 10")
+        if buffer_size < 1:
+            raise ConfigError("buffer_size must be positive")
+        self.compression = float(compression)
+        self.buffer_size = buffer_size
+        self._means = np.empty(0, dtype=np.float64)
+        self._weights = np.empty(0, dtype=np.float64)
+        self._buffer: list[np.ndarray] = []
+        self._buffered = 0
+        self._min = np.inf
+        self._max = -np.inf
+
+    @property
+    def centroids(self) -> int:
+        """Current number of centroids (post-compression)."""
+        return int(self._means.size)
+
+    @property
+    def memory_footprint(self) -> int:
+        return 2 * self.centroids + self._buffered
+
+    def _consume(self, chunk: np.ndarray) -> None:
+        self._min = min(self._min, float(chunk.min()))
+        self._max = max(self._max, float(chunk.max()))
+        self._buffer.append(chunk.copy())
+        self._buffered += chunk.size
+        if self._buffered >= self.buffer_size:
+            self._compress()
+
+    def _capacity(self, q_mid: np.ndarray, n: float) -> np.ndarray:
+        return 4.0 * n * q_mid * (1.0 - q_mid) / self.compression + 1.0
+
+    def _compress(self) -> None:
+        if not self._buffer and self._means.size <= 2 * self.compression:
+            return
+        raw = np.concatenate([self._means, *self._buffer])
+        raw_w = np.concatenate(
+            [self._weights, *(np.ones(b.size) for b in self._buffer)]
+        )
+        self._buffer, self._buffered = [], 0
+        if raw.size == 0:
+            return
+        order = np.argsort(raw, kind="stable")
+        means, weights = raw[order], raw_w[order]
+        n = float(weights.sum())
+        out_means: list[float] = []
+        out_weights: list[float] = []
+        acc_mean, acc_w, seen = float(means[0]), float(weights[0]), 0.0
+        for m, w in zip(means[1:], weights[1:]):
+            q_mid = (seen + 0.5 * (acc_w + w)) / n
+            if acc_w + w <= self._capacity(np.array(q_mid), n):
+                acc_mean += (m - acc_mean) * (w / (acc_w + w))
+                acc_w += w
+            else:
+                out_means.append(acc_mean)
+                out_weights.append(acc_w)
+                seen += acc_w
+                acc_mean, acc_w = float(m), float(w)
+        out_means.append(acc_mean)
+        out_weights.append(acc_w)
+        self._means = np.array(out_means)
+        self._weights = np.array(out_weights)
+
+    def query(self, phi: float) -> float:
+        self._require_data()
+        self._compress()
+        means, weights = self._means, self._weights
+        if means.size == 1:
+            return float(means[0])
+        n = float(weights.sum())
+        target = phi * n
+        # Cumulative weight at each centroid's *centre*.
+        centres = np.cumsum(weights) - 0.5 * weights
+        if target <= centres[0]:
+            # Interpolate from the tracked minimum to the first centroid.
+            frac = target / max(centres[0], 1e-12)
+            return float(self._min + frac * (means[0] - self._min))
+        if target >= centres[-1]:
+            span = n - centres[-1]
+            frac = (target - centres[-1]) / max(span, 1e-12)
+            return float(means[-1] + frac * (self._max - means[-1]))
+        idx = int(np.searchsorted(centres, target, side="right"))
+        left_c, right_c = centres[idx - 1], centres[idx]
+        frac = (target - left_c) / max(right_c - left_c, 1e-12)
+        return float(means[idx - 1] + frac * (means[idx] - means[idx - 1]))

@@ -1,0 +1,358 @@
+"""Command-line interface: the OPAQ toolchain end to end.
+
+::
+
+    opaq generate --dist zipf --n 1000000 --out keys.opaq
+    opaq info keys.opaq
+    opaq summarize keys.opaq --sample-size 1000 --out keys.summary.npz
+    opaq query keys.summary.npz --dectiles
+    opaq query keys.summary.npz --phi 0.5 --phi 0.99
+    opaq rank keys.summary.npz 123456.0
+    opaq exact keys.opaq --phi 0.5 --sample-size 1000
+    opaq sort keys.opaq sorted.opaq --memory 2000000
+    opaq report            # regenerate EXPERIMENTS.md content on stdout
+
+Every subcommand is also reachable as ``python -m repro.cli ...``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro import __version__
+from repro.apps import external_sort
+from repro.core import (
+    OPAQ,
+    OPAQConfig,
+    OPAQSummary,
+    estimate_rank,
+    exact_quantiles,
+)
+from repro.errors import ReproError
+from repro.metrics import dectile_fractions
+from repro.storage import DiskDataset, MemoryModel, RunReader
+from repro.workloads import GENERATOR_NAMES, make_generator, write_dataset
+
+__all__ = ["main", "build_parser"]
+
+
+def _config_for(n: int, args) -> OPAQConfig:
+    """Build an OPAQConfig from common CLI flags."""
+    sample_size = args.sample_size
+    if args.run_size:
+        run_size = args.run_size
+    elif args.memory:
+        run_size = MemoryModel(args.memory).suggest(n, sample_size)
+    else:
+        run_size = max(sample_size, min(n, int(np.sqrt(float(n) * sample_size))))
+    return OPAQConfig(
+        run_size=run_size,
+        sample_size=min(sample_size, run_size),
+        memory=args.memory,
+        strategy=args.strategy,
+    )
+
+
+def _add_config_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--sample-size", type=int, default=1000, help="s: samples per run"
+    )
+    parser.add_argument(
+        "--run-size", type=int, default=None, help="m: keys per run"
+    )
+    parser.add_argument(
+        "--memory",
+        type=int,
+        default=None,
+        help="M: memory budget in keys (derives m, enforces r*s + m <= M)",
+    )
+    parser.add_argument(
+        "--strategy",
+        default="numpy",
+        help="selection strategy: numpy|sort|median_of_medians|floyd_rivest",
+    )
+
+
+def _cmd_generate(args) -> int:
+    kwargs = {}
+    if args.zipf_parameter is not None:
+        kwargs["parameter"] = args.zipf_parameter
+    if args.duplicate_fraction is not None:
+        kwargs["duplicate_fraction"] = args.duplicate_fraction
+    generator = make_generator(args.dist, **kwargs)
+    ds = write_dataset(args.out, generator, args.n, seed=args.seed)
+    print(f"wrote {ds.count:,} {args.dist} keys to {ds.path} ({ds.nbytes:,} bytes)")
+    return 0
+
+
+def _cmd_info(args) -> int:
+    if str(args.data).endswith(".npz"):
+        summary = OPAQSummary.load(args.data)
+        print(f"summary:    {args.data}")
+        print(f"describes:  {summary.count:,} keys in {summary.num_runs} runs")
+        print(f"samples:    {summary.num_samples:,} "
+              f"({summary.memory_footprint:,} keys of memory)")
+        print(f"range:      [{summary.minimum:.6g}, {summary.maximum:.6g}]")
+        print(f"guarantee:  each bound within "
+              f"{summary.guaranteed_rank_error():,} ranks "
+              f"({summary.guaranteed_rank_error() / summary.count:.4%} of n)")
+        return 0
+    ds = DiskDataset.open(args.data)
+    print(f"path:     {ds.path}")
+    print(f"keys:     {ds.count:,}")
+    print(f"dtype:    {ds.dtype}")
+    print(f"payload:  {ds.nbytes:,} bytes")
+    return 0
+
+
+def _cmd_compact(args) -> int:
+    summary = OPAQSummary.load(args.summary)
+    before = summary.guaranteed_rank_error()
+    compacted = summary.compact_to(args.max_samples)
+    compacted.save(args.out)
+    print(
+        f"{summary.num_samples:,} samples -> {compacted.num_samples:,}; "
+        f"guarantee {before:,} -> {compacted.guaranteed_rank_error():,} ranks"
+    )
+    print(f"compacted summary saved to {args.out}")
+    return 0
+
+
+def _cmd_summarize(args) -> int:
+    ds = DiskDataset.open(args.data)
+    config = _config_for(ds.count, args)
+    reader = RunReader(ds, run_size=config.run_size)
+    summary = OPAQ(config).summarize(reader)
+    summary.save(args.out)
+    print(
+        f"one pass over {ds.count:,} keys: r={summary.num_runs} runs of "
+        f"m={config.run_size:,}, s={config.sample_size} -> "
+        f"{summary.num_samples:,} samples retained"
+    )
+    print(
+        f"guarantee: each quantile bound within "
+        f"{summary.guaranteed_rank_error():,} ranks of the truth"
+    )
+    print(f"summary saved to {args.out}")
+    return 0
+
+
+def _phis_from(args) -> list[float]:
+    if args.dectiles or not args.phi:
+        return [float(p) for p in dectile_fractions()]
+    return args.phi
+
+
+def _cmd_query(args) -> int:
+    from repro.core import quantile_bounds
+
+    summary = OPAQSummary.load(args.summary)
+    print(f"{'phi':>6}  {'lower':>18}  {'upper':>18}  {'max between':>12}")
+    for phi in _phis_from(args):
+        b = quantile_bounds(summary, phi)
+        print(
+            f"{phi:>6.3f}  {b.lower:>18.6f}  {b.upper:>18.6f}  "
+            f"{b.max_between:>12,}"
+        )
+    return 0
+
+
+def _cmd_rank(args) -> int:
+    summary = OPAQSummary.load(args.summary)
+    band = estimate_rank(summary, args.value)
+    print(
+        f"rank({args.value}) in [{band.low:,}, {band.high:,}] of "
+        f"{band.n:,}  (phi in [{band.phi_low:.4f}, {band.phi_high:.4f}])"
+    )
+    return 0
+
+
+def _cmd_exact(args) -> int:
+    ds = DiskDataset.open(args.data)
+    config = _config_for(ds.count, args)
+    phis = _phis_from(args)
+    values, bounds, _ = exact_quantiles(ds, phis, config)
+    print(f"{'phi':>6}  {'exact value':>18}  {'one-pass bounds':>40}")
+    for phi, value, b in zip(phis, values, bounds):
+        print(
+            f"{phi:>6.3f}  {value:>18.6f}  "
+            f"[{b.lower:>18.6f}, {b.upper:>18.6f}]"
+        )
+    return 0
+
+
+def _cmd_sort(args) -> int:
+    ds = DiskDataset.open(args.data)
+    report = external_sort(ds, args.out, memory=args.memory)
+    print(
+        f"sorted {ds.count:,} keys into {args.out} with "
+        f"{report.passes_over_input} reads of the input"
+    )
+    print(
+        f"buckets: {report.num_buckets} "
+        f"(largest {report.max_bucket:,} <= guaranteed "
+        f"{report.guaranteed_max_bucket:,} <= memory {args.memory:,})"
+    )
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    from repro.apps import TableStatistics
+    from repro.storage import TableDataset
+
+    table = TableDataset.open(args.table)
+    config = _config_for(table.row_count, args)
+    stats = TableStatistics.collect(table, config)
+    stats.save(args.out)
+    print(
+        f"analyzed {len(stats.columns)} columns x {table.row_count:,} rows "
+        f"(one OPAQ pass per column); catalog saved to {args.out}"
+    )
+    return 0
+
+
+def _parse_predicates(raw: list[str]):
+    """Parse ``column:lo:hi`` strings into predicates."""
+    from repro.apps import Predicate
+    from repro.errors import ConfigError
+
+    predicates = []
+    for spec in raw:
+        parts = spec.split(":")
+        if len(parts) != 3:
+            raise ConfigError(
+                f"predicate {spec!r} must look like column:lo:hi"
+            )
+        predicates.append(Predicate(parts[0], float(parts[1]), float(parts[2])))
+    return predicates
+
+
+def _cmd_explain(args) -> int:
+    from repro.apps import TableStatistics
+
+    stats = TableStatistics.load(args.stats)
+    predicates = _parse_predicates(args.predicate)
+    est = stats.conjunction(predicates)
+    rows = stats.row_count
+    print("predicates:")
+    for p, band in zip(predicates, est.per_column):
+        print(
+            f"  {p.column} in [{p.lo:g}, {p.hi:g}]: selectivity "
+            f"~{band.estimate:.4f} (guaranteed [{band.lower:.4f}, {band.upper:.4f}])"
+        )
+    print(
+        f"conjunction: ~{est.independence * rows:,.0f} rows "
+        f"(independence), guaranteed in "
+        f"[{est.lower * rows:,.0f}, {est.upper * rows:,.0f}]"
+    )
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.experiments.report import main as report_main
+
+    report_main(sys.stdout)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="opaq",
+        description="OPAQ: one-pass quantile estimation for disk-resident data",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="write a synthetic dataset")
+    p.add_argument("--dist", choices=GENERATOR_NAMES, default="uniform")
+    p.add_argument("--n", type=int, required=True)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", required=True)
+    p.add_argument("--zipf-parameter", type=float, default=None)
+    p.add_argument("--duplicate-fraction", type=float, default=None)
+    p.set_defaults(fn=_cmd_generate)
+
+    p = sub.add_parser("info", help="describe a dataset or summary file")
+    p.add_argument("data")
+    p.set_defaults(fn=_cmd_info)
+
+    p = sub.add_parser(
+        "compact", help="shrink a summary to a memory bound (looser bounds)"
+    )
+    p.add_argument("summary")
+    p.add_argument("--max-samples", type=int, required=True)
+    p.add_argument("--out", required=True)
+    p.set_defaults(fn=_cmd_compact)
+
+    p = sub.add_parser("summarize", help="one OPAQ pass -> summary file")
+    p.add_argument("data")
+    p.add_argument("--out", required=True)
+    _add_config_flags(p)
+    p.set_defaults(fn=_cmd_summarize)
+
+    p = sub.add_parser("query", help="quantile bounds from a summary")
+    p.add_argument("summary")
+    p.add_argument("--phi", type=float, action="append", default=[])
+    p.add_argument("--dectiles", action="store_true")
+    p.set_defaults(fn=_cmd_query)
+
+    p = sub.add_parser("rank", help="rank band of a value from a summary")
+    p.add_argument("summary")
+    p.add_argument("value", type=float)
+    p.set_defaults(fn=_cmd_rank)
+
+    p = sub.add_parser("exact", help="two-pass exact quantiles")
+    p.add_argument("data")
+    p.add_argument("--phi", type=float, action="append", default=[])
+    p.add_argument("--dectiles", action="store_true")
+    _add_config_flags(p)
+    p.set_defaults(fn=_cmd_exact)
+
+    p = sub.add_parser("sort", help="external sort via OPAQ splitters")
+    p.add_argument("data")
+    p.add_argument("out")
+    p.add_argument("--memory", type=int, required=True)
+    p.set_defaults(fn=_cmd_sort)
+
+    p = sub.add_parser(
+        "analyze", help="per-column OPAQ statistics over a columnar table"
+    )
+    p.add_argument("table")
+    p.add_argument("--out", required=True, help="catalog directory")
+    _add_config_flags(p)
+    p.set_defaults(fn=_cmd_analyze)
+
+    p = sub.add_parser(
+        "explain", help="cardinality estimate from a saved catalog"
+    )
+    p.add_argument("stats", help="catalog directory from `opaq analyze`")
+    p.add_argument(
+        "--predicate",
+        action="append",
+        required=True,
+        help="range predicate as column:lo:hi (repeatable)",
+    )
+    p.set_defaults(fn=_cmd_explain)
+
+    p = sub.add_parser(
+        "report", help="regenerate the EXPERIMENTS.md content on stdout"
+    )
+    p.set_defaults(fn=_cmd_report)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,45 @@
+"""OPAQ proper: the paper's primary contribution.
+
+Sample phase (section 2.1), quantile phase (section 2.2), and the section 4
+extensions (exact two-pass refinement, rank estimation, incremental
+maintenance).
+"""
+
+from repro.core.bounds import QuantileBounds
+from repro.core.config import OPAQConfig
+from repro.core.estimator import OPAQ, estimate_quantiles
+from repro.core.exact import exact_quantiles, refine_exact
+from repro.core.incremental import IncrementalOPAQ
+from repro.core.quantile_phase import (
+    bounds_for,
+    lower_bound_index,
+    quantile_bounds,
+    splitters,
+    upper_bound_index,
+)
+from repro.core.rank import RankBounds, approx_cdf, estimate_rank, estimate_ranks
+from repro.core.sample_phase import build_summary, sample_run, scaled_sample_count
+from repro.core.summary import OPAQSummary
+
+__all__ = [
+    "OPAQ",
+    "OPAQConfig",
+    "OPAQSummary",
+    "QuantileBounds",
+    "estimate_quantiles",
+    "quantile_bounds",
+    "bounds_for",
+    "splitters",
+    "lower_bound_index",
+    "upper_bound_index",
+    "build_summary",
+    "sample_run",
+    "scaled_sample_count",
+    "exact_quantiles",
+    "refine_exact",
+    "IncrementalOPAQ",
+    "RankBounds",
+    "estimate_rank",
+    "estimate_ranks",
+    "approx_cdf",
+]

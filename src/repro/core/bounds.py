@@ -1,0 +1,60 @@
+"""Quantile bound pairs with their deterministic guarantees."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["QuantileBounds"]
+
+
+@dataclass(frozen=True)
+class QuantileBounds:
+    """The result of one quantile query: ``e_phi ∈ [lower, upper]``.
+
+    Attributes
+    ----------
+    phi:
+        The quantile fraction queried.
+    rank:
+        ``ψ = ceil(φ·n)`` — the 1-based rank of the true quantile.
+    lower, upper:
+        The paper's ``e_l`` and ``e_u``.  The true φ-quantile value is
+        guaranteed to lie in ``[lower, upper]``.
+    max_below:
+        Deterministic bound on the number of elements between ``lower`` and
+        the true quantile (Lemma 1: at most ``n/s`` in the paper's
+        divisible case).
+    max_above:
+        Same for ``upper`` (Lemma 2).
+    lower_index, upper_index:
+        1-based positions of the bounds in the sorted sample list, or 0
+        when the formula fell off an end and the tracked global
+        minimum/maximum was used instead.
+    """
+
+    phi: float
+    rank: int
+    lower: float
+    upper: float
+    max_below: int
+    max_above: int
+    lower_index: int = 0
+    upper_index: int = 0
+
+    @property
+    def max_between(self) -> int:
+        """Lemma 3: elements between the bounds (at most ``2n/s``)."""
+        return self.max_below + self.max_above
+
+    @property
+    def midpoint(self) -> float:
+        """A point estimate: the middle of the bound interval."""
+        return 0.5 * (self.lower + self.upper)
+
+    @property
+    def width(self) -> float:
+        """Value-space width of the bound interval."""
+        return self.upper - self.lower
+
+    def __contains__(self, value: float) -> bool:
+        return self.lower <= value <= self.upper

@@ -1,0 +1,111 @@
+"""The user-facing OPAQ estimator.
+
+Ties the sample phase and the quantile phase together behind one object::
+
+    from repro import OPAQ, OPAQConfig
+
+    est = OPAQ(OPAQConfig(run_size=100_000, sample_size=1000))
+    summary = est.summarize(dataset)          # the one pass over the data
+    bounds = summary and est.bounds(summary, [0.25, 0.5, 0.75])
+
+Accepted data sources: a :class:`repro.storage.DiskDataset` (read through a
+single-pass :class:`~repro.storage.RunReader`), an in-memory numpy array
+(chopped into runs of ``m``), an existing reader, or any iterable of runs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.bounds import QuantileBounds
+from repro.core.config import OPAQConfig
+from repro.core.quantile_phase import bounds_for, quantile_bounds, splitters
+from repro.core.sample_phase import build_summary
+from repro.core.summary import OPAQSummary
+from repro.errors import ConfigError
+from repro.storage import DiskDataset, RunReader
+
+__all__ = ["OPAQ", "estimate_quantiles"]
+
+DataSource = "DiskDataset | RunReader | np.ndarray | Iterable[np.ndarray]"
+
+
+class OPAQ:
+    """One-pass quantile estimator (the paper's OPAQ algorithm)."""
+
+    def __init__(self, config: OPAQConfig) -> None:
+        self.config = config
+
+    def _runs(self, source) -> Iterable[np.ndarray]:
+        """Normalise any supported source into an iterable of runs."""
+        if isinstance(source, DiskDataset):
+            self.config.validate_for(source.count)
+            return RunReader(source, run_size=self.config.run_size)
+        if isinstance(source, RunReader):
+            if source.run_size != self.config.run_size:
+                raise ConfigError(
+                    f"reader run size {source.run_size} differs from the "
+                    f"configured run size {self.config.run_size}"
+                )
+            self.config.validate_for(source.dataset.count)
+            return source
+        if isinstance(source, np.ndarray):
+            if source.ndim != 1:
+                raise ConfigError("in-memory data must be one-dimensional")
+            self.config.validate_for(max(1, source.size))
+            m = self.config.run_size
+            return (source[i : i + m] for i in range(0, source.size, m))
+        # Fall through: assume an iterable of runs.
+        return source
+
+    def summarize(self, source) -> OPAQSummary:
+        """The one pass: build the sorted sample list for ``source``."""
+        return build_summary(self._runs(source), self.config)
+
+    def bounds(
+        self, summary: OPAQSummary, phis: Sequence[float]
+    ) -> list[QuantileBounds]:
+        """Quantile bounds for many fractions (O(1) each)."""
+        return bounds_for(summary, phis)
+
+    def bound(self, summary: OPAQSummary, phi: float) -> QuantileBounds:
+        """Quantile bounds for a single fraction."""
+        return quantile_bounds(summary, phi)
+
+    def estimate(self, source, phis: Sequence[float]) -> list[QuantileBounds]:
+        """Convenience: one pass + quantile phase in a single call."""
+        return self.bounds(self.summarize(source), phis)
+
+    def splitters(self, summary: OPAQSummary, q: int, which: str = "upper") -> np.ndarray:
+        """Equi-depth cut points for partitioning applications."""
+        return splitters(summary, q, which=which)
+
+
+def estimate_quantiles(
+    data,
+    phis: Sequence[float],
+    sample_size: int = 1000,
+    run_size: int | None = None,
+) -> list[QuantileBounds]:
+    """One-shot helper: estimate quantile bounds of ``data``.
+
+    Picks a run size of ``~sqrt(n*s)`` (the memory-optimal choice) when not
+    given.  ``data`` may be a numpy array or a
+    :class:`~repro.storage.DiskDataset`.
+
+    >>> import numpy as np
+    >>> data = np.arange(100_000, dtype=float)
+    >>> [b] = estimate_quantiles(data, [0.5], sample_size=100)
+    >>> b.lower <= 49999.0 <= b.upper
+    True
+    """
+    n = data.count if isinstance(data, DiskDataset) else int(np.asarray(data).size)
+    if n <= 0:
+        raise ConfigError("data must be non-empty")
+    if run_size is None:
+        run_size = max(sample_size, int(np.sqrt(float(n) * sample_size)))
+        run_size = min(run_size, n)
+    config = OPAQConfig(run_size=run_size, sample_size=min(sample_size, run_size))
+    return OPAQ(config).estimate(data, phis)

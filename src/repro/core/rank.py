@@ -1,0 +1,97 @@
+"""Rank estimation of arbitrary elements (paper section 4).
+
+"The sorted sample list can obviously be used to estimate the rank of any
+arbitrary element in the whole data set. This does not require any extra
+passes over the entire data set."
+
+The same two regular-sampling properties that power the quantile phase give
+a deterministic rank band for any value ``x``: with ``p`` samples at or
+below ``x``,
+
+* at least ``min_rank(p)`` elements are ``<= x`` (the cumulative sub-run
+  sizes of those ``p`` samples), and
+* fewer than ``max_below(next sample above x)`` elements are ``< x``
+  (everything below ``x`` is below the next sample).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.summary import OPAQSummary
+
+__all__ = ["RankBounds", "estimate_rank", "estimate_ranks", "approx_cdf"]
+
+
+@dataclass(frozen=True)
+class RankBounds:
+    """Deterministic band for ``count(elements <= value)``."""
+
+    value: float
+    low: int
+    high: int
+    n: int
+
+    @property
+    def midpoint(self) -> float:
+        """Point estimate of the rank."""
+        return 0.5 * (self.low + self.high)
+
+    @property
+    def phi_low(self) -> float:
+        """Smallest quantile fraction ``value`` can be."""
+        return self.low / self.n
+
+    @property
+    def phi_high(self) -> float:
+        """Largest quantile fraction ``value`` can be."""
+        return self.high / self.n
+
+    @property
+    def width(self) -> int:
+        return self.high - self.low
+
+
+def estimate_rank(summary: OPAQSummary, value: float) -> RankBounds:
+    """Estimate the rank band of ``value`` from a summary, in O(log(r·s)).
+
+    The band is exact at the extremes: values below the tracked global
+    minimum get ``[0, 0]``; values at or above the maximum get a band
+    closing at ``n``.
+    """
+    n = summary.count
+    if value < summary.minimum:
+        return RankBounds(value=value, low=0, high=0, n=n)
+    if value >= summary.maximum:
+        return RankBounds(value=value, low=n, high=n, n=n)
+    samples = summary.samples
+    p = int(np.searchsorted(samples, value, side="right"))
+    low = summary.min_rank_at(p - 1) if p >= 1 else 0
+    if p < samples.size:
+        # Everything <= value is < the next sample (strictly above value),
+        # except possible ties of that sample with itself — max_below_at
+        # already covers every element strictly below samples[p].
+        high = summary.max_below_at(p)
+    else:
+        high = n
+    return RankBounds(value=value, low=min(low, n), high=max(min(high, n), low), n=n)
+
+
+def estimate_ranks(summary: OPAQSummary, values) -> list[RankBounds]:
+    """Rank bands for many probe values (one binary search each)."""
+    return [estimate_rank(summary, float(v)) for v in np.asarray(values).ravel()]
+
+
+def approx_cdf(summary: OPAQSummary, values) -> np.ndarray:
+    """Point estimates of the empirical CDF at many probe values.
+
+    Vectorised midpoint-of-band estimate of ``P(X <= v)``; the bands
+    themselves (with their deterministic guarantees) come from
+    :func:`estimate_ranks`.  Useful for plotting and for the histogram
+    application's batch mode.
+    """
+    probes = np.asarray(values, dtype=np.float64).ravel()
+    bands = estimate_ranks(summary, probes)
+    return np.array([b.midpoint / summary.count for b in bands])

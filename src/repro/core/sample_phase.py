@@ -1,0 +1,123 @@
+"""The sample phase (paper section 2.1, Figure 1).
+
+One pass over the data as runs; from each run, extract the ``s`` regular
+samples — the elements of rank ``m/s, 2m/s, ..., m`` — with a selection
+algorithm rather than a sort, then merge the per-run sorted sample lists
+into one sorted list of ``r*s`` samples.
+
+Each sample carries its *sub-run size* (the number of run elements it
+represents — exactly ``m/s`` when ``s`` divides ``m``) through the merge;
+the summary's rank guarantees are computed from these.  Ragged runs (a last
+run shorter than ``m``, or caller-supplied runs of varying sizes) get a
+proportionally scaled sample count so every sample still represents a
+sub-run of roughly ``m/s`` elements.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.core.config import OPAQConfig
+from repro.core.summary import OPAQSummary
+from repro.errors import EstimationError
+from repro.selection import (
+    SelectionStrategy,
+    kway_merge,
+    regular_sample_ranks,
+)
+
+__all__ = ["sample_run", "build_summary", "scaled_sample_count"]
+
+
+def scaled_sample_count(run_size: int, nominal_run: int, nominal_s: int) -> int:
+    """Sample count for a run of ``run_size`` when full runs get ``nominal_s``.
+
+    Keeps the sub-run size (elements per sample) as close to
+    ``nominal_run / nominal_s`` as possible: a half-size run gets half the
+    samples.  Always at least 1 and at most ``run_size``.
+    """
+    if run_size <= 0:
+        raise EstimationError("run must be non-empty")
+    scaled = round(nominal_s * run_size / nominal_run)
+    return max(1, min(run_size, scaled))
+
+
+def sample_run(
+    run: np.ndarray, sample_count: int, strategy: SelectionStrategy
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Extract the regular samples of one run.
+
+    Returns ``(samples, gaps, floors)``: the sorted samples at 0-based
+    ranks ``floor(i*m/s) - 1`` for ``i = 1..s``; each sample's sub-run
+    size (the gap to the previous sample rank; gaps sum to the run size);
+    and each sub-run's floor — the previous sample's value (``-inf`` for
+    the first), below which none of the sub-run's elements can fall.
+    """
+    run = np.asarray(run)
+    if run.ndim != 1:
+        raise EstimationError("a run must be a one-dimensional array")
+    if np.isnan(run).any():
+        # NaNs have no rank; letting them through would silently corrupt
+        # every guarantee downstream.
+        raise EstimationError("run contains NaN keys; quantiles are undefined")
+    ranks = regular_sample_ranks(run.size, sample_count)
+    samples = strategy.multiselect(run, ranks)
+    gaps = np.diff(np.concatenate([[-1], ranks])).astype(np.int64)
+    floors = np.concatenate([[-np.inf], samples[:-1]])
+    return samples, gaps, floors
+
+
+def build_summary(
+    runs: Iterable[np.ndarray], config: OPAQConfig
+) -> OPAQSummary:
+    """Run the full sample phase over an iterable of runs.
+
+    Parameters
+    ----------
+    runs:
+        Any iterable of one-dimensional arrays — typically a
+        :class:`repro.storage.RunReader`, which also enforces the one-pass
+        discipline and accounts I/O.
+    config:
+        Run size ``m``, per-run sample count ``s`` and selection strategy.
+
+    Returns
+    -------
+    OPAQSummary
+        The merged sorted sample list with rank bookkeeping.
+    """
+    strategy = config.selection_strategy()
+    sample_lists: list[np.ndarray] = []
+    payload_lists: list[np.ndarray] = []
+    num_runs = 0
+    count = 0
+    minimum = np.inf
+    maximum = -np.inf
+    for run in runs:
+        run = np.asarray(run)
+        if run.size == 0:
+            continue
+        s_k = scaled_sample_count(run.size, config.run_size, config.sample_size)
+        samples, gaps, floors = sample_run(run, s_k, strategy)
+        sample_lists.append(samples)
+        payload_lists.append(
+            np.column_stack([gaps.astype(np.float64), floors])
+        )
+        num_runs += 1
+        count += run.size
+        minimum = min(minimum, float(run.min()))
+        maximum = max(maximum, float(run.max()))
+    if not sample_lists:
+        raise EstimationError("no data: the run iterable was empty")
+    merged, merged_payload = kway_merge(sample_lists, payloads=payload_lists)
+    return OPAQSummary(
+        samples=merged,
+        gaps=merged_payload[:, 0].astype(np.int64),
+        floors=merged_payload[:, 1],
+        num_runs=num_runs,
+        count=count,
+        minimum=minimum,
+        maximum=maximum,
+    )

@@ -1,0 +1,350 @@
+"""The OPAQ summary: a merged, sorted sample list plus rank bookkeeping.
+
+The output of the sample phase (paper section 2.1 and Figure 1) is a sorted
+list of ``r*s`` regular samples.  :class:`OPAQSummary` packages that list
+together with what the quantile phase's rank arithmetic needs:
+
+``gaps``
+    The *group weight* of each sample — how many data elements the sample
+    represents (its sub-run size, ``m/s`` for every sample in the paper's
+    divisible case).  Every element belongs to exactly one group, and every
+    element of a group is **at or below** its sample.  The cumulative sum
+    of gaps is therefore an exact lower bound on
+    ``count(elements <= samples[i])`` — regular sampling's first property.
+
+``floors``
+    A value every element of the group is **at or above**: for a fresh
+    sample this is the previous regular sample of the same run (``-inf``
+    for a run's first sample).  Floors power the second property — the
+    upper bound on ``count(elements < samples[i])``: an element below a
+    value ``v`` lives either in a group whose sample is below ``v``
+    (fully counted by the gap prefix sum) or in a *straddling* group
+    (``floor < v <= sample``), which can contribute at most ``gap - 1``
+    elements (its sample is not below ``v``).  For a freshly built summary
+    at most one group per run straddles any value, which reproduces the
+    paper's ``i·m/s + (r-1)(m/s-1)`` bound exactly; after merging or
+    compacting summaries the straddle accounting remains *sound* where
+    closed-form run arithmetic would silently break.
+
+``count`` / ``minimum`` / ``maximum``
+    ``n`` and the global extremes — free to track during the pass, and
+    they give finite bounds for extreme quantiles where the index
+    arithmetic falls off either end of the sample list.
+
+Summaries are the library's durable artifact: they can be merged (the
+incremental extension of section 4), compacted to a memory bound (gap
+groups collapse, floors take the group minimum), serialised to disk, and
+queried for any number of quantiles at ``O(log(r·s))`` each.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import DataError, EstimationError
+from repro.selection import is_sorted, merge_two_with_payload
+
+__all__ = ["OPAQSummary"]
+
+
+@dataclass(frozen=True)
+class OPAQSummary:
+    """Sorted sample list + rank bookkeeping; the product of one pass."""
+
+    samples: np.ndarray
+    gaps: np.ndarray
+    num_runs: int
+    count: int
+    minimum: float
+    maximum: float
+    #: Per-group lower value bound; defaults to the fully conservative
+    #: ``-inf`` (sound for hand-built summaries, maximally pessimistic).
+    floors: np.ndarray | None = None
+    _cum: np.ndarray = field(init=False, repr=False, compare=False)
+    _maxlt: np.ndarray = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        samples = np.asarray(self.samples, dtype=np.float64)
+        gaps = np.asarray(self.gaps, dtype=np.int64)
+        if self.floors is None:
+            floors = np.full(samples.shape, -np.inf)
+        else:
+            floors = np.asarray(self.floors, dtype=np.float64)
+        object.__setattr__(self, "samples", samples)
+        object.__setattr__(self, "gaps", gaps)
+        object.__setattr__(self, "floors", floors)
+        if self.count <= 0:
+            raise EstimationError("summary must describe at least one element")
+        if samples.size == 0:
+            raise EstimationError("summary must hold at least one sample")
+        if gaps.shape != samples.shape or floors.shape != samples.shape:
+            raise EstimationError(
+                "gaps and floors must align one-to-one with samples"
+            )
+        if self.num_runs <= 0:
+            raise EstimationError("num_runs must be positive")
+        if gaps.min() < 1:
+            raise EstimationError("every sub-run must hold at least 1 element")
+        if np.any(floors > samples):
+            raise EstimationError("a group's floor cannot exceed its sample")
+        if self.minimum > self.maximum:
+            raise EstimationError("minimum exceeds maximum")
+        if not is_sorted(samples):
+            raise EstimationError("sample list must be sorted")
+        cum = np.cumsum(gaps)
+        if int(cum[-1]) != self.count:
+            raise EstimationError(
+                f"sub-run sizes sum to {int(cum[-1])} but the summary claims "
+                f"{self.count} elements"
+            )
+        object.__setattr__(self, "_cum", cum)
+        object.__setattr__(self, "_maxlt", self._build_maxlt(samples, gaps, floors, cum))
+
+    @staticmethod
+    def _build_maxlt(
+        samples: np.ndarray,
+        gaps: np.ndarray,
+        floors: np.ndarray,
+        cum: np.ndarray,
+    ) -> np.ndarray:
+        """``maxlt[i]`` = guaranteed max of ``count(x < samples[i])``.
+
+        For ``v = samples[i]``::
+
+            maxlt(v) =   sum of gaps of groups with sample < v
+                       + sum of (gap - 1) of straddling groups
+                                (floor < v <= sample)
+
+        Vectorised by inclusion-exclusion: the straddle indicator is
+        ``[floor < v] - [sample < v]``, so two sorted prefix-sum lookups
+        cover all positions in O(r·s log(r·s)).  The result is
+        non-decreasing (it bounds a non-decreasing function and both event
+        types only add mass as ``v`` grows).
+        """
+        gm1 = (gaps - 1).astype(np.float64)
+        # Prefix sums of (gap-1) in sample order and in floor order.
+        cum_gm1_by_sample = np.concatenate([[0.0], np.cumsum(gm1)])
+        order = np.argsort(floors, kind="stable")
+        floors_sorted = floors[order]
+        cum_gm1_by_floor = np.concatenate([[0.0], np.cumsum(gm1[order])])
+        # For each position i with value v = samples[i]:
+        left = np.searchsorted(samples, samples, side="left")
+        cum_full = np.concatenate([[0], cum])
+        base = cum_full[left]  # gaps of groups with sample < v
+        below_floor = cum_gm1_by_floor[
+            np.searchsorted(floors_sorted, samples, side="left")
+        ]
+        below_sample = cum_gm1_by_sample[left]
+        maxlt = base + (below_floor - below_sample)
+        return np.minimum(maxlt, cum[-1] - 1).astype(np.int64)
+
+    def __repr__(self) -> str:  # pragma: no cover - display only
+        return (
+            f"OPAQSummary(count={self.count:,}, runs={self.num_runs}, "
+            f"samples={self.num_samples:,}, "
+            f"range=[{self.minimum:.6g}, {self.maximum:.6g}], "
+            f"rank_error<={self.guaranteed_rank_error():,})"
+        )
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+
+    @property
+    def num_samples(self) -> int:
+        """Size of the merged sample list (``r*s`` in the paper)."""
+        return int(self.samples.size)
+
+    @property
+    def subrun_floor(self) -> int:
+        """Smallest group weight (``m/s`` in the divisible case)."""
+        return int(self.gaps.min())
+
+    @property
+    def subrun_ceil(self) -> int:
+        """Largest group weight (``m/s`` in the divisible case)."""
+        return int(self.gaps.max())
+
+    @property
+    def memory_footprint(self) -> int:
+        """Keys of memory the summary occupies (samples, gaps, floors)."""
+        return 3 * self.num_samples
+
+    def min_rank_at(self, index: int) -> int:
+        """Guaranteed minimum of ``count(x <= samples[index])`` (0-based).
+
+        Regular sampling's first property: the ``index+1`` smallest samples
+        each own a disjoint group of elements at or below them.
+        """
+        if not 0 <= index < self.num_samples:
+            raise EstimationError(f"sample index {index} out of range")
+        return int(self._cum[index])
+
+    def max_below_at(self, index: int) -> int:
+        """Guaranteed maximum of ``count(x < samples[index])`` (0-based).
+
+        Regular sampling's second property via the floor bookkeeping (see
+        the module docstring); sound for fresh, merged and compacted
+        summaries alike.
+        """
+        if not 0 <= index < self.num_samples:
+            raise EstimationError(f"sample index {index} out of range")
+        return int(self._maxlt[index])
+
+    def cumulative_min_ranks(self) -> np.ndarray:
+        """The whole ``min_rank_at`` array (read-only view)."""
+        view = self._cum.view()
+        view.flags.writeable = False
+        return view
+
+    def max_below_all(self) -> np.ndarray:
+        """The whole ``max_below_at`` array (read-only view)."""
+        view = self._maxlt.view()
+        view.flags.writeable = False
+        return view
+
+    def guaranteed_rank_error(self) -> int:
+        """Worst-case rank distance between either bound and the truth.
+
+        Computed exactly from the bookkeeping:
+        ``max_i (maxlt[i] - cum[i-1])``.  Equals Lemma 1/2's ``n/s``
+        (= ``r·m/s``) in the paper's divisible case; degrades
+        proportionally (not catastrophically) under compaction.
+        """
+        cum_prev = np.concatenate([[0], self._cum[:-1]])
+        return int(np.max(self._maxlt - cum_prev)) + 1
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance (paper section 4)
+    # ------------------------------------------------------------------
+
+    def _payload(self) -> np.ndarray:
+        return np.column_stack([self.gaps.astype(np.float64), self.floors])
+
+    def merge(self, other: "OPAQSummary") -> "OPAQSummary":
+        """Combine two summaries built over disjoint data.
+
+        This is the paper's incremental extension: keep the sorted samples
+        of the old runs, sample only the new runs, and merge the two sorted
+        lists (gap and floor bookkeeping ride along, so the merged
+        guarantees stay exact).
+        """
+        if not isinstance(other, OPAQSummary):
+            raise EstimationError("can only merge with another OPAQSummary")
+        samples, payload = merge_two_with_payload(
+            self.samples, self._payload(), other.samples, other._payload()
+        )
+        return OPAQSummary(
+            samples=samples,
+            gaps=payload[:, 0].astype(np.int64),
+            floors=payload[:, 1],
+            num_runs=self.num_runs + other.num_runs,
+            count=self.count + other.count,
+            minimum=min(self.minimum, other.minimum),
+            maximum=max(self.maximum, other.maximum),
+        )
+
+    def __add__(self, other: "OPAQSummary") -> "OPAQSummary":
+        return self.merge(other)
+
+    def compact(self, factor: int = 2) -> "OPAQSummary":
+        """Shrink the sample list ``factor``-fold, trading accuracy for
+        memory.
+
+        Adjacent groups of ``factor`` samples collapse into their *last*
+        member; the survivor's gap absorbs the group's combined weight and
+        its floor drops to the group minimum.  Both regular-sampling
+        properties survive (each element is still at or below its group's
+        sample and at or above its floor), so all guarantees remain sound
+        — just coarser, roughly as if ``s/factor`` samples had been drawn.
+
+        This is what keeps long-lived :class:`~repro.core.IncrementalOPAQ`
+        summaries bounded: without compaction the sample list grows by
+        ``r·s`` per ingested batch forever.
+        """
+        if factor < 1:
+            raise EstimationError("compaction factor must be at least 1")
+        if factor == 1 or self.num_samples <= 1:
+            return self
+        # Group from the END so the global maximum (the last sample)
+        # always survives; a short leading group is fine.
+        survivors = np.arange(self.num_samples - 1, -1, -factor)[::-1]
+        starts = np.concatenate([[0], survivors[:-1] + 1])
+        new_gaps = np.add.reduceat(self.gaps, starts)
+        new_floors = np.minimum.reduceat(self.floors, starts)
+        return OPAQSummary(
+            samples=self.samples[survivors].copy(),
+            gaps=new_gaps,
+            floors=new_floors,
+            num_runs=self.num_runs,
+            count=self.count,
+            minimum=self.minimum,
+            maximum=self.maximum,
+        )
+
+    def compact_to(self, max_samples: int) -> "OPAQSummary":
+        """Compact (if needed) until at most ``max_samples`` remain."""
+        if max_samples < 1:
+            raise EstimationError("max_samples must be positive")
+        if self.num_samples <= max_samples:
+            return self
+        factor = -(-self.num_samples // max_samples)
+        return self.compact(factor)
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+
+    def save(self, path: str | os.PathLike) -> None:
+        """Persist the summary as an ``.npz`` archive."""
+        meta = {
+            "num_runs": self.num_runs,
+            "count": self.count,
+            "minimum": self.minimum,
+            "maximum": self.maximum,
+            "format": 4,
+        }
+        np.savez(
+            path,
+            samples=self.samples,
+            gaps=self.gaps,
+            floors=self.floors,
+            meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+        )
+
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> "OPAQSummary":
+        """Load a summary saved with :meth:`save`.
+
+        Accepts formats 2-4; pre-floor archives load with fully
+        conservative ``-inf`` floors (sound, looser).
+        """
+        path = Path(path)
+        if path.suffix != ".npz" and not path.exists():
+            path = path.with_suffix(path.suffix + ".npz")
+        try:
+            with np.load(path) as archive:
+                samples = archive["samples"]
+                gaps = archive["gaps"]
+                floors = archive["floors"] if "floors" in archive else None
+                meta = json.loads(bytes(archive["meta"].tobytes()).decode())
+        except FileNotFoundError:
+            raise DataError(f"summary file does not exist: {path}") from None
+        except (KeyError, ValueError) as exc:
+            raise DataError(f"malformed summary file {path}: {exc}") from None
+        if meta.get("format") not in (2, 3, 4):
+            raise DataError(f"unsupported summary format in {path}")
+        return cls(
+            samples=samples,
+            gaps=gaps,
+            floors=floors,
+            num_runs=int(meta["num_runs"]),
+            count=int(meta["count"]),
+            minimum=float(meta["minimum"]),
+            maximum=float(meta["maximum"]),
+        )

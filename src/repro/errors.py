@@ -1,0 +1,48 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch one base class.  Misconfiguration
+(violating the paper's memory constraint, non-positive sizes, ...) raises
+:class:`ConfigError`; violating the one-pass discipline of the disk layer
+raises :class:`SinglePassViolation`; asking a summary for something it cannot
+answer raises :class:`EstimationError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigError(ReproError, ValueError):
+    """An invalid configuration value or combination of values.
+
+    Raised, for example, when the paper's memory constraint ``r*s + m <= M``
+    does not hold, when a run size does not divide the data size, or when a
+    sample size exceeds the run size.
+    """
+
+
+class SinglePassViolation(ReproError, RuntimeError):
+    """A disk-resident dataset was read more often than its pass budget allows.
+
+    The whole point of OPAQ is to touch the data exactly once; the
+    :class:`repro.storage.RunReader` enforces that discipline and raises this
+    error when client code attempts a second pass without explicitly asking
+    for one (the two-pass *exact* extension of the paper's section 4 requests
+    a two-pass budget up front).
+    """
+
+
+class EstimationError(ReproError, RuntimeError):
+    """A quantile/rank query could not be answered from the available state.
+
+    Raised, for example, when querying an :class:`repro.core.OPAQSummary`
+    that was built from zero runs, or when a quantile fraction lies outside
+    ``(0, 1]``.
+    """
+
+
+class DataError(ReproError, ValueError):
+    """Malformed on-disk data: truncated file, wrong dtype, bad header."""

@@ -1,0 +1,54 @@
+"""The paper-reproduction harness: one function per table and figure."""
+
+from repro.experiments.ascii_plot import AsciiChart
+from repro.experiments.figures import figure3, figure4, figure5, figure6
+from repro.experiments.harness import (
+    DEFAULT_SEED,
+    PAPER_RUNS,
+    TableResult,
+    full_scale,
+    opaq_error_report,
+    paper_dataset,
+    resolve_n,
+    sorted_copy,
+)
+from repro.experiments.tables import (
+    parallel_error_reports,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+    table8,
+    table9,
+    table10,
+    table11,
+    table12,
+)
+
+__all__ = [
+    "AsciiChart",
+    "TableResult",
+    "full_scale",
+    "resolve_n",
+    "paper_dataset",
+    "sorted_copy",
+    "opaq_error_report",
+    "parallel_error_reports",
+    "DEFAULT_SEED",
+    "PAPER_RUNS",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "table7",
+    "table8",
+    "table9",
+    "table10",
+    "table11",
+    "table12",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+]

@@ -1,0 +1,147 @@
+"""Terminal line charts for the figure reproductions.
+
+The paper's Figures 3-6 are line plots; this module renders the reproduced
+series as ASCII charts (no plotting dependency exists in the offline
+environment, and text renders in CI logs and EXPERIMENTS.md alike).
+
+>>> chart = AsciiChart(width=40, height=10)
+>>> _ = chart.add_series("linear", [1, 2, 3, 4], [1, 2, 3, 4])
+>>> print(chart.render())  # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+__all__ = ["AsciiChart"]
+
+_MARKERS = "*o+x#@%&"
+
+
+@dataclass
+class AsciiChart:
+    """A multi-series scatter/line chart drawn with characters.
+
+    Parameters
+    ----------
+    width, height:
+        Plot area size in character cells (excluding axes and labels).
+    title:
+        Optional heading line.
+    logx, logy:
+        Log-scale an axis (all values must then be positive).
+    """
+
+    width: int = 60
+    height: int = 16
+    title: str = ""
+    logx: bool = False
+    logy: bool = False
+    _series: list[tuple[str, np.ndarray, np.ndarray]] = field(
+        default_factory=list
+    )
+
+    def __post_init__(self) -> None:
+        if self.width < 8 or self.height < 4:
+            raise ConfigError("chart too small to draw")
+
+    def add_series(self, label: str, xs, ys) -> "AsciiChart":
+        """Add one named series (chainable)."""
+        xs = np.asarray(xs, dtype=np.float64)
+        ys = np.asarray(ys, dtype=np.float64)
+        if xs.shape != ys.shape or xs.ndim != 1:
+            raise ConfigError("series xs and ys must be equal-length vectors")
+        if xs.size == 0:
+            raise ConfigError("series must contain at least one point")
+        if len(self._series) >= len(_MARKERS):
+            raise ConfigError(f"at most {len(_MARKERS)} series supported")
+        self._series.append((label, xs, ys))
+        return self
+
+    def _transform(self, values: np.ndarray, log: bool) -> np.ndarray:
+        if not log:
+            return values
+        if np.any(values <= 0):
+            raise ConfigError("log scale requires positive values")
+        return np.log10(values)
+
+    def render(self) -> str:
+        """Draw the chart as a multi-line string."""
+        if not self._series:
+            raise ConfigError("nothing to draw: add a series first")
+        all_x = self._transform(
+            np.concatenate([xs for _, xs, _ in self._series]), self.logx
+        )
+        all_y = self._transform(
+            np.concatenate([ys for _, _, ys in self._series]), self.logy
+        )
+        x_lo, x_hi = float(all_x.min()), float(all_x.max())
+        y_lo, y_hi = float(all_y.min()), float(all_y.max())
+        x_span = (x_hi - x_lo) or 1.0
+        y_span = (y_hi - y_lo) or 1.0
+
+        grid = [[" "] * self.width for _ in range(self.height)]
+        point_stamps: list[tuple[int, int, str]] = []
+        for index, (label, xs, ys) in enumerate(self._series):
+            marker = _MARKERS[index]
+            tx = self._transform(xs, self.logx)
+            ty = self._transform(ys, self.logy)
+            cols = np.clip(
+                ((tx - x_lo) / x_span * (self.width - 1)).round().astype(int),
+                0,
+                self.width - 1,
+            )
+            rows = np.clip(
+                ((ty - y_lo) / y_span * (self.height - 1)).round().astype(int),
+                0,
+                self.height - 1,
+            )
+            order = np.argsort(cols)
+            cols, rows = cols[order], rows[order]
+            # Connect consecutive points with interpolated markers.
+            for i in range(cols.size - 1):
+                c0, r0, c1, r1 = cols[i], rows[i], cols[i + 1], rows[i + 1]
+                steps = max(abs(int(c1) - int(c0)), abs(int(r1) - int(r0)), 1)
+                for t in range(steps + 1):
+                    c = round(c0 + (c1 - c0) * t / steps)
+                    r = round(r0 + (r1 - r0) * t / steps)
+                    grid[self.height - 1 - r][c] = marker
+            # Actual data points win over any series' connector dots;
+            # earlier series win ties so overlapping curves stay visible.
+            for c, r in zip(cols, rows):
+                point_stamps.append((self.height - 1 - int(r), int(c), marker))
+        for row, col, marker in reversed(point_stamps):
+            grid[row][col] = marker
+
+        def fmt(v: float, log: bool) -> str:
+            raw = 10**v if log else v
+            return f"{raw:.4g}"
+
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        label_width = max(len(fmt(y_hi, self.logy)), len(fmt(y_lo, self.logy)))
+        for i, row in enumerate(grid):
+            if i == 0:
+                label = fmt(y_hi, self.logy).rjust(label_width)
+            elif i == self.height - 1:
+                label = fmt(y_lo, self.logy).rjust(label_width)
+            else:
+                label = " " * label_width
+            lines.append(f"{label} |{''.join(row)}")
+        lines.append(" " * label_width + " +" + "-" * self.width)
+        left = fmt(x_lo, self.logx)
+        right = fmt(x_hi, self.logx)
+        pad = self.width - len(left) - len(right)
+        lines.append(
+            " " * (label_width + 2) + left + " " * max(1, pad) + right
+        )
+        legend = "   ".join(
+            f"{_MARKERS[i]} {label}" for i, (label, _, _) in enumerate(self._series)
+        )
+        lines.append(" " * (label_width + 2) + legend)
+        return "\n".join(lines)

@@ -1,0 +1,196 @@
+"""Reproduction of the paper's figures (Figures 3-6) as data series.
+
+The originals are line plots; here each ``figureN()`` returns the plotted
+series as numbers (and a rendered text table), which is what the shape
+claims are checked against:
+
+* Figure 3 — bitonic vs sample merge execution time: a crossover exists
+  (bitonic wins small, sample merge wins large);
+* Figure 4 — scale-up: near-flat total time at fixed n/p;
+* Figure 5 — size-up: near-linear total time in n/p at fixed p;
+* Figure 6 — speed-up: near-linear in p at fixed total size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import OPAQConfig
+from repro.experiments.ascii_plot import AsciiChart
+from repro.experiments.harness import (
+    DEFAULT_SEED,
+    PAPER_RUNS,
+    TableResult,
+    resolve_n,
+    paper_dataset,
+)
+from repro.parallel import (
+    MachineModel,
+    ParallelOPAQ,
+    SimulatedMachine,
+    bitonic_merge,
+    sample_merge,
+    scaleup_series,
+    sizeup_series,
+    speedup_series,
+)
+
+__all__ = ["figure3", "figure4", "figure5", "figure6"]
+
+
+def _sorted_blocks(p: int, keys_each: int, seed: int) -> list[np.ndarray]:
+    rng = np.random.default_rng(seed)
+    return [np.sort(rng.uniform(0.0, 1.0, size=keys_each)) for _ in range(p)]
+
+
+def figure3(seed: int = DEFAULT_SEED) -> TableResult:
+    """Merge execution time: bitonic vs sample, sizes 1K-128K bytes/proc.
+
+    Reproduces the paper's Figure 3 axes exactly: x is the per-processor
+    list size in Kbytes (8-byte keys), curves for p = 2, 4, 8 and both
+    merge methods; the times come from executing the real merges on the
+    simulated machine.
+    """
+    result = TableResult(
+        title="Figure 3: global merge execution time (ms) vs list size",
+        header=["KB/proc"]
+        + [f"bitonic p={p}" for p in (2, 4, 8)]
+        + [f"sample p={p}" for p in (2, 4, 8)],
+        paper_reference={
+            "claim": (
+                "bitonic wins for small lists/machines, sample merge wins "
+                "for large — the curves cross"
+            )
+        },
+    )
+    sizes_kb = (1, 2, 4, 8, 16, 32, 64, 128)
+    series: dict[tuple[str, int], list[float]] = {}
+    for kb in sizes_kb:
+        keys = kb * 1024 // 8
+        cells = [str(kb)]
+        for method in ("bitonic", "sample"):
+            for p in (2, 4, 8):
+                machine = SimulatedMachine(p, MachineModel.sp2())
+                blocks = _sorted_blocks(p, keys, seed + kb + p)
+                if method == "bitonic":
+                    bitonic_merge(blocks, machine)
+                else:
+                    sample_merge(blocks, machine)
+                t = machine.elapsed()
+                series.setdefault((method, p), []).append(t)
+                cells.append(f"{t * 1e3:.3f}")
+        result.add_row(*cells)
+    # Record where each p's crossover falls for the shape check.
+    for p in (2, 4, 8):
+        bit = np.array(series[("bitonic", p)])
+        sam = np.array(series[("sample", p)])
+        crossed = np.flatnonzero(bit > sam)
+        result.paper_reference[f"crossover_p{p}"] = (
+            f"{sizes_kb[crossed[0]]}KB" if crossed.size else "none"
+        )
+    chart = AsciiChart(
+        width=56, height=14, logx=True, logy=True,
+        title="merge time (ms, log) vs KB/proc (log)",
+    )
+    for p in (2, 8):
+        chart.add_series(
+            f"bitonic p={p}", sizes_kb, [t * 1e3 for t in series[("bitonic", p)]]
+        )
+        chart.add_series(
+            f"sample p={p}", sizes_kb, [t * 1e3 for t in series[("sample", p)]]
+        )
+    result.notes.append("\n" + chart.render())
+    return result
+
+
+def _timing(per_proc: int, p: int, seed: int, sample_size: int = 1024) -> float:
+    n = per_proc * p
+    data = paper_dataset("uniform", n, seed)
+    run_size = max(sample_size, -(-per_proc // PAPER_RUNS))
+    config = OPAQConfig(run_size=run_size, sample_size=min(sample_size, run_size))
+    res = ParallelOPAQ(p, config, merge_method="sample").run(np.asarray(data))
+    return res.total_time
+
+
+def figure4(seed: int = DEFAULT_SEED) -> TableResult:
+    """Scale-up: total time vs p at fixed per-processor size."""
+    per_proc_sizes = [resolve_n(s) for s in (500_000, 1_000_000, 2_000_000, 4_000_000)]
+    procs = (1, 2, 4, 8, 16)
+    result = TableResult(
+        title="Figure 4: scale-up — total time (s) vs processors",
+        header=["p"] + [f"n/p={s:,}" for s in per_proc_sizes],
+        paper_reference={"claim": "curves near-flat (global merge cost small)"},
+    )
+    series = {}
+    for s in per_proc_sizes:
+        series[s] = {p: _timing(s, p, seed) for p in procs}
+    for p in procs:
+        result.add_row(p, *(f"{series[s][p]:.3f}" for s in per_proc_sizes))
+    for s in per_proc_sizes:
+        sc = scaleup_series(series[s])
+        result.paper_reference[f"scaleup_ratio_{s}"] = float(
+            sc.values[-1] / sc.values[0]
+        )
+    chart = AsciiChart(
+        width=56, height=12, title="total time (s) vs processors (flat = perfect)"
+    )
+    for s in per_proc_sizes:
+        chart.add_series(f"n/p={s:,}", list(procs), [series[s][p] for p in procs])
+    result.notes.append("\n" + chart.render())
+    return result
+
+
+def figure5(seed: int = DEFAULT_SEED) -> TableResult:
+    """Size-up: total time vs per-processor size at fixed p."""
+    per_proc_sizes = [resolve_n(s) for s in (500_000, 1_000_000, 2_000_000, 4_000_000)]
+    procs = (1, 2, 4, 8, 16)
+    result = TableResult(
+        title="Figure 5: size-up — total time (s) vs per-processor elements",
+        header=["n/p"] + [f"p={p}" for p in procs],
+        paper_reference={"claim": "near-linear in n/p"},
+    )
+    series = {}
+    for p in procs:
+        series[p] = {s: _timing(s, p, seed) for s in per_proc_sizes}
+    for s in per_proc_sizes:
+        result.add_row(f"{s:,}", *(f"{series[p][s]:.3f}" for p in procs))
+    for p in procs:
+        su = sizeup_series(series[p])
+        # Linearity: time(4M)/time(0.5M) should be ~8.
+        result.paper_reference[f"sizeup_ratio_p{p}"] = float(
+            su.values[-1] / su.values[0]
+        )
+    chart = AsciiChart(
+        width=56, height=12,
+        title="total time (s) vs per-processor elements (linear = perfect)",
+    )
+    for p in (1, 16):
+        chart.add_series(
+            f"p={p}", per_proc_sizes, [series[p][s] for s in per_proc_sizes]
+        )
+    result.notes.append("\n" + chart.render())
+    return result
+
+
+def figure6(seed: int = DEFAULT_SEED) -> TableResult:
+    """Speed-up at a fixed total size (paper: 4M elements, p = 1..8)."""
+    total = resolve_n(4_000_000)
+    procs = (1, 2, 4, 8)
+    result = TableResult(
+        title=f"Figure 6: speed-up, total n={total:,}",
+        header=["p", "time (s)", "speed-up"],
+        paper_reference={"claim": "near-linear speed-up up to 8 processors"},
+    )
+    times = {}
+    for p in procs:
+        per_proc = -(-total // p)
+        times[p] = _timing(per_proc, p, seed)
+    sp = speedup_series(times)
+    for p, v in zip(procs, sp.values):
+        result.add_row(p, f"{times[p]:.3f}", f"{v:.2f}")
+    result.paper_reference["speedup_at_8"] = float(sp.values[-1])
+    chart = AsciiChart(width=48, height=12, title="speed-up vs processors")
+    chart.add_series("measured", list(procs), list(sp.values))
+    chart.add_series("ideal", list(procs), list(procs))
+    result.notes.append("\n" + chart.render())
+    return result

@@ -1,0 +1,39 @@
+"""Ground truth and the paper's error measures (RERA, RERL, RERN)."""
+
+from repro.metrics.error_rates import (
+    ErrorReport,
+    rera_bound,
+    rera_per_quantile,
+    rera_point_estimates,
+    rerl,
+    rerl_bound,
+    rern,
+    rern_bound,
+    score_bounds,
+)
+from repro.metrics.true_quantiles import (
+    decile_fractions,
+    dectile_fractions,
+    equidepth_fractions,
+    quantile_rank,
+    rank_of_value,
+    true_quantiles,
+)
+
+__all__ = [
+    "ErrorReport",
+    "score_bounds",
+    "rera_per_quantile",
+    "rera_point_estimates",
+    "rerl",
+    "rern",
+    "rera_bound",
+    "rerl_bound",
+    "rern_bound",
+    "quantile_rank",
+    "true_quantiles",
+    "dectile_fractions",
+    "decile_fractions",
+    "equidepth_fractions",
+    "rank_of_value",
+]

@@ -1,0 +1,234 @@
+"""The paper's three relative error rates: RERA, RERL, RERN (section 2.4).
+
+All three score a set of ``q-1`` equi-spaced quantile estimates (the paper
+uses dectiles, ``q = 10``) against ground truth on the sorted data:
+
+``RERA`` (*A for Almaden*, from [AS95])
+    Per quantile: ``(Ne - Nt) / n * 100`` where ``Ne`` is the number of
+    elements between the estimated lower and upper bounds and ``Nt`` the
+    number of duplicates of the exact quantile value inside those bounds.
+    Analytic bound for OPAQ: ``2/s * 100`` (Lemma 3).
+
+``RERL`` (*L for Load balancing*)
+    ``max_i max(|Ni - NLi|, |Ni - NUi|) / Ni * 100`` where ``Ni`` is the
+    population of the i-th true quantile interval and ``NLi``/``NUi`` the
+    populations of the intervals induced by the lower/upper bound
+    sequences.  Analytic bound: ``q/s * 100``.
+
+``RERN`` (*N for Normalised*)
+    ``max_i max(DLi, DUi) / (n/q) * 100`` where ``DLi``/``DUi`` count the
+    elements between the true i-th quantile and its lower/upper bound.
+    Analytic bound: ``q/s * 100`` (Lemmas 1 and 2 give ``DLi, DUi <= n/s``).
+
+For point estimators that produce a single value per quantile (the paper's
+baselines), pass the same array as both ``lowers`` and ``uppers``; ``Ne``
+then counts the elements between the estimate and itself and RERA degrades
+gracefully to the displacement-style measure [AS95] reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import EstimationError
+from repro.metrics.true_quantiles import true_quantiles
+
+__all__ = [
+    "ErrorReport",
+    "score_bounds",
+    "rera_per_quantile",
+    "rerl",
+    "rern",
+    "rera_bound",
+    "rerl_bound",
+    "rern_bound",
+    "rera_point_estimates",
+]
+
+
+def rera_bound(s: int) -> float:
+    """Analytic RERA upper bound ``2/s * 100`` from Lemma 3."""
+    return 200.0 / s
+
+
+def rerl_bound(q: int, s: int) -> float:
+    """Analytic RERL upper bound ``q/s * 100``."""
+    return 100.0 * q / s
+
+
+def rern_bound(q: int, s: int) -> float:
+    """Analytic RERN upper bound ``q/s * 100``."""
+    return 100.0 * q / s
+
+
+def _check(sorted_data, trues, lowers, uppers) -> tuple[np.ndarray, ...]:
+    data = np.asarray(sorted_data, dtype=np.float64)
+    trues = np.asarray(trues, dtype=np.float64)
+    lowers = np.asarray(lowers, dtype=np.float64)
+    uppers = np.asarray(uppers, dtype=np.float64)
+    if data.size == 0:
+        raise EstimationError("empty data set")
+    if not (trues.shape == lowers.shape == uppers.shape):
+        raise EstimationError("trues, lowers, uppers must have equal shape")
+    if np.any(lowers > uppers):
+        raise EstimationError("every lower bound must be <= its upper bound")
+    return data, trues, lowers, uppers
+
+
+def rera_per_quantile(
+    sorted_data: np.ndarray,
+    trues: np.ndarray,
+    lowers: np.ndarray,
+    uppers: np.ndarray,
+) -> np.ndarray:
+    """RERA for each quantile, in percent."""
+    data, trues, lowers, uppers = _check(sorted_data, trues, lowers, uppers)
+    n = data.size
+    n_in_bounds = np.searchsorted(data, uppers, side="right") - np.searchsorted(
+        data, lowers, side="left"
+    )
+    n_true_dups = np.searchsorted(data, trues, side="right") - np.searchsorted(
+        data, trues, side="left"
+    )
+    return np.maximum(n_in_bounds - n_true_dups, 0) / n * 100.0
+
+
+def _interval_populations(data: np.ndarray, cuts: np.ndarray) -> np.ndarray:
+    """Populations of the q intervals induced by q-1 cut values.
+
+    Intervals are ``(-inf, c1], (c1, c2], ..., (c_{q-1}, +inf)`` measured by
+    rank (searchsorted right), so duplicates on a cut all land in the
+    interval that ends at the cut — the partitioning an external sort or a
+    load balancer would actually use.
+    """
+    ranks = np.searchsorted(data, cuts, side="right")
+    return np.diff(np.concatenate([[0], ranks, [data.size]]))
+
+
+def rerl(
+    sorted_data: np.ndarray,
+    trues: np.ndarray,
+    lowers: np.ndarray,
+    uppers: np.ndarray,
+) -> float:
+    """RERL in percent (max over quantile intervals).
+
+    Intervals whose true population is zero (possible under extreme
+    duplication, where successive dectiles coincide) use a denominator of 1
+    element so an estimator that also produces an empty interval scores 0
+    rather than 0/0.
+    """
+    data, trues, lowers, uppers = _check(sorted_data, trues, lowers, uppers)
+    n_true = _interval_populations(data, trues).astype(np.float64)
+    n_low = _interval_populations(data, lowers)
+    n_up = _interval_populations(data, uppers)
+    denom = np.maximum(n_true, 1.0)
+    rel = np.maximum(
+        np.abs(n_true - n_low) / denom, np.abs(n_true - n_up) / denom
+    )
+    return float(rel.max() * 100.0)
+
+
+def rern(
+    sorted_data: np.ndarray,
+    trues: np.ndarray,
+    lowers: np.ndarray,
+    uppers: np.ndarray,
+    q: int | None = None,
+) -> float:
+    """RERN in percent.
+
+    ``q`` defaults to ``len(trues) + 1`` — the paper's dectiles give
+    ``q = 10`` from 9 quantiles — and sets the normalising interval size
+    ``n/q``.
+    """
+    data, trues, lowers, uppers = _check(sorted_data, trues, lowers, uppers)
+    if q is None:
+        q = trues.size + 1
+    if q < 2:
+        raise EstimationError("q must be at least 2")
+    d_low = np.searchsorted(data, trues, side="left") - np.searchsorted(
+        data, lowers, side="right"
+    )
+    d_up = np.searchsorted(data, uppers, side="left") - np.searchsorted(
+        data, trues, side="right"
+    )
+    worst = np.maximum(np.maximum(d_low, 0), np.maximum(d_up, 0)).max()
+    return float(worst / (data.size / q) * 100.0)
+
+
+def rera_point_estimates(
+    sorted_data: np.ndarray, trues: np.ndarray, estimates: np.ndarray
+) -> np.ndarray:
+    """RERA for point estimators: rank displacement as a fraction of n.
+
+    This is the form [AS95] reports for algorithms without bound pairs: the
+    number of elements between the estimate and the true quantile, over
+    ``n``, in percent.
+    """
+    data = np.asarray(sorted_data, dtype=np.float64)
+    trues = np.asarray(trues, dtype=np.float64)
+    estimates = np.asarray(estimates, dtype=np.float64)
+    if trues.shape != estimates.shape:
+        raise EstimationError("trues and estimates must have equal shape")
+    lo = np.minimum(trues, estimates)
+    hi = np.maximum(trues, estimates)
+    between = np.searchsorted(data, hi, side="left") - np.searchsorted(
+        data, lo, side="right"
+    )
+    return np.maximum(between, 0) / data.size * 100.0
+
+
+@dataclass(frozen=True)
+class ErrorReport:
+    """All three error rates for one experiment, plus analytic bounds."""
+
+    phis: np.ndarray
+    rera: np.ndarray
+    rerl: float
+    rern: float
+    sample_size: int | None = None
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def rera_max(self) -> float:
+        """Worst per-quantile RERA, in percent."""
+        return float(self.rera.max())
+
+    def within_bounds(self) -> bool:
+        """True when every measured rate respects its analytic bound.
+
+        Only meaningful when :attr:`sample_size` is set (OPAQ runs); point
+        estimators have no deterministic bounds to check.
+        """
+        if self.sample_size is None:
+            raise EstimationError("no sample size recorded for this report")
+        q = self.phis.size + 1
+        return bool(
+            self.rera_max <= rera_bound(self.sample_size) + 1e-9
+            and self.rerl <= rerl_bound(q, self.sample_size) + 1e-9
+            and self.rern <= rern_bound(q, self.sample_size) + 1e-9
+        )
+
+
+def score_bounds(
+    sorted_data: np.ndarray,
+    phis: np.ndarray,
+    lowers: np.ndarray,
+    uppers: np.ndarray,
+    sample_size: int | None = None,
+    **meta,
+) -> ErrorReport:
+    """Score a bound-pair estimator on all three error rates at once."""
+    phis = np.asarray(phis, dtype=np.float64)
+    trues = true_quantiles(sorted_data, phis)
+    return ErrorReport(
+        phis=phis,
+        rera=rera_per_quantile(sorted_data, trues, lowers, uppers),
+        rerl=rerl(sorted_data, trues, lowers, uppers),
+        rern=rern(sorted_data, trues, lowers, uppers, q=phis.size + 1),
+        sample_size=sample_size,
+        meta=dict(meta),
+    )

@@ -1,0 +1,82 @@
+"""Ground truth: exact quantiles and ranks of a fully materialised data set.
+
+Used by the tests and the evaluation harness to score the estimators.  The
+paper defines the φ-quantile of an ordered sequence as the element of rank
+``φ·n`` (1-based); for non-integral ``φ·n`` we take ``ceil(φ·n)``, the usual
+"smallest element with at least a φ fraction at or below it" convention.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import EstimationError
+
+__all__ = [
+    "quantile_rank",
+    "true_quantiles",
+    "dectile_fractions",
+    "decile_fractions",
+    "equidepth_fractions",
+    "rank_of_value",
+]
+
+
+def quantile_rank(phi: float, n: int) -> int:
+    """1-based rank ``ψ = ceil(φ·n)`` of the φ-quantile in ``n`` elements."""
+    if not 0.0 < phi <= 1.0:
+        raise EstimationError(f"phi must lie in (0, 1], got {phi}")
+    if n <= 0:
+        raise EstimationError("n must be positive")
+    return min(n, max(1, math.ceil(phi * n)))
+
+
+def equidepth_fractions(q: int) -> np.ndarray:
+    """The fractions ``1/q, 2/q, ..., (q-1)/q`` (paper's φ grid)."""
+    if q < 2:
+        raise EstimationError("q must be at least 2")
+    return np.arange(1, q, dtype=np.float64) / q
+
+
+def dectile_fractions() -> np.ndarray:
+    """The paper's dectiles: 10%, 20%, ..., 90%."""
+    return equidepth_fractions(10)
+
+
+# The evaluation section calls them dectiles; "decile" is the common name.
+decile_fractions = dectile_fractions
+
+
+def true_quantiles(
+    sorted_data: np.ndarray, phis: Sequence[float] | np.ndarray
+) -> np.ndarray:
+    """Exact quantile values of ``sorted_data`` at the given fractions.
+
+    ``sorted_data`` must be in non-decreasing order (callers keep a sorted
+    copy of the data for scoring; the estimators themselves never sort the
+    full data set).
+    """
+    data = np.asarray(sorted_data)
+    if data.size == 0:
+        raise EstimationError("cannot take quantiles of an empty data set")
+    ranks = np.array(
+        [quantile_rank(float(phi), data.size) for phi in np.asarray(phis)],
+        dtype=np.int64,
+    )
+    return data[ranks - 1].astype(np.float64)
+
+
+def rank_of_value(sorted_data: np.ndarray, value: float) -> tuple[int, int]:
+    """The 1-based rank band ``[lo, hi]`` a value occupies in sorted data.
+
+    ``lo`` is the rank the value would get inserted at; ``hi`` is the rank
+    of its last duplicate (``lo-1 .. hi`` elements are ``<= value``).  For a
+    value not present, ``lo = hi + 1`` degenerates to the insertion point.
+    """
+    data = np.asarray(sorted_data)
+    left = int(np.searchsorted(data, value, side="left"))
+    right = int(np.searchsorted(data, value, side="right"))
+    return left + 1, right

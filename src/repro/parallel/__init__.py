@@ -1,0 +1,47 @@
+"""The simulated parallel machine and the parallel OPAQ formulation.
+
+Implements the paper's section 3: the two-level cost model of the IBM SP-2
+(:class:`MachineModel`, :class:`SimulatedMachine`), the two global merge
+algorithms (:func:`bitonic_merge`, :func:`sample_merge`), the parallel
+driver (:class:`ParallelOPAQ`), and the scalability metric helpers.
+"""
+
+from repro.parallel.bitonic import bitonic_merge
+from repro.parallel.machine import MachineModel, PhaseBreakdown, SimulatedMachine
+from repro.parallel.perf_metrics import (
+    ScalingSeries,
+    scaleup_series,
+    sizeup_series,
+    speedup_series,
+)
+from repro.parallel.popaq import (
+    PHASE_GLOBAL_MERGE,
+    PHASE_IO,
+    PHASE_LOCAL_MERGE,
+    PHASE_QUANTILE,
+    PHASE_SAMPLING,
+    ParallelOPAQ,
+    ParallelResult,
+    predict_merge_time,
+)
+from repro.parallel.sample_merge import sample_merge
+
+__all__ = [
+    "MachineModel",
+    "SimulatedMachine",
+    "PhaseBreakdown",
+    "bitonic_merge",
+    "sample_merge",
+    "ParallelOPAQ",
+    "ParallelResult",
+    "predict_merge_time",
+    "speedup_series",
+    "scaleup_series",
+    "sizeup_series",
+    "ScalingSeries",
+    "PHASE_IO",
+    "PHASE_SAMPLING",
+    "PHASE_LOCAL_MERGE",
+    "PHASE_GLOBAL_MERGE",
+    "PHASE_QUANTILE",
+]

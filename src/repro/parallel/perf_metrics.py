@@ -1,0 +1,62 @@
+"""Scalability metrics: speed-up, scale-up and size-up (paper Figures 4-6).
+
+Thin, well-defined arithmetic over (configuration -> simulated time) maps:
+
+* **speed-up** (Figure 6): fixed total problem size, time(1)/time(p);
+* **scale-up** (Figure 4): fixed per-processor size, time as p grows
+  (flat is perfect);
+* **size-up** (Figure 5): fixed p, time as the per-processor size grows
+  (linear is perfect).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+__all__ = ["speedup_series", "scaleup_series", "sizeup_series", "ScalingSeries"]
+
+
+@dataclass(frozen=True)
+class ScalingSeries:
+    """One curve of a scalability figure."""
+
+    xs: np.ndarray
+    values: np.ndarray
+    label: str
+
+    def as_rows(self) -> list[tuple[float, float]]:
+        return list(zip(self.xs.tolist(), self.values.tolist()))
+
+
+def speedup_series(times_by_p: dict[int, float], label: str = "speed-up") -> ScalingSeries:
+    """``speedup(p) = time(1) / time(p)`` for a fixed total size."""
+    if 1 not in times_by_p:
+        raise ConfigError("speed-up needs the single-processor time")
+    ps = np.array(sorted(times_by_p), dtype=np.int64)
+    base = times_by_p[1]
+    if base <= 0:
+        raise ConfigError("single-processor time must be positive")
+    values = np.array([base / times_by_p[int(p)] for p in ps])
+    return ScalingSeries(xs=ps.astype(np.float64), values=values, label=label)
+
+
+def scaleup_series(
+    times_by_p: dict[int, float], label: str = "scale-up"
+) -> ScalingSeries:
+    """Total time versus p at fixed per-processor size (flat = perfect)."""
+    ps = np.array(sorted(times_by_p), dtype=np.int64)
+    values = np.array([times_by_p[int(p)] for p in ps])
+    return ScalingSeries(xs=ps.astype(np.float64), values=values, label=label)
+
+
+def sizeup_series(
+    times_by_size: dict[int, float], label: str = "size-up"
+) -> ScalingSeries:
+    """Total time versus per-processor size at fixed p (linear = perfect)."""
+    sizes = np.array(sorted(times_by_size), dtype=np.int64)
+    values = np.array([times_by_size[int(s)] for s in sizes])
+    return ScalingSeries(xs=sizes.astype(np.float64), values=values, label=label)

@@ -1,0 +1,267 @@
+"""Parallel OPAQ on the simulated machine (paper section 3).
+
+Each of the ``p`` processors owns ``n/p`` elements, runs the sequential
+sample phase on its own disk (``r = (n/p)/m`` runs), and the ``p`` local
+sorted sample lists are merged globally with either the bitonic merge or
+the sample merge.  The quantile phase is unchanged except that the total
+number of runs is ``r·p`` — the identical index arithmetic applies, so the
+parallel algorithm inherits Lemmas 1–3 verbatim (the paper notes this
+explicitly).
+
+The returned :class:`ParallelResult` carries both the *real* global
+summary (bounds computed from it are genuinely correct for the input data)
+and the *simulated* clock/phase breakdown for the timing experiments.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import OPAQConfig
+from repro.core.quantile_phase import bounds_for
+from repro.core.sample_phase import sample_run, scaled_sample_count
+from repro.core.summary import OPAQSummary
+from repro.errors import ConfigError
+from repro.parallel.bitonic import bitonic_merge
+from repro.parallel.machine import MachineModel, SimulatedMachine
+from repro.parallel.sample_merge import sample_merge
+from repro.selection import kway_merge
+from repro.storage import DiskDataset, RunReader
+
+__all__ = ["ParallelOPAQ", "ParallelResult", "predict_merge_time"]
+
+PHASE_IO = "io"
+PHASE_SAMPLING = "sampling"
+PHASE_LOCAL_MERGE = "local_merge"
+PHASE_GLOBAL_MERGE = "global_merge"
+PHASE_QUANTILE = "quantile"
+
+
+@dataclass
+class ParallelResult:
+    """Everything one parallel OPAQ execution produced."""
+
+    summary: OPAQSummary
+    machine: SimulatedMachine
+    num_procs: int
+    merge_method: str
+    bucket_expansion: float = 1.0
+
+    @property
+    def total_time(self) -> float:
+        """Simulated wall-clock (slowest processor)."""
+        return self.machine.elapsed()
+
+    def phase_fractions(self) -> dict[str, float]:
+        """Phase -> fraction of mean total time (paper Tables 11/12)."""
+        return self.machine.phase_fractions()
+
+    def io_fraction(self) -> float:
+        """The paper's Table 11 number."""
+        return self.phase_fractions().get(PHASE_IO, 0.0)
+
+    def bounds(self, phis) -> list:
+        """Quantile bounds from the global summary."""
+        return bounds_for(self.summary, phis)
+
+
+def predict_merge_time(
+    p: int,
+    list_size: int,
+    model: MachineModel,
+    method: str,
+    oversample: int | None = None,
+) -> float:
+    """Analytic merge time from the paper's Table 8 formulas.
+
+    ``list_size`` is ``r·s``, the per-processor sorted sample list size.
+    Used by the Table 8 benchmark and cross-checked against the simulated
+    execution in the tests.
+    """
+    if p < 2:
+        return 0.0
+    log_p = math.ceil(math.log2(p))
+    rs = list_size
+    if method == "bitonic":
+        steps = log_p * (log_p + 1) / 2
+        compute = 2 * rs * steps * model.mu
+        comm = steps * (model.tau + rs * model.beta)
+        return compute + comm
+    if method == "sample":
+        s_prime = oversample or p
+        compute = (
+            s_prime + (p - 1) * math.log2(max(2, rs)) + rs * log_p
+        ) * model.mu
+        gather_bcast = 2 * log_p * (model.tau + s_prime * model.beta)
+        all_to_all = 2 * (p * model.tau + rs * model.beta)
+        return compute + gather_bcast + all_to_all
+    raise ConfigError(f"unknown merge method {method!r}")
+
+
+class ParallelOPAQ:
+    """The parallel formulation of OPAQ over a simulated machine."""
+
+    def __init__(
+        self,
+        num_procs: int,
+        config: OPAQConfig,
+        model: MachineModel | None = None,
+        merge_method: str = "sample",
+        oversample: int | None = None,
+        overlap_io: bool = False,
+    ) -> None:
+        """``overlap_io`` enables the paper's future-work optimisation:
+        reading the next run proceeds concurrently with sampling the
+        current one, so each run costs ``max(io, sampling)`` instead of
+        their sum.  Accuracy is unaffected (the same bytes are read)."""
+        if num_procs < 1:
+            raise ConfigError("need at least one processor")
+        if merge_method not in ("sample", "bitonic"):
+            raise ConfigError("merge_method must be 'sample' or 'bitonic'")
+        if merge_method == "bitonic" and num_procs & (num_procs - 1):
+            raise ConfigError("bitonic merge requires a power-of-two p")
+        self.p = num_procs
+        self.config = config
+        self.model = model or MachineModel.sp2()
+        self.merge_method = merge_method
+        self.oversample = oversample
+        self.overlap_io = overlap_io
+
+    # ------------------------------------------------------------------
+
+    def _partition_runs(self, partition):
+        """Iterate one processor's data as runs."""
+        m = self.config.run_size
+        if isinstance(partition, DiskDataset):
+            return RunReader(partition, run_size=m)
+        arr = np.asarray(partition, dtype=np.float64)
+        return (arr[i : i + m] for i in range(0, arr.size, m))
+
+    def scatter(self, data) -> list[np.ndarray]:
+        """Block-partition a dataset/array across the processors."""
+        if isinstance(data, DiskDataset):
+            data = data.read_all()
+        arr = np.asarray(data, dtype=np.float64)
+        return [part for part in np.array_split(arr, self.p)]
+
+    def run(self, partitions, phis=None) -> ParallelResult:
+        """Execute parallel OPAQ.
+
+        Parameters
+        ----------
+        partitions:
+            One data source per processor (list of arrays/datasets), or a
+            single array to be block-partitioned by :meth:`scatter`.
+        phis:
+            Optional fractions; when given, the quantile phase is charged
+            and the bounds are computed (and discarded — call
+            :meth:`ParallelResult.bounds` for the values, it is free).
+        """
+        if isinstance(partitions, (np.ndarray, DiskDataset)):
+            partitions = self.scatter(partitions)
+        if len(partitions) != self.p:
+            raise ConfigError(
+                f"{len(partitions)} partitions for {self.p} processors"
+            )
+        machine = SimulatedMachine(self.p, self.model)
+        strategy = self.config.selection_strategy()
+        s_nominal = self.config.sample_size
+        m_nominal = self.config.run_size
+
+        local_lists: list[np.ndarray] = []
+        local_payloads: list[np.ndarray] = []
+        total_count = 0
+        total_runs = 0
+        minimum = np.inf
+        maximum = -np.inf
+        for proc, partition in enumerate(partitions):
+            sample_lists: list[np.ndarray] = []
+            payload_lists: list[np.ndarray] = []
+            runs_here = 0
+            count_here = 0
+            for run in self._partition_runs(partition):
+                run = np.asarray(run, dtype=np.float64)
+                if run.size == 0:
+                    continue
+                s_k = scaled_sample_count(run.size, m_nominal, s_nominal)
+                samples, gaps, floors = sample_run(run, s_k, strategy)
+                sampling_ops = run.size * max(1.0, math.log2(max(2, s_k)))
+                if self.overlap_io:
+                    machine.charge_overlapped(
+                        proc,
+                        {
+                            PHASE_IO: self.model.read_cost(run.size),
+                            PHASE_SAMPLING: self.model.compute_cost(sampling_ops),
+                        },
+                    )
+                else:
+                    machine.charge_io(proc, run.size, PHASE_IO)
+                    machine.charge_compute(proc, sampling_ops, PHASE_SAMPLING)
+                sample_lists.append(samples)
+                payload_lists.append(
+                    np.column_stack([gaps.astype(np.float64), floors])
+                )
+                runs_here += 1
+                count_here += run.size
+                minimum = min(minimum, float(run.min()))
+                maximum = max(maximum, float(run.max()))
+            if not runs_here:
+                raise ConfigError(f"processor {proc} received no data")
+            merged, merged_payload = kway_merge(
+                sample_lists, payloads=payload_lists
+            )
+            machine.charge_compute(
+                proc,
+                merged.size * max(1.0, math.log2(max(2, runs_here))),
+                PHASE_LOCAL_MERGE,
+            )
+            local_lists.append(merged)
+            local_payloads.append(merged_payload)
+            total_count += count_here
+            total_runs += runs_here
+
+        # Global merge of the p local sample lists.
+        expansion = 1.0
+        if self.p == 1:
+            global_samples, global_payload = local_lists[0], local_payloads[0]
+        elif self.merge_method == "bitonic":
+            blocks, pays = bitonic_merge(
+                local_lists, machine, payloads=local_payloads, phase=PHASE_GLOBAL_MERGE
+            )
+            global_samples = np.concatenate(blocks)
+            global_payload = np.concatenate(pays)
+        else:
+            blocks, pays, expansion = sample_merge(
+                local_lists,
+                machine,
+                payloads=local_payloads,
+                oversample=self.oversample,
+                phase=PHASE_GLOBAL_MERGE,
+            )
+            global_samples = np.concatenate(blocks)
+            global_payload = np.concatenate(pays)
+        machine.barrier(PHASE_GLOBAL_MERGE)
+
+        summary = OPAQSummary(
+            samples=global_samples,
+            gaps=global_payload[:, 0].astype(np.int64),
+            floors=global_payload[:, 1],
+            num_runs=total_runs,
+            count=total_count,
+            minimum=minimum,
+            maximum=maximum,
+        )
+        if phis is not None:
+            # Constant work per quantile on the coordinating processor.
+            ops = len(list(phis)) * max(1.0, math.log2(max(2, summary.num_samples)))
+            machine.charge_compute(0, ops, PHASE_QUANTILE)
+        return ParallelResult(
+            summary=summary,
+            machine=machine,
+            num_procs=self.p,
+            merge_method=self.merge_method,
+            bucket_expansion=expansion,
+        )

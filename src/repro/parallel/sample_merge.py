@@ -1,0 +1,148 @@
+"""Sample merge of ``p`` distributed sorted lists (paper section 3).
+
+The paper's second option for the global merge is a *sample merge* — "a
+variation of ... sample sort [LLS+93]; the initial sorting step is not
+required because the local lists are already sorted".  This is parallel
+sorting by regular sampling (PSRS) minus the local sort:
+
+1. each processor draws ``s'`` regular samples from its sorted list
+   (constant-time indexing, the lists are sorted);
+2. the samples are gathered on processor 0, merged, and ``p-1`` pivots are
+   chosen at regular positions;
+3. the pivots are broadcast; every processor splits its list into ``p``
+   buckets with binary searches;
+4. an all-to-all exchange routes bucket ``i`` to processor ``i``;
+5. each processor merges the ``p`` sorted pieces it received.
+
+Cost (paper Table 8):
+``O((s' + (p-1)·log(rs) + rs·log p)µ + (1+log p) log p (τ + s'β) + 2(pτ + rs·β))``
+with the *bucket expansion* ``δ ≤ 3/2`` bounding how far the largest
+bucket can exceed the ideal ``rs`` ([LLS+93]'s regular-sampling theorem).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.parallel.machine import SimulatedMachine
+from repro.selection import is_sorted, kway_merge
+
+__all__ = ["sample_merge"]
+
+
+def sample_merge(
+    blocks: list[np.ndarray],
+    machine: SimulatedMachine,
+    payloads: list[np.ndarray] | None = None,
+    oversample: int | None = None,
+    phase: str = "global_merge",
+) -> tuple[list[np.ndarray], list[np.ndarray], float]:
+    """Globally sort ``p`` locally sorted blocks by regular sampling.
+
+    Parameters
+    ----------
+    blocks:
+        One sorted array per processor (any ``p >= 1``, any sizes).
+    machine:
+        The simulated machine whose clocks to charge.
+    payloads:
+        Optional per-key payload arrays riding along.
+    oversample:
+        ``s'`` — samples drawn per processor for pivot selection.
+        Defaults to ``p`` (PSRS's classic choice; larger values tighten
+        the bucket expansion).
+
+    Returns
+    -------
+    (blocks, payloads, expansion):
+        The block-distributed globally sorted sequence and the realised
+        bucket expansion ``max bucket / mean bucket`` (theory: ``< 2`` for
+        PSRS oversampling, ``<= 3/2`` asymptotically).
+    """
+    p = len(blocks)
+    if p != machine.p:
+        raise ConfigError(f"{p} blocks for a {machine.p}-processor machine")
+    blocks = [np.asarray(b, dtype=np.float64) for b in blocks]
+    for b in blocks:
+        if not is_sorted(b):
+            raise ConfigError("every input block must be locally sorted")
+    if payloads is None:
+        payloads = [np.zeros(b.size, dtype=np.int64) for b in blocks]
+    else:
+        payloads = [np.asarray(q) for q in payloads]
+        if any(q.shape[0] != b.size for q, b in zip(payloads, blocks)):
+            raise ConfigError("payloads must align with blocks")
+    if p == 1:
+        return [blocks[0].copy()], [payloads[0].copy()], 1.0
+
+    s_prime = oversample or p
+    log_p = max(1, math.ceil(math.log2(p)))
+
+    # 1. Regular samples of each sorted block: pure indexing.
+    local_samples = []
+    for i, b in enumerate(blocks):
+        if b.size:
+            idx = np.linspace(0, b.size - 1, num=min(s_prime, b.size)).astype(np.int64)
+            local_samples.append(b[idx])
+        else:
+            local_samples.append(np.empty(0))
+        machine.charge_compute(i, s_prime, phase)
+
+    # 2. Gather on processor 0 (binary tree: log p rounds) and merge.
+    for round_ in range(log_p):
+        stride = 1 << round_
+        for i in range(0, p, 2 * stride):
+            j = i + stride
+            if j < p:
+                machine.send(j, i, s_prime * stride, phase)
+    gathered = kway_merge(local_samples)
+    machine.charge_compute(0, max(1, gathered.size) * log_p, phase)
+
+    # 3. p-1 pivots at regular positions, broadcast down the same tree.
+    if gathered.size >= p:
+        pivot_idx = (np.arange(1, p) * gathered.size) // p
+        pivots = gathered[pivot_idx]
+    else:
+        pivots = np.repeat(gathered[-1] if gathered.size else 0.0, p - 1)
+    for round_ in reversed(range(log_p)):
+        stride = 1 << round_
+        for i in range(0, p, 2 * stride):
+            j = i + stride
+            if j < p:
+                machine.send(i, j, p - 1, phase)
+
+    # 4. Partition every block by the pivots (binary searches) and
+    #    exchange buckets all-to-all (a single crossbar collective, as the
+    #    paper's 2(p·τ + rs·β) term models).
+    splits = []
+    for i, b in enumerate(blocks):
+        cut = np.searchsorted(b, pivots, side="right")
+        splits.append(np.concatenate([[0], cut, [b.size]]))
+        machine.charge_compute(i, (p - 1) * max(1, math.log2(b.size + 1)), phase)
+    out_sizes = np.zeros((p, p), dtype=np.int64)
+    for src in range(p):
+        for dst in range(p):
+            out_sizes[src, dst] = splits[src][dst + 1] - splits[src][dst]
+    machine.alltoall(out_sizes, phase)
+    out_blocks: list[np.ndarray] = []
+    out_payloads: list[np.ndarray] = []
+    for dst in range(p):
+        pieces = []
+        pay_pieces = []
+        for src in range(p):
+            lo, hi = splits[src][dst], splits[src][dst + 1]
+            pieces.append(blocks[src][lo:hi])
+            pay_pieces.append(payloads[src][lo:hi])
+        merged, merged_pay = kway_merge(pieces, payloads=pay_pieces)
+        out_blocks.append(merged)
+        out_payloads.append(merged_pay)
+        # 5. Local p-way merge of the received pieces.
+        machine.charge_compute(dst, max(1, merged.size) * log_p, phase)
+
+    sizes = np.array([b.size for b in out_blocks], dtype=np.float64)
+    total = sizes.sum()
+    expansion = float(sizes.max() / (total / p)) if total else 1.0
+    return out_blocks, out_payloads, expansion

@@ -1,0 +1,72 @@
+"""Deterministic linear-time selection (Blum, Floyd, Pratt, Rivest, Tarjan 1972).
+
+The paper cites this algorithm ([ea72] in its bibliography) as the
+deterministic way to find the ``s`` regular sample points of a run in
+``O(m log s)`` worst-case time.  This module implements the classic
+median-of-medians scheme:
+
+1. split the array into groups of five and take each group's median;
+2. recursively select the median of those medians as the pivot;
+3. three-way partition around the pivot and recurse into the side that
+   contains the requested rank.
+
+The group-of-five medians are computed with one vectorised sort of a
+``(g, 5)`` matrix, so the Python-level recursion depth is ``O(log m)`` while
+all inner work is numpy — this keeps the deterministic algorithm usable at
+the paper's run sizes (hundreds of thousands of elements).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import EstimationError
+from repro.selection.partition import partition_three_way
+
+__all__ = ["median_of_medians_select", "median_of_medians_pivot"]
+
+# Below this size it is faster (and exactly as correct) to sort outright.
+_SMALL = 32
+
+
+def median_of_medians_pivot(values: np.ndarray) -> float:
+    """Return the median-of-medians pivot of ``values``.
+
+    The returned value is guaranteed to have at least ~30% of the elements on
+    either side, which is what gives selection its linear worst case.
+    """
+    if values.size <= _SMALL:
+        return float(np.sort(values)[values.size // 2])
+    n_full_groups = values.size // 5
+    head = values[: n_full_groups * 5].reshape(n_full_groups, 5)
+    medians = np.sort(head, axis=1)[:, 2]
+    tail = values[n_full_groups * 5 :]
+    if tail.size:
+        medians = np.append(medians, np.sort(tail)[tail.size // 2])
+    return median_of_medians_select(medians, medians.size // 2)
+
+
+def median_of_medians_select(values: np.ndarray, rank: int) -> float:
+    """Select the element of 0-based ``rank`` in ``values`` deterministically.
+
+    Equivalent to ``np.sort(values)[rank]`` but runs in worst-case linear
+    time.  Raises :class:`~repro.errors.EstimationError` if ``rank`` is out
+    of range.
+    """
+    if not 0 <= rank < values.size:
+        raise EstimationError(
+            f"rank {rank} out of range for array of size {values.size}"
+        )
+    current = np.asarray(values)
+    while True:
+        if current.size <= _SMALL:
+            return float(np.sort(current)[rank])
+        pivot = median_of_medians_pivot(current)
+        less, n_equal, greater = partition_three_way(current, pivot)
+        if rank < less.size:
+            current = less
+        elif rank < less.size + n_equal:
+            return float(pivot)
+        else:
+            rank -= less.size + n_equal
+            current = greater

@@ -1,0 +1,129 @@
+"""Multiselect: all ``s`` regular sample points of a run in ``O(m log s)``.
+
+Section 2.1 of the paper describes how to extract the ``s`` regular samples
+(the elements at ranks ``m/s, 2m/s, ..., m`` of the sorted run) *without*
+sorting the run: find the run's median, split into two halves, find each
+half's median, and so on for ``log s`` rounds until the sublists have size
+``m/s``; the maximum of sublist ``i`` is the ``i``-th sample point.
+
+The routine below implements the same divide-and-conquer but for an
+*arbitrary* sorted list of target ranks, which is strictly more general (the
+paper's scheme is the special case of equally spaced ranks, and the quantile
+phase of the incremental extension benefits from arbitrary ranks): select the
+middle target rank with a single-rank selection algorithm, three-way
+partition around it, and recurse into each side with the ranks that fall
+there.  With ``t`` target ranks this performs ``O(log t)`` levels of
+partitioning over disjoint pieces of the array, i.e. ``O(m log t)`` total
+work when the single-rank selector is linear — exactly the paper's bound with
+``t = s``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import EstimationError
+from repro.selection.partition import partition_three_way
+
+__all__ = ["multiselect", "regular_sample_ranks"]
+
+Selector = Callable[[np.ndarray, int], float]
+
+
+def regular_sample_ranks(run_size: int, sample_size: int) -> np.ndarray:
+    """0-based ranks of the paper's regular samples of a run.
+
+    The paper takes the elements at 1-based ranks ``i * m/s`` for
+    ``i = 1..s`` (so the last sample is the run maximum).  When ``s`` does
+    not divide ``m`` the rank grid uses ``floor(i*m/s)``, which preserves the
+    sub-run property: sample ``i`` has at least ``floor(i*m/s)`` elements at
+    or below it.
+    """
+    if sample_size <= 0:
+        raise EstimationError("sample_size must be positive")
+    if sample_size > run_size:
+        raise EstimationError(
+            f"sample_size {sample_size} exceeds run size {run_size}"
+        )
+    i = np.arange(1, sample_size + 1, dtype=np.int64)
+    return (i * run_size) // sample_size - 1
+
+
+def _multiselect_into(
+    values: np.ndarray,
+    ranks: np.ndarray,
+    base: int,
+    out: np.ndarray,
+    out_lo: int,
+    select: Selector,
+) -> None:
+    """Recursive worker: fill ``out[out_lo : out_lo+len(ranks)]``.
+
+    ``ranks`` are absolute 0-based ranks in the original array; ``base`` is
+    the rank of ``values[argmin]`` within the original array, i.e. how many
+    elements of the original array sit strictly to the left of this slice.
+    """
+    if ranks.size == 0:
+        return
+    mid = ranks.size // 2
+    local_rank = int(ranks[mid]) - base
+    pivot = select(values, local_rank)
+    out[out_lo + mid] = pivot
+    if ranks.size == 1:
+        return
+    less, n_equal, greater = partition_three_way(values, pivot)
+    # Ranks strictly below the first occurrence of the pivot go left; ranks
+    # inside the pivot's equal-band are already answered by the pivot value;
+    # the rest go right.
+    left_ranks = ranks[:mid]
+    right_ranks = ranks[mid + 1 :]
+    first_eq = base + less.size
+    last_eq = first_eq + n_equal  # one past the equal band
+    go_left = left_ranks[left_ranks < first_eq]
+    out[out_lo + go_left.size : out_lo + mid] = pivot
+    _multiselect_into(less, go_left, base, out, out_lo, select)
+    go_right = right_ranks[right_ranks >= last_eq]
+    n_right_eq = right_ranks.size - go_right.size
+    out[out_lo + mid + 1 : out_lo + mid + 1 + n_right_eq] = pivot
+    _multiselect_into(
+        greater, go_right, last_eq, out, out_lo + mid + 1 + n_right_eq, select
+    )
+
+
+def multiselect(
+    values: np.ndarray, ranks: Sequence[int] | np.ndarray, select: Selector
+) -> np.ndarray:
+    """Return the elements of ``values`` at the given sorted 0-based ranks.
+
+    Parameters
+    ----------
+    values:
+        One-dimensional array; not modified.
+    ranks:
+        Non-decreasing sequence of 0-based order statistics to extract.
+    select:
+        Single-rank selection routine, e.g.
+        :func:`repro.selection.median_of_medians_select` or a seeded
+        :func:`repro.selection.floyd_rivest_select`.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``float64`` array of the selected values, in rank order — this is the
+        run's sorted sample list from the paper's Figure 1.
+    """
+    rank_arr = np.asarray(ranks, dtype=np.int64)
+    if rank_arr.size == 0:
+        return np.empty(0, dtype=np.float64)
+    if np.any(np.diff(rank_arr) < 0):
+        raise EstimationError("ranks must be non-decreasing")
+    if rank_arr[0] < 0 or rank_arr[-1] >= values.size:
+        raise EstimationError(
+            f"ranks must lie in [0, {values.size}); got "
+            f"[{int(rank_arr[0])}, {int(rank_arr[-1])}]"
+        )
+    out = np.empty(rank_arr.size, dtype=np.float64)
+    _multiselect_into(np.asarray(values), rank_arr, 0, out, 0, select)
+    return out

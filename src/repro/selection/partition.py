@@ -1,0 +1,61 @@
+"""Three-way partitioning primitives used by the selection algorithms.
+
+Both deterministic (median-of-medians) and randomized (Floyd-Rivest)
+selection, as well as the paper's recursive multiselect, reduce to repeated
+*three-way* partitioning of an array around a pivot value.  Three-way (rather
+than two-way) partitioning is essential for the duplicate-heavy data sets the
+paper evaluates on (``n/10`` duplicates): with two-way partitioning a run of
+equal keys can defeat the linear-time guarantee.
+
+These helpers operate on numpy arrays and return new arrays; the selection
+algorithms in this package never mutate caller-owned data.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["partition_three_way", "partition_counts"]
+
+
+def partition_three_way(
+    values: np.ndarray, pivot: float
+) -> Tuple[np.ndarray, int, np.ndarray]:
+    """Split ``values`` around ``pivot``.
+
+    Parameters
+    ----------
+    values:
+        One-dimensional array of keys.
+    pivot:
+        The pivot value; it does not have to occur in ``values``.
+
+    Returns
+    -------
+    tuple
+        ``(less, n_equal, greater)`` where ``less`` holds every element
+        strictly below the pivot, ``n_equal`` counts the elements equal to
+        the pivot, and ``greater`` holds every element strictly above it.
+        The equal elements themselves are never needed by the selection
+        algorithms, only their count, so they are not materialised.
+    """
+    less_mask = values < pivot
+    greater_mask = values > pivot
+    less = values[less_mask]
+    greater = values[greater_mask]
+    n_equal = values.size - less.size - greater.size
+    return less, n_equal, greater
+
+
+def partition_counts(values: np.ndarray, pivot: float) -> Tuple[int, int, int]:
+    """Return only the sizes ``(n_less, n_equal, n_greater)`` of a 3-way split.
+
+    Cheaper than :func:`partition_three_way` when the caller needs ranks but
+    not the partitioned data (for example when probing whether a pivot
+    brackets a target rank).
+    """
+    n_less = int(np.count_nonzero(values < pivot))
+    n_greater = int(np.count_nonzero(values > pivot))
+    return n_less, values.size - n_less - n_greater, n_greater

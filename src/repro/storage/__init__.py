@@ -1,0 +1,22 @@
+"""Disk-resident storage substrate.
+
+Binary dataset files (:class:`DiskDataset`, :class:`DatasetWriter`),
+run-at-a-time single-pass reading with I/O accounting (:class:`RunReader`,
+:class:`IOStats`), and the paper's main-memory feasibility model
+(:class:`MemoryModel`).
+"""
+
+from repro.storage.datafile import DatasetWriter, DiskDataset
+from repro.storage.memory import MemoryModel
+from repro.storage.runs import IOStats, RunReader
+from repro.storage.table import TableDataset, TableWriter
+
+__all__ = [
+    "DiskDataset",
+    "DatasetWriter",
+    "RunReader",
+    "IOStats",
+    "MemoryModel",
+    "TableDataset",
+    "TableWriter",
+]

@@ -1,0 +1,188 @@
+"""Binary on-disk datasets.
+
+The paper's data is *disk-resident*: larger than memory, read strictly in
+runs.  :class:`DiskDataset` is the on-disk representation — a tiny
+self-describing header followed by a flat array of little-endian keys — and
+offers only bulk, offset-based reads so every byte that moves from disk to
+memory is observable and chargeable to the I/O cost model.
+
+The header makes files self-describing (dtype + count) so a dataset written
+on one machine can be validated when opened on another, and so truncation is
+detected instead of silently yielding garbage.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import ConfigError, DataError
+
+__all__ = ["DiskDataset", "DatasetWriter"]
+
+_MAGIC = b"OPAQDS01"
+_DTYPES = {b"f8": np.dtype("<f8"), b"i8": np.dtype("<i8")}
+_DTYPE_CODES = {np.dtype("<f8"): b"f8", np.dtype("<i8"): b"i8"}
+_HEADER = struct.Struct("<8s2sxxxxxxq")  # magic, dtype code, pad, count
+
+
+@dataclass(frozen=True)
+class DiskDataset:
+    """A read-only disk-resident array of keys.
+
+    Attributes
+    ----------
+    path:
+        Location of the backing file.
+    dtype:
+        Element dtype (``<f8`` or ``<i8``).
+    count:
+        Number of elements in the dataset (``n`` in the paper).
+    """
+
+    path: Path
+    dtype: np.dtype
+    count: int
+
+    @classmethod
+    def open(cls, path: str | os.PathLike) -> "DiskDataset":
+        """Open and validate an existing dataset file."""
+        path = Path(path)
+        try:
+            with open(path, "rb") as f:
+                raw = f.read(_HEADER.size)
+        except FileNotFoundError:
+            raise DataError(f"dataset file does not exist: {path}") from None
+        if len(raw) != _HEADER.size:
+            raise DataError(f"dataset header truncated: {path}")
+        magic, code, count = _HEADER.unpack(raw)
+        if magic != _MAGIC:
+            raise DataError(f"not an OPAQ dataset (bad magic): {path}")
+        if code not in _DTYPES:
+            raise DataError(f"unsupported dtype code {code!r} in {path}")
+        dtype = _DTYPES[code]
+        expected = _HEADER.size + count * dtype.itemsize
+        actual = path.stat().st_size
+        if actual != expected:
+            raise DataError(
+                f"dataset {path} truncated or padded: header promises "
+                f"{count} elements ({expected} bytes), file has {actual} bytes"
+            )
+        return cls(path=path, dtype=dtype, count=count)
+
+    @classmethod
+    def create(
+        cls, path: str | os.PathLike, values: np.ndarray
+    ) -> "DiskDataset":
+        """Write ``values`` to ``path`` and return the opened dataset.
+
+        Convenience for data that already fits in memory; use
+        :class:`DatasetWriter` to stream paper-scale data to disk chunk by
+        chunk.
+        """
+        with DatasetWriter(path, dtype=np.asarray(values).dtype) as writer:
+            writer.append(values)
+        return cls.open(path)
+
+    @property
+    def nbytes(self) -> int:
+        """Payload size in bytes (excluding the header)."""
+        return self.count * self.dtype.itemsize
+
+    def read_range(self, start: int, count: int) -> np.ndarray:
+        """Read ``count`` elements starting at element index ``start``.
+
+        This is the *only* read primitive: one contiguous range per call,
+        mirroring a sequential disk read of part of a run.
+        """
+        if start < 0 or count < 0 or start + count > self.count:
+            raise DataError(
+                f"read_range({start}, {count}) out of bounds for "
+                f"dataset of {self.count} elements"
+            )
+        offset = _HEADER.size + start * self.dtype.itemsize
+        with open(self.path, "rb") as f:
+            f.seek(offset)
+            data = np.fromfile(f, dtype=self.dtype, count=count)
+        if data.size != count:
+            raise DataError(
+                f"short read from {self.path}: wanted {count}, got {data.size}"
+            )
+        return data
+
+    def read_all(self) -> np.ndarray:
+        """Read the entire dataset (test/ground-truth helper, not the API
+        the estimator uses — the estimator goes through
+        :class:`repro.storage.RunReader`)."""
+        return self.read_range(0, self.count)
+
+    def iter_ranges(self, chunk: int) -> Iterator[np.ndarray]:
+        """Yield the dataset in contiguous chunks of ``chunk`` elements."""
+        if chunk <= 0:
+            raise ConfigError("chunk size must be positive")
+        for start in range(0, self.count, chunk):
+            yield self.read_range(start, min(chunk, self.count - start))
+
+
+class DatasetWriter:
+    """Streaming writer for :class:`DiskDataset` files.
+
+    Writes the header up front with a placeholder count, appends chunks,
+    and patches the true count on close — so a writer crash leaves a file
+    that :meth:`DiskDataset.open` rejects (count mismatch) rather than a
+    silently short dataset.
+
+    Use as a context manager::
+
+        with DatasetWriter("keys.opaq") as w:
+            for chunk in generator:
+                w.append(chunk)
+    """
+
+    def __init__(
+        self, path: str | os.PathLike, dtype: np.dtype | str = np.float64
+    ) -> None:
+        dtype = np.dtype(dtype).newbyteorder("<")
+        if dtype not in _DTYPE_CODES:
+            raise ConfigError(
+                f"unsupported dtype {dtype}; use float64 or int64"
+            )
+        self.path = Path(path)
+        self.dtype = dtype
+        self.count = 0
+        self._file = open(self.path, "wb")
+        self._file.write(_HEADER.pack(_MAGIC, _DTYPE_CODES[dtype], -1))
+        self._closed = False
+
+    def append(self, values: np.ndarray) -> None:
+        """Append a chunk of keys to the file."""
+        if self._closed:
+            raise DataError("writer is closed")
+        chunk = np.ascontiguousarray(values, dtype=self.dtype)
+        chunk.tofile(self._file)
+        self.count += chunk.size
+
+    def close(self) -> DiskDataset:
+        """Finalise the header and return the opened dataset."""
+        if not self._closed:
+            self._file.seek(0)
+            self._file.write(_HEADER.pack(_MAGIC, _DTYPE_CODES[self.dtype], self.count))
+            self._file.close()
+            self._closed = True
+        return DiskDataset.open(self.path)
+
+    def __enter__(self) -> "DatasetWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.close()
+        else:  # leave the placeholder count so open() rejects the file
+            if not self._closed:
+                self._file.close()
+                self._closed = True

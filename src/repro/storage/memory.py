@@ -1,0 +1,121 @@
+"""The paper's main-memory model.
+
+Section 2.3 constrains the algorithm's parameters by the size of main
+memory ``M`` (in keys): during the sample phase the algorithm must hold one
+run buffer (``m`` keys) *and* the growing merged sample list (``r*s`` keys)
+at the same time, so
+
+    ``r*s + m  <=  M``        with ``r = n/m``.
+
+Since good bounds need ``s >= 2q``, the largest number of quantiles
+obtainable within a memory budget is ``O(M^2 / n)`` (choose ``m ~ M/2``).
+:class:`MemoryModel` validates configurations against this constraint and
+derives good default run/sample sizes from a budget.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+__all__ = ["MemoryModel"]
+
+
+@dataclass(frozen=True)
+class MemoryModel:
+    """Feasibility checks for OPAQ parameter choices.
+
+    Parameters
+    ----------
+    capacity:
+        ``M`` — main-memory budget measured in keys.
+    """
+
+    capacity: int
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ConfigError("memory capacity must be positive")
+
+    def footprint(self, n: int, run_size: int, sample_size: int) -> int:
+        """Peak working-set size in keys: run buffer + merged sample list."""
+        num_runs = -(-n // run_size)
+        return num_runs * sample_size + run_size
+
+    def validate(self, n: int, run_size: int, sample_size: int) -> None:
+        """Raise :class:`~repro.errors.ConfigError` if ``r*s + m > M``."""
+        if run_size <= 0 or sample_size <= 0 or n <= 0:
+            raise ConfigError("n, run_size and sample_size must be positive")
+        if sample_size > run_size:
+            raise ConfigError(
+                f"sample_size ({sample_size}) cannot exceed run_size "
+                f"({run_size}): each run contributes s of its m elements"
+            )
+        need = self.footprint(n, run_size, sample_size)
+        if need > self.capacity:
+            raise ConfigError(
+                f"configuration needs {need} keys of memory "
+                f"(r*s + m with r={-(-n // run_size)}) but the budget is "
+                f"{self.capacity}; shrink sample_size or grow run_size"
+            )
+
+    def max_quantiles(self, n: int) -> int:
+        """Largest ``q`` estimable under this budget (the paper's O(M²/n)).
+
+        Derived by choosing ``m = M/2`` and ``s = 2q`` in the constraint.
+        """
+        if n <= 0:
+            raise ConfigError("n must be positive")
+        m = max(1, self.capacity // 2)
+        r = -(-n // m)
+        s = (self.capacity - m) // r
+        return max(0, s // 2)
+
+    def suggest(self, n: int, sample_size: int) -> int:
+        """Suggest a run size ``m`` for a given ``n`` and ``s``.
+
+        Picks the smallest power-of-two-ish ``m`` that satisfies the
+        constraint with at least two runs when the data does not fit in
+        memory, preferring more runs (cheaper sample phase per run) while
+        staying feasible.
+        """
+        if sample_size <= 0:
+            raise ConfigError("sample_size must be positive")
+        if sample_size > n:
+            raise ConfigError(
+                f"sample_size ({sample_size}) cannot exceed n ({n})"
+            )
+        if n + sample_size <= self.capacity:
+            # Data fits as a single run alongside its sample list.
+            return n
+        # footprint(m) = ceil(n/m)*s + m is U-shaped in m with its minimum
+        # near m* = sqrt(n*s).  Feasibility is checked at the minimum; the
+        # smallest feasible m is then found by binary search on the
+        # decreasing branch [s, m*].
+        m_star = max(sample_size, int(math.isqrt(n * sample_size)))
+        if self.footprint(n, m_star, sample_size) > self.capacity:
+            best = -1
+        else:
+            lo, hi = sample_size, m_star
+            best = m_star
+            while lo <= hi:
+                mid = (lo + hi) // 2
+                if self.footprint(n, mid, sample_size) <= self.capacity:
+                    best = mid
+                    hi = mid - 1
+                else:
+                    lo = mid + 1
+        if best < 0:
+            raise ConfigError(
+                f"no feasible run size: n={n}, s={sample_size}, "
+                f"M={self.capacity} (need r*s + m <= M)"
+            )
+        return best
+
+    @staticmethod
+    def required_capacity(n: int, run_size: int, sample_size: int) -> int:
+        """Memory a configuration needs — handy for sizing budgets in tests."""
+        num_runs = -(-n // run_size)
+        return num_runs * sample_size + run_size

@@ -1,0 +1,28 @@
+"""Synthetic workloads reproducing the paper's evaluation data (section 2.4)."""
+
+from repro.workloads.datasets import dataset_cache, write_dataset
+from repro.workloads.generators import (
+    GENERATOR_NAMES,
+    ConstantGenerator,
+    FewDistinctGenerator,
+    KeyGenerator,
+    NormalGenerator,
+    SortedGenerator,
+    UniformGenerator,
+    ZipfGenerator,
+    make_generator,
+)
+
+__all__ = [
+    "KeyGenerator",
+    "UniformGenerator",
+    "ZipfGenerator",
+    "NormalGenerator",
+    "SortedGenerator",
+    "ConstantGenerator",
+    "FewDistinctGenerator",
+    "make_generator",
+    "GENERATOR_NAMES",
+    "write_dataset",
+    "dataset_cache",
+]

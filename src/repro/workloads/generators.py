@@ -1,0 +1,271 @@
+"""Synthetic key generators reproducing the paper's data sets (section 2.4).
+
+The paper evaluates on data sets of 1M/5M/10M keys drawn from either a
+uniform distribution or a Zipf distribution with parameter 0.86, with the
+number of duplicate keys fixed at ``n/10``.
+
+Two conventions need care:
+
+**Zipf parameter.**  The paper uses the convention common in the parallel
+sorting/database literature (e.g. [DNS91]): parameter ``1`` is uniform and
+skew *increases as the parameter decreases*, with maximal skew at ``0``.
+That is the mirror image of the textbook exponent, so we map
+``exponent = 1 - parameter`` and sample frequencies proportional to
+``1 / rank**exponent``.
+
+**Duplicates.**  "The number of duplicates for each data set of size n is
+set to n/10" — we realise this exactly: every data set is built from
+``n - n/10`` *distinct* base keys plus ``n/10`` extra draws from those keys
+(uniformly for the uniform workload, Zipf-weighted for the Zipf workload),
+then shuffled.  The value *spacing* of the Zipf workload is also skewed
+(keys bunch toward the low end of the domain) so that range/histogram
+experiments see genuinely skewed value mass, not just skewed multiplicity.
+
+All generators take an explicit seed and are bit-for-bit reproducible.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+__all__ = [
+    "KeyGenerator",
+    "UniformGenerator",
+    "ZipfGenerator",
+    "NormalGenerator",
+    "SortedGenerator",
+    "ConstantGenerator",
+    "FewDistinctGenerator",
+    "make_generator",
+    "GENERATOR_NAMES",
+]
+
+#: Fraction of the data set that is duplicate keys in the paper's setup.
+PAPER_DUPLICATE_FRACTION = 0.1
+
+
+def _finalize(
+    base: np.ndarray,
+    n: int,
+    weights: np.ndarray | None,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Add the duplicate draws and shuffle.
+
+    ``base`` holds the distinct keys; ``n - base.size`` duplicates are drawn
+    from it (with the given weights, or uniformly) and the result is
+    shuffled so on-disk order carries no information.
+    """
+    n_dup = n - base.size
+    if n_dup < 0:
+        raise ConfigError("base pool larger than requested size")
+    if n_dup:
+        extra = rng.choice(base, size=n_dup, replace=True, p=weights)
+        data = np.concatenate([base, extra])
+    else:
+        data = base.copy()
+    rng.shuffle(data)
+    return data
+
+
+@dataclass(frozen=True)
+class KeyGenerator(ABC):
+    """A reproducible distribution over keys.
+
+    Subclasses generate ``n`` float64 keys from a seed via
+    :meth:`generate`; :attr:`duplicate_fraction` controls the share of
+    exact-duplicate keys (the paper uses 0.1).
+    """
+
+    duplicate_fraction: float = PAPER_DUPLICATE_FRACTION
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.duplicate_fraction < 1.0:
+            raise ConfigError("duplicate_fraction must lie in [0, 1)")
+
+    #: Registry name; subclasses override.
+    name: str = "abstract"
+
+    def _n_distinct(self, n: int) -> int:
+        return n - int(n * self.duplicate_fraction)
+
+    @abstractmethod
+    def generate(self, n: int, seed: int) -> np.ndarray:
+        """Return ``n`` keys as a float64 array."""
+
+
+@dataclass(frozen=True)
+class UniformGenerator(KeyGenerator):
+    """Distinct keys uniform on ``[lo, hi)`` plus uniform duplicate draws."""
+
+    lo: float = 0.0
+    hi: float = 1.0e9
+    name: str = "uniform"
+
+    def generate(self, n: int, seed: int) -> np.ndarray:
+        if n <= 0:
+            raise ConfigError("n must be positive")
+        rng = np.random.default_rng(seed)
+        base = rng.uniform(self.lo, self.hi, size=self._n_distinct(n))
+        return _finalize(base, n, None, rng)
+
+
+@dataclass(frozen=True)
+class ZipfGenerator(KeyGenerator):
+    """The paper's Zipf workload (parameter 0.86, paper convention).
+
+    Parameters
+    ----------
+    parameter:
+        Skew knob in the paper's convention: ``1`` is uniform, ``0`` is
+        maximally skewed.  Internally ``exponent = 1 - parameter``.
+    lo, hi:
+        Key domain.  Distinct key *values* are placed at the Zipf CDF grid
+        over this domain, so value mass bunches toward ``lo``.
+    """
+
+    parameter: float = 0.86
+    lo: float = 0.0
+    hi: float = 1.0e9
+    name: str = "zipf"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0.0 <= self.parameter <= 1.0:
+            raise ConfigError(
+                "zipf parameter must lie in [0, 1] "
+                "(1 = uniform, 0 = maximal skew; the paper uses 0.86)"
+            )
+
+    @property
+    def exponent(self) -> float:
+        """Textbook Zipf exponent ``1 - parameter``."""
+        return 1.0 - self.parameter
+
+    def _weights(self, k: int) -> np.ndarray:
+        ranks = np.arange(1, k + 1, dtype=np.float64)
+        w = ranks ** (-self.exponent)
+        return w / w.sum()
+
+    def generate(self, n: int, seed: int) -> np.ndarray:
+        if n <= 0:
+            raise ConfigError("n must be positive")
+        rng = np.random.default_rng(seed)
+        k = self._n_distinct(n)
+        weights = self._weights(k)
+        # Distinct key values at the complementary Zipf CDF grid:
+        # key_i = lo + span*(1 - CDF(i)).  Consecutive keys are spaced by
+        # their rank's probability, so the *tail* ranks (tiny weights) pack
+        # tightly near ``lo`` — the value mass concentrates at the low end,
+        # increasingly so as the parameter drops.
+        cdf = np.cumsum(weights)
+        base = self.lo + (self.hi - self.lo) * (1.0 - cdf)
+        np.clip(base, self.lo, self.hi, out=base)
+        return _finalize(base, n, weights, rng)
+
+
+@dataclass(frozen=True)
+class NormalGenerator(KeyGenerator):
+    """Gaussian keys — a robustness workload beyond the paper's two."""
+
+    mean: float = 0.0
+    std: float = 1.0
+    name: str = "normal"
+
+    def generate(self, n: int, seed: int) -> np.ndarray:
+        if n <= 0:
+            raise ConfigError("n must be positive")
+        rng = np.random.default_rng(seed)
+        base = rng.normal(self.mean, self.std, size=self._n_distinct(n))
+        return _finalize(base, n, None, rng)
+
+
+@dataclass(frozen=True)
+class SortedGenerator(KeyGenerator):
+    """Already-sorted (or reverse-sorted) keys — adversarial run structure.
+
+    Every run covers a disjoint slice of the value range, the worst case for
+    interval/histogram methods and a good stress test for OPAQ's
+    distribution independence.
+    """
+
+    descending: bool = False
+    name: str = "sorted"
+
+    def generate(self, n: int, seed: int) -> np.ndarray:
+        if n <= 0:
+            raise ConfigError("n must be positive")
+        rng = np.random.default_rng(seed)
+        base = np.sort(rng.uniform(0.0, 1.0e9, size=self._n_distinct(n)))
+        n_dup = n - base.size
+        if n_dup:
+            positions = np.sort(rng.integers(0, base.size, size=n_dup))
+            data = np.sort(np.concatenate([base, base[positions]]))
+        else:
+            data = base
+        return data[::-1].copy() if self.descending else data
+
+
+@dataclass(frozen=True)
+class ConstantGenerator(KeyGenerator):
+    """All keys equal — the degenerate extreme of duplication."""
+
+    value: float = 42.0
+    name: str = "constant"
+
+    def generate(self, n: int, seed: int) -> np.ndarray:
+        if n <= 0:
+            raise ConfigError("n must be positive")
+        return np.full(n, self.value, dtype=np.float64)
+
+
+@dataclass(frozen=True)
+class FewDistinctGenerator(KeyGenerator):
+    """Only ``k`` distinct values — heavy-tie stress for rank arithmetic."""
+
+    k: int = 16
+    name: str = "few_distinct"
+
+    def generate(self, n: int, seed: int) -> np.ndarray:
+        if n <= 0:
+            raise ConfigError("n must be positive")
+        if self.k <= 0:
+            raise ConfigError("k must be positive")
+        rng = np.random.default_rng(seed)
+        values = rng.uniform(0.0, 1.0e9, size=self.k)
+        return values[rng.integers(0, self.k, size=n)]
+
+
+_REGISTRY = {
+    cls.name: cls
+    for cls in (
+        UniformGenerator,
+        ZipfGenerator,
+        NormalGenerator,
+        SortedGenerator,
+        ConstantGenerator,
+        FewDistinctGenerator,
+    )
+}
+
+GENERATOR_NAMES = tuple(sorted(_REGISTRY))
+
+
+def make_generator(name: str, **kwargs) -> KeyGenerator:
+    """Construct a generator from its registry name.
+
+    >>> make_generator("zipf", parameter=0.86).name
+    'zipf'
+    """
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown generator {name!r}; choose from {GENERATOR_NAMES}"
+        ) from None
+    return cls(**kwargs)

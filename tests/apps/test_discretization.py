@@ -1,0 +1,62 @@
+"""Tests for the equi-depth discretizer ([AS96] motivation)."""
+
+import numpy as np
+import pytest
+
+from repro.apps import EquiDepthDiscretizer
+from repro.core import OPAQ, OPAQConfig
+from repro.errors import ConfigError, EstimationError
+
+
+@pytest.fixture
+def summary(rng):
+    data = rng.lognormal(0.0, 1.5, size=40_000)
+    return OPAQ(OPAQConfig(run_size=8000, sample_size=400)).summarize(data), data
+
+
+class TestEquiDepthDiscretizer:
+    def test_validation(self, summary):
+        s, _ = summary
+        with pytest.raises(ConfigError):
+            EquiDepthDiscretizer(s, 1)
+
+    def test_transform_range(self, summary):
+        s, data = summary
+        disc = EquiDepthDiscretizer(s, 8)
+        ids = disc.transform(data)
+        assert ids.min() >= 0 and ids.max() <= 7
+
+    def test_populations_near_equal(self, summary):
+        """The [AS96] requirement: intervals of near-equal support."""
+        s, data = summary
+        q = 10
+        disc = EquiDepthDiscretizer(s, q)
+        counts = np.bincount(disc.transform(data), minlength=q)
+        assert np.abs(counts - data.size / q).max() <= disc.max_population_excess()
+
+    def test_partial_completeness_close_to_one(self, summary):
+        s, _ = summary
+        disc = EquiDepthDiscretizer(s, 10)
+        k = disc.partial_completeness()
+        assert 1.0 <= k < 1.5
+
+    def test_labels_cover_range_in_order(self, summary):
+        s, _ = summary
+        disc = EquiDepthDiscretizer(s, 4)
+        labels = disc.labels()
+        assert len(labels) == 4
+        assert labels[0].startswith(f"[{s.minimum:.6g}")
+        assert labels[-1].endswith("]")
+
+    def test_label_validation(self, summary):
+        s, _ = summary
+        disc = EquiDepthDiscretizer(s, 4)
+        with pytest.raises(EstimationError):
+            disc.interval_label(4)
+
+    def test_transform_monotone(self, summary):
+        s, _ = summary
+        disc = EquiDepthDiscretizer(s, 6)
+        probes = np.linspace(s.minimum, s.maximum, 50)
+        ids = disc.transform(probes)
+        assert np.all(np.diff(ids) >= 0)

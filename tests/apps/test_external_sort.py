@@ -1,0 +1,93 @@
+"""Tests for external sorting with OPAQ splitters."""
+
+import numpy as np
+import pytest
+
+from repro.apps import external_sort
+from repro.core import OPAQConfig
+from repro.errors import ConfigError
+
+
+class TestExternalSort:
+    def test_sorts_correctly(self, tmp_path, dataset_factory, uniform_data):
+        ds = dataset_factory(uniform_data)
+        report = external_sort(
+            ds,
+            tmp_path / "out.opaq",
+            memory=15_000,
+            config=OPAQConfig(run_size=5000, sample_size=500),
+        )
+        out = report.output.read_all()
+        assert np.all(np.diff(out) >= 0)
+        np.testing.assert_array_equal(out, np.sort(uniform_data))
+
+    def test_buckets_respect_memory(self, tmp_path, dataset_factory, uniform_data):
+        ds = dataset_factory(uniform_data)
+        memory = 12_000
+        report = external_sort(
+            ds,
+            tmp_path / "out.opaq",
+            memory=memory,
+            config=OPAQConfig(run_size=5000, sample_size=500),
+        )
+        assert report.num_buckets >= uniform_data.size // memory
+        assert report.guaranteed_max_bucket <= memory
+        assert report.passes_over_input == 2
+
+    def test_derives_config_from_memory(self, tmp_path, dataset_factory, rng):
+        data = rng.uniform(size=30_000)
+        ds = dataset_factory(data)
+        report = external_sort(ds, tmp_path / "out.opaq", memory=10_000)
+        np.testing.assert_array_equal(report.output.read_all(), np.sort(data))
+
+    def test_heavy_duplicates_streamed(self, tmp_path, dataset_factory, rng):
+        """A duplicate band bigger than memory must still sort correctly."""
+        data = np.concatenate(
+            [np.full(30_000, 5.0), rng.uniform(0.0, 10.0, size=20_000)]
+        )
+        rng.shuffle(data)
+        ds = dataset_factory(data)
+        report = external_sort(ds, tmp_path / "out.opaq", memory=12_000)
+        out = report.output.read_all()
+        np.testing.assert_array_equal(out, np.sort(data))
+
+    def test_data_fits_single_bucket(self, tmp_path, dataset_factory, rng):
+        data = rng.uniform(size=5000)
+        ds = dataset_factory(data)
+        report = external_sort(
+            ds,
+            tmp_path / "out.opaq",
+            memory=50_000,
+            config=OPAQConfig(run_size=5000, sample_size=100),
+        )
+        assert report.num_buckets == 1
+        np.testing.assert_array_equal(report.output.read_all(), np.sort(data))
+
+    def test_temp_files_cleaned_up(self, tmp_path, dataset_factory, rng):
+        data = rng.uniform(size=20_000)
+        ds = dataset_factory(data)
+        external_sort(
+            ds,
+            tmp_path / "out.opaq",
+            memory=6000,
+            config=OPAQConfig(run_size=2000, sample_size=200),
+            workdir=tmp_path / "work",
+        )
+        leftovers = list((tmp_path / "work").glob(".sort_bucket_*"))
+        assert leftovers == []
+
+    def test_memory_too_small(self, tmp_path, dataset_factory, rng):
+        ds = dataset_factory(rng.uniform(size=10_000))
+        with pytest.raises(ConfigError):
+            external_sort(ds, tmp_path / "out.opaq", memory=100)
+
+    def test_imbalance_metric(self, tmp_path, dataset_factory, uniform_data):
+        ds = dataset_factory(uniform_data)
+        report = external_sort(
+            ds,
+            tmp_path / "out.opaq",
+            memory=15_000,
+            config=OPAQConfig(run_size=5000, sample_size=500),
+        )
+        assert report.imbalance >= 1.0
+        assert report.max_bucket == max(report.bucket_sizes)

@@ -1,0 +1,91 @@
+"""Tests for equi-depth histograms and selectivity estimation."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.apps import EquiDepthHistogram
+from repro.core import OPAQ, OPAQConfig
+from repro.errors import ConfigError, EstimationError
+
+
+@pytest.fixture
+def summary(uniform_data):
+    return OPAQ(OPAQConfig(run_size=5000, sample_size=500)).summarize(uniform_data)
+
+
+class TestHistogramStructure:
+    def test_boundary_count(self, summary):
+        h = EquiDepthHistogram(summary, 10)
+        assert h.boundaries.size == 9
+        assert np.all(np.diff(h.boundaries) >= 0)
+        assert h.depth == summary.count / 10
+
+    def test_single_bucket(self, summary):
+        h = EquiDepthHistogram(summary, 1)
+        assert h.boundaries.size == 0
+        assert h.max_depth_error() == 0
+
+    def test_bucket_validation(self, summary):
+        with pytest.raises(ConfigError):
+            EquiDepthHistogram(summary, 0)
+
+    def test_bucket_of(self, summary, uniform_data):
+        h = EquiDepthHistogram(summary, 4)
+        assert h.bucket_of(uniform_data.min() - 1) == 0
+        assert h.bucket_of(uniform_data.max() + 1) == 3
+
+    def test_buckets_near_equi_depth(self, summary, uniform_data):
+        h = EquiDepthHistogram(summary, 10)
+        counts = np.bincount(
+            np.searchsorted(h.boundaries, uniform_data, side="right"), minlength=10
+        )
+        assert np.abs(counts - h.depth).max() <= h.max_depth_error()
+
+    def test_describe(self, summary):
+        text = EquiDepthHistogram(summary, 4).describe()
+        assert "4 buckets" in text
+        assert text.count("bucket ") == 4
+
+
+class TestSelectivity:
+    def test_bands_contain_truth(self, summary, uniform_data, sorted_uniform):
+        h = EquiDepthHistogram(summary, 10)
+        lo, hi = 2.0e8, 7.5e8
+        est = h.selectivity(lo, hi)
+        true = np.count_nonzero((uniform_data >= lo) & (uniform_data <= hi)) / uniform_data.size
+        assert est.lower <= true <= est.upper
+        assert abs(est.estimate - true) <= est.width
+
+    def test_empty_range(self, summary):
+        est = summary and EquiDepthHistogram(summary, 4).selectivity(-2.0, -1.0)
+        assert est.upper <= 0.01
+        assert est.lower == 0.0
+
+    def test_full_range(self, summary, uniform_data):
+        h = EquiDepthHistogram(summary, 4)
+        est = h.selectivity(uniform_data.min(), uniform_data.max())
+        assert est.upper == 1.0
+        assert est.lower > 0.98
+
+    def test_invalid_range(self, summary):
+        with pytest.raises(EstimationError):
+            EquiDepthHistogram(summary, 4).selectivity(2.0, 1.0)
+
+    @settings(
+        max_examples=30,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        lo=st.floats(min_value=0, max_value=1e9),
+        width=st.floats(min_value=0, max_value=1e9),
+    )
+    def test_property_band_contains_truth(self, summary, uniform_data, lo, width):
+        h = EquiDepthHistogram(summary, 10)
+        est = h.selectivity(lo, lo + width)
+        true = (
+            np.count_nonzero((uniform_data >= lo) & (uniform_data <= lo + width))
+            / uniform_data.size
+        )
+        assert est.lower - 1e-12 <= true <= est.upper + 1e-12

@@ -1,0 +1,54 @@
+"""Tests for the quantile-splitter load balancer."""
+
+import numpy as np
+import pytest
+
+from repro.apps import LoadBalancer
+from repro.core import OPAQ, OPAQConfig
+from repro.errors import ConfigError
+
+
+@pytest.fixture
+def summary(uniform_data):
+    return OPAQ(OPAQConfig(run_size=5000, sample_size=500)).summarize(uniform_data)
+
+
+class TestLoadBalancer:
+    def test_cut_count(self, summary):
+        lb = LoadBalancer(summary, 8)
+        assert lb.cuts.size == 7
+
+    def test_single_worker(self, summary, uniform_data):
+        lb = LoadBalancer(summary, 1)
+        rep = lb.report(uniform_data)
+        assert rep.counts.tolist() == [uniform_data.size]
+        assert rep.imbalance == 1.0
+
+    def test_worker_validation(self, summary):
+        with pytest.raises(ConfigError):
+            LoadBalancer(summary, 0)
+
+    def test_assignment_in_range(self, summary, uniform_data):
+        lb = LoadBalancer(summary, 8)
+        assign = lb.assign(uniform_data)
+        assert assign.min() >= 0 and assign.max() <= 7
+
+    def test_balance_within_guarantee(self, summary, uniform_data):
+        lb = LoadBalancer(summary, 8)
+        rep = lb.report(uniform_data)
+        ideal = uniform_data.size / 8
+        assert rep.max_share <= ideal + lb.guaranteed_extra()
+
+    def test_imbalance_close_to_one(self, summary, uniform_data):
+        """With s=500 the guarantee is ~n/s per side: ~1.6% of a share."""
+        lb = LoadBalancer(summary, 8)
+        rep = lb.report(uniform_data)
+        assert rep.imbalance < 1.05
+
+    def test_assignment_respects_cut_order(self, summary):
+        lb = LoadBalancer(summary, 4)
+        cuts = lb.cuts
+        below = lb.assign(np.array([cuts[0] - 1.0]))[0]
+        above = lb.assign(np.array([cuts[-1] + 1.0]))[0]
+        assert below == 0
+        assert above == 3

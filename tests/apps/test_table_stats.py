@@ -1,0 +1,162 @@
+"""Tests for the optimizer-style table statistics."""
+
+import numpy as np
+import pytest
+
+from repro.apps import ConjunctionEstimate, Predicate, TableStatistics
+from repro.core import OPAQConfig
+from repro.errors import ConfigError, EstimationError
+from repro.storage import TableDataset
+
+
+@pytest.fixture
+def table(tmp_path, rng):
+    n = 30_000
+    # Correlated columns: b depends on a, so independence is wrong and
+    # the Frechet bands must still hold.
+    a = rng.uniform(0.0, 1.0, size=n)
+    b = a * 0.5 + rng.uniform(0.0, 0.5, size=n)
+    c = rng.lognormal(0.0, 1.0, size=n)
+    return TableDataset.create(tmp_path / "t", {"a": a, "b": b, "c": c})
+
+
+@pytest.fixture
+def stats(table):
+    config = OPAQConfig(run_size=6000, sample_size=300)
+    return TableStatistics.collect(table, config)
+
+
+class TestCollect:
+    def test_columns_and_rows(self, stats, table):
+        assert set(stats.columns) == {"a", "b", "c"}
+        assert stats.row_count == table.row_count
+
+    def test_subset_of_columns(self, table):
+        config = OPAQConfig(run_size=6000, sample_size=300)
+        stats = TableStatistics.collect(table, config, columns=["a"])
+        assert stats.columns == ["a"]
+        with pytest.raises(EstimationError):
+            stats.selectivity(Predicate("b", 0.0, 1.0))
+
+    def test_mismatched_counts_rejected(self, stats, rng):
+        from repro.core import OPAQ
+
+        config = OPAQConfig(run_size=100, sample_size=10)
+        odd = OPAQ(config).summarize(rng.uniform(size=500))
+        with pytest.raises(ConfigError, match="disagree"):
+            TableStatistics({"a": stats.summary("a"), "odd": odd})
+
+
+class TestSingleColumn:
+    def test_band_contains_truth(self, stats, table):
+        data = table.read_columns(["a"])["a"]
+        est = stats.selectivity(Predicate("a", 0.2, 0.7))
+        true = np.count_nonzero((data >= 0.2) & (data <= 0.7)) / data.size
+        assert est.lower <= true <= est.upper
+
+    def test_predicate_validation(self):
+        with pytest.raises(ConfigError):
+            Predicate("a", 1.0, 0.0)
+
+
+class TestConjunction:
+    def test_frechet_band_contains_truth_despite_correlation(self, stats, table):
+        cols = table.read_columns(["a", "b"])
+        preds = [Predicate("a", 0.5, 1.0), Predicate("b", 0.5, 1.0)]
+        est = stats.conjunction(preds)
+        true = (
+            np.count_nonzero(
+                (cols["a"] >= 0.5) & (cols["a"] <= 1.0)
+                & (cols["b"] >= 0.5) & (cols["b"] <= 1.0)
+            )
+            / table.row_count
+        )
+        assert est.lower - 1e-9 <= true <= est.upper + 1e-9
+        # Correlation makes the independence estimate visibly wrong here
+        # (~0.25 estimated vs ~0.38 true) while the Frechet band is honest
+        # about the uncertainty.
+        assert abs(est.independence - true) > 0.05
+
+    def test_independence_product(self, stats):
+        p1 = Predicate("a", 0.0, 0.5)
+        p2 = Predicate("c", 0.0, 1.0)
+        est = stats.conjunction([p1, p2])
+        s1 = stats.selectivity(p1).estimate
+        s2 = stats.selectivity(p2).estimate
+        assert est.independence == pytest.approx(s1 * s2)
+
+    def test_upper_bound_is_min(self, stats):
+        est = stats.conjunction(
+            [Predicate("a", 0.0, 0.1), Predicate("c", 0.0, 1e9)]
+        )
+        assert est.upper <= stats.selectivity(Predicate("a", 0.0, 0.1)).upper + 1e-12
+
+    def test_empty_conjunction_rejected(self, stats):
+        with pytest.raises(EstimationError):
+            stats.conjunction([])
+
+    def test_estimated_rows(self, stats):
+        est = stats.estimated_rows([Predicate("a", 0.0, 0.5)])
+        assert 0.4 * stats.row_count < est < 0.6 * stats.row_count
+
+    def test_width_property(self, stats):
+        est = stats.conjunction([Predicate("a", 0.0, 0.5)])
+        assert isinstance(est, ConjunctionEstimate)
+        assert est.width == pytest.approx(est.upper - est.lower)
+
+
+class TestFrechetProperty:
+    def test_frechet_band_always_contains_truth(self, rng):
+        """Hypothesis-style sweep without fixtures: random correlation
+        structures, random predicates — the Frechet band must never lose
+        the true conjunctive selectivity."""
+        from repro.core import OPAQ, OPAQConfig
+        from repro.apps import TableStatistics
+
+        config = OPAQConfig(run_size=2000, sample_size=200)
+        for trial in range(10):
+            trial_rng = np.random.default_rng(trial)
+            n = 10_000
+            a = trial_rng.uniform(size=n)
+            mix = trial_rng.uniform(-1.0, 1.0)
+            b = np.clip(mix * a + (1 - abs(mix)) * trial_rng.uniform(size=n), 0, 1)
+            stats = TableStatistics(
+                {
+                    "a": OPAQ(config).summarize(a),
+                    "b": OPAQ(config).summarize(b),
+                }
+            )
+            lo_a, hi_a = sorted(trial_rng.uniform(size=2))
+            lo_b, hi_b = sorted(trial_rng.uniform(size=2))
+            est = stats.conjunction(
+                [Predicate("a", lo_a, hi_a), Predicate("b", lo_b, hi_b)]
+            )
+            true = (
+                np.count_nonzero(
+                    (a >= lo_a) & (a <= hi_a) & (b >= lo_b) & (b <= hi_b)
+                )
+                / n
+            )
+            assert est.lower - 1e-9 <= true <= est.upper + 1e-9, (
+                trial,
+                mix,
+                true,
+                (est.lower, est.upper),
+            )
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, stats, tmp_path):
+        stats.save(tmp_path / "catalog")
+        loaded = TableStatistics.load(tmp_path / "catalog")
+        assert set(loaded.columns) == set(stats.columns)
+        assert loaded.row_count == stats.row_count
+        p = Predicate("a", 0.2, 0.7)
+        a, b = stats.selectivity(p), loaded.selectivity(p)
+        assert (a.lower, a.upper) == (b.lower, b.upper)
+
+    def test_load_missing_catalog(self, tmp_path):
+        from repro.errors import DataError
+
+        with pytest.raises(DataError, match="no statistics catalog"):
+            TableStatistics.load(tmp_path / "nope")

@@ -1,0 +1,77 @@
+"""Tests for the Greenwald-Khanna sketch."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import GreenwaldKhanna, consume
+from repro.errors import ConfigError
+
+
+def worst_rank_error(data, sketch, phis):
+    sd = np.sort(data)
+    worst = 0
+    for phi in phis:
+        est = sketch.query(phi)
+        lo = np.searchsorted(sd, est, side="left")
+        hi = np.searchsorted(sd, est, side="right")
+        target = int(np.ceil(phi * data.size))
+        err = 0 if lo < target <= hi else min(abs(lo + 1 - target), abs(hi - target))
+        worst = max(worst, err)
+    return worst
+
+
+class TestGreenwaldKhanna:
+    def test_epsilon_validation(self):
+        with pytest.raises(ConfigError):
+            GreenwaldKhanna(epsilon=0.0)
+        with pytest.raises(ConfigError):
+            GreenwaldKhanna(epsilon=0.5)
+
+    def test_guarantee_uniform(self, rng):
+        data = rng.uniform(size=100_000)
+        gk = consume(GreenwaldKhanna(epsilon=0.005), data, run_size=10_000)
+        phis = np.arange(0.05, 1.0, 0.05)
+        assert worst_rank_error(data, gk, phis) <= 0.005 * data.size
+
+    def test_guarantee_duplicates(self, rng):
+        data = rng.integers(0, 50, size=50_000).astype(float)
+        gk = consume(GreenwaldKhanna(epsilon=0.01), data, run_size=5000)
+        phis = np.arange(0.1, 1.0, 0.1)
+        assert worst_rank_error(data, gk, phis) <= 0.01 * data.size
+
+    def test_guarantee_sorted_arrival(self, rng):
+        data = np.sort(rng.uniform(size=50_000))
+        gk = consume(GreenwaldKhanna(epsilon=0.01), data, run_size=5000)
+        phis = np.arange(0.1, 1.0, 0.1)
+        assert worst_rank_error(data, gk, phis) <= 0.01 * data.size
+
+    def test_compression_sublinear(self, rng):
+        data = rng.uniform(size=200_000)
+        gk = consume(GreenwaldKhanna(epsilon=0.001), data, run_size=20_000)
+        # Theory: O((1/eps) * log(eps*n)) tuples = a few thousand here.
+        assert gk.tuples < 10_000
+
+    def test_rank_error_bound_property(self, rng):
+        gk = consume(GreenwaldKhanna(epsilon=0.01), rng.uniform(size=1000))
+        assert gk.rank_error_bound() == pytest.approx(10.0)
+
+    def test_memory_footprint_tracks_tuples(self, rng):
+        gk = consume(GreenwaldKhanna(epsilon=0.01), rng.uniform(size=10_000))
+        assert gk.memory_footprint == 3 * gk.tuples
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+            min_size=10,
+            max_size=2000,
+        )
+    )
+    def test_property_guarantee_holds(self, values):
+        data = np.array(values, dtype=np.float64)
+        gk = GreenwaldKhanna(epsilon=0.05)
+        for i in range(0, data.size, 97):
+            gk.update(data[i : i + 97])
+        phis = [0.1, 0.5, 0.9]
+        assert worst_rank_error(data, gk, phis) <= max(1, 0.05 * data.size)

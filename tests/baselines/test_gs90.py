@@ -1,0 +1,57 @@
+"""Tests for the [GS90] recursive-median equi-depth partitioner."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import RecursiveMedianPartitioner
+from repro.errors import ConfigError
+from repro.metrics import quantile_rank
+
+
+class TestRecursiveMedianPartitioner:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            RecursiveMedianPartitioner(memory=4)
+        part = RecursiveMedianPartitioner(memory=1000)
+        with pytest.raises(ConfigError):
+            part.partition(np.arange(10.0), q=1)
+
+    def test_exact_dectile_boundaries(self, rng):
+        data = rng.uniform(size=20_000)
+        part = RecursiveMedianPartitioner(memory=1000, run_size=2000)
+        result = part.partition(data, q=10)
+        sd = np.sort(data)
+        expected = [sd[quantile_rank(k / 10, data.size) - 1] for k in range(1, 10)]
+        np.testing.assert_array_equal(result.boundaries, expected)
+        assert result.selections == 9
+
+    def test_median_only(self, rng):
+        data = rng.uniform(size=5000)
+        part = RecursiveMedianPartitioner(memory=500, run_size=500)
+        result = part.partition(data, q=2)
+        assert result.boundaries.tolist() == [np.sort(data)[2499]]
+        assert result.selections == 1
+
+    def test_pass_accounting_grows_with_q(self, rng):
+        data = rng.uniform(size=20_000)
+        part = RecursiveMedianPartitioner(memory=1000, run_size=2000)
+        p2 = part.partition(data, q=2).passes
+        p8 = part.partition(data, q=8).passes
+        assert p8 > p2  # more selections, more sweeps
+
+    def test_dataset_source(self, dataset_factory, rng):
+        data = rng.uniform(size=10_000)
+        ds = dataset_factory(data)
+        part = RecursiveMedianPartitioner(memory=800, run_size=1000)
+        result = part.partition(ds, q=4)
+        sd = np.sort(data)
+        expected = [sd[quantile_rank(k / 4, 10_000) - 1] for k in range(1, 4)]
+        np.testing.assert_array_equal(result.boundaries, expected)
+
+    def test_duplicates(self, rng):
+        data = rng.integers(0, 10, size=20_000).astype(float)
+        part = RecursiveMedianPartitioner(memory=1000, run_size=2000)
+        result = part.partition(data, q=4)
+        sd = np.sort(data)
+        expected = [sd[quantile_rank(k / 4, data.size) - 1] for k in range(1, 4)]
+        np.testing.assert_array_equal(result.boundaries, expected)

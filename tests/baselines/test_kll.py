@@ -1,0 +1,64 @@
+"""Tests for the KLL sketch."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import KLLSketch, consume
+from repro.errors import ConfigError
+
+
+class TestKLLSketch:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            KLLSketch(k=4)
+
+    def test_small_stream_exactish(self, rng):
+        data = rng.uniform(size=100)
+        kll = consume(KLLSketch(k=256, seed=0), data)
+        # Nothing compacted yet: exact answers.
+        assert kll.query(0.5) == np.sort(data)[49]
+
+    def test_uniform_accuracy(self, rng):
+        data = rng.uniform(size=200_000)
+        kll = consume(KLLSketch(k=256, seed=1), data, run_size=20_000)
+        sd = np.sort(data)
+        worst = max(
+            abs(np.searchsorted(sd, kll.query(p)) - p * data.size)
+            for p in np.arange(0.1, 1.0, 0.1)
+        )
+        # ~1.7 n/k one-sigma; allow 3x.
+        assert worst < 3 * 1.7 * data.size / 256
+
+    def test_memory_sublinear(self, rng):
+        data = rng.uniform(size=500_000)
+        kll = consume(KLLSketch(k=200, seed=2), data, run_size=50_000)
+        assert kll.memory_footprint < 5000
+        assert kll.num_levels > 5
+
+    def test_deterministic_given_seed(self, rng):
+        data = rng.uniform(size=50_000)
+        a = consume(KLLSketch(k=64, seed=7), data, run_size=5000).query(0.5)
+        b = consume(KLLSketch(k=64, seed=7), data, run_size=5000).query(0.5)
+        assert a == b
+
+    def test_sorted_arrival(self, rng):
+        data = np.sort(rng.uniform(size=100_000))
+        kll = consume(KLLSketch(k=256, seed=3), data, run_size=10_000)
+        sd = data
+        err = abs(np.searchsorted(sd, kll.query(0.5)) - 0.5 * data.size)
+        assert err < 3 * 1.7 * data.size / 256
+
+    def test_duplicates(self, rng):
+        data = rng.integers(0, 5, size=100_000).astype(float)
+        kll = consume(KLLSketch(k=128, seed=4), data, run_size=10_000)
+        assert 0 <= kll.query(0.5) <= 4
+
+    def test_rank_error_estimate_scales(self, rng):
+        kll = consume(KLLSketch(k=100, seed=5), rng.uniform(size=10_000))
+        assert kll.rank_error_estimate() == pytest.approx(1.7 * 10_000 / 100)
+
+    def test_weights_conserve_count(self, rng):
+        data = rng.uniform(size=123_457)
+        kll = consume(KLLSketch(k=128, seed=6), data, run_size=10_000)
+        _, weights = kll._weighted_items()
+        assert weights.sum() == pytest.approx(data.size)

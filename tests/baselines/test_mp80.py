@@ -1,0 +1,86 @@
+"""Tests for the Munro-Paterson multi-pass exact selector."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import MunroPatersonSelector
+from repro.errors import ConfigError, EstimationError
+
+
+class TestMunroPaterson:
+    def test_memory_validation(self):
+        with pytest.raises(ConfigError):
+            MunroPatersonSelector(memory=4)
+
+    def test_fits_in_memory_one_pass(self, rng):
+        data = rng.uniform(size=1000)
+        sel = MunroPatersonSelector(memory=2000)
+        res = sel.select(data, 500)
+        assert res.value == np.sort(data)[499]
+        assert res.passes == 1
+
+    def test_exact_when_data_exceeds_memory(self, rng):
+        data = rng.uniform(size=50_000)
+        sel = MunroPatersonSelector(memory=2000, run_size=5000)
+        sd = np.sort(data)
+        for rank in (1, 100, 25_000, 49_999, 50_000):
+            res = sel.select(data, rank)
+            assert res.value == sd[rank - 1]
+            assert res.passes >= 2
+
+    def test_two_passes_suffice_at_this_scale(self, rng):
+        data = rng.uniform(size=100_000)
+        sel = MunroPatersonSelector(memory=4000, run_size=10_000)
+        res = sel.select(data, 50_000)
+        assert res.passes == 2
+
+    def test_heavy_duplicates(self, rng):
+        data = rng.integers(0, 3, size=50_000).astype(float)
+        sel = MunroPatersonSelector(memory=1000, run_size=5000)
+        sd = np.sort(data)
+        for rank in (1, 25_000, 50_000):
+            assert sel.select(data, rank).value == sd[rank - 1]
+
+    def test_all_equal(self):
+        data = np.full(20_000, 3.14)
+        sel = MunroPatersonSelector(memory=500, run_size=2000)
+        assert sel.select(data, 10_000).value == 3.14
+
+    def test_dataset_source(self, dataset_factory, rng):
+        data = rng.uniform(size=20_000)
+        ds = dataset_factory(data)
+        sel = MunroPatersonSelector(memory=1000, run_size=2000)
+        res = sel.select(ds, 10_000)
+        assert res.value == np.sort(data)[9999]
+
+    def test_quantile_helper(self, rng):
+        data = rng.uniform(size=10_000)
+        sel = MunroPatersonSelector(memory=1000, run_size=1000)
+        res = sel.quantile(data, 0.5)
+        assert res.value == np.sort(data)[4999]
+        assert res.rank == 5000
+
+    def test_rank_out_of_range(self, rng):
+        sel = MunroPatersonSelector(memory=100)
+        with pytest.raises(EstimationError):
+            sel.select(rng.uniform(size=50), 51)
+        with pytest.raises(EstimationError):
+            sel.select(rng.uniform(size=50), 0)
+
+    def test_two_giant_duplicate_bands(self):
+        """The adversarial stall case: two values, each band > memory."""
+        data = np.concatenate([np.full(30_000, 1.0), np.full(30_000, 2.0)])
+        rng = np.random.default_rng(1)
+        rng.shuffle(data)
+        sel = MunroPatersonSelector(memory=500, run_size=5000)
+        assert sel.select(data, 30_000).value == 1.0
+        assert sel.select(data, 30_001).value == 2.0
+
+    def test_three_band_middle_target(self):
+        data = np.concatenate(
+            [np.full(20_000, 1.0), np.full(20_000, 2.0), np.full(20_000, 3.0)]
+        )
+        rng = np.random.default_rng(2)
+        rng.shuffle(data)
+        sel = MunroPatersonSelector(memory=500, run_size=5000)
+        assert sel.select(data, 30_000).value == 2.0

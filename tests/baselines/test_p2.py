@@ -1,0 +1,71 @@
+"""Tests for the P² algorithm (Jain & Chlamtac)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import P2Estimator, P2SingleQuantile, consume
+from repro.errors import ConfigError, EstimationError
+
+
+class TestP2SingleQuantile:
+    def test_fewer_than_five_observations(self):
+        t = P2SingleQuantile(0.5)
+        for x in (3.0, 1.0, 2.0):
+            t.add(x)
+        assert t.value() == 2.0
+
+    def test_median_of_uniform(self, rng):
+        t = P2SingleQuantile(0.5)
+        for x in rng.uniform(size=20_000):
+            t.add(float(x))
+        assert abs(t.value() - 0.5) < 0.02
+
+    def test_tail_quantile(self, rng):
+        t = P2SingleQuantile(0.95)
+        for x in rng.uniform(size=20_000):
+            t.add(float(x))
+        assert abs(t.value() - 0.95) < 0.02
+
+    def test_normal_median(self, rng):
+        t = P2SingleQuantile(0.5)
+        for x in rng.normal(10.0, 2.0, size=20_000):
+            t.add(float(x))
+        assert abs(t.value() - 10.0) < 0.15
+
+    def test_phi_validation(self):
+        with pytest.raises(ConfigError):
+            P2SingleQuantile(0.0)
+        with pytest.raises(ConfigError):
+            P2SingleQuantile(1.0)
+
+    def test_value_before_data(self):
+        with pytest.raises(EstimationError):
+            P2SingleQuantile(0.5).value()
+
+    def test_marker_heights_stay_sorted(self, rng):
+        t = P2SingleQuantile(0.3)
+        for x in rng.exponential(size=5000):
+            t.add(float(x))
+        q = t._heights
+        assert all(q[i] <= q[i + 1] for i in range(4))
+
+
+class TestP2Estimator:
+    def test_tracks_multiple_fractions(self, rng):
+        phis = [0.25, 0.5, 0.75]
+        est = consume(P2Estimator(phis), rng.uniform(size=10_000), run_size=2000)
+        for phi in phis:
+            assert abs(est.query(phi) - phi) < 0.03
+
+    def test_untracked_fraction_rejected(self, rng):
+        est = consume(P2Estimator([0.5]), rng.uniform(size=100))
+        with pytest.raises(EstimationError, match="not configured"):
+            est.query(0.9)
+
+    def test_needs_at_least_one_fraction(self):
+        with pytest.raises(ConfigError):
+            P2Estimator([])
+
+    def test_memory_footprint_constant(self):
+        assert P2Estimator([0.5]).memory_footprint == 15
+        assert P2Estimator([0.1, 0.5, 0.9]).memory_footprint == 45

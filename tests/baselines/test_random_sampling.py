@@ -1,0 +1,52 @@
+"""Tests for reservoir-sampling quantile estimation."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import RandomSamplingEstimator, consume
+from repro.errors import ConfigError
+
+
+class TestReservoir:
+    def test_capacity_validation(self):
+        with pytest.raises(ConfigError):
+            RandomSamplingEstimator(capacity=0)
+
+    def test_small_stream_is_exact(self, rng):
+        data = rng.uniform(size=50)
+        est = consume(RandomSamplingEstimator(capacity=100, seed=0), data)
+        # Whole stream retained: quantiles are exact.
+        assert est.query(0.5) == np.sort(data)[24]
+
+    def test_uniform_inclusion_probability(self, rng):
+        """Each element should survive with probability ~k/n."""
+        n, k, trials = 400, 40, 150
+        hits = np.zeros(n)
+        data = np.arange(n, dtype=float)
+        for t in range(trials):
+            est = RandomSamplingEstimator(capacity=k, seed=t)
+            # Feed in chunks to exercise the vectorised path.
+            for i in range(0, n, 64):
+                est.update(data[i : i + 64])
+            kept = est._reservoir[: est._filled]
+            hits[np.unique(kept).astype(int)] += 1
+        rates = hits / trials
+        # Expected inclusion rate k/n = 0.1; allow generous sampling noise,
+        # checking front/middle/back thirds are all in a sane band.
+        for part in np.array_split(rates, 3):
+            assert 0.05 < part.mean() < 0.17
+
+    def test_estimates_near_truth(self, rng):
+        data = rng.uniform(size=100_000)
+        est = consume(RandomSamplingEstimator(capacity=2000, seed=1), data, run_size=10_000)
+        for phi in (0.1, 0.5, 0.9):
+            assert abs(est.query(phi) - phi) < 0.05
+
+    def test_memory_footprint(self):
+        assert RandomSamplingEstimator(capacity=123).memory_footprint == 123
+
+    def test_deterministic_given_seed(self, rng):
+        data = rng.uniform(size=5000)
+        a = consume(RandomSamplingEstimator(capacity=100, seed=9), data, run_size=500)
+        b = consume(RandomSamplingEstimator(capacity=100, seed=9), data, run_size=500)
+        assert a.query(0.5) == b.query(0.5)

@@ -1,0 +1,64 @@
+"""Tests for the [SD77] cell-midpoint estimator."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import CellMidpointEstimator, consume
+from repro.errors import ConfigError
+
+
+class TestCellMidpoint:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            CellMidpointEstimator(1.0, 1.0, cells=10)
+        with pytest.raises(ConfigError):
+            CellMidpointEstimator(0.0, 1.0, cells=0)
+
+    def test_good_prior_good_estimate(self, rng):
+        data = rng.uniform(size=50_000)
+        est = consume(CellMidpointEstimator(0.0, 1.0, cells=1000), data)
+        for phi in (0.1, 0.5, 0.9):
+            # half a cell (5e-4) plus empirical-CDF noise (~2e-3 at n=50k)
+            assert abs(est.query(phi) - phi) < 5e-3
+
+    def test_midpoint_error_half_cell(self, rng):
+        data = rng.uniform(size=50_000)
+        est = consume(CellMidpointEstimator(0.0, 1.0, cells=10), data)
+        # With 10 cells the midpoint can be off by up to half a cell (0.05).
+        assert abs(est.query(0.5) - 0.5) <= 0.05 + 1e-9
+
+    def test_interpolation_tighter_than_midpoint(self, rng):
+        data = rng.uniform(size=50_000)
+        mid = consume(CellMidpointEstimator(0.0, 1.0, cells=10), data)
+        interp = consume(
+            CellMidpointEstimator(0.0, 1.0, cells=10, interpolate=True), data
+        )
+        assert abs(interp.query(0.5) - 0.5) <= abs(mid.query(0.5) - 0.5) + 1e-9
+
+    def test_bad_prior_bad_estimate(self, rng):
+        """The paper's criticism: a wrong a-priori range wrecks accuracy."""
+        data = rng.uniform(0.0, 0.001, size=50_000)  # squeezed into one cell
+        est = consume(CellMidpointEstimator(0.0, 1.0, cells=100), data)
+        # True median 0.0005; the estimate is the first cell's midpoint.
+        assert abs(est.query(0.5) - 0.0005) > 0.003
+
+    def test_out_of_range_values_clamped_not_lost(self, rng):
+        est = CellMidpointEstimator(0.0, 1.0, cells=10)
+        est.update(np.array([-5.0, 0.5, 7.0]))
+        assert est.n == 3
+        assert est._counts.sum() == 3
+
+    def test_memory_footprint(self):
+        assert CellMidpointEstimator(0.0, 1.0, cells=64).memory_footprint == 64
+
+    def test_skew_concentration_hurts(self, rng):
+        """Zipf-like concentration in few cells degrades the estimate —
+        the distribution dependence OPAQ is free of."""
+        data = np.concatenate(
+            [rng.uniform(0.0, 0.01, size=90_000), rng.uniform(0.0, 1.0, size=10_000)]
+        )
+        est = consume(CellMidpointEstimator(0.0, 1.0, cells=100), data)
+        true = np.quantile(data, 0.5)
+        # 90% of the mass shares one cell: the *relative* error is large
+        # even though the cell is narrow in absolute terms.
+        assert abs(est.query(0.5) - true) / true > 0.05

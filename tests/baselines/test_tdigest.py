@@ -1,0 +1,71 @@
+"""Tests for the t-digest sketch."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import TDigest, consume
+from repro.errors import ConfigError
+
+
+def rank_err(sd, value, phi):
+    return abs(np.searchsorted(sd, value) - phi * sd.size)
+
+
+class TestTDigest:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            TDigest(compression=5)
+        with pytest.raises(ConfigError):
+            TDigest(buffer_size=0)
+
+    def test_tiny_stream_exactish(self, rng):
+        data = rng.uniform(size=20)
+        td = consume(TDigest(compression=100), data)
+        assert abs(td.query(0.5) - np.median(data)) < np.ptp(data)
+
+    def test_uniform_accuracy(self, rng):
+        data = rng.uniform(size=100_000)
+        td = consume(TDigest(compression=200), data, run_size=10_000)
+        sd = np.sort(data)
+        for phi in (0.1, 0.5, 0.9):
+            assert rank_err(sd, td.query(phi), phi) < 0.005 * data.size
+
+    def test_tail_accuracy_tighter_than_middle(self, rng):
+        """The defining t-digest property: relative rank accuracy."""
+        data = rng.uniform(size=200_000)
+        td = consume(TDigest(compression=100), data, run_size=20_000)
+        sd = np.sort(data)
+        tail = max(
+            rank_err(sd, td.query(p), p) for p in (0.001, 0.01, 0.99, 0.999)
+        )
+        middle = max(rank_err(sd, td.query(p), p) for p in (0.4, 0.5, 0.6))
+        assert tail <= middle + 50
+
+    def test_extremes_anchored(self, rng):
+        data = rng.uniform(size=10_000)
+        td = consume(TDigest(compression=50), data)
+        assert td.query(1e-9) >= data.min() - 1e-12
+        assert td.query(1.0) <= data.max() + 1e-12
+
+    def test_compression_bounds_centroids(self, rng):
+        data = rng.uniform(size=200_000)
+        td = consume(TDigest(compression=100), data, run_size=20_000)
+        td.query(0.5)  # forces a final compression
+        assert td.centroids < 800
+
+    def test_skewed_data(self, rng):
+        data = rng.lognormal(0.0, 2.0, size=50_000)
+        td = consume(TDigest(compression=200), data, run_size=5000)
+        sd = np.sort(data)
+        assert rank_err(sd, td.query(0.99), 0.99) < 0.01 * data.size
+
+    def test_duplicates(self, rng):
+        data = rng.integers(0, 10, size=50_000).astype(float)
+        td = consume(TDigest(compression=100), data, run_size=5000)
+        q = td.query(0.5)
+        sd = np.sort(data)
+        assert sd[0] <= q <= sd[-1]
+
+    def test_memory_footprint_positive(self, rng):
+        td = consume(TDigest(compression=50), rng.uniform(size=1000))
+        assert td.memory_footprint > 0

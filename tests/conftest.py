@@ -1,0 +1,42 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.storage import DiskDataset
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic generator for test randomness."""
+    return np.random.default_rng(0xC0FFEE)
+
+
+@pytest.fixture
+def uniform_data(rng) -> np.ndarray:
+    """50k uniform keys with some duplicates — the workhorse array."""
+    base = rng.uniform(0.0, 1.0e9, size=45_000)
+    dups = rng.choice(base, size=5_000, replace=True)
+    data = np.concatenate([base, dups])
+    rng.shuffle(data)
+    return data
+
+
+@pytest.fixture
+def sorted_uniform(uniform_data) -> np.ndarray:
+    return np.sort(uniform_data)
+
+
+@pytest.fixture
+def dataset_factory(tmp_path):
+    """Create disk datasets in the test's temporary directory."""
+    counter = {"n": 0}
+
+    def make(values: np.ndarray) -> DiskDataset:
+        counter["n"] += 1
+        path = tmp_path / f"ds_{counter['n']}.opaq"
+        return DiskDataset.create(path, np.asarray(values, dtype=np.float64))
+
+    return make

@@ -1,0 +1,69 @@
+"""Tests for OPAQConfig."""
+
+import pytest
+
+from repro.core import OPAQConfig
+from repro.errors import ConfigError
+from repro.selection import NumpyPartitionStrategy, SortStrategy
+
+
+class TestValidation:
+    def test_valid(self):
+        cfg = OPAQConfig(run_size=1000, sample_size=100)
+        assert cfg.num_runs(10_000) == 10
+        assert cfg.total_samples(10_000) == 1000
+
+    def test_sample_exceeds_run(self):
+        with pytest.raises(ConfigError):
+            OPAQConfig(run_size=100, sample_size=200)
+
+    def test_nonpositive(self):
+        with pytest.raises(ConfigError):
+            OPAQConfig(run_size=0, sample_size=1)
+        with pytest.raises(ConfigError):
+            OPAQConfig(run_size=10, sample_size=0)
+
+    def test_bad_strategy_fails_eagerly(self):
+        with pytest.raises(ConfigError, match="unknown selection strategy"):
+            OPAQConfig(run_size=10, sample_size=5, strategy="bogosort")
+
+    def test_strategy_instance(self):
+        cfg = OPAQConfig(run_size=10, sample_size=5, strategy=SortStrategy())
+        assert isinstance(cfg.selection_strategy(), SortStrategy)
+
+    def test_default_strategy_numpy(self):
+        cfg = OPAQConfig(run_size=10, sample_size=5)
+        assert isinstance(cfg.selection_strategy(), NumpyPartitionStrategy)
+
+    def test_num_runs_requires_positive_n(self):
+        cfg = OPAQConfig(run_size=10, sample_size=5)
+        with pytest.raises(ConfigError):
+            cfg.num_runs(0)
+
+
+class TestMemoryConstraint:
+    def test_validate_for_ok(self):
+        cfg = OPAQConfig(run_size=1000, sample_size=100, memory=3000)
+        cfg.validate_for(10_000)  # 10 runs * 100 + 1000 = 2000 <= 3000
+
+    def test_validate_for_violation(self):
+        cfg = OPAQConfig(run_size=1000, sample_size=100, memory=1500)
+        with pytest.raises(ConfigError):
+            cfg.validate_for(10_000)
+
+    def test_no_memory_budget_no_check(self):
+        OPAQConfig(run_size=10, sample_size=5).validate_for(10**9)
+
+    def test_for_memory_builds_feasible_config(self):
+        cfg = OPAQConfig.for_memory(1_000_000, memory=50_000, sample_size=500)
+        cfg.validate_for(1_000_000)
+        assert cfg.memory == 50_000
+
+
+class TestSweepHelpers:
+    def test_with_sample_size(self):
+        cfg = OPAQConfig(run_size=1000, sample_size=100)
+        cfg2 = cfg.with_sample_size(200)
+        assert cfg2.sample_size == 200
+        assert cfg2.run_size == cfg.run_size
+        assert cfg.sample_size == 100  # original untouched

@@ -1,0 +1,80 @@
+"""Tests for the two-pass exact extension (paper section 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core import OPAQ, OPAQConfig, exact_quantiles, refine_exact
+from repro.core.quantile_phase import bounds_for
+from repro.errors import EstimationError, SinglePassViolation
+from repro.metrics import dectile_fractions
+from repro.storage import RunReader
+
+
+class TestExactQuantiles:
+    def test_exact_values_match_sort(self, dataset_factory, uniform_data):
+        ds = dataset_factory(uniform_data)
+        config = OPAQConfig(run_size=10_000, sample_size=100)
+        phis = dectile_fractions()
+        values, bounds, summary = exact_quantiles(ds, phis, config)
+        sd = np.sort(uniform_data)
+        expected = np.array([sd[b.rank - 1] for b in bounds])
+        np.testing.assert_array_equal(values, expected)
+
+    def test_exactly_two_passes(self, dataset_factory, uniform_data):
+        ds = dataset_factory(uniform_data)
+        config = OPAQConfig(run_size=10_000, sample_size=100)
+        exact_quantiles(ds, [0.5], config)
+        # A third pass over the same reader would violate the budget; the
+        # function uses exactly two, so a fresh reader still has both.
+        reader = RunReader(ds, run_size=10_000, max_passes=2)
+        list(reader.runs())
+        list(reader.runs())
+        with pytest.raises(SinglePassViolation):
+            list(reader.runs())
+
+    def test_duplicate_heavy_data(self, dataset_factory, rng):
+        data = rng.integers(0, 5, size=20_000).astype(float)
+        ds = dataset_factory(data)
+        config = OPAQConfig(run_size=4000, sample_size=40)
+        values, bounds, _ = exact_quantiles(ds, [0.25, 0.5, 0.75], config)
+        sd = np.sort(data)
+        expected = np.array([sd[b.rank - 1] for b in bounds])
+        np.testing.assert_array_equal(values, expected)
+
+    def test_empty_phis(self, dataset_factory, uniform_data):
+        ds = dataset_factory(uniform_data)
+        config = OPAQConfig(run_size=10_000, sample_size=100)
+        values, bounds, _ = exact_quantiles(ds, [], config)
+        assert values.size == 0
+
+
+class TestRefineExact:
+    def test_refine_over_array_runs(self, rng):
+        data = rng.uniform(size=5000)
+        config = OPAQConfig(run_size=1000, sample_size=50)
+        opaq = OPAQ(config)
+        summary = opaq.summarize(data)
+        bounds = bounds_for(summary, [0.5])
+        runs = (data[i : i + 1000] for i in range(0, 5000, 1000))
+        [value] = refine_exact(runs, bounds)
+        assert value == np.sort(data)[bounds[0].rank - 1]
+
+    def test_changed_data_detected(self, rng):
+        data = rng.uniform(size=5000)
+        config = OPAQConfig(run_size=1000, sample_size=50)
+        summary = OPAQ(config).summarize(data)
+        bounds = bounds_for(summary, [0.5])
+        # Second "pass" sees different (shifted) data: the window check
+        # must notice the inconsistency rather than return garbage.
+        other = data + 100.0
+        runs = (other[i : i + 1000] for i in range(0, 5000, 1000))
+        with pytest.raises(EstimationError):
+            refine_exact(runs, bounds)
+
+    def test_shorter_second_pass_detected(self, rng):
+        data = rng.uniform(size=5000)
+        config = OPAQConfig(run_size=1000, sample_size=50)
+        summary = OPAQ(config).summarize(data)
+        bounds = bounds_for(summary, [0.99])
+        with pytest.raises(EstimationError):
+            refine_exact([data[:100]], bounds)

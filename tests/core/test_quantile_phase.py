@@ -1,0 +1,181 @@
+"""Tests for the quantile phase: the paper's index formulas and lemmas."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    OPAQ,
+    OPAQConfig,
+    bounds_for,
+    lower_bound_index,
+    quantile_bounds,
+    splitters,
+    upper_bound_index,
+)
+from repro.core.quantile_phase import bounds_at_rank
+from repro.errors import EstimationError
+from repro.metrics import quantile_rank
+
+
+class TestPaperFormulas:
+    """Formulas (2) and (5) for the divisible case."""
+
+    def test_upper_formula_5(self):
+        # j = ceil(psi * s/m); with m/s = 10: psi=55 -> j=6.
+        assert upper_bound_index(55, num_runs=4, subrun=10) == 6
+        assert upper_bound_index(50, num_runs=4, subrun=10) == 5
+        assert upper_bound_index(1, num_runs=4, subrun=10) == 1
+
+    def test_lower_formula_2(self):
+        # i = floor((psi - (r-1)(c-1)) / c): psi=100, r=4, c=10 -> (100-27)/10 -> 7.
+        assert lower_bound_index(100, num_runs=4, subrun=10) == 7
+
+    def test_lower_clamps_to_zero(self):
+        assert lower_bound_index(5, num_runs=10, subrun=10) == 0
+
+    def test_validation(self):
+        with pytest.raises(EstimationError):
+            upper_bound_index(0, 1, 1)
+        with pytest.raises(EstimationError):
+            lower_bound_index(1, 0, 1)
+
+
+class TestQuantileBounds:
+    def test_enclosure_uniform(self, uniform_data, sorted_uniform):
+        config = OPAQConfig(run_size=5000, sample_size=500)
+        summary = OPAQ(config).summarize(uniform_data)
+        for phi in (0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0):
+            b = quantile_bounds(summary, phi)
+            true = sorted_uniform[b.rank - 1]
+            assert b.lower <= true <= b.upper
+
+    def test_lemma_rank_error(self, uniform_data, sorted_uniform):
+        """Lemmas 1/2: at most ~n/s elements between either bound and truth."""
+        config = OPAQConfig(run_size=5000, sample_size=500)
+        summary = OPAQ(config).summarize(uniform_data)
+        n, s = uniform_data.size, 500
+        budget = summary.guaranteed_rank_error()
+        assert budget <= n // s  # divisible case
+        for phi in (0.1, 0.5, 0.9):
+            b = quantile_bounds(summary, phi)
+            assert b.max_below <= budget
+            assert b.max_above <= budget
+            # And the *actual* displacement respects the declared bound.
+            below = b.rank - np.searchsorted(sorted_uniform, b.lower, "right")
+            above = np.searchsorted(sorted_uniform, b.upper, "left") - b.rank + 1
+            assert below <= b.max_below
+            assert above <= max(b.max_above, 0) + 1
+
+    def test_extreme_low_quantile_uses_minimum(self, rng):
+        config = OPAQConfig(run_size=100, sample_size=2)
+        data = rng.uniform(size=1000)
+        summary = OPAQ(config).summarize(data)
+        b = quantile_bounds(summary, 0.001)
+        assert b.lower == data.min()
+        assert b.lower_index == 0
+
+    def test_phi_one_returns_maximum_side(self, rng):
+        config = OPAQConfig(run_size=100, sample_size=10)
+        data = rng.uniform(size=1000)
+        summary = OPAQ(config).summarize(data)
+        b = quantile_bounds(summary, 1.0)
+        assert b.upper == data.max()
+
+    def test_all_equal_data(self):
+        config = OPAQConfig(run_size=100, sample_size=10)
+        summary = OPAQ(config).summarize(np.full(1000, 7.0))
+        b = quantile_bounds(summary, 0.5)
+        assert b.lower == b.upper == 7.0
+        assert 7.0 in b
+
+    def test_bounds_metadata(self, rng):
+        config = OPAQConfig(run_size=100, sample_size=10)
+        summary = OPAQ(config).summarize(rng.uniform(size=1000))
+        b = quantile_bounds(summary, 0.5)
+        assert b.rank == 500
+        assert b.max_between == b.max_below + b.max_above
+        assert b.width == b.upper - b.lower
+        assert b.midpoint == pytest.approx((b.lower + b.upper) / 2)
+
+    def test_invalid_phi(self, rng):
+        config = OPAQConfig(run_size=100, sample_size=10)
+        summary = OPAQ(config).summarize(rng.uniform(size=1000))
+        with pytest.raises(EstimationError):
+            quantile_bounds(summary, 0.0)
+        with pytest.raises(EstimationError):
+            quantile_bounds(summary, 1.5)
+
+
+class TestBoundsAtRank:
+    def test_agrees_with_phi_entry(self, rng):
+        config = OPAQConfig(run_size=100, sample_size=10)
+        summary = OPAQ(config).summarize(rng.uniform(size=1000))
+        via_phi = quantile_bounds(summary, 0.37)
+        via_rank = bounds_at_rank(summary, quantile_rank(0.37, 1000))
+        assert via_phi.lower == via_rank.lower
+        assert via_phi.upper == via_rank.upper
+
+    def test_rank_validation(self, rng):
+        config = OPAQConfig(run_size=100, sample_size=10)
+        summary = OPAQ(config).summarize(rng.uniform(size=1000))
+        with pytest.raises(EstimationError):
+            bounds_at_rank(summary, 0)
+        with pytest.raises(EstimationError):
+            bounds_at_rank(summary, 1001)
+
+
+class TestSplitters:
+    def test_counts_and_order(self, uniform_data):
+        config = OPAQConfig(run_size=5000, sample_size=500)
+        summary = OPAQ(config).summarize(uniform_data)
+        cuts = splitters(summary, 10)
+        assert cuts.size == 9
+        assert np.all(np.diff(cuts) >= 0)
+
+    def test_which_variants(self, uniform_data):
+        config = OPAQConfig(run_size=5000, sample_size=500)
+        summary = OPAQ(config).summarize(uniform_data)
+        lower = splitters(summary, 4, which="lower")
+        upper = splitters(summary, 4, which="upper")
+        mid = splitters(summary, 4, which="mid")
+        assert np.all(lower <= mid) and np.all(mid <= upper)
+
+    def test_validation(self, uniform_data):
+        config = OPAQConfig(run_size=5000, sample_size=500)
+        summary = OPAQ(config).summarize(uniform_data)
+        with pytest.raises(EstimationError):
+            splitters(summary, 1)
+        with pytest.raises(EstimationError):
+            splitters(summary, 4, which="median")
+
+
+class TestEnclosureProperty:
+    """Hypothesis: the enclosure invariant holds for arbitrary data."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        values=st.lists(
+            st.floats(allow_nan=False, allow_infinity=False, width=32),
+            min_size=4,
+            max_size=500,
+        ),
+        run_size=st.integers(min_value=4, max_value=100),
+        sample_size=st.integers(min_value=1, max_value=20),
+        phi_millis=st.integers(min_value=1, max_value=1000),
+    )
+    def test_lower_true_upper(self, values, run_size, sample_size, phi_millis):
+        data = np.array(values, dtype=np.float64)
+        sample_size = min(sample_size, run_size)
+        config = OPAQConfig(run_size=run_size, sample_size=sample_size)
+        summary = OPAQ(config).summarize(data)
+        phi = phi_millis / 1000.0
+        b = quantile_bounds(summary, phi)
+        true = np.sort(data)[b.rank - 1]
+        assert b.lower <= true <= b.upper
+        # Declared rank-error budgets are honoured too.
+        sd = np.sort(data)
+        below = b.rank - np.searchsorted(sd, b.lower, "right")
+        assert below <= b.max_below
+        above = np.searchsorted(sd, b.upper, "left") + 1 - b.rank
+        assert above <= b.max_above + 1

@@ -1,0 +1,102 @@
+"""Tests for rank estimation (paper section 4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import OPAQ, OPAQConfig, estimate_rank
+
+
+class TestRankBands:
+    def test_band_contains_true_rank(self, uniform_data, sorted_uniform):
+        config = OPAQConfig(run_size=5000, sample_size=500)
+        summary = OPAQ(config).summarize(uniform_data)
+        for value in np.percentile(uniform_data, [1, 10, 50, 90, 99]):
+            band = estimate_rank(summary, float(value))
+            true = int(np.searchsorted(sorted_uniform, value, side="right"))
+            assert band.low <= true <= band.high
+
+    def test_below_minimum(self, rng):
+        config = OPAQConfig(run_size=100, sample_size=10)
+        data = rng.uniform(1.0, 2.0, size=1000)
+        summary = OPAQ(config).summarize(data)
+        band = estimate_rank(summary, 0.5)
+        assert (band.low, band.high) == (0, 0)
+        assert band.phi_low == 0.0
+
+    def test_at_or_above_maximum(self, rng):
+        config = OPAQConfig(run_size=100, sample_size=10)
+        data = rng.uniform(size=1000)
+        summary = OPAQ(config).summarize(data)
+        band = estimate_rank(summary, float(data.max()))
+        assert band.low == band.high == 1000
+        assert band.phi_high == 1.0
+
+    def test_band_width_bounded(self, uniform_data):
+        config = OPAQConfig(run_size=5000, sample_size=500)
+        summary = OPAQ(config).summarize(uniform_data)
+        budget = 2 * summary.guaranteed_rank_error() + summary.subrun_ceil
+        for value in np.percentile(uniform_data, [10, 50, 90]):
+            band = estimate_rank(summary, float(value))
+            assert band.width <= budget
+
+    def test_midpoint_between_bounds(self, rng):
+        config = OPAQConfig(run_size=100, sample_size=10)
+        summary = OPAQ(config).summarize(rng.uniform(size=1000))
+        band = estimate_rank(summary, 0.5)
+        assert band.low <= band.midpoint <= band.high
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        values=st.lists(
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+            min_size=10,
+            max_size=300,
+        ),
+        probe=st.floats(min_value=-2e6, max_value=2e6, allow_nan=False),
+    )
+    def test_property_band_contains_truth(self, values, probe):
+        data = np.array(values, dtype=np.float64)
+        config = OPAQConfig(run_size=50, sample_size=7)
+        summary = OPAQ(config).summarize(data)
+        band = estimate_rank(summary, probe)
+        true = int(np.searchsorted(np.sort(data), probe, side="right"))
+        assert band.low <= true <= band.high
+
+
+class TestVectorisedHelpers:
+    def test_estimate_ranks_matches_scalar(self, rng):
+        from repro.core import estimate_rank, estimate_ranks
+
+        config = OPAQConfig(run_size=500, sample_size=50)
+        data = rng.uniform(size=5000)
+        summary = OPAQ(config).summarize(data)
+        probes = np.percentile(data, [5, 50, 95])
+        bands = estimate_ranks(summary, probes)
+        for probe, band in zip(probes, bands):
+            single = estimate_rank(summary, float(probe))
+            assert (band.low, band.high) == (single.low, single.high)
+
+    def test_approx_cdf_monotone_and_bounded(self, rng):
+        from repro.core import approx_cdf
+
+        config = OPAQConfig(run_size=500, sample_size=50)
+        data = rng.uniform(size=5000)
+        summary = OPAQ(config).summarize(data)
+        probes = np.linspace(data.min(), data.max(), 25)
+        cdf = approx_cdf(summary, probes)
+        assert np.all(cdf >= 0.0) and np.all(cdf <= 1.0)
+        assert np.all(np.diff(cdf) >= -1e-12)
+        assert cdf[-1] == 1.0
+
+    def test_approx_cdf_near_truth(self, rng):
+        from repro.core import approx_cdf
+
+        config = OPAQConfig(run_size=1000, sample_size=200)
+        data = rng.uniform(size=20_000)
+        summary = OPAQ(config).summarize(data)
+        sd = np.sort(data)
+        probes = np.percentile(data, [10, 50, 90])
+        cdf = approx_cdf(summary, probes)
+        true = np.searchsorted(sd, probes, side="right") / data.size
+        assert np.abs(cdf - true).max() < 0.02

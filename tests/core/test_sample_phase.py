@@ -1,0 +1,117 @@
+"""Tests for the sample phase."""
+
+import numpy as np
+import pytest
+
+from repro.core import OPAQConfig, build_summary, sample_run, scaled_sample_count
+from repro.errors import EstimationError
+from repro.selection import get_strategy
+
+
+class TestScaledSampleCount:
+    def test_full_run_gets_nominal(self):
+        assert scaled_sample_count(1000, 1000, 100) == 100
+
+    def test_half_run_gets_half(self):
+        assert scaled_sample_count(500, 1000, 100) == 50
+
+    def test_at_least_one(self):
+        assert scaled_sample_count(3, 1000, 100) == 1
+
+    def test_at_most_run_size(self):
+        assert scaled_sample_count(5, 1000, 1000) == 5
+
+    def test_empty_run_rejected(self):
+        with pytest.raises(EstimationError):
+            scaled_sample_count(0, 1000, 100)
+
+
+class TestSampleRun:
+    def test_samples_are_regular(self, rng):
+        run = rng.uniform(size=1000)
+        samples, gaps, _ = sample_run(run, 10, get_strategy("numpy"))
+        expected = np.sort(run)[np.arange(1, 11) * 100 - 1]
+        np.testing.assert_array_equal(samples, expected)
+        assert np.all(gaps == 100)
+
+    def test_gaps_sum_to_run_size(self, rng):
+        run = rng.uniform(size=997)
+        samples, gaps, floors = sample_run(run, 10, get_strategy("numpy"))
+        assert gaps.sum() == 997
+        assert floors[0] == -np.inf
+        np.testing.assert_array_equal(floors[1:], samples[:-1])
+
+    def test_last_sample_is_maximum(self, rng):
+        run = rng.uniform(size=573)
+        samples, _, _ = sample_run(run, 7, get_strategy("numpy"))
+        assert samples[-1] == run.max()
+
+    def test_two_dimensional_rejected(self, rng):
+        with pytest.raises(EstimationError):
+            sample_run(rng.uniform(size=(10, 10)), 2, get_strategy("numpy"))
+
+
+class TestBuildSummary:
+    def test_counts_and_extremes(self, rng):
+        config = OPAQConfig(run_size=100, sample_size=10)
+        runs = [rng.uniform(size=100) for _ in range(5)]
+        summary = build_summary(runs, config)
+        assert summary.count == 500
+        assert summary.num_runs == 5
+        assert summary.num_samples == 50
+        full = np.concatenate(runs)
+        assert summary.minimum == full.min()
+        assert summary.maximum == full.max()
+
+    def test_samples_sorted(self, rng):
+        config = OPAQConfig(run_size=100, sample_size=10)
+        summary = build_summary([rng.uniform(size=100) for _ in range(3)], config)
+        assert np.all(np.diff(summary.samples) >= 0)
+
+    def test_ragged_last_run_scaled(self, rng):
+        config = OPAQConfig(run_size=100, sample_size=10)
+        summary = build_summary(
+            [rng.uniform(size=100), rng.uniform(size=30)], config
+        )
+        # 10 samples from the full run, ~3 from the ragged one.
+        assert summary.num_samples == 13
+        assert summary.count == 130
+
+    def test_empty_runs_skipped(self, rng):
+        config = OPAQConfig(run_size=100, sample_size=10)
+        summary = build_summary(
+            [rng.uniform(size=100), np.empty(0), rng.uniform(size=100)], config
+        )
+        assert summary.num_runs == 2
+
+    def test_no_data_rejected(self):
+        config = OPAQConfig(run_size=100, sample_size=10)
+        with pytest.raises(EstimationError, match="no data"):
+            build_summary([], config)
+        with pytest.raises(EstimationError, match="no data"):
+            build_summary([np.empty(0)], config)
+
+    def test_strategies_equivalent(self, rng):
+        runs = [rng.uniform(size=200) for _ in range(4)]
+        summaries = {}
+        for name in ("numpy", "sort", "median_of_medians"):
+            config = OPAQConfig(run_size=200, sample_size=20, strategy=name)
+            summaries[name] = build_summary([r.copy() for r in runs], config)
+        base = summaries["numpy"].samples
+        for name in ("sort", "median_of_medians"):
+            np.testing.assert_array_equal(summaries[name].samples, base)
+
+
+class TestNaNRejection:
+    def test_nan_in_run_rejected(self, rng):
+        run = rng.uniform(size=100)
+        run[17] = np.nan
+        with pytest.raises(EstimationError, match="NaN"):
+            sample_run(run, 10, get_strategy("numpy"))
+
+    def test_nan_rejected_through_build(self, rng):
+        config = OPAQConfig(run_size=100, sample_size=10)
+        bad = rng.uniform(size=200)
+        bad[150] = np.nan
+        with pytest.raises(EstimationError, match="NaN"):
+            build_summary([bad[:100], bad[100:]], config)

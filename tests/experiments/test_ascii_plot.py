@@ -1,0 +1,81 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.ascii_plot import AsciiChart
+
+
+class TestAsciiChart:
+    def test_render_contains_markers_and_legend(self):
+        chart = AsciiChart(width=30, height=8, title="demo")
+        chart.add_series("up", [1, 2, 3], [1, 2, 3])
+        chart.add_series("down", [1, 2, 3], [3, 2, 1])
+        text = chart.render()
+        assert text.startswith("demo")
+        assert "*" in text and "o" in text
+        assert "* up" in text and "o down" in text
+
+    def test_axis_labels_show_extremes(self):
+        chart = AsciiChart(width=20, height=6)
+        chart.add_series("s", [0, 10], [5, 50])
+        text = chart.render()
+        assert "50" in text and "5" in text
+        assert "10" in text and "0" in text
+
+    def test_monotone_series_drawn_monotone(self):
+        chart = AsciiChart(width=20, height=10)
+        chart.add_series("s", [0, 1, 2, 3], [0, 1, 2, 3])
+        rows = [
+            line.split("|", 1)[1]
+            for line in chart.render().splitlines()
+            if "|" in line
+        ]
+        cols = []
+        for r, row in enumerate(rows):
+            for c, ch in enumerate(row):
+                if ch == "*":
+                    cols.append((c, r))
+        # Higher column -> lower row index (drawn upward).
+        cols.sort()
+        row_order = [r for _, r in cols]
+        assert row_order == sorted(row_order, reverse=True)
+
+    def test_log_scale(self):
+        chart = AsciiChart(width=20, height=6, logy=True)
+        chart.add_series("s", [1, 2, 3], [1, 100, 10000])
+        text = chart.render()
+        assert "1e+04" in text or "10000" in text
+
+    def test_log_scale_rejects_nonpositive(self):
+        chart = AsciiChart(width=20, height=6, logy=True)
+        chart.add_series("s", [1, 2], [0.0, 1.0])
+        with pytest.raises(ConfigError):
+            chart.render()
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            AsciiChart(width=2, height=2)
+        chart = AsciiChart(width=20, height=6)
+        with pytest.raises(ConfigError):
+            chart.render()  # nothing to draw
+        with pytest.raises(ConfigError):
+            chart.add_series("bad", [1, 2], [1])
+        with pytest.raises(ConfigError):
+            chart.add_series("empty", [], [])
+
+    def test_too_many_series(self):
+        chart = AsciiChart(width=20, height=6)
+        for i in range(8):
+            chart.add_series(f"s{i}", [0, 1], [0, i])
+        with pytest.raises(ConfigError):
+            chart.add_series("overflow", [0, 1], [0, 1])
+
+    def test_constant_series(self):
+        chart = AsciiChart(width=20, height=6)
+        chart.add_series("flat", [0, 1, 2], [5, 5, 5])
+        assert "|" in chart.render()
+
+    def test_chaining(self):
+        chart = AsciiChart(width=20, height=6)
+        assert chart.add_series("a", [0], [0]) is chart

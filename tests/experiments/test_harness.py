@@ -1,0 +1,88 @@
+"""Tests for the experiment harness."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments import (
+    TableResult,
+    full_scale,
+    opaq_error_report,
+    paper_dataset,
+    resolve_n,
+    sorted_copy,
+)
+from repro.metrics import rera_bound, rerl_bound, rern_bound
+
+
+class TestScale:
+    def test_default_ci_scale(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        assert not full_scale()
+        assert resolve_n(1_000_000) == 100_000
+
+    def test_full_scale(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL", "1")
+        assert full_scale()
+        assert resolve_n(1_000_000) == 1_000_000
+
+    def test_floor_of_10k(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        assert resolve_n(20_000) == 10_000
+
+
+class TestPaperDataset:
+    def test_memoised(self):
+        a = paper_dataset("uniform", 10_000, seed=1)
+        b = paper_dataset("uniform", 10_000, seed=1)
+        assert a is b
+
+    def test_read_only(self):
+        data = paper_dataset("uniform", 10_000, seed=2)
+        with pytest.raises(ValueError):
+            data[0] = 1.0
+
+    def test_sorted_copy(self):
+        sd = sorted_copy("zipf", 10_000, seed=3)
+        assert np.all(np.diff(sd) >= 0)
+        assert sd.size == 10_000
+
+    def test_unknown_distribution(self):
+        with pytest.raises(ConfigError):
+            paper_dataset("cauchy", 100)
+
+    def test_duplicate_share(self):
+        data = paper_dataset("uniform", 10_000, seed=4)
+        assert 10_000 - np.unique(data).size == 1000
+
+
+class TestOpaqErrorReport:
+    def test_respects_analytic_bounds(self):
+        for dist in ("uniform", "zipf"):
+            rep = opaq_error_report(dist, 20_000, sample_size=200)
+            assert rep.rera_max <= rera_bound(200)
+            assert rep.rerl <= rerl_bound(10, 200)
+            assert rep.rern <= rern_bound(10, 200)
+            assert rep.within_bounds()
+
+    def test_error_halves_with_double_s(self):
+        small = opaq_error_report("uniform", 50_000, sample_size=125)
+        large = opaq_error_report("uniform", 50_000, sample_size=500)
+        assert large.rera.mean() < small.rera.mean()
+
+
+class TestTableResult:
+    def test_render_layout(self):
+        t = TableResult(title="T", header=["a", "bb"])
+        t.add_row(1, 2.5)
+        t.notes.append("hello")
+        text = t.render()
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert "1" in lines[3]
+        assert lines[-1] == "note: hello"
+
+    def test_render_empty(self):
+        t = TableResult(title="T", header=["x"])
+        assert "x" in t.render()

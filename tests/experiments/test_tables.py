@@ -1,0 +1,77 @@
+"""Shape tests for the table/figure reproduction functions.
+
+These verify the *claims* each table supports, on reduced sizes, without
+re-running the heavyweight sweeps (the benchmarks do the full CI-scale
+runs and print the tables).
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    figure3,
+    opaq_error_report,
+    parallel_error_reports,
+    table8,
+)
+from repro.metrics import rera_bound
+from repro.parallel import MachineModel, predict_merge_time
+
+
+class TestErrorRateShapes:
+    """The claims behind Tables 3-6."""
+
+    def test_table3_shape_error_halves_with_s(self):
+        rows = {
+            s: opaq_error_report("uniform", 50_000, sample_size=s)
+            for s in (250, 500, 1000)
+        }
+        means = [rows[s].rera.mean() for s in (250, 500, 1000)]
+        assert means[0] > means[1] > means[2]
+        # Roughly halving: allow slack for noise.
+        assert means[0] / means[1] > 1.4
+        assert means[1] / means[2] > 1.4
+
+    def test_table5_shape_error_independent_of_n(self):
+        reports = {
+            n: opaq_error_report("uniform", n, sample_size=500)
+            for n in (20_000, 50_000, 100_000)
+        }
+        means = [r.rera.mean() for r in reports.values()]
+        assert max(means) < rera_bound(500)
+        assert max(means) / max(min(means), 1e-9) < 3.0
+
+    def test_table3_shape_zipf_matches_uniform(self):
+        u = opaq_error_report("uniform", 50_000, sample_size=500)
+        z = opaq_error_report("zipf", 50_000, sample_size=500)
+        assert abs(u.rera.mean() - z.rera.mean()) < rera_bound(500)
+
+
+class TestParallelShapes:
+    """The claims behind Tables 9/10."""
+
+    def test_parallel_errors_independent_of_n(self):
+        reports = parallel_error_reports(sizes=[20_000, 40_000], p=4)
+        for rep in reports.values():
+            assert rep.rera_max <= rera_bound(1024) + 1e-9
+            assert rep.within_bounds()
+
+
+class TestTable8AndFigure3:
+    def test_table8_renders(self):
+        text = table8().render()
+        assert "bitonic p=2" in text
+
+    def test_figure3_records_crossover(self):
+        fig = figure3()
+        # At p=8 the crossover must exist (the paper's headline claim).
+        assert fig.paper_reference["crossover_p8"] != "none"
+
+    def test_predicted_monotone_in_size(self):
+        model = MachineModel.sp2()
+        for method in ("bitonic", "sample"):
+            times = [
+                predict_merge_time(8, x, model, method)
+                for x in (128, 1024, 8192)
+            ]
+            assert times[0] < times[1] < times[2]

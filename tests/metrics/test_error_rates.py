@@ -1,0 +1,135 @@
+"""Tests for the paper's RERA/RERL/RERN error rates."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EstimationError
+from repro.metrics import (
+    dectile_fractions,
+    rera_bound,
+    rera_per_quantile,
+    rera_point_estimates,
+    rerl,
+    rerl_bound,
+    rern,
+    rern_bound,
+    score_bounds,
+    true_quantiles,
+)
+
+
+@pytest.fixture
+def tiny():
+    """10 sorted values; dectile boundaries are simply the elements."""
+    return np.arange(1.0, 11.0)
+
+
+class TestRERA:
+    def test_exact_bounds_score_zero(self, tiny):
+        trues = true_quantiles(tiny, [0.5])
+        r = rera_per_quantile(tiny, trues, trues, trues)
+        assert r.tolist() == [0.0]
+
+    def test_hand_computed(self, tiny):
+        # Bounds [4, 7] around the median 5: Ne = 4 (values 4..7),
+        # Nt = 1 (one copy of 5) -> (4-1)/10*100 = 30%.
+        trues = np.array([5.0])
+        r = rera_per_quantile(tiny, trues, np.array([4.0]), np.array([7.0]))
+        assert r.tolist() == [30.0]
+
+    def test_duplicates_of_true_not_charged(self):
+        data = np.array([1.0, 5.0, 5.0, 5.0, 9.0])
+        trues = np.array([5.0])
+        r = rera_per_quantile(data, trues, np.array([5.0]), np.array([5.0]))
+        assert r.tolist() == [0.0]
+
+    def test_lower_above_upper_rejected(self, tiny):
+        with pytest.raises(EstimationError):
+            rera_per_quantile(tiny, np.array([5.0]), np.array([7.0]), np.array([4.0]))
+
+    def test_point_estimates_displacement(self, tiny):
+        trues = np.array([5.0])
+        # Estimate 8: elements strictly between 5 and 8 are {6, 7} -> 20%.
+        r = rera_point_estimates(tiny, trues, np.array([8.0]))
+        assert r.tolist() == [20.0]
+
+    def test_point_estimate_exact_is_zero(self, tiny):
+        trues = np.array([5.0])
+        assert rera_point_estimates(tiny, trues, trues).tolist() == [0.0]
+
+
+class TestRERL:
+    def test_perfect_bounds_score_zero(self, tiny):
+        phis = np.array([0.3, 0.6])
+        trues = true_quantiles(tiny, phis)
+        assert rerl(tiny, trues, trues, trues) == 0.0
+
+    def test_shifted_boundary(self, tiny):
+        # True cuts at 3 and 6 -> intervals sizes (3, 3, 4).  Lower cuts at
+        # 2 and 6 -> (2, 4, 4): worst interval error 1/3.
+        trues = np.array([3.0, 6.0])
+        lows = np.array([2.0, 6.0])
+        result = rerl(tiny, trues, lows, trues)
+        assert result == pytest.approx(100 / 3)
+
+    def test_empty_true_interval_guarded(self):
+        data = np.array([1.0, 1.0, 1.0, 9.0])
+        trues = np.array([1.0, 1.0])  # middle interval empty
+        assert rerl(data, trues, trues, trues) == 0.0
+
+
+class TestRERN:
+    def test_perfect_bounds_score_zero(self, tiny):
+        phis = np.array([0.5])
+        trues = true_quantiles(tiny, phis)
+        assert rern(tiny, trues, trues, trues) == 0.0
+
+    def test_hand_computed(self, tiny):
+        # q defaults to len(trues)+1 = 2 -> interval n/q = 5.
+        # Lower bound 3 vs true 5: elements strictly between = {4} -> 1/5.
+        trues = np.array([5.0])
+        assert rern(tiny, trues, np.array([3.0]), trues) == pytest.approx(40.0 / 2)
+
+    def test_explicit_q(self, tiny):
+        trues = np.array([5.0])
+        assert rern(tiny, trues, np.array([3.0]), trues, q=10) == pytest.approx(100.0)
+
+    def test_q_validation(self, tiny):
+        with pytest.raises(EstimationError):
+            rern(tiny, np.array([5.0]), np.array([5.0]), np.array([5.0]), q=1)
+
+
+class TestAnalyticBounds:
+    def test_values(self):
+        assert rera_bound(1000) == pytest.approx(0.2)
+        assert rerl_bound(10, 1000) == pytest.approx(1.0)
+        assert rern_bound(10, 500) == pytest.approx(2.0)
+
+
+class TestScoreBounds:
+    def test_report_fields(self, rng):
+        data = np.sort(rng.uniform(size=10_000))
+        phis = dectile_fractions()
+        trues = true_quantiles(data, phis)
+        report = score_bounds(data, phis, trues, trues, sample_size=100)
+        assert report.rera_max == 0.0
+        assert report.rerl == 0.0
+        assert report.rern == 0.0
+        assert report.within_bounds()
+
+    def test_within_bounds_needs_sample_size(self, rng):
+        data = np.sort(rng.uniform(size=100))
+        phis = np.array([0.5])
+        trues = true_quantiles(data, phis)
+        report = score_bounds(data, phis, trues, trues)
+        with pytest.raises(EstimationError):
+            report.within_bounds()
+
+    def test_shape_mismatch_rejected(self, rng):
+        data = np.sort(rng.uniform(size=100))
+        with pytest.raises(EstimationError):
+            rera_per_quantile(data, np.array([1.0]), np.array([1.0, 2.0]), np.array([1.0]))
+
+    def test_empty_data_rejected(self):
+        with pytest.raises(EstimationError):
+            rera_per_quantile(np.empty(0), np.array([1.0]), np.array([1.0]), np.array([1.0]))

@@ -1,0 +1,81 @@
+"""Tests for ground-truth quantile machinery."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EstimationError
+from repro.metrics import (
+    dectile_fractions,
+    equidepth_fractions,
+    quantile_rank,
+    rank_of_value,
+    true_quantiles,
+)
+
+
+class TestQuantileRank:
+    def test_paper_definition_integral(self):
+        # phi*n integral: rank is exactly phi*n.
+        assert quantile_rank(0.5, 100) == 50
+        assert quantile_rank(0.1, 1000) == 100
+
+    def test_ceil_for_non_integral(self):
+        assert quantile_rank(0.5, 99) == 50  # ceil(49.5)
+
+    def test_extremes(self):
+        assert quantile_rank(1.0, 100) == 100
+        assert quantile_rank(1e-9, 100) == 1
+
+    def test_validation(self):
+        with pytest.raises(EstimationError):
+            quantile_rank(0.0, 10)
+        with pytest.raises(EstimationError):
+            quantile_rank(1.1, 10)
+        with pytest.raises(EstimationError):
+            quantile_rank(0.5, 0)
+
+
+class TestFractions:
+    def test_dectiles(self):
+        np.testing.assert_allclose(
+            dectile_fractions(), [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9]
+        )
+
+    def test_equidepth(self):
+        np.testing.assert_allclose(equidepth_fractions(4), [0.25, 0.5, 0.75])
+
+    def test_q_validation(self):
+        with pytest.raises(EstimationError):
+            equidepth_fractions(1)
+
+
+class TestTrueQuantiles:
+    def test_simple(self):
+        data = np.arange(1, 11, dtype=float)  # 1..10 sorted
+        values = true_quantiles(data, [0.1, 0.5, 1.0])
+        assert values.tolist() == [1.0, 5.0, 10.0]
+
+    def test_with_duplicates(self):
+        data = np.array([1.0, 2.0, 2.0, 2.0, 3.0])
+        assert true_quantiles(data, [0.5]).tolist() == [2.0]
+
+    def test_empty_rejected(self):
+        with pytest.raises(EstimationError):
+            true_quantiles(np.empty(0), [0.5])
+
+
+class TestRankOfValue:
+    def test_present_value(self):
+        data = np.array([1.0, 2.0, 2.0, 3.0])
+        lo, hi = rank_of_value(data, 2.0)
+        assert (lo, hi) == (2, 3)
+
+    def test_absent_value(self):
+        data = np.array([1.0, 3.0])
+        lo, hi = rank_of_value(data, 2.0)
+        assert lo == hi + 1  # insertion point semantics
+
+    def test_extremes(self):
+        data = np.array([1.0, 2.0])
+        assert rank_of_value(data, 0.0) == (1, 0)
+        assert rank_of_value(data, 2.0) == (2, 2)

@@ -1,0 +1,127 @@
+"""Tests for the two-level machine model and simulated clocks."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.parallel import MachineModel, SimulatedMachine
+
+
+class TestMachineModel:
+    def test_positive_constants_required(self):
+        with pytest.raises(ConfigError):
+            MachineModel(mu=0.0)
+
+    def test_cost_formulas(self):
+        m = MachineModel(mu=1.0, tau=10.0, beta=2.0, io_per_key=3.0)
+        assert m.read_cost(5) == 15.0
+        assert m.compute_cost(7) == 7.0
+        assert m.message_cost(4) == 18.0
+
+    def test_sp2_defaults_io_sampling_ratio(self):
+        """The calibration target: I/O ~52% vs sampling ~45% at s=1024."""
+        m = MachineModel.sp2()
+        io = m.read_cost(1)
+        sampling = m.compute_cost(np.log2(1024))
+        frac = io / (io + sampling)
+        assert 0.48 < frac < 0.58
+
+
+class TestSimulatedMachine:
+    def test_local_charges_accumulate(self):
+        mach = SimulatedMachine(2, MachineModel(mu=1, tau=1, beta=1, io_per_key=1))
+        mach.charge_io(0, 10)
+        mach.charge_compute(0, 5, "sampling")
+        assert mach.clock(0) == 15.0
+        assert mach.clock(1) == 0.0
+        assert mach.elapsed() == 15.0
+
+    def test_phase_attribution(self):
+        mach = SimulatedMachine(1, MachineModel(mu=1, tau=1, beta=1, io_per_key=1))
+        mach.charge_io(0, 3)
+        mach.charge_compute(0, 1, "sampling")
+        br = mach.phases(0)
+        assert br.times["io"] == 3.0
+        assert br.total() == 4.0
+        assert br.fraction("io") == pytest.approx(0.75)
+
+    def test_exchange_synchronises(self):
+        mach = SimulatedMachine(2, MachineModel(mu=1, tau=1, beta=1, io_per_key=1))
+        mach.charge_io(0, 10)  # proc 0 is ahead
+        mach.exchange(0, 1, 4, "global_merge")
+        # Both end at max(10, 0) + (1 + 4) = 15.
+        assert mach.clock(0) == 15.0
+        assert mach.clock(1) == 15.0
+
+    def test_send_receiver_waits(self):
+        mach = SimulatedMachine(2, MachineModel(mu=1, tau=1, beta=1, io_per_key=1))
+        mach.charge_io(0, 10)
+        mach.send(0, 1, 2, "gm")
+        assert mach.clock(0) == 13.0
+        assert mach.clock(1) == 13.0  # waited for the sender
+
+    def test_alltoall_costs_and_sync(self):
+        model = MachineModel(mu=1, tau=1, beta=1, io_per_key=1)
+        mach = SimulatedMachine(2, model)
+        mach.charge_io(1, 10)
+        out = np.array([[0, 4], [4, 0]])
+        mach.alltoall(out, "gm")
+        # Start at max clock 10, each pays 2*tau + (4+4)*beta = 10.
+        assert mach.clock(0) == 20.0
+        assert mach.clock(1) == 20.0
+
+    def test_alltoall_shape_check(self):
+        mach = SimulatedMachine(2)
+        with pytest.raises(ConfigError):
+            mach.alltoall(np.zeros((3, 3)), "gm")
+
+    def test_barrier(self):
+        mach = SimulatedMachine(3, MachineModel(mu=1, tau=1, beta=1, io_per_key=1))
+        mach.charge_io(1, 10)
+        mach.barrier()
+        assert all(mach.clock(i) == 10.0 for i in range(3))
+
+    def test_negative_charge_rejected(self):
+        mach = SimulatedMachine(1)
+        with pytest.raises(ConfigError):
+            mach.charge(0, -1.0, "io")
+
+    def test_proc_bounds(self):
+        mach = SimulatedMachine(2)
+        with pytest.raises(ConfigError):
+            mach.charge_io(2, 1)
+        with pytest.raises(ConfigError):
+            mach.clock(-1)
+
+    def test_phase_fractions_sum_to_one(self):
+        mach = SimulatedMachine(2, MachineModel(mu=1, tau=1, beta=1, io_per_key=1))
+        mach.charge_io(0, 5)
+        mach.charge_compute(1, 5, "sampling")
+        fr = mach.phase_fractions()
+        assert sum(fr.values()) == pytest.approx(1.0)
+
+
+class TestChargeOverlapped:
+    def test_clock_advances_by_max(self):
+        mach = SimulatedMachine(1, MachineModel(mu=1, tau=1, beta=1, io_per_key=1))
+        mach.charge_overlapped(0, {"io": 10.0, "sampling": 4.0})
+        assert mach.clock(0) == 10.0
+
+    def test_phases_record_busy_time(self):
+        mach = SimulatedMachine(1, MachineModel(mu=1, tau=1, beta=1, io_per_key=1))
+        mach.charge_overlapped(0, {"io": 10.0, "sampling": 4.0})
+        br = mach.phases(0)
+        assert br.times["io"] == 10.0
+        assert br.times["sampling"] == 4.0
+        # Busy time exceeds elapsed — that is the point of overlap.
+        assert br.total() > mach.clock(0)
+
+    def test_empty_costs_noop(self):
+        mach = SimulatedMachine(1)
+        mach.charge_overlapped(0, {})
+        assert mach.clock(0) == 0.0
+
+    def test_negative_rejected(self):
+        mach = SimulatedMachine(1)
+        with pytest.raises(ConfigError):
+            mach.charge_overlapped(0, {"io": -1.0})

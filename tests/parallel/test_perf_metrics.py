@@ -1,0 +1,42 @@
+"""Tests for the scalability metric helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.parallel import scaleup_series, sizeup_series, speedup_series
+
+
+class TestSpeedup:
+    def test_linear_case(self):
+        times = {1: 8.0, 2: 4.0, 4: 2.0, 8: 1.0}
+        s = speedup_series(times)
+        np.testing.assert_allclose(s.values, [1, 2, 4, 8])
+        np.testing.assert_allclose(s.xs, [1, 2, 4, 8])
+
+    def test_requires_p1(self):
+        with pytest.raises(ConfigError):
+            speedup_series({2: 1.0})
+
+    def test_requires_positive_base(self):
+        with pytest.raises(ConfigError):
+            speedup_series({1: 0.0, 2: 1.0})
+
+    def test_as_rows(self):
+        s = speedup_series({1: 2.0, 2: 1.0})
+        assert s.as_rows() == [(1.0, 1.0), (2.0, 2.0)]
+
+
+class TestScaleupAndSizeup:
+    def test_scaleup_orders_by_p(self):
+        s = scaleup_series({4: 1.2, 1: 1.0, 2: 1.1})
+        np.testing.assert_allclose(s.xs, [1, 2, 4])
+        np.testing.assert_allclose(s.values, [1.0, 1.1, 1.2])
+
+    def test_sizeup_orders_by_size(self):
+        s = sizeup_series({200: 2.0, 100: 1.0})
+        np.testing.assert_allclose(s.xs, [100, 200])
+        np.testing.assert_allclose(s.values, [1.0, 2.0])
+
+    def test_labels(self):
+        assert speedup_series({1: 1.0}, label="x").label == "x"

@@ -1,0 +1,154 @@
+"""Tests for parallel OPAQ."""
+
+import numpy as np
+import pytest
+
+from repro.core import OPAQ, OPAQConfig
+from repro.errors import ConfigError
+from repro.metrics import dectile_fractions
+from repro.parallel import (
+    PHASE_GLOBAL_MERGE,
+    PHASE_IO,
+    PHASE_LOCAL_MERGE,
+    PHASE_SAMPLING,
+    MachineModel,
+    ParallelOPAQ,
+    predict_merge_time,
+)
+
+
+@pytest.fixture
+def config():
+    return OPAQConfig(run_size=2000, sample_size=100)
+
+
+class TestParallelOPAQ:
+    def test_same_samples_as_sequential(self, uniform_data):
+        # Run boundaries must coincide: 50k data, 4 procs of 12500, run
+        # size 2500 -> the scatter + per-processor runs reproduce the
+        # sequential run layout exactly.
+        config = OPAQConfig(run_size=2500, sample_size=100)
+        seq = OPAQ(config).summarize(uniform_data.copy())
+        for method in ("sample", "bitonic"):
+            par = ParallelOPAQ(4, config, merge_method=method)
+            res = par.run(uniform_data.copy())
+            np.testing.assert_array_equal(
+                np.sort(res.summary.samples), np.sort(seq.samples)
+            )
+            assert res.summary.count == seq.count
+            assert res.summary.num_runs == seq.num_runs
+
+    def test_bounds_enclose_truth(self, config, uniform_data, sorted_uniform):
+        par = ParallelOPAQ(8, config)
+        res = par.run(uniform_data.copy())
+        for b in res.bounds(dectile_fractions()):
+            assert b.lower <= sorted_uniform[b.rank - 1] <= b.upper
+
+    def test_explicit_partitions(self, config, rng):
+        parts = [rng.uniform(size=4000) for _ in range(4)]
+        par = ParallelOPAQ(4, config)
+        res = par.run(parts)
+        assert res.summary.count == 16_000
+
+    def test_partition_count_mismatch(self, config, rng):
+        par = ParallelOPAQ(4, config)
+        with pytest.raises(ConfigError):
+            par.run([rng.uniform(size=100)] * 3)
+
+    def test_empty_partition_rejected(self, config, rng):
+        par = ParallelOPAQ(2, config)
+        with pytest.raises(ConfigError, match="no data"):
+            par.run([rng.uniform(size=100), np.empty(0)])
+
+    def test_bitonic_requires_power_of_two(self, config):
+        with pytest.raises(ConfigError):
+            ParallelOPAQ(3, config, merge_method="bitonic")
+
+    def test_unknown_merge_method(self, config):
+        with pytest.raises(ConfigError):
+            ParallelOPAQ(2, config, merge_method="radix")
+
+    def test_single_processor(self, config, rng):
+        data = rng.uniform(size=8000)
+        res = ParallelOPAQ(1, config).run(data)
+        assert res.total_time > 0
+        assert res.summary.count == 8000
+
+    def test_dataset_partitions(self, config, dataset_factory, rng):
+        parts = [dataset_factory(rng.uniform(size=4000)) for _ in range(2)]
+        res = ParallelOPAQ(2, config).run(parts)
+        assert res.summary.count == 8000
+
+
+class TestTimingModel:
+    def test_phases_present(self, config, uniform_data):
+        res = ParallelOPAQ(4, config).run(uniform_data.copy(), phis=[0.5])
+        fr = res.phase_fractions()
+        for phase in (PHASE_IO, PHASE_SAMPLING, PHASE_LOCAL_MERGE, PHASE_GLOBAL_MERGE):
+            assert phase in fr
+
+    def test_io_fraction_near_paper(self, config, uniform_data):
+        res = ParallelOPAQ(4, config).run(uniform_data.copy())
+        assert 0.40 < res.io_fraction() < 0.62  # paper: ~0.50-0.54
+
+    def test_merges_are_minor(self, config, uniform_data):
+        res = ParallelOPAQ(4, config).run(uniform_data.copy())
+        fr = res.phase_fractions()
+        assert fr[PHASE_LOCAL_MERGE] < 0.1
+        assert fr[PHASE_GLOBAL_MERGE] < 0.1
+
+    def test_scaleup_near_flat(self, config, rng):
+        per_proc = 10_000
+        times = {}
+        for p in (1, 2, 4):
+            parts = [rng.uniform(size=per_proc) for _ in range(p)]
+            times[p] = ParallelOPAQ(p, config).run(parts).total_time
+        assert times[4] < 1.25 * times[1]
+
+    def test_predicted_crossover_exists(self):
+        """Figure 3's claim at p=8: bitonic wins small, sample wins large."""
+        model = MachineModel.sp2()
+        small_bit = predict_merge_time(8, 128, model, "bitonic")
+        small_sam = predict_merge_time(8, 128, model, "sample")
+        big_bit = predict_merge_time(8, 16384, model, "bitonic")
+        big_sam = predict_merge_time(8, 16384, model, "sample")
+        assert small_bit < small_sam
+        assert big_sam < big_bit
+
+    def test_predicted_tracks_simulated(self, rng):
+        """The Table 8 formulas and the executed simulation agree within
+        a small constant factor."""
+        from repro.parallel import SimulatedMachine, sample_merge
+
+        p, size = 8, 4096
+        machine = SimulatedMachine(p)
+        blocks = [np.sort(rng.uniform(size=size)) for _ in range(p)]
+        sample_merge(blocks, machine)
+        simulated = machine.elapsed()
+        predicted = predict_merge_time(p, size, MachineModel.sp2(), "sample")
+        assert 0.2 < simulated / predicted < 5.0
+
+    def test_predict_validation(self):
+        with pytest.raises(ConfigError):
+            predict_merge_time(4, 100, MachineModel.sp2(), "quantum")
+        assert predict_merge_time(1, 100, MachineModel.sp2(), "bitonic") == 0.0
+
+
+class TestIOOverlap:
+    def test_overlap_reduces_time_same_answers(self, config, uniform_data):
+        plain = ParallelOPAQ(4, config).run(uniform_data.copy())
+        fast = ParallelOPAQ(4, config, overlap_io=True).run(uniform_data.copy())
+        assert fast.total_time < plain.total_time
+        np.testing.assert_array_equal(
+            fast.summary.samples, plain.summary.samples
+        )
+
+    def test_overlap_ratio_matches_model(self, config, uniform_data):
+        """Total should shrink to ~max(io, sampling)/(io + sampling)."""
+        plain = ParallelOPAQ(1, config).run(uniform_data.copy())
+        fast = ParallelOPAQ(1, config, overlap_io=True).run(uniform_data.copy())
+        fr = plain.phase_fractions()
+        expected = max(fr["io"], fr["sampling"])
+        assert fast.total_time / plain.total_time == pytest.approx(
+            expected, rel=0.15
+        )

@@ -1,0 +1,62 @@
+"""Tests for randomized selection (Floyd & Rivest 1975)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import EstimationError
+from repro.selection import floyd_rivest_select
+
+
+class TestFloydRivestSelect:
+    def test_matches_sort(self, rng):
+        values = rng.uniform(size=10_000)
+        expected = np.sort(values)
+        for k in (0, 17, 4999, 9999):
+            assert floyd_rivest_select(values, k, rng) == expected[k]
+
+    def test_small_input_sorts(self, rng):
+        values = np.array([3.0, 1.0, 2.0])
+        assert floyd_rivest_select(values, 1, rng) == 2.0
+
+    def test_heavy_duplicates(self, rng):
+        values = rng.integers(0, 3, size=20_000).astype(float)
+        expected = np.sort(values)
+        for k in (0, 10_000, 19_999):
+            assert floyd_rivest_select(values, k, rng) == expected[k]
+
+    def test_deterministic_given_seed(self, rng):
+        values = rng.uniform(size=5000)
+        a = floyd_rivest_select(values, 1234, np.random.default_rng(1))
+        b = floyd_rivest_select(values, 1234, np.random.default_rng(1))
+        assert a == b
+
+    def test_default_rng_accepted(self, rng):
+        values = rng.uniform(size=2000)
+        result = floyd_rivest_select(values, 1000)
+        assert result == np.sort(values)[1000]
+
+    def test_rank_out_of_range(self):
+        with pytest.raises(EstimationError):
+            floyd_rivest_select(np.arange(3, dtype=float), 3)
+
+    def test_does_not_mutate(self, rng):
+        values = rng.uniform(size=2000)
+        copy = values.copy()
+        floyd_rivest_select(values, 1000, rng)
+        assert np.array_equal(values, copy)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.floats(allow_nan=False, allow_infinity=False, width=32),
+            min_size=1,
+            max_size=2000,
+        ),
+        st.data(),
+    )
+    def test_property_equals_sorted_index(self, values, data):
+        arr = np.array(values, dtype=np.float64)
+        rank = data.draw(st.integers(min_value=0, max_value=arr.size - 1))
+        result = floyd_rivest_select(arr, rank, np.random.default_rng(7))
+        assert result == np.sort(arr)[rank]

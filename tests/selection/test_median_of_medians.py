@@ -1,0 +1,77 @@
+"""Tests for deterministic selection (Blum et al. 1972)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import EstimationError
+from repro.selection import median_of_medians_pivot, median_of_medians_select
+
+
+class TestMedianOfMediansSelect:
+    def test_matches_sort_small(self):
+        values = np.array([9.0, 1.0, 4.0, 7.0, 2.0])
+        expected = np.sort(values)
+        for k in range(values.size):
+            assert median_of_medians_select(values, k) == expected[k]
+
+    def test_matches_sort_large(self, rng):
+        values = rng.uniform(size=5000)
+        expected = np.sort(values)
+        for k in (0, 1, 2499, 2500, 4998, 4999):
+            assert median_of_medians_select(values, k) == expected[k]
+
+    def test_heavy_duplicates(self, rng):
+        values = rng.integers(0, 5, size=4000).astype(float)
+        expected = np.sort(values)
+        for k in (0, 1000, 2000, 3999):
+            assert median_of_medians_select(values, k) == expected[k]
+
+    def test_all_equal(self):
+        values = np.full(100, 3.3)
+        assert median_of_medians_select(values, 50) == 3.3
+
+    def test_single_element(self):
+        assert median_of_medians_select(np.array([42.0]), 0) == 42.0
+
+    def test_rank_out_of_range(self):
+        values = np.arange(5, dtype=float)
+        with pytest.raises(EstimationError):
+            median_of_medians_select(values, 5)
+        with pytest.raises(EstimationError):
+            median_of_medians_select(values, -1)
+
+    def test_does_not_mutate(self, rng):
+        values = rng.uniform(size=100)
+        copy = values.copy()
+        median_of_medians_select(values, 50)
+        assert np.array_equal(values, copy)
+
+    def test_sorted_and_reversed_inputs(self):
+        asc = np.arange(1000, dtype=float)
+        desc = asc[::-1].copy()
+        assert median_of_medians_select(asc, 500) == 500.0
+        assert median_of_medians_select(desc, 500) == 500.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.floats(allow_nan=False, allow_infinity=False, width=32),
+            min_size=1,
+            max_size=300,
+        ),
+        st.data(),
+    )
+    def test_property_equals_sorted_index(self, values, data):
+        arr = np.array(values, dtype=np.float64)
+        rank = data.draw(st.integers(min_value=0, max_value=arr.size - 1))
+        assert median_of_medians_select(arr, rank) == np.sort(arr)[rank]
+
+
+class TestMedianOfMediansPivot:
+    def test_pivot_is_reasonably_central(self, rng):
+        values = rng.uniform(size=10_000)
+        pivot = median_of_medians_pivot(values)
+        below = np.count_nonzero(values < pivot)
+        # The classic guarantee: at least ~30% on each side.
+        assert 0.25 * values.size < below < 0.75 * values.size

@@ -1,0 +1,107 @@
+"""Tests for the recursive multiselect (paper section 2.1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import EstimationError
+from repro.selection import (
+    median_of_medians_select,
+    multiselect,
+    regular_sample_ranks,
+)
+
+
+class TestRegularSampleRanks:
+    def test_divisible_case_matches_paper(self):
+        # m = 12, s = 4: 1-based ranks 3, 6, 9, 12 -> 0-based 2, 5, 8, 11.
+        ranks = regular_sample_ranks(12, 4)
+        assert ranks.tolist() == [2, 5, 8, 11]
+
+    def test_last_sample_is_run_maximum(self):
+        for m, s in ((100, 7), (64, 64), (1000, 3)):
+            assert regular_sample_ranks(m, s)[-1] == m - 1
+
+    def test_non_divisible_uses_floor_grid(self):
+        ranks = regular_sample_ranks(10, 3)
+        assert ranks.tolist() == [2, 5, 9]  # floor(10/3)=3, floor(20/3)=6, 10
+
+    def test_sample_size_one(self):
+        assert regular_sample_ranks(50, 1).tolist() == [49]
+
+    def test_full_sampling(self):
+        assert regular_sample_ranks(5, 5).tolist() == [0, 1, 2, 3, 4]
+
+    def test_invalid_sizes(self):
+        with pytest.raises(EstimationError):
+            regular_sample_ranks(10, 0)
+        with pytest.raises(EstimationError):
+            regular_sample_ranks(10, 11)
+
+    def test_gaps_sum_to_run_size(self):
+        for m, s in ((100, 7), (1024, 32), (17, 5)):
+            ranks = regular_sample_ranks(m, s)
+            gaps = np.diff(np.concatenate([[-1], ranks]))
+            assert gaps.sum() == m
+            assert gaps.min() >= 1
+
+
+class TestMultiselect:
+    def test_matches_sorted_indexing(self, rng):
+        values = rng.uniform(size=2000)
+        ranks = [0, 10, 999, 1000, 1999]
+        result = multiselect(values, ranks, median_of_medians_select)
+        assert np.array_equal(result, np.sort(values)[ranks])
+
+    def test_single_rank(self, rng):
+        values = rng.uniform(size=100)
+        result = multiselect(values, [50], median_of_medians_select)
+        assert result[0] == np.sort(values)[50]
+
+    def test_duplicate_ranks(self, rng):
+        values = rng.uniform(size=100)
+        result = multiselect(values, [5, 5, 5], median_of_medians_select)
+        expected = np.sort(values)[5]
+        assert np.all(result == expected)
+
+    def test_heavy_duplicate_values(self, rng):
+        values = rng.integers(0, 4, size=1000).astype(float)
+        ranks = list(range(0, 1000, 100))
+        result = multiselect(values, ranks, median_of_medians_select)
+        assert np.array_equal(result, np.sort(values)[ranks])
+
+    def test_empty_ranks(self, rng):
+        assert multiselect(rng.uniform(size=10), [], median_of_medians_select).size == 0
+
+    def test_unsorted_ranks_rejected(self, rng):
+        with pytest.raises(EstimationError):
+            multiselect(rng.uniform(size=10), [5, 2], median_of_medians_select)
+
+    def test_out_of_range_ranks_rejected(self, rng):
+        with pytest.raises(EstimationError):
+            multiselect(rng.uniform(size=10), [10], median_of_medians_select)
+        with pytest.raises(EstimationError):
+            multiselect(rng.uniform(size=10), [-1], median_of_medians_select)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.floats(allow_nan=False, allow_infinity=False, width=32),
+            min_size=1,
+            max_size=400,
+        ),
+        st.data(),
+    )
+    def test_property_matches_sorted(self, values, data):
+        arr = np.array(values, dtype=np.float64)
+        ranks = sorted(
+            data.draw(
+                st.lists(
+                    st.integers(min_value=0, max_value=arr.size - 1),
+                    min_size=1,
+                    max_size=20,
+                )
+            )
+        )
+        result = multiselect(arr, ranks, median_of_medians_select)
+        assert np.array_equal(result, np.sort(arr)[ranks])

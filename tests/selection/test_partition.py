@@ -1,0 +1,60 @@
+"""Tests for three-way partitioning."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.selection import partition_counts, partition_three_way
+
+
+class TestPartitionThreeWay:
+    def test_basic_split(self):
+        values = np.array([5.0, 1.0, 3.0, 3.0, 9.0])
+        less, n_equal, greater = partition_three_way(values, 3.0)
+        assert sorted(less.tolist()) == [1.0]
+        assert n_equal == 2
+        assert sorted(greater.tolist()) == [5.0, 9.0]
+
+    def test_pivot_absent(self):
+        values = np.array([1.0, 2.0, 4.0])
+        less, n_equal, greater = partition_three_way(values, 3.0)
+        assert less.tolist() == [1.0, 2.0]
+        assert n_equal == 0
+        assert greater.tolist() == [4.0]
+
+    def test_all_equal(self):
+        values = np.full(10, 7.0)
+        less, n_equal, greater = partition_three_way(values, 7.0)
+        assert less.size == 0
+        assert n_equal == 10
+        assert greater.size == 0
+
+    def test_empty(self):
+        less, n_equal, greater = partition_three_way(np.empty(0), 1.0)
+        assert less.size == 0 and n_equal == 0 and greater.size == 0
+
+    def test_does_not_mutate_input(self):
+        values = np.array([3.0, 1.0, 2.0])
+        copy = values.copy()
+        partition_three_way(values, 2.0)
+        assert np.array_equal(values, copy)
+
+    @given(
+        st.lists(st.floats(allow_nan=False, allow_infinity=False, width=32), max_size=200),
+        st.floats(allow_nan=False, allow_infinity=False, width=32),
+    )
+    def test_property_partition_is_complete(self, values, pivot):
+        arr = np.array(values, dtype=np.float64)
+        less, n_equal, greater = partition_three_way(arr, pivot)
+        assert less.size + n_equal + greater.size == arr.size
+        assert np.all(less < pivot)
+        assert np.all(greater > pivot)
+
+
+class TestPartitionCounts:
+    def test_counts_match_full_partition(self, rng):
+        values = rng.integers(0, 10, size=100).astype(float)
+        for pivot in (0.0, 3.0, 9.5):
+            less, n_equal, greater = partition_three_way(values, pivot)
+            counts = partition_counts(values, pivot)
+            assert counts == (less.size, n_equal, greater.size)

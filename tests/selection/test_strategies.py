@@ -1,0 +1,84 @@
+"""Tests for the pluggable selection strategies."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, EstimationError
+from repro.selection import (
+    STRATEGY_NAMES,
+    FloydRivestStrategy,
+    MedianOfMediansStrategy,
+    NumpyPartitionStrategy,
+    SelectionStrategy,
+    SortStrategy,
+    get_strategy,
+)
+
+ALL = [
+    SortStrategy(),
+    NumpyPartitionStrategy(),
+    MedianOfMediansStrategy(),
+    FloydRivestStrategy(seed=3),
+]
+
+
+@pytest.mark.parametrize("strategy", ALL, ids=lambda s: s.name)
+class TestAllStrategiesAgree:
+    def test_select(self, strategy, rng):
+        values = rng.uniform(size=997)
+        expected = np.sort(values)
+        for rank in (0, 1, 498, 995, 996):
+            assert strategy.select(values, rank) == expected[rank]
+
+    def test_multiselect(self, strategy, rng):
+        values = rng.uniform(size=1000)
+        ranks = [0, 99, 500, 999]
+        out = strategy.multiselect(values, ranks)
+        assert np.array_equal(out, np.sort(values)[ranks])
+
+    def test_multiselect_with_duplicates(self, strategy, rng):
+        values = rng.integers(0, 7, size=700).astype(float)
+        ranks = list(range(0, 700, 70))
+        out = strategy.multiselect(values, ranks)
+        assert np.array_equal(out, np.sort(values)[ranks])
+
+    def test_select_out_of_range(self, strategy, rng):
+        with pytest.raises(EstimationError):
+            strategy.select(rng.uniform(size=5), 5)
+
+    def test_multiselect_out_of_range(self, strategy, rng):
+        with pytest.raises(EstimationError):
+            strategy.multiselect(rng.uniform(size=5), [7])
+
+
+class TestRegistry:
+    def test_names(self):
+        assert set(STRATEGY_NAMES) == {
+            "sort",
+            "numpy",
+            "median_of_medians",
+            "floyd_rivest",
+        }
+
+    def test_get_by_name(self):
+        assert isinstance(get_strategy("numpy"), NumpyPartitionStrategy)
+
+    def test_instance_passthrough(self):
+        inst = SortStrategy()
+        assert get_strategy(inst) is inst
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigError, match="unknown selection strategy"):
+            get_strategy("quicksort")
+
+    def test_abstract_base_not_instantiable(self):
+        with pytest.raises(TypeError):
+            SelectionStrategy()
+
+
+class TestFloydRivestDeterminism:
+    def test_same_seed_same_result(self, rng):
+        values = rng.uniform(size=5000)
+        a = FloydRivestStrategy(seed=1).multiselect(values, [100, 2500])
+        b = FloydRivestStrategy(seed=1).multiselect(values, [100, 2500])
+        assert np.array_equal(a, b)

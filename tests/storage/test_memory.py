@@ -1,0 +1,91 @@
+"""Tests for the paper's memory model (r*s + m <= M)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigError
+from repro.storage import MemoryModel
+
+
+class TestValidate:
+    def test_feasible_configuration(self):
+        # n=1M, m=100k -> r=10 runs; 10*1000 + 100k = 110k <= 200k.
+        MemoryModel(200_000).validate(1_000_000, 100_000, 1000)
+
+    def test_infeasible_configuration(self):
+        with pytest.raises(ConfigError, match="keys of memory"):
+            MemoryModel(50_000).validate(1_000_000, 100_000, 1000)
+
+    def test_sample_larger_than_run(self):
+        with pytest.raises(ConfigError, match="cannot exceed run_size"):
+            MemoryModel(1_000_000).validate(1000, 100, 200)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ConfigError):
+            MemoryModel(0)
+        with pytest.raises(ConfigError):
+            MemoryModel(100).validate(0, 10, 5)
+
+    def test_footprint_formula(self):
+        # ceil(100/30)=4 runs -> 4*5 + 30 = 50.
+        assert MemoryModel(1000).footprint(100, 30, 5) == 50
+        assert MemoryModel.required_capacity(100, 30, 5) == 50
+
+
+class TestSuggest:
+    def test_suggested_run_size_is_feasible(self):
+        # The minimum possible footprint is ~2*sqrt(n*s) = 200k keys here,
+        # so 250k is feasible but tight.
+        model = MemoryModel(250_000)
+        m = model.suggest(10_000_000, 1000)
+        model.validate(10_000_000, m, 1000)
+
+    def test_prefers_small_runs(self):
+        model = MemoryModel(1_000_000)
+        m = model.suggest(1_000_000, 100)
+        # Anything smaller must be infeasible.
+        if m > 100:
+            assert model.footprint(1_000_000, m - 1, 100) > model.capacity or m == 100
+
+    def test_data_fits_in_memory(self):
+        model = MemoryModel(100_000)
+        m = model.suggest(50_000, 1000)
+        model.validate(50_000, m, 1000)
+
+    def test_impossible_budget(self):
+        with pytest.raises(ConfigError, match="no feasible run size"):
+            MemoryModel(100).suggest(10_000_000, 90)
+
+    def test_bad_sample_size(self):
+        with pytest.raises(ConfigError):
+            MemoryModel(100).suggest(1000, 0)
+
+    @settings(max_examples=50)
+    @given(
+        n=st.integers(min_value=100, max_value=10_000_000),
+        s=st.integers(min_value=1, max_value=2000),
+        capacity=st.integers(min_value=100, max_value=1_000_000),
+    )
+    def test_property_suggestion_always_feasible_or_raises(self, n, s, capacity):
+        model = MemoryModel(capacity)
+        try:
+            m = model.suggest(n, s)
+        except ConfigError:
+            return
+        model.validate(n, m, s)
+
+
+class TestMaxQuantiles:
+    def test_matches_paper_order(self):
+        # The paper: q <= O(M^2 / n).
+        model = MemoryModel(10_000)
+        q = model.max_quantiles(1_000_000)
+        assert 0 < q <= 10_000**2 / 1_000_000
+
+    def test_grows_with_memory(self):
+        n = 1_000_000
+        assert MemoryModel(20_000).max_quantiles(n) > MemoryModel(10_000).max_quantiles(n)
+
+    def test_bad_n(self):
+        with pytest.raises(ConfigError):
+            MemoryModel(100).max_quantiles(0)

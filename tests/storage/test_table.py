@@ -1,0 +1,87 @@
+"""Tests for the columnar table layout."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, DataError
+from repro.storage import TableDataset, TableWriter
+
+
+class TestTableWriter:
+    def test_roundtrip(self, tmp_path, rng):
+        data = {
+            "a": rng.uniform(size=100),
+            "b": rng.normal(size=100),
+        }
+        table = TableDataset.create(tmp_path / "t", data)
+        assert table.row_count == 100
+        assert set(table.columns) == {"a", "b"}
+        out = table.read_columns()
+        np.testing.assert_array_equal(out["a"], data["a"])
+        np.testing.assert_array_equal(out["b"], data["b"])
+
+    def test_chunked_appends(self, tmp_path, rng):
+        with TableWriter(tmp_path / "t", columns=["x", "y"]) as w:
+            for _ in range(3):
+                w.append({"x": rng.uniform(size=40), "y": rng.uniform(size=40)})
+        table = TableDataset.open(tmp_path / "t")
+        assert table.row_count == 120
+        assert table.column("x").count == 120
+
+    def test_ragged_chunk_rejected(self, tmp_path, rng):
+        w = TableWriter(tmp_path / "t", columns=["x", "y"])
+        with pytest.raises(ConfigError, match="ragged"):
+            w.append({"x": rng.uniform(size=10), "y": rng.uniform(size=9)})
+
+    def test_missing_column_rejected(self, tmp_path, rng):
+        w = TableWriter(tmp_path / "t", columns=["x", "y"])
+        with pytest.raises(ConfigError, match="cover exactly"):
+            w.append({"x": rng.uniform(size=10)})
+
+    def test_column_name_validation(self, tmp_path):
+        with pytest.raises(ConfigError):
+            TableWriter(tmp_path / "t", columns=[])
+        with pytest.raises(ConfigError):
+            TableWriter(tmp_path / "t", columns=["a", "a"])
+        with pytest.raises(ConfigError):
+            TableWriter(tmp_path / "t", columns=["bad/name"])
+
+    def test_crash_leaves_invalid_table(self, tmp_path, rng):
+        try:
+            with TableWriter(tmp_path / "t", columns=["x"]) as w:
+                w.append({"x": rng.uniform(size=10)})
+                raise RuntimeError("power cut")
+        except RuntimeError:
+            pass
+        with pytest.raises(DataError):
+            TableDataset.open(tmp_path / "t")
+
+
+class TestTableDataset:
+    def test_open_missing(self, tmp_path):
+        with pytest.raises(DataError, match="not a table"):
+            TableDataset.open(tmp_path / "nope")
+
+    def test_unknown_column(self, tmp_path, rng):
+        table = TableDataset.create(tmp_path / "t", {"a": rng.uniform(size=5)})
+        with pytest.raises(DataError, match="no column"):
+            table.column("z")
+
+    def test_row_count_mismatch_detected(self, tmp_path, rng):
+        table = TableDataset.create(tmp_path / "t", {"a": rng.uniform(size=5)})
+        manifest = json.loads((table.path / "table.json").read_text())
+        manifest["rows"] = 7
+        (table.path / "table.json").write_text(json.dumps(manifest))
+        with pytest.raises(DataError, match="manifest says"):
+            TableDataset.open(table.path)
+
+    def test_columns_readable_in_runs(self, tmp_path, rng):
+        from repro.storage import RunReader
+
+        table = TableDataset.create(
+            tmp_path / "t", {"a": rng.uniform(size=100)}
+        )
+        reader = RunReader(table.column("a"), run_size=30)
+        assert sum(r.size for r in reader) == 100

@@ -1,0 +1,66 @@
+"""Tests for the public API surface: exports exist and are documented."""
+
+import importlib
+import inspect
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.selection",
+    "repro.storage",
+    "repro.workloads",
+    "repro.metrics",
+    "repro.baselines",
+    "repro.parallel",
+    "repro.apps",
+    "repro.experiments",
+]
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+class TestPublicSurface:
+    def test_all_exports_resolve(self, name):
+        module = importlib.import_module(name)
+        assert hasattr(module, "__all__"), f"{name} must declare __all__"
+        for symbol in module.__all__:
+            assert hasattr(module, symbol), f"{name}.{symbol} missing"
+
+    def test_module_docstring(self, name):
+        module = importlib.import_module(name)
+        assert module.__doc__ and module.__doc__.strip()
+
+    def test_public_items_documented(self, name):
+        """Every exported class and function carries a docstring."""
+        module = importlib.import_module(name)
+        for symbol in module.__all__:
+            obj = getattr(module, symbol)
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                assert obj.__doc__ and obj.__doc__.strip(), (
+                    f"{name}.{symbol} is undocumented"
+                )
+
+
+class TestTopLevel:
+    def test_version(self):
+        import repro
+
+        assert repro.__version__.count(".") == 2
+
+    def test_quickstart_from_readme(self):
+        """The README's quickstart snippet must actually run."""
+        import numpy as np
+
+        from repro import estimate_quantiles
+
+        data = np.random.default_rng(0).uniform(size=10_000)
+        [median] = estimate_quantiles(data, [0.5], sample_size=100)
+        assert median.lower <= np.sort(data)[4999] <= median.upper
+
+    def test_cli_parser_builds(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        with pytest.raises(SystemExit):  # --help exits cleanly
+            parser.parse_args(["--help"])

@@ -1,0 +1,259 @@
+"""Tests for the ``opaq`` command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.storage import DiskDataset
+
+
+@pytest.fixture
+def dataset(tmp_path):
+    path = tmp_path / "keys.opaq"
+    assert (
+        main(
+            [
+                "generate",
+                "--dist",
+                "uniform",
+                "--n",
+                "20000",
+                "--seed",
+                "3",
+                "--out",
+                str(path),
+            ]
+        )
+        == 0
+    )
+    return path
+
+
+class TestGenerateAndInfo:
+    def test_generate_writes_dataset(self, dataset):
+        ds = DiskDataset.open(dataset)
+        assert ds.count == 20_000
+
+    def test_zipf_parameters(self, tmp_path, capsys):
+        out = tmp_path / "z.opaq"
+        rc = main(
+            [
+                "generate",
+                "--dist",
+                "zipf",
+                "--zipf-parameter",
+                "0.5",
+                "--n",
+                "5000",
+                "--out",
+                str(out),
+            ]
+        )
+        assert rc == 0
+        assert "zipf" in capsys.readouterr().out
+
+    def test_info(self, dataset, capsys):
+        assert main(["info", str(dataset)]) == 0
+        out = capsys.readouterr().out
+        assert "20,000" in out
+
+    def test_info_missing_file(self, tmp_path, capsys):
+        rc = main(["info", str(tmp_path / "nope.opaq")])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestSummarizeQueryRank:
+    def test_pipeline(self, dataset, tmp_path, capsys):
+        summary_path = tmp_path / "s.npz"
+        rc = main(
+            [
+                "summarize",
+                str(dataset),
+                "--out",
+                str(summary_path),
+                "--sample-size",
+                "200",
+                "--run-size",
+                "5000",
+            ]
+        )
+        assert rc == 0
+        assert "one pass" in capsys.readouterr().out
+
+        assert main(["query", str(summary_path), "--dectiles"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("\n") == 10  # header + 9 dectiles
+
+        assert main(["query", str(summary_path), "--phi", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "0.500" in out
+
+        # The printed bounds enclose the true median.
+        data = np.sort(DiskDataset.open(dataset).read_all())
+        lower, upper = out.splitlines()[1].split()[1:3]
+        assert float(lower) <= data[9999] <= float(upper)
+
+        assert main(["rank", str(summary_path), "1.0"]) == 0
+        assert "rank(1.0)" in capsys.readouterr().out
+
+    def test_memory_flag_derives_run_size(self, dataset, tmp_path):
+        rc = main(
+            [
+                "summarize",
+                str(dataset),
+                "--out",
+                str(tmp_path / "s.npz"),
+                "--sample-size",
+                "100",
+                "--memory",
+                "8000",
+            ]
+        )
+        assert rc == 0
+
+    def test_infeasible_memory_reports_error(self, dataset, tmp_path, capsys):
+        rc = main(
+            [
+                "summarize",
+                str(dataset),
+                "--out",
+                str(tmp_path / "s.npz"),
+                "--sample-size",
+                "1000",
+                "--memory",
+                "1500",
+            ]
+        )
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestExactAndSort:
+    def test_exact(self, dataset, capsys):
+        rc = main(
+            [
+                "exact",
+                str(dataset),
+                "--phi",
+                "0.5",
+                "--sample-size",
+                "200",
+                "--run-size",
+                "5000",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        value = float(out.splitlines()[1].split()[1])
+        data = np.sort(DiskDataset.open(dataset).read_all())
+        assert value == data[9999]
+
+    def test_sort(self, dataset, tmp_path, capsys):
+        out_path = tmp_path / "sorted.opaq"
+        rc = main(["sort", str(dataset), str(out_path), "--memory", "6000"])
+        assert rc == 0
+        result = DiskDataset.open(out_path).read_all()
+        assert np.all(np.diff(result) >= 0)
+
+
+class TestParser:
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestInfoAndCompactSummary:
+    def test_info_on_summary(self, dataset, tmp_path, capsys):
+        summary_path = tmp_path / "s.npz"
+        main([
+            "summarize", str(dataset), "--out", str(summary_path),
+            "--sample-size", "200", "--run-size", "5000",
+        ])
+        capsys.readouterr()
+        assert main(["info", str(summary_path)]) == 0
+        out = capsys.readouterr().out
+        assert "describes:  20,000 keys" in out
+        assert "guarantee:" in out
+
+    def test_compact_roundtrip(self, dataset, tmp_path, capsys):
+        summary_path = tmp_path / "s.npz"
+        small_path = tmp_path / "small.npz"
+        main([
+            "summarize", str(dataset), "--out", str(summary_path),
+            "--sample-size", "200", "--run-size", "5000",
+        ])
+        rc = main([
+            "compact", str(summary_path),
+            "--max-samples", "100", "--out", str(small_path),
+        ])
+        assert rc == 0
+        capsys.readouterr()
+        assert main(["query", str(small_path), "--phi", "0.5"]) == 0
+        out = capsys.readouterr().out
+        data = np.sort(DiskDataset.open(dataset).read_all())
+        lower, upper = out.splitlines()[1].split()[1:3]
+        assert float(lower) <= data[9999] <= float(upper)
+
+
+class TestAnalyzeExplain:
+    @pytest.fixture
+    def catalog(self, tmp_path):
+        from repro.storage import TableDataset
+
+        rng = np.random.default_rng(5)
+        TableDataset.create(
+            tmp_path / "orders",
+            {"amount": rng.lognormal(4, 1, 20_000), "qty": rng.uniform(1, 9, 20_000)},
+        )
+        rc = main([
+            "analyze", str(tmp_path / "orders"),
+            "--out", str(tmp_path / "catalog"),
+            "--sample-size", "200", "--run-size", "5000",
+        ])
+        assert rc == 0
+        return tmp_path / "catalog"
+
+    def test_explain_single_predicate(self, catalog, capsys):
+        capsys.readouterr()
+        rc = main([
+            "explain", str(catalog), "--predicate", "amount:50:200",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "guaranteed in" in out
+
+    def test_explain_conjunction(self, catalog, capsys):
+        capsys.readouterr()
+        rc = main([
+            "explain", str(catalog),
+            "--predicate", "amount:50:200",
+            "--predicate", "qty:1:3",
+        ])
+        assert rc == 0
+        assert "conjunction" in capsys.readouterr().out
+
+    def test_explain_bad_predicate(self, catalog, capsys):
+        rc = main(["explain", str(catalog), "--predicate", "amount=5"])
+        assert rc == 2
+        assert "column:lo:hi" in capsys.readouterr().err
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m_invocation(self):
+        import subprocess
+        import sys
+
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "--version"],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert result.returncode == 0
+        assert result.stdout.strip() == "1.0.0"

@@ -1,0 +1,27 @@
+"""Run every docstring example shipped in the library.
+
+Docstring examples are API documentation users copy-paste; they must
+execute.  This walks the whole :mod:`repro` package so a new module's
+examples are covered automatically.
+"""
+
+import doctest
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _all_modules():
+    yield "repro"
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        yield info.name
+
+
+@pytest.mark.parametrize("name", sorted(_all_modules()))
+def test_module_doctests(name):
+    module = importlib.import_module(name)
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {name}"

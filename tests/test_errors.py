@@ -1,0 +1,31 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    ConfigError,
+    DataError,
+    EstimationError,
+    ReproError,
+    SinglePassViolation,
+)
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (ConfigError, DataError, EstimationError, SinglePassViolation):
+            assert issubclass(exc, ReproError)
+
+    def test_value_error_compatibility(self):
+        """Config and data errors double as ValueError so generic callers
+        can catch them idiomatically."""
+        assert issubclass(ConfigError, ValueError)
+        assert issubclass(DataError, ValueError)
+
+    def test_runtime_error_compatibility(self):
+        assert issubclass(SinglePassViolation, RuntimeError)
+        assert issubclass(EstimationError, RuntimeError)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(ReproError):
+            raise SinglePassViolation("second pass")

@@ -1,0 +1,46 @@
+"""Smoke tests: every shipped example must run clean end to end.
+
+Examples are the documentation users actually execute; each prints its
+own ground-truth verification, so "exit code 0 and no 'NO!' in the
+output" is a meaningful check, not just an import test.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_found():
+    assert len(EXAMPLES) >= 6
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs_clean(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, (
+        f"{script} failed:\n{result.stderr[-2000:]}"
+    )
+    # Every example prints its own verification; none may report failure.
+    assert "NO!" not in result.stdout
+    assert "Traceback" not in result.stderr
+
+
+def test_quickstart_reports_enclosure(tmp_path):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    # Nine dectiles, all enclosed.
+    assert result.stdout.count("yes") >= 9

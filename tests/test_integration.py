@@ -1,0 +1,109 @@
+"""End-to-end integration tests: the full disk-resident workflow."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    OPAQ,
+    IncrementalOPAQ,
+    OPAQConfig,
+    OPAQSummary,
+    estimate_rank,
+    exact_quantiles,
+)
+from repro.apps import EquiDepthHistogram, LoadBalancer, external_sort
+from repro.metrics import dectile_fractions, score_bounds
+from repro.storage import MemoryModel, RunReader
+from repro.workloads import ZipfGenerator, write_dataset
+
+
+class TestDiskWorkflow:
+    """Generate -> write -> one pass -> query, all through the disk layer."""
+
+    def test_full_pipeline_zipf(self, tmp_path):
+        n = 60_000
+        ds = write_dataset(
+            tmp_path / "zipf.opaq", ZipfGenerator(parameter=0.86), n, seed=11
+        )
+        memory = 20_000
+        config = OPAQConfig.for_memory(n, memory, sample_size=500)
+        MemoryModel(memory).validate(n, config.run_size, config.sample_size)
+
+        reader = RunReader(ds, run_size=config.run_size)
+        summary = OPAQ(config).summarize(reader)
+
+        # The pass read everything exactly once.
+        assert reader.stats.elements_read == n
+        assert reader.stats.passes_started == 1
+
+        # Bounds enclose ground truth on every dectile.
+        data = ds.read_all()
+        sd = np.sort(data)
+        phis = dectile_fractions()
+        bounds = OPAQ(config).bounds(summary, phis)
+        report = score_bounds(
+            sd,
+            phis,
+            np.array([b.lower for b in bounds]),
+            np.array([b.upper for b in bounds]),
+            sample_size=config.sample_size,
+        )
+        assert report.within_bounds()
+
+        # Summary survives a round trip and answers identically.
+        summary.save(tmp_path / "summary.npz")
+        loaded = OPAQSummary.load(tmp_path / "summary.npz")
+        b0 = OPAQ(config).bound(loaded, 0.5)
+        b1 = OPAQ(config).bound(summary, 0.5)
+        assert (b0.lower, b0.upper) == (b1.lower, b1.upper)
+
+    def test_exact_two_pass_on_disk(self, tmp_path):
+        n = 40_000
+        ds = write_dataset(tmp_path / "u.opaq", ZipfGenerator(), n, seed=5)
+        config = OPAQConfig(run_size=8000, sample_size=200)
+        phis = [0.25, 0.5, 0.75]
+        values, bounds, _ = exact_quantiles(ds, phis, config)
+        sd = np.sort(ds.read_all())
+        expected = [sd[b.rank - 1] for b in bounds]
+        np.testing.assert_array_equal(values, expected)
+
+    def test_sort_then_serve_histogram(self, tmp_path, rng):
+        """Sort a file with OPAQ splitters, then build a histogram and
+        check range estimates against the sorted truth."""
+        from repro.storage import DiskDataset
+
+        data = rng.uniform(0, 1e6, size=50_000)
+        src = DiskDataset.create(tmp_path / "src.opaq", data)
+        report = external_sort(src, tmp_path / "sorted.opaq", memory=15_000)
+        out = report.output.read_all()
+        assert np.all(np.diff(out) >= 0)
+
+        config = OPAQConfig(run_size=10_000, sample_size=500)
+        summary = OPAQ(config).summarize(src.read_all())
+        hist = EquiDepthHistogram(summary, 10)
+        sel = hist.selectivity(2.5e5, 7.5e5)
+        true = np.count_nonzero((data >= 2.5e5) & (data <= 7.5e5)) / data.size
+        assert sel.lower <= true <= sel.upper
+
+    def test_incremental_then_rank_estimation(self, rng):
+        config = OPAQConfig(run_size=2000, sample_size=100)
+        inc = IncrementalOPAQ(config)
+        all_batches = []
+        for day in range(4):
+            batch = rng.normal(day, 1.0, size=5000)
+            all_batches.append(batch)
+            inc.update(batch)
+        everything = np.concatenate(all_batches)
+        sd = np.sort(everything)
+        band = estimate_rank(inc.summary, float(np.median(everything)))
+        true = int(np.searchsorted(sd, np.median(everything), side="right"))
+        assert band.low <= true <= band.high
+
+    def test_load_balance_distribution_shift(self, rng):
+        """Splitters from a summary balance even highly skewed data."""
+        data = rng.lognormal(0.0, 2.0, size=40_000)
+        config = OPAQConfig(run_size=8000, sample_size=400)
+        summary = OPAQ(config).summarize(data)
+        lb = LoadBalancer(summary, 16)
+        rep = lb.report(data)
+        assert rep.max_share <= data.size / 16 + lb.guaranteed_extra()

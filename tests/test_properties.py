@@ -1,0 +1,159 @@
+"""The paper's lemmas as machine-checked properties.
+
+This module is the heart of the reproduction's correctness story: for
+arbitrary data, arbitrary run/sample configurations and arbitrary quantile
+fractions, the deterministic guarantees of section 2.2 must hold —
+
+* **Enclosure**: the true φ-quantile value lies in ``[e_l, e_u]``.
+* **Lemma 1**: at most ``n/s`` elements between ``e_l`` and the truth.
+* **Lemma 2**: at most ``n/s`` elements between the truth and ``e_u``.
+* **Lemma 3**: at most ``2n/s`` elements between the bounds.
+
+(The implementation's declared budgets are used — they equal ``n/s`` in
+the paper's divisible case and stay within it for ragged layouts.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core import OPAQ, OPAQConfig, quantile_bounds
+from repro.metrics import dectile_fractions
+
+
+def count_leq(sorted_data: np.ndarray, value: float) -> int:
+    return int(np.searchsorted(sorted_data, value, side="right"))
+
+
+def count_lt(sorted_data: np.ndarray, value: float) -> int:
+    return int(np.searchsorted(sorted_data, value, side="left"))
+
+
+datasets = st.one_of(
+    # uniform-ish floats
+    st.lists(
+        st.floats(min_value=-1e9, max_value=1e9, allow_nan=False),
+        min_size=8,
+        max_size=600,
+    ),
+    # heavy duplication
+    st.lists(st.sampled_from([1.0, 2.0, 2.0, 3.0, 100.0]), min_size=8, max_size=600),
+    # integers (many ties)
+    st.lists(st.integers(min_value=0, max_value=9).map(float), min_size=8, max_size=600),
+)
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    values=datasets,
+    run_size=st.integers(min_value=2, max_value=128),
+    sample_size=st.integers(min_value=1, max_value=32),
+    phi_permille=st.integers(min_value=1, max_value=1000),
+)
+def test_lemmas_hold_for_arbitrary_configurations(
+    values, run_size, sample_size, phi_permille
+):
+    data = np.array(values, dtype=np.float64)
+    sample_size = min(sample_size, run_size)
+    config = OPAQConfig(run_size=run_size, sample_size=sample_size)
+    summary = OPAQ(config).summarize(data)
+    sd = np.sort(data)
+    phi = phi_permille / 1000.0
+
+    b = quantile_bounds(summary, phi)
+    true = sd[b.rank - 1]
+
+    # Enclosure.
+    assert b.lower <= true <= b.upper
+
+    # Lemma 1: actual gap below, and the declared budget honours n/s.
+    gap_below = b.rank - count_leq(sd, b.lower)
+    assert gap_below <= b.max_below
+    # Lemma 2.
+    gap_above = count_lt(sd, b.upper) - b.rank
+    assert gap_above <= b.max_above
+    # Lemma 3.
+    between = count_lt(sd, b.upper) - count_leq(sd, b.lower)
+    assert between <= b.max_between
+
+    # The declared budgets themselves stay within the summary guarantee,
+    # which in the divisible case is the paper's n/s.
+    assert b.max_below <= summary.guaranteed_rank_error()
+    assert b.max_above <= summary.guaranteed_rank_error()
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    n_thousands=st.integers(min_value=2, max_value=20),
+)
+def test_paper_divisible_case_respects_n_over_s(seed, n_thousands):
+    """In the paper's exact setting (s | m, m | n) the budget is n/s."""
+    n = n_thousands * 1000
+    m = 1000
+    s = 100
+    rng = np.random.default_rng(seed)
+    data = rng.uniform(size=n)
+    summary = OPAQ(OPAQConfig(run_size=m, sample_size=s)).summarize(data)
+    n_over_s = n // s
+    assert summary.guaranteed_rank_error() <= n_over_s
+    sd = np.sort(data)
+    for phi in dectile_fractions():
+        b = quantile_bounds(summary, float(phi))
+        assert b.max_between <= 2 * n_over_s
+        # Realised displacement also within n/s on each side.
+        assert b.rank - count_leq(sd, b.lower) <= n_over_s
+        assert count_lt(sd, b.upper) - b.rank <= n_over_s
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    values=datasets,
+    run_size=st.integers(min_value=2, max_value=64),
+    sample_size=st.integers(min_value=1, max_value=16),
+)
+def test_incremental_merge_preserves_lemmas(values, run_size, sample_size):
+    """Merged summaries (section 4) must keep every guarantee."""
+    data = np.array(values, dtype=np.float64)
+    sample_size = min(sample_size, run_size)
+    config = OPAQConfig(run_size=run_size, sample_size=sample_size)
+    opaq = OPAQ(config)
+    half = data.size // 2
+    if half == 0 or data.size - half == 0:
+        return
+    merged = opaq.summarize(data[:half]).merge(opaq.summarize(data[half:]))
+    sd = np.sort(data)
+    for phi in (0.25, 0.5, 0.75):
+        b = quantile_bounds(merged, phi)
+        true = sd[b.rank - 1]
+        assert b.lower <= true <= b.upper
+        assert b.rank - count_leq(sd, b.lower) <= b.max_below
+        assert count_lt(sd, b.upper) - b.rank <= b.max_above
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    values=datasets,
+    run_size=st.integers(min_value=2, max_value=64),
+    sample_size=st.integers(min_value=1, max_value=16),
+    factor=st.integers(min_value=2, max_value=9),
+)
+def test_compaction_preserves_lemma_structure(values, run_size, sample_size, factor):
+    """Compacted summaries (memory-bounded incremental use) must keep the
+    enclosure and honour their own (coarsened) budgets."""
+    data = np.array(values, dtype=np.float64)
+    sample_size = min(sample_size, run_size)
+    config = OPAQConfig(run_size=run_size, sample_size=sample_size)
+    summary = OPAQ(config).summarize(data).compact(factor)
+    assert summary.count == data.size
+    assert int(summary.gaps.sum()) == data.size
+    sd = np.sort(data)
+    for phi in (0.1, 0.5, 0.9, 1.0):
+        b = quantile_bounds(summary, phi)
+        true = sd[b.rank - 1]
+        assert b.lower <= true <= b.upper
+        gap_below = b.rank - count_leq(sd, b.lower)
+        assert gap_below <= b.max_below
+        gap_above = count_lt(sd, b.upper) - b.rank
+        assert gap_above <= b.max_above

@@ -1,0 +1,57 @@
+"""Tests for materialising workloads to disk."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.workloads import UniformGenerator, dataset_cache, write_dataset
+
+
+class TestWriteDataset:
+    def test_writes_requested_size(self, tmp_path):
+        ds = write_dataset(tmp_path / "d.opaq", UniformGenerator(), 10_000, seed=1)
+        assert ds.count == 10_000
+
+    def test_chunked_generation_bounded_memory(self, tmp_path):
+        ds = write_dataset(
+            tmp_path / "d.opaq", UniformGenerator(), 10_000, seed=1, chunk=1000
+        )
+        assert ds.count == 10_000
+        data = ds.read_all()
+        # Still roughly uniform despite per-chunk generation.
+        assert 0.45e9 < np.median(data) < 0.55e9
+
+    def test_deterministic(self, tmp_path):
+        a = write_dataset(tmp_path / "a.opaq", UniformGenerator(), 5000, seed=9)
+        b = write_dataset(tmp_path / "b.opaq", UniformGenerator(), 5000, seed=9)
+        np.testing.assert_array_equal(a.read_all(), b.read_all())
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ConfigError):
+            write_dataset(tmp_path / "d.opaq", UniformGenerator(), 0, seed=1)
+        with pytest.raises(ConfigError):
+            write_dataset(tmp_path / "d.opaq", UniformGenerator(), 10, seed=1, chunk=0)
+
+
+class TestDatasetCache:
+    def test_cache_hit_reuses_file(self, tmp_path):
+        gen = UniformGenerator()
+        a = dataset_cache(tmp_path, gen, 1000, seed=1)
+        mtime = a.path.stat().st_mtime_ns
+        b = dataset_cache(tmp_path, gen, 1000, seed=1)
+        assert b.path == a.path
+        assert b.path.stat().st_mtime_ns == mtime
+
+    def test_different_params_different_files(self, tmp_path):
+        gen = UniformGenerator()
+        a = dataset_cache(tmp_path, gen, 1000, seed=1)
+        b = dataset_cache(tmp_path, gen, 1000, seed=2)
+        c = dataset_cache(tmp_path, gen, 2000, seed=1)
+        assert len({a.path, b.path, c.path}) == 3
+
+    def test_corrupt_cache_regenerated(self, tmp_path):
+        gen = UniformGenerator()
+        a = dataset_cache(tmp_path, gen, 1000, seed=1)
+        a.path.write_bytes(b"garbage")
+        b = dataset_cache(tmp_path, gen, 1000, seed=1)
+        assert b.count == 1000

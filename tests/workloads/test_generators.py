@@ -1,0 +1,136 @@
+"""Tests for the synthetic workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.workloads import (
+    GENERATOR_NAMES,
+    ConstantGenerator,
+    FewDistinctGenerator,
+    NormalGenerator,
+    SortedGenerator,
+    UniformGenerator,
+    ZipfGenerator,
+    make_generator,
+)
+
+
+class TestCommonBehaviour:
+    @pytest.mark.parametrize("name", GENERATOR_NAMES)
+    def test_size_and_determinism(self, name):
+        gen = make_generator(name)
+        a = gen.generate(10_000, seed=42)
+        b = gen.generate(10_000, seed=42)
+        assert a.size == 10_000
+        np.testing.assert_array_equal(a, b)
+
+    @pytest.mark.parametrize("name", GENERATOR_NAMES)
+    def test_seed_changes_output(self, name):
+        gen = make_generator(name)
+        if name == "constant":
+            pytest.skip("constant data ignores the seed by definition")
+        a = gen.generate(10_000, seed=1)
+        b = gen.generate(10_000, seed=2)
+        assert not np.array_equal(a, b)
+
+    @pytest.mark.parametrize("name", GENERATOR_NAMES)
+    def test_rejects_nonpositive_n(self, name):
+        with pytest.raises(ConfigError):
+            make_generator(name).generate(0, seed=1)
+
+    def test_unknown_generator(self):
+        with pytest.raises(ConfigError, match="unknown generator"):
+            make_generator("cauchy")
+
+
+class TestDuplicates:
+    def test_paper_duplicate_count_uniform(self):
+        n = 50_000
+        data = UniformGenerator().generate(n, seed=7)
+        n_distinct = np.unique(data).size
+        # Exactly n/10 duplicate draws (up to collisions, absent for floats).
+        assert n - n_distinct == n // 10
+
+    def test_paper_duplicate_count_zipf(self):
+        n = 50_000
+        data = ZipfGenerator().generate(n, seed=7)
+        assert n - np.unique(data).size == n // 10
+
+    def test_zero_duplicates(self):
+        data = UniformGenerator(duplicate_fraction=0.0).generate(1000, seed=1)
+        assert np.unique(data).size == 1000
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ConfigError):
+            UniformGenerator(duplicate_fraction=1.0)
+        with pytest.raises(ConfigError):
+            UniformGenerator(duplicate_fraction=-0.1)
+
+
+class TestUniform:
+    def test_range(self):
+        gen = UniformGenerator(lo=10.0, hi=20.0)
+        data = gen.generate(10_000, seed=3)
+        assert data.min() >= 10.0 and data.max() < 20.0
+
+    def test_roughly_uniform(self):
+        data = UniformGenerator(lo=0.0, hi=1.0).generate(100_000, seed=3)
+        hist, _ = np.histogram(data, bins=10, range=(0, 1))
+        assert hist.min() > 0.08 * data.size  # each decile near 10%
+
+
+class TestZipf:
+    def test_paper_convention_parameter_one_is_uniformish(self):
+        # parameter 1 -> exponent 0 -> equal weights.
+        gen = ZipfGenerator(parameter=1.0)
+        assert gen.exponent == 0.0
+
+    def test_skew_increases_as_parameter_decreases(self):
+        n = 50_000
+        mild = ZipfGenerator(parameter=0.9).generate(n, seed=5)
+        harsh = ZipfGenerator(parameter=0.1).generate(n, seed=5)
+        # Value mass concentrates near the low end when skew is high:
+        # compare the median's position within the range.
+        rel_mild = np.median(mild) / mild.max()
+        rel_harsh = np.median(harsh) / harsh.max()
+        assert rel_harsh < rel_mild
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigError, match="zipf parameter"):
+            ZipfGenerator(parameter=1.5)
+        with pytest.raises(ConfigError):
+            ZipfGenerator(parameter=-0.1)
+
+    def test_values_in_domain(self):
+        data = ZipfGenerator(lo=0.0, hi=100.0).generate(10_000, seed=1)
+        assert data.min() >= 0.0 and data.max() <= 100.0
+
+
+class TestStressGenerators:
+    def test_sorted_ascending(self):
+        data = SortedGenerator().generate(1000, seed=1)
+        assert np.all(np.diff(data) >= 0)
+
+    def test_sorted_descending(self):
+        data = SortedGenerator(descending=True).generate(1000, seed=1)
+        assert np.all(np.diff(data) <= 0)
+
+    def test_constant(self):
+        data = ConstantGenerator(value=5.0).generate(100, seed=1)
+        assert np.all(data == 5.0)
+
+    def test_few_distinct(self):
+        data = FewDistinctGenerator(k=4).generate(10_000, seed=1)
+        assert np.unique(data).size <= 4
+
+    def test_few_distinct_validation(self):
+        with pytest.raises(ConfigError):
+            FewDistinctGenerator(k=0).generate(10, seed=1)
+
+    def test_normal_moments(self):
+        data = NormalGenerator(mean=3.0, std=2.0, duplicate_fraction=0.0).generate(
+            100_000, seed=1
+        )
+        assert abs(data.mean() - 3.0) < 0.05
+        assert abs(data.std() - 2.0) < 0.05

@@ -1,0 +1,86 @@
+"""Statistical tests for the workload generators (scipy goodness-of-fit).
+
+The error-rate tables are only meaningful if the synthetic workloads
+actually have the distributions the paper describes; these tests check
+distributional shape with Kolmogorov-Smirnov / chi-squared machinery
+rather than spot moments.
+"""
+
+import numpy as np
+import pytest
+
+scipy_stats = pytest.importorskip("scipy.stats")
+
+from repro.workloads import (
+    NormalGenerator,
+    UniformGenerator,
+    ZipfGenerator,
+)
+
+
+class TestUniformGoodnessOfFit:
+    def test_ks_against_uniform(self):
+        # Duplicates perturb the empirical CDF, so test the distinct base.
+        data = UniformGenerator(
+            lo=0.0, hi=1.0, duplicate_fraction=0.0
+        ).generate(50_000, seed=11)
+        stat, pvalue = scipy_stats.kstest(data, "uniform")
+        assert pvalue > 0.01
+
+    def test_duplicates_do_not_shift_the_distribution(self):
+        plain = UniformGenerator(lo=0.0, hi=1.0, duplicate_fraction=0.0)
+        duped = UniformGenerator(lo=0.0, hi=1.0, duplicate_fraction=0.1)
+        a = plain.generate(50_000, seed=3)
+        b = duped.generate(50_000, seed=3)
+        stat, pvalue = scipy_stats.ks_2samp(a, b)
+        assert pvalue > 0.01
+
+
+class TestNormalGoodnessOfFit:
+    def test_ks_against_normal(self):
+        data = NormalGenerator(
+            mean=2.0, std=3.0, duplicate_fraction=0.0
+        ).generate(50_000, seed=5)
+        stat, pvalue = scipy_stats.kstest(data, "norm", args=(2.0, 3.0))
+        assert pvalue > 0.01
+
+
+class TestZipfShape:
+    def test_duplicate_frequencies_follow_zipf_weights(self):
+        """The duplicated draws must be Zipf-weighted: chi-squared against
+        the theoretical frequencies of the most popular ranks."""
+        n = 200_000
+        gen = ZipfGenerator(parameter=0.2, duplicate_fraction=0.5)
+        data = gen.generate(n, seed=9)
+        values, counts = np.unique(data, return_counts=True)
+        dup_counts = np.sort(counts[counts > 1] - 1)[::-1]
+        # Theoretical: n_dup draws over k ranks with p_i ~ i^-(0.8).
+        k = n - int(n * 0.5)
+        ranks = np.arange(1, k + 1, dtype=np.float64)
+        weights = ranks ** -(1.0 - 0.2)
+        weights /= weights.sum()
+        expected_top = weights[: dup_counts.size][::-1].cumsum()[-1] * (n - k)
+        # Sanity: the top duplicated values absorb about the expected mass.
+        assert 0.5 * expected_top < dup_counts.sum() <= n - k
+
+    def test_value_mass_concentrates_low(self):
+        """Value-space skew: the lower half-range holds most of the keys
+        under heavy skew (~0.9 at parameter 0.2 vs 0.5 when uniform)."""
+        data = ZipfGenerator(parameter=0.2, lo=0.0, hi=1.0).generate(
+            100_000, seed=13
+        )
+        low_half_mass = np.count_nonzero(data <= 0.5) / data.size
+        assert low_half_mass > 0.85
+
+    def test_parameter_one_spreads_mass(self):
+        data = ZipfGenerator(parameter=1.0, lo=0.0, hi=1.0).generate(
+            100_000, seed=13
+        )
+        low_half_mass = np.count_nonzero(data <= 0.5) / data.size
+        assert 0.4 < low_half_mass < 0.6
+
+    def test_quantile_structure_independent_of_seed(self):
+        gen = ZipfGenerator(parameter=0.86)
+        a = np.quantile(gen.generate(50_000, seed=1), [0.1, 0.5, 0.9])
+        b = np.quantile(gen.generate(50_000, seed=2), [0.1, 0.5, 0.9])
+        np.testing.assert_allclose(a, b, rtol=0.1)
