@@ -12,7 +12,6 @@ from benchmarks.conftest import run_once
 from repro.core import OPAQ, IncrementalOPAQ, OPAQConfig, exact_quantiles
 from repro.experiments import TableResult
 from repro.metrics import dectile_fractions
-from repro.storage import DiskDataset, RunReader
 from repro.workloads import UniformGenerator, write_dataset
 
 

@@ -4,7 +4,6 @@ Paper claim: error roughly halves when ``s`` doubles, stays far below the
 analytic bound ``2/s·100``, and does not depend on the distribution.
 """
 
-import numpy as np
 
 from benchmarks.conftest import run_once
 from repro.experiments import opaq_error_report, resolve_n, table3

@@ -11,7 +11,7 @@ principle (the sorted-arrival ablation shows them failing).
 import numpy as np
 
 from benchmarks.conftest import run_once
-from repro.experiments import PAPER_RUNS, resolve_n, table7
+from repro.experiments import PAPER_RUNS, table7
 from repro.metrics import rera_bound
 
 

@@ -4,7 +4,6 @@ Paper claim: ~0.09 % everywhere — identical to the sequential algorithm
 and independent of the data size.
 """
 
-import numpy as np
 
 from benchmarks.conftest import run_once
 from repro.experiments import parallel_error_reports, resolve_n, table9

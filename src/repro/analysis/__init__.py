@@ -1,0 +1,52 @@
+"""opaqlint: static enforcement of OPAQ's paper-level disciplines.
+
+The library's guarantees — one pass over the data, bounded memory,
+deterministic results, matched SPMD communication, one exception
+taxonomy — are *disciplines of the source code*, invisible to unit tests
+on small inputs.  This package checks them over the AST:
+
+>>> from repro.analysis import lint_paths
+>>> result = lint_paths(["src/repro"])          # doctest: +SKIP
+>>> result.clean                                # doctest: +SKIP
+True
+
+Run it from the command line as ``opaq lint [paths...]``; see
+``docs/static_analysis.md`` for the rule catalogue and the
+``# opaq: ignore[rule-id]`` suppression syntax.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.framework import Finding, ModuleContext, Rule, Suppressions
+from repro.analysis.registry import all_rules, get_rule, register
+from repro.analysis.reporters import (
+    JSON_SCHEMA_VERSION,
+    render_json,
+    render_rule_list,
+    render_text,
+)
+from repro.analysis.runner import LintResult, lint_paths, parse_module
+
+# Importing the rule modules registers every rule family.
+from repro.analysis import rules_onepass  # noqa: F401  (registration)
+from repro.analysis import rules_memory  # noqa: F401  (registration)
+from repro.analysis import rules_determinism  # noqa: F401  (registration)
+from repro.analysis import rules_spmd  # noqa: F401  (registration)
+from repro.analysis import rules_exceptions  # noqa: F401  (registration)
+
+__all__ = [
+    "Finding",
+    "ModuleContext",
+    "Rule",
+    "Suppressions",
+    "LintResult",
+    "lint_paths",
+    "parse_module",
+    "all_rules",
+    "get_rule",
+    "register",
+    "render_text",
+    "render_json",
+    "render_rule_list",
+    "JSON_SCHEMA_VERSION",
+]

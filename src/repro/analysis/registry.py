@@ -1,0 +1,48 @@
+"""Rule registry: every rule family registers itself at import time."""
+
+from __future__ import annotations
+
+from repro.analysis.framework import Rule
+from repro.errors import ConfigError
+
+__all__ = ["register", "all_rules", "get_rule", "resolve_rule_ids"]
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator: instantiate and register one rule.
+
+    Rule ids and codes share a namespace (both work in suppressions and
+    ``--select``/``--ignore``), so collisions in either are configuration
+    errors caught at import time.
+    """
+    rule = cls()
+    for key in (rule.rule_id, rule.code):
+        if key in _REGISTRY:
+            raise ConfigError(f"duplicate rule id/code {key!r}")
+    _REGISTRY[rule.rule_id] = rule
+    _REGISTRY[rule.code] = rule
+    return cls
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, ordered by code."""
+    unique = {id(rule): rule for rule in _REGISTRY.values()}
+    return sorted(unique.values(), key=lambda r: r.code)
+
+
+def get_rule(name: str) -> Rule:
+    """Look a rule up by id or code."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(r.rule_id for r in all_rules()))
+        raise ConfigError(f"unknown rule {name!r}; known rules: {known}") from None
+
+
+def resolve_rule_ids(names: list[str] | None) -> set[str] | None:
+    """Normalise a user-supplied id/code list to canonical rule ids."""
+    if not names:
+        return None
+    return {get_rule(name).rule_id for name in names}

@@ -1,0 +1,53 @@
+"""Text and JSON reporters for lint results."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.registry import all_rules
+from repro.analysis.runner import LintResult
+
+__all__ = ["render_text", "render_json", "render_rule_list", "JSON_SCHEMA_VERSION"]
+
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(result: LintResult) -> str:
+    """Human-readable report: one line per finding plus a summary."""
+    lines = [finding.render() for finding in result.findings]
+    noun = "file" if result.files_checked == 1 else "files"
+    if result.findings:
+        summary = (
+            f"{len(result.findings)} finding(s) in {result.files_checked} "
+            f"{noun} checked ({result.suppressed} suppressed)"
+        )
+    else:
+        summary = (
+            f"clean: {result.files_checked} {noun} checked "
+            f"({result.suppressed} suppressed)"
+        )
+    return "\n".join([*lines, summary])
+
+
+def render_json(result: LintResult) -> str:
+    """Machine-readable report (stable schema, versioned)."""
+    payload = {
+        "version": JSON_SCHEMA_VERSION,
+        "files_checked": result.files_checked,
+        "suppressed": result.suppressed,
+        "count": len(result.findings),
+        "findings": [finding.to_dict() for finding in result.findings],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_rule_list() -> str:
+    """The ``--list-rules`` catalogue: id, code, scope, description."""
+    lines = []
+    for rule in all_rules():
+        scope = ", ".join(rule.scope_prefixes) or "src/repro (all)"
+        lines.append(f"{rule.code}  {rule.rule_id}")
+        lines.append(f"    scope: {scope}")
+        lines.append(f"    protects: {rule.paper_ref}")
+        lines.append(f"    {rule.description}")
+    return "\n".join(lines)

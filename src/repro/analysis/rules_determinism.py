@@ -1,0 +1,207 @@
+"""Rule family 3 (OPQ3xx): determinism.
+
+OPAQ's bounds are *deterministic*: Lemmas 1-3 hold for every input and
+every execution, which is the paper's headline advantage over randomized
+sketches.  The reproduction extends the claim to the simulated SP-2
+experiments — rerunning any experiment must produce bit-identical tables.
+Three things quietly break that: wall-clock reads, unseeded random number
+generators, and exact float comparisons (whose truth value flips with
+summation order when an implementation detail changes).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.framework import Finding, ModuleContext, Rule, dotted_name
+from repro.analysis.registry import register
+
+__all__ = ["WallClockRule", "UnseededRngRule", "FloatEqualityRule"]
+
+#: Wall-clock reads.  time.perf_counter is deliberately absent: it is the
+#: sanctioned monotonic timer for *reporting* elapsed time, and results
+#: must never depend on it anyway.
+_WALL_CLOCKS = {
+    "time.time",
+    "time.time_ns",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+}
+
+#: Attributes of the *global* numpy RNG (np.random.<fn> module calls).
+_NP_GLOBAL_RNG = {
+    "seed",
+    "rand",
+    "randn",
+    "randint",
+    "random",
+    "random_sample",
+    "choice",
+    "shuffle",
+    "permutation",
+    "uniform",
+    "normal",
+    "standard_normal",
+    "exponential",
+    "zipf",
+    "beta",
+    "gamma",
+    "poisson",
+}
+
+#: Functions of the stdlib global ``random`` module.
+_STDLIB_RNG = {
+    "seed",
+    "random",
+    "randint",
+    "randrange",
+    "choice",
+    "choices",
+    "shuffle",
+    "sample",
+    "uniform",
+    "gauss",
+    "normalvariate",
+    "betavariate",
+    "expovariate",
+}
+
+#: Generator constructors that must receive an explicit seed.
+_RNG_CTORS = {
+    "np.random.default_rng",
+    "numpy.random.default_rng",
+    "np.random.RandomState",
+    "numpy.random.RandomState",
+}
+
+
+def _unseeded(call: ast.Call) -> bool:
+    """True when a generator constructor got no seed (or a literal None)."""
+    if not call.args and not call.keywords:
+        return True
+    if call.args:
+        first = call.args[0]
+        return isinstance(first, ast.Constant) and first.value is None
+    return any(
+        kw.arg == "seed"
+        and isinstance(kw.value, ast.Constant)
+        and kw.value.value is None
+        for kw in call.keywords
+    )
+
+
+@register
+class WallClockRule(Rule):
+    """No wall-clock reads in the deterministic layers."""
+
+    rule_id = "determinism-wall-clock"
+    code = "OPQ301"
+    description = (
+        "wall-clock read (time.time / datetime.now) in a deterministic "
+        "layer; use time.perf_counter for reporting, SimulatedMachine "
+        "clocks for modelled time"
+    )
+    paper_ref = "section 3 (the two-level model supplies all timing)"
+    scope_prefixes = ("core/", "selection/", "parallel/")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name in _WALL_CLOCKS:
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"{name}() reads the wall clock; results and modelled "
+                    "timings must not depend on real time",
+                )
+
+
+@register
+class UnseededRngRule(Rule):
+    """All randomness flows through explicitly seeded generators."""
+
+    rule_id = "determinism-unseeded-rng"
+    code = "OPQ302"
+    description = (
+        "global or unseeded RNG (np.random.<fn>, random.<fn>, "
+        "default_rng()); pass a seeded np.random.Generator"
+    )
+    paper_ref = "section 1 (deterministic guarantees for any input)"
+    scope_prefixes = ("core/", "selection/", "parallel/")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            if name in _RNG_CTORS:
+                if _unseeded(node):
+                    yield ctx.finding(
+                        self,
+                        node,
+                        f"{name}() without a seed draws OS entropy; "
+                        "pass an explicit seed",
+                    )
+                continue
+            parts = name.split(".")
+            if (
+                len(parts) == 3
+                and parts[0] in ("np", "numpy")
+                and parts[1] == "random"
+                and parts[2] in _NP_GLOBAL_RNG
+            ):
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"{name}() uses numpy's hidden global RNG; "
+                    "thread a seeded np.random.Generator instead",
+                )
+            elif len(parts) == 2 and parts[0] == "random" and parts[1] in _STDLIB_RNG:
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"{name}() uses the stdlib global RNG; "
+                    "thread a seeded generator instead",
+                )
+
+
+@register
+class FloatEqualityRule(Rule):
+    """No exact equality against float literals."""
+
+    rule_id = "determinism-float-equality"
+    code = "OPQ303"
+    description = (
+        "== / != against a float literal; exact float equality flips "
+        "with evaluation order — compare ranks, or use a tolerance"
+    )
+    paper_ref = "section 2.1.2 (guarantees are stated on ranks, not values)"
+    scope_prefixes = ("core/", "selection/", "parallel/")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                for side in (left, right):
+                    if isinstance(side, ast.Constant) and isinstance(
+                        side.value, float
+                    ):
+                        yield ctx.finding(
+                            self,
+                            node,
+                            f"exact {'==' if isinstance(op, ast.Eq) else '!='} "
+                            f"against float literal {side.value!r}; compare "
+                            "ranks or use math.isclose",
+                        )
+                        break

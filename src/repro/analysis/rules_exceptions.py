@@ -1,0 +1,103 @@
+"""Rule family 5 (OPQ5xx): exception hygiene.
+
+Every deliberate error in this library derives from
+:class:`repro.errors.ReproError`, so callers catch one base class and the
+error taxonomy (ConfigError, SinglePassViolation, EstimationError,
+DataError) documents *which discipline* was violated.  Raising a bare
+builtin loses that taxonomy; a bare ``except:`` swallows
+:class:`~repro.errors.SinglePassViolation` — the runtime half of the
+one-pass guarantee — along with everything else.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.framework import Finding, ModuleContext, Rule, dotted_name
+from repro.analysis.registry import register
+
+__all__ = ["ForeignRaiseRule", "BareExceptRule"]
+
+#: Builtin exception types that must not be raised directly; use the
+#: corresponding repro.errors type.
+_FORBIDDEN_RAISES = {
+    "Exception",
+    "BaseException",
+    "ValueError",
+    "TypeError",
+    "RuntimeError",
+    "KeyError",
+    "IndexError",
+    "AttributeError",
+    "LookupError",
+    "ArithmeticError",
+    "ZeroDivisionError",
+    "OverflowError",
+    "FloatingPointError",
+    "OSError",
+    "IOError",
+    "EOFError",
+    "BufferError",
+    "MemoryError",
+    "StopIteration",
+    "AssertionError",
+}
+# Deliberately allowed: NotImplementedError (abstract-method idiom),
+# SystemExit / KeyboardInterrupt (process control, e.g. CLI entry points).
+
+
+@register
+class ForeignRaiseRule(Rule):
+    """Library code raises repro.errors types, not bare builtins."""
+
+    rule_id = "exception-foreign-raise"
+    code = "OPQ501"
+    description = (
+        "raise of a builtin exception; raise the matching repro.errors "
+        "type (ConfigError, EstimationError, DataError, ...) instead"
+    )
+    paper_ref = "errors.py (one catchable taxonomy per violated discipline)"
+    scope_prefixes = ()
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            exc = node.exc
+            if isinstance(exc, ast.Call):
+                exc = exc.func
+            name = dotted_name(exc)
+            if name in _FORBIDDEN_RAISES:
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"raise {name}: library errors must derive from "
+                    "repro.errors.ReproError so callers can catch one base "
+                    "class",
+                )
+
+
+@register
+class BareExceptRule(Rule):
+    """No bare ``except:`` handlers."""
+
+    rule_id = "exception-bare-except"
+    code = "OPQ502"
+    description = (
+        "bare except: swallows SinglePassViolation and every other "
+        "invariant error; catch a concrete type"
+    )
+    paper_ref = "errors.py (SinglePassViolation is load-bearing)"
+    scope_prefixes = ()
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield ctx.finding(
+                    self,
+                    node,
+                    "bare except: catches everything, including the "
+                    "one-pass and configuration invariant errors; name "
+                    "the exception type",
+                )

@@ -1,0 +1,93 @@
+"""Rule family 2 (OPQ2xx): the memory discipline.
+
+The paper's memory constraint is ``r*s + m <= M`` (section 2.2): at any
+instant the algorithm holds one run buffer plus the retained sample lists.
+Materialising the whole dataset — reading it all into one array, or
+collecting every run of an iterator into a list — satisfies every unit
+test on small inputs and silently abandons the claim that makes the
+algorithm usable on disk-resident data.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.framework import Finding, ModuleContext, Rule, dotted_name
+from repro.analysis.registry import register
+
+__all__ = ["MaterializeRule"]
+
+#: Aggregators that build one array/list out of everything they are fed.
+_AGGREGATORS = {
+    "np.concatenate",
+    "np.hstack",
+    "np.vstack",
+    "np.stack",
+    "numpy.concatenate",
+    "numpy.hstack",
+    "numpy.vstack",
+    "numpy.stack",
+    "list",
+    "tuple",
+}
+
+#: Conventional names of objects that iterate the whole dataset as runs.
+_RUN_ITERABLE_NAMES = {
+    "runs",
+    "reader",
+    "run_reader",
+    "run_iter",
+    "run_iterable",
+    "all_runs",
+    "partitions",
+}
+
+
+def _is_run_iterable(node: ast.expr) -> bool:
+    """A bare run-iterable name, or a ``<x>.runs()`` call."""
+    if isinstance(node, ast.Name):
+        return node.id in _RUN_ITERABLE_NAMES
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func)
+        return name is not None and name.rsplit(".", 1)[-1] == "runs"
+    return False
+
+
+@register
+class MaterializeRule(Rule):
+    """No whole-dataset materialisation inside the one-pass code paths."""
+
+    rule_id = "memory-materialize"
+    code = "OPQ201"
+    description = (
+        "whole-dataset materialisation (read_all / concatenating all "
+        "runs) in a one-pass code path; memory must stay r*s + m <= M"
+    )
+    paper_ref = "section 2.2 (memory constraint r*s + m <= M)"
+    scope_prefixes = ("core/",)
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            if "." in name and name.rsplit(".", 1)[1] == "read_all":
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"{name}() reads the entire dataset into memory; "
+                    "iterate it as runs through a RunReader instead",
+                )
+                continue
+            if name in _AGGREGATORS and any(
+                _is_run_iterable(arg) for arg in node.args
+            ):
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"{name}(...) collects every run into memory at once; "
+                    "process runs one at a time and retain only samples",
+                )

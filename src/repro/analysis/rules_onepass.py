@@ -1,0 +1,166 @@
+"""Rule family 1 (OPQ1xx): the one-pass discipline.
+
+The paper's entire contribution is that the sample phase touches each run
+once and never sorts it (section 2.1.1: selection, not sorting, is what
+makes the phase ``O(m log s)`` instead of ``O(m log m)``), and that the
+data is read exactly once (Lemma 1's rank bookkeeping assumes each element
+is counted in exactly one run).  These rules keep both properties true by
+construction.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.framework import Finding, ModuleContext, Rule, dotted_name
+from repro.analysis.registry import register
+
+__all__ = ["FullSortRule", "SecondPassRule"]
+
+#: Full-sort callables whose cost is ``O(m log m)`` on a run-sized array.
+_FULL_SORTS = {
+    "np.sort",
+    "np.argsort",
+    "np.lexsort",
+    "np.msort",
+    "numpy.sort",
+    "numpy.argsort",
+    "numpy.lexsort",
+    "numpy.msort",
+}
+
+#: Modules allowed to sort: the explicit sort-based *baseline* strategy
+#: exists to be compared against, so its sorts are the point, not a leak.
+_SORT_ALLOWLIST = ("selection/strategies.py",)
+
+
+@register
+class FullSortRule(Rule):
+    """No full sorts on run-sized data in the sample-phase hot paths."""
+
+    rule_id = "one-pass-sort"
+    code = "OPQ101"
+    description = (
+        "full sort (np.sort/sorted/.sort()) in a selection hot path; "
+        "the sample phase must stay selection-based"
+    )
+    paper_ref = "section 2.1.1 (sample phase cost O(m log s), not O(m log m))"
+    scope_prefixes = ("core/sample_phase.py", "selection/")
+
+    def in_scope(self, ctx: ModuleContext) -> bool:
+        if ctx.package_rel in _SORT_ALLOWLIST:
+            return False
+        return super().in_scope(ctx)
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            if name in _FULL_SORTS:
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"{name}() fully sorts its argument; use a selection "
+                    "strategy (np.partition / multiselect) instead",
+                )
+            elif name == "sorted":
+                yield ctx.finding(
+                    self,
+                    node,
+                    "sorted() fully sorts its argument; use a selection "
+                    "strategy (np.partition / multiselect) instead",
+                )
+            elif (
+                "." in name
+                and name.rsplit(".", 1)[1] == "sort"
+                and not node.args
+                and not node.keywords
+            ):
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"{name}() sorts in place; the sample phase must stay "
+                    "selection-based",
+                )
+
+
+def _is_runreader_ctor(node: ast.expr) -> bool:
+    name = dotted_name(node)
+    return name is not None and name.rsplit(".", 1)[-1] == "RunReader"
+
+
+def _has_explicit_budget(call: ast.Call) -> bool:
+    return any(kw.arg == "max_passes" for kw in call.keywords)
+
+
+@register
+class SecondPassRule(Rule):
+    """A run iterator may be consumed once unless a pass budget is declared."""
+
+    rule_id = "one-pass-reread"
+    code = "OPQ102"
+    description = (
+        "a RunReader consumed more than once without an explicit "
+        "max_passes budget; OPAQ reads the data exactly once"
+    )
+    paper_ref = "section 2 (one pass; section 4's exact extension declares 2)"
+    scope_prefixes = ("core/",)
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for func in ast.walk(ctx.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            yield from self._check_function(ctx, func)
+
+    def _check_function(
+        self, ctx: ModuleContext, func: ast.AST
+    ) -> Iterator[Finding]:
+        # Names bound to a RunReader(...) construction in this function,
+        # minus those that declared an explicit max_passes budget (the
+        # runtime enforces the declared budget; the lint enforces that
+        # silence means one pass).
+        readers: set[str] = set()
+        for node in ast.walk(func):
+            if (
+                isinstance(node, ast.Assign)
+                and isinstance(node.value, ast.Call)
+                and _is_runreader_ctor(node.value.func)
+                and not _has_explicit_budget(node.value)
+            ):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        readers.add(target.id)
+        if not readers:
+            return
+        consumed: dict[str, int] = {name: 0 for name in readers}
+        for name in readers:
+            for node, kind in _consumptions(func, name):
+                consumed[name] += 1
+                if consumed[name] > 1:
+                    yield ctx.finding(
+                        self,
+                        node,
+                        f"second consumption of run iterator {name!r} "
+                        f"({kind}); pass RunReader(..., max_passes=2) to "
+                        "request a second pass explicitly",
+                    )
+
+
+def _consumptions(func: ast.AST, name: str) -> Iterator[tuple[ast.AST, str]]:
+    """Yield ``(node, kind)`` for each event that drains ``name``."""
+    for node in ast.walk(func):
+        if isinstance(node, ast.Call):
+            call_name = dotted_name(node.func)
+            if call_name == f"{name}.runs":
+                yield node, f"{name}.runs() call"
+                continue
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                if isinstance(arg, ast.Name) and arg.id == name:
+                    yield node, f"passed to {call_name or 'a call'}()"
+        elif isinstance(node, ast.For):
+            if isinstance(node.iter, ast.Name) and node.iter.id == name:
+                yield node, "for-loop iteration"

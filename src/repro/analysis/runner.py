@@ -1,0 +1,111 @@
+"""Walk files, apply every in-scope rule, filter suppressions."""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from repro.analysis.framework import Finding, ModuleContext
+from repro.analysis.registry import all_rules, resolve_rule_ids
+from repro.errors import ConfigError, DataError
+
+__all__ = ["LintResult", "lint_paths", "iter_python_files", "parse_module"]
+
+#: Directory names never descended into.
+_SKIP_DIRS = {"__pycache__", ".git", ".venv", "node_modules"}
+
+
+class LintResult:
+    """Findings plus the bookkeeping reporters need."""
+
+    def __init__(
+        self, findings: list[Finding], files_checked: int, suppressed: int
+    ) -> None:
+        self.findings = findings
+        self.files_checked = files_checked
+        self.suppressed = suppressed
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+
+def iter_python_files(paths: Sequence[str | Path]) -> Iterator[Path]:
+    """Expand files/directories into the .py files to lint, in order."""
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            yield from sorted(
+                p
+                for p in path.rglob("*.py")
+                if not any(part in _SKIP_DIRS for part in p.parts)
+            )
+        elif path.is_file():
+            if path.suffix != ".py":
+                raise ConfigError(f"{path} is not a Python file")
+            yield path
+        else:
+            raise ConfigError(f"no such file or directory: {path}")
+
+
+def lint_paths(
+    paths: Sequence[str | Path],
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+) -> LintResult:
+    """Run every registered rule over ``paths``.
+
+    Parameters
+    ----------
+    paths:
+        Files and/or directories; directories are walked recursively.
+    select:
+        Rule ids/codes to run exclusively (default: all).
+    ignore:
+        Rule ids/codes to skip.
+
+    Returns
+    -------
+    LintResult
+        Findings sorted by location, with suppression counts.
+    """
+    selected = resolve_rule_ids(list(select) if select else None)
+    ignored = resolve_rule_ids(list(ignore) if ignore else None) or set()
+    rules = [
+        rule
+        for rule in all_rules()
+        if (selected is None or rule.rule_id in selected)
+        and rule.rule_id not in ignored
+    ]
+    findings: list[Finding] = []
+    files_checked = 0
+    suppressed = 0
+    for path in iter_python_files(paths):
+        files_checked += 1
+        try:
+            ctx = ModuleContext.from_path(path)
+        except SyntaxError as exc:
+            raise DataError(
+                f"cannot parse {path}: {exc.msg} (line {exc.lineno})"
+            ) from exc
+        for rule in rules:
+            if not rule.in_scope(ctx):
+                continue
+            for finding in rule.check(ctx):
+                if ctx.suppressions.silences(finding):
+                    suppressed += 1
+                else:
+                    findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return LintResult(findings, files_checked, suppressed)
+
+
+def parse_module(source: str, name: str = "<fixture>") -> ModuleContext:
+    """Build a context from a source string (test/fixture convenience)."""
+    return ModuleContext(
+        path=Path(name),
+        source=source,
+        tree=ast.parse(source, filename=name),
+        package_rel=None,
+    )

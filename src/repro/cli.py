@@ -11,6 +11,7 @@
     opaq exact keys.opaq --phi 0.5 --sample-size 1000
     opaq sort keys.opaq sorted.opaq --memory 2000000
     opaq report            # regenerate EXPERIMENTS.md content on stdout
+    opaq lint src/repro    # enforce the paper's disciplines statically
 
 Every subcommand is also reachable as ``python -m repro.cli ...``.
 """
@@ -18,6 +19,7 @@ Every subcommand is also reachable as ``python -m repro.cli ...``.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 import numpy as np
@@ -39,7 +41,7 @@ from repro.workloads import GENERATOR_NAMES, make_generator, write_dataset
 __all__ = ["main", "build_parser"]
 
 
-def _config_for(n: int, args) -> OPAQConfig:
+def _config_for(n: int, args: argparse.Namespace) -> OPAQConfig:
     """Build an OPAQConfig from common CLI flags."""
     sample_size = args.sample_size
     if args.run_size:
@@ -76,7 +78,7 @@ def _add_config_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _cmd_generate(args) -> int:
+def _cmd_generate(args: argparse.Namespace) -> int:
     kwargs = {}
     if args.zipf_parameter is not None:
         kwargs["parameter"] = args.zipf_parameter
@@ -88,7 +90,7 @@ def _cmd_generate(args) -> int:
     return 0
 
 
-def _cmd_info(args) -> int:
+def _cmd_info(args: argparse.Namespace) -> int:
     if str(args.data).endswith(".npz"):
         summary = OPAQSummary.load(args.data)
         print(f"summary:    {args.data}")
@@ -108,7 +110,7 @@ def _cmd_info(args) -> int:
     return 0
 
 
-def _cmd_compact(args) -> int:
+def _cmd_compact(args: argparse.Namespace) -> int:
     summary = OPAQSummary.load(args.summary)
     before = summary.guaranteed_rank_error()
     compacted = summary.compact_to(args.max_samples)
@@ -121,7 +123,7 @@ def _cmd_compact(args) -> int:
     return 0
 
 
-def _cmd_summarize(args) -> int:
+def _cmd_summarize(args: argparse.Namespace) -> int:
     ds = DiskDataset.open(args.data)
     config = _config_for(ds.count, args)
     reader = RunReader(ds, run_size=config.run_size)
@@ -140,13 +142,13 @@ def _cmd_summarize(args) -> int:
     return 0
 
 
-def _phis_from(args) -> list[float]:
+def _phis_from(args: argparse.Namespace) -> list[float]:
     if args.dectiles or not args.phi:
         return [float(p) for p in dectile_fractions()]
     return args.phi
 
 
-def _cmd_query(args) -> int:
+def _cmd_query(args: argparse.Namespace) -> int:
     from repro.core import quantile_bounds
 
     summary = OPAQSummary.load(args.summary)
@@ -160,7 +162,7 @@ def _cmd_query(args) -> int:
     return 0
 
 
-def _cmd_rank(args) -> int:
+def _cmd_rank(args: argparse.Namespace) -> int:
     summary = OPAQSummary.load(args.summary)
     band = estimate_rank(summary, args.value)
     print(
@@ -170,7 +172,7 @@ def _cmd_rank(args) -> int:
     return 0
 
 
-def _cmd_exact(args) -> int:
+def _cmd_exact(args: argparse.Namespace) -> int:
     ds = DiskDataset.open(args.data)
     config = _config_for(ds.count, args)
     phis = _phis_from(args)
@@ -184,7 +186,7 @@ def _cmd_exact(args) -> int:
     return 0
 
 
-def _cmd_sort(args) -> int:
+def _cmd_sort(args: argparse.Namespace) -> int:
     ds = DiskDataset.open(args.data)
     report = external_sort(ds, args.out, memory=args.memory)
     print(
@@ -199,7 +201,7 @@ def _cmd_sort(args) -> int:
     return 0
 
 
-def _cmd_analyze(args) -> int:
+def _cmd_analyze(args: argparse.Namespace) -> int:
     from repro.apps import TableStatistics
     from repro.storage import TableDataset
 
@@ -214,7 +216,7 @@ def _cmd_analyze(args) -> int:
     return 0
 
 
-def _parse_predicates(raw: list[str]):
+def _parse_predicates(raw: list[str]) -> list:
     """Parse ``column:lo:hi`` strings into predicates."""
     from repro.apps import Predicate
     from repro.errors import ConfigError
@@ -230,7 +232,7 @@ def _parse_predicates(raw: list[str]):
     return predicates
 
 
-def _cmd_explain(args) -> int:
+def _cmd_explain(args: argparse.Namespace) -> int:
     from repro.apps import TableStatistics
 
     stats = TableStatistics.load(args.stats)
@@ -251,11 +253,32 @@ def _cmd_explain(args) -> int:
     return 0
 
 
-def _cmd_report(args) -> int:
+def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.report import main as report_main
 
     report_main(sys.stdout)
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import (
+        lint_paths,
+        render_json,
+        render_rule_list,
+        render_text,
+    )
+
+    if args.list_rules:
+        print(render_rule_list())
+        return 0
+    result = lint_paths(
+        args.paths or ["src/repro"], select=args.select, ignore=args.ignore
+    )
+    if args.format == "json":
+        print(render_json(result))
+    else:
+        print(render_text(result))
+    return 0 if result.clean else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -341,6 +364,38 @@ def build_parser() -> argparse.ArgumentParser:
         "report", help="regenerate the EXPERIMENTS.md content on stdout"
     )
     p.set_defaults(fn=_cmd_report)
+
+    p = sub.add_parser(
+        "lint",
+        help="statically check the one-pass/determinism/SPMD disciplines",
+        description=(
+            "opaqlint: AST-based enforcement of the paper's invariants "
+            "(one-pass, memory, determinism, SPMD safety, exception "
+            "hygiene).  Exits 1 when findings remain, 0 when clean."
+        ),
+    )
+    p.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: src/repro)",
+    )
+    p.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format",
+    )
+    p.add_argument(
+        "--select", action="append", metavar="RULE",
+        help="run only this rule id/code (repeatable)",
+    )
+    p.add_argument(
+        "--ignore", action="append", metavar="RULE",
+        help="skip this rule id/code (repeatable)",
+    )
+    p.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    p.set_defaults(fn=_cmd_lint)
     return parser
 
 
@@ -352,6 +407,11 @@ def main(argv: list[str] | None = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; silence the default
+        # traceback and let the flush-on-exit see a dead descriptor too.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 1
 
 
 if __name__ == "__main__":

@@ -15,7 +15,7 @@ single-pass :class:`~repro.storage.RunReader`), an in-memory numpy array
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Iterable, Sequence, TypeAlias
 
 import numpy as np
 
@@ -29,7 +29,7 @@ from repro.storage import DiskDataset, RunReader
 
 __all__ = ["OPAQ", "estimate_quantiles"]
 
-DataSource = "DiskDataset | RunReader | np.ndarray | Iterable[np.ndarray]"
+DataSource: TypeAlias = "DiskDataset | RunReader | np.ndarray | Iterable[np.ndarray]"
 
 
 class OPAQ:
@@ -38,7 +38,7 @@ class OPAQ:
     def __init__(self, config: OPAQConfig) -> None:
         self.config = config
 
-    def _runs(self, source) -> Iterable[np.ndarray]:
+    def _runs(self, source: DataSource) -> Iterable[np.ndarray]:
         """Normalise any supported source into an iterable of runs."""
         if isinstance(source, DiskDataset):
             self.config.validate_for(source.count)
@@ -60,7 +60,7 @@ class OPAQ:
         # Fall through: assume an iterable of runs.
         return source
 
-    def summarize(self, source) -> OPAQSummary:
+    def summarize(self, source: DataSource) -> OPAQSummary:
         """The one pass: build the sorted sample list for ``source``."""
         return build_summary(self._runs(source), self.config)
 
@@ -74,7 +74,9 @@ class OPAQ:
         """Quantile bounds for a single fraction."""
         return quantile_bounds(summary, phi)
 
-    def estimate(self, source, phis: Sequence[float]) -> list[QuantileBounds]:
+    def estimate(
+        self, source: DataSource, phis: Sequence[float]
+    ) -> list[QuantileBounds]:
         """Convenience: one pass + quantile phase in a single call."""
         return self.bounds(self.summarize(source), phis)
 
@@ -84,7 +86,7 @@ class OPAQ:
 
 
 def estimate_quantiles(
-    data,
+    data: DataSource,
     phis: Sequence[float],
     sample_size: int = 1000,
     run_size: int | None = None,

@@ -18,7 +18,7 @@ from typing import Sequence
 
 from repro.core.bounds import QuantileBounds
 from repro.core.config import OPAQConfig
-from repro.core.estimator import OPAQ
+from repro.core.estimator import OPAQ, DataSource
 from repro.core.quantile_phase import bounds_for
 from repro.core.summary import OPAQSummary
 from repro.errors import EstimationError
@@ -60,7 +60,7 @@ class IncrementalOPAQ:
         """Number of :meth:`update` calls absorbed."""
         return self._batches
 
-    def update(self, batch) -> OPAQSummary:
+    def update(self, batch: DataSource) -> OPAQSummary:
         """Ingest one batch (array, dataset, or run iterable) and merge.
 
         Only the new batch is read; history is represented solely by the

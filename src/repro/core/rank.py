@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+from numpy.typing import ArrayLike
 
 from repro.core.summary import OPAQSummary
 
@@ -79,12 +80,12 @@ def estimate_rank(summary: OPAQSummary, value: float) -> RankBounds:
     return RankBounds(value=value, low=min(low, n), high=max(min(high, n), low), n=n)
 
 
-def estimate_ranks(summary: OPAQSummary, values) -> list[RankBounds]:
+def estimate_ranks(summary: OPAQSummary, values: ArrayLike) -> list[RankBounds]:
     """Rank bands for many probe values (one binary search each)."""
     return [estimate_rank(summary, float(v)) for v in np.asarray(values).ravel()]
 
 
-def approx_cdf(summary: OPAQSummary, values) -> np.ndarray:
+def approx_cdf(summary: OPAQSummary, values: ArrayLike) -> np.ndarray:
     """Point estimates of the empirical CDF at many probe values.
 
     Vectorised midpoint-of-band estimate of ``P(X <= v)``; the bands

@@ -15,6 +15,8 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.errors import ConfigError
+
 __all__ = ["kway_merge", "merge_two", "merge_two_with_payload", "is_sorted"]
 
 
@@ -83,10 +85,10 @@ def kway_merge(
     arrays = [np.asarray(lst) for lst in lists]
     if payloads is not None:
         if len(payloads) != len(arrays):
-            raise ValueError("payloads must match lists one-to-one")
+            raise ConfigError("payloads must match lists one-to-one")
         pays = [np.asarray(p) for p in payloads]
         if any(p.shape[0] != a.size for p, a in zip(pays, arrays)):
-            raise ValueError("each payload must have its list's length")
+            raise ConfigError("each payload must have its list's length")
         pays = [p for p, a in zip(pays, arrays) if a.size]
     arrays = [a for a in arrays if a.size]
 

@@ -1,0 +1,13 @@
+"""Known-bad: builtin raises and a bare except in library code."""
+
+
+def load(path):
+    try:
+        return open(path).read()
+    except:
+        raise ValueError("bad file")
+
+
+def check(n):
+    if n <= 0:
+        raise Exception("n must be positive")

@@ -1,0 +1,9 @@
+"""Known-bad: exact equality against float literals."""
+
+
+def is_median(phi):
+    return phi == 0.5
+
+
+def not_tail(phi):
+    return phi != 0.99

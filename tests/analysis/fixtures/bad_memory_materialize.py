@@ -1,0 +1,10 @@
+"""Known-bad: whole-dataset materialisation in a one-pass code path."""
+
+import numpy as np
+
+
+def summarize_in_memory(dataset, runs):
+    everything = dataset.read_all()
+    collected = np.concatenate(runs)
+    as_list = list(runs)
+    return everything, collected, as_list

@@ -1,0 +1,11 @@
+"""Known-bad: a RunReader consumed twice with no declared pass budget."""
+
+from repro.core import build_summary
+from repro.storage import RunReader
+
+
+def summarize_twice(dataset, config):
+    reader = RunReader(dataset, run_size=config.run_size)
+    summary = build_summary(reader, config)
+    again = build_summary(reader, config)
+    return summary, again

@@ -1,0 +1,18 @@
+"""Known-bad: full sorts where the sample phase must use selection."""
+
+import numpy as np
+
+
+def sample_run_by_sort(run, ranks):
+    ordered = np.sort(run)
+    return ordered[ranks]
+
+
+def sample_run_by_builtin(run, ranks):
+    ordered = sorted(run)
+    return [ordered[r] for r in ranks]
+
+
+def sample_run_in_place(run, ranks):
+    run.sort()
+    return run[ranks]

@@ -1,0 +1,11 @@
+"""Known-bad: mirrored sends issued head-to-head (order deadlock)."""
+
+
+def exchange_step(machine, rank, partner, keys):
+    if rank < partner:
+        machine.send(rank, partner, keys, "low-to-high")
+        machine.send(partner, rank, keys, "high-to-low")
+    else:
+        machine.send(rank, partner, keys, "low-to-high")
+        machine.send(partner, rank, keys, "high-to-low")
+    return machine

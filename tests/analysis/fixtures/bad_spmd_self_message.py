@@ -1,0 +1,6 @@
+"""Known-bad: a processor messaging itself (blocking deadlock)."""
+
+
+def broadcast(machine, rank, keys):
+    machine.send(rank, rank, keys, "bcast")
+    machine.exchange(rank, rank, keys, "swap")

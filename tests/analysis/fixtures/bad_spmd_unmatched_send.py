@@ -1,0 +1,15 @@
+"""Known-bad: an SPMD role branch whose send has no mirrored partner.
+
+The low-rank branch sends ``(rank, partner)``; its sibling should complete
+the transfer with the mirrored ``(partner, rank)`` but addresses a
+different pair entirely, so the partner side of the transfer never
+happens — on a blocking machine this deadlocks, on the simulated machine
+the clocks silently stop being meaningful.
+"""
+
+
+def merge_step(machine, rank, partner, keys):
+    if rank < partner:
+        machine.send(rank, partner, keys, "merge")
+    else:
+        machine.send(partner + 1, rank, keys, "merge")

@@ -1,0 +1,12 @@
+"""Known-bad: hidden global and unseeded RNGs in a deterministic layer."""
+
+import random
+
+import numpy as np
+
+
+def pivot_sample(values, size):
+    rng = np.random.default_rng()
+    jitter = random.random()
+    np.random.shuffle(values)
+    return rng.choice(values, size=size), jitter

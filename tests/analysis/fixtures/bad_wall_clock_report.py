@@ -1,0 +1,16 @@
+"""Regression fixture: the first real finding opaqlint caught.
+
+This is the exact ``time.time()`` timing pattern that used to live in
+``repro/experiments/report.py:146-148`` (now ``time.perf_counter()``).
+Kept verbatim so the determinism-wall-clock rule keeps firing on it.
+"""
+
+import time
+
+
+def render_all(experiments, out):
+    for name, fn in experiments:
+        t0 = time.time()
+        result = fn()
+        elapsed = time.time() - t0
+        print(name, result, f"({elapsed:.1f}s)", file=out)

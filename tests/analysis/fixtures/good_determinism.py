@@ -1,0 +1,19 @@
+"""Known-good: seeded generators, monotonic timer, rank comparisons."""
+
+import time
+
+import numpy as np
+
+
+def make_rng(seed):
+    return np.random.default_rng(seed)
+
+
+def pivot_sample(values, size, rng):
+    t0 = time.perf_counter()
+    sample = rng.choice(values, size=size)
+    return sample, time.perf_counter() - t0
+
+
+def is_median_rank(rank, n):
+    return rank == n // 2

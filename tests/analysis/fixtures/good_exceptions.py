@@ -1,0 +1,20 @@
+"""Known-good: the repro.errors taxonomy, concrete except types."""
+
+from repro.errors import ConfigError, DataError
+
+
+def load(path):
+    try:
+        return open(path).read()
+    except OSError as exc:
+        raise DataError(f"cannot read {path}") from exc
+
+
+def check(n):
+    if n <= 0:
+        raise ConfigError("n must be positive")
+
+
+class Interface:
+    def run(self):
+        raise NotImplementedError

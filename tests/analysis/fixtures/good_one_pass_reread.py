@@ -1,0 +1,12 @@
+"""Known-good: the second pass is requested explicitly (paper section 4)."""
+
+from repro.core import build_summary
+from repro.core.exact import refine_exact
+from repro.storage import RunReader
+
+
+def exact_two_pass(dataset, config, bounds):
+    reader = RunReader(dataset, run_size=config.run_size, max_passes=2)
+    summary = build_summary(reader.runs(), config)
+    values = refine_exact(reader.runs(), bounds)
+    return summary, values

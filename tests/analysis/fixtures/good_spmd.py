@@ -1,0 +1,16 @@
+"""Known-good: mirrored sends, consistent order, distinct endpoints."""
+
+
+def exchange_step(machine, rank, partner, keys):
+    if rank < partner:
+        machine.send(rank, partner, keys, "low-to-high")
+        machine.send(partner, rank, keys, "high-to-low")
+    else:
+        machine.send(partner, rank, keys, "low-to-high")
+        machine.send(rank, partner, keys, "high-to-low")
+    return machine
+
+
+def compare_split(machine, i, j, block):
+    machine.exchange(i, j, block.size, "merge")
+    return block

@@ -1,0 +1,86 @@
+"""Tests for the ``opaq lint`` CLI subcommand: exit codes and formats."""
+
+import json
+from pathlib import Path
+
+import repro
+from repro.analysis import all_rules
+from repro.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+SRC = Path(repro.__file__).parent
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, capsys):
+        assert main(["lint", str(SRC)]) == 0
+        assert "clean:" in capsys.readouterr().out
+
+    def test_seeded_violation_exits_one(self, capsys):
+        rc = main(["lint", str(FIXTURES / "bad_exceptions.py")])
+        assert rc == 1
+        assert "OPQ501" in capsys.readouterr().out
+
+    def test_unknown_rule_exits_two(self, capsys):
+        rc = main(["lint", str(SRC), "--select", "no-such-rule"])
+        assert rc == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_missing_path_exits_two(self, capsys):
+        assert main(["lint", "/no/such/dir"]) == 2
+
+    def test_select_can_scope_to_one_family(self, capsys):
+        rc = main(
+            [
+                "lint",
+                str(FIXTURES / "bad_exceptions.py"),
+                "--select",
+                "determinism-wall-clock",
+            ]
+        )
+        assert rc == 0
+
+    def test_ignore_can_silence_the_finding(self, capsys):
+        rc = main(
+            [
+                "lint",
+                str(FIXTURES / "bad_exceptions.py"),
+                "--ignore",
+                "OPQ501",
+                "--ignore",
+                "OPQ502",
+            ]
+        )
+        assert rc == 0
+
+
+class TestJsonFormat:
+    def test_schema(self, capsys):
+        rc = main(
+            ["lint", str(FIXTURES / "bad_unseeded_rng.py"), "--format", "json"]
+        )
+        assert rc == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == 1
+        assert payload["count"] == 3
+        assert payload["files_checked"] == 1
+        for finding in payload["findings"]:
+            assert finding["rule"] == "determinism-unseeded-rng"
+            assert finding["code"] == "OPQ302"
+            assert finding["path"].endswith("bad_unseeded_rng.py")
+            assert isinstance(finding["line"], int) and finding["line"] > 0
+
+    def test_clean_json(self, capsys):
+        rc = main(["lint", str(SRC / "errors.py"), "--format", "json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["count"] == 0
+        assert payload["findings"] == []
+
+
+class TestListRules:
+    def test_lists_every_rule_and_exits_zero(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in all_rules():
+            assert rule.code in out

@@ -1,0 +1,157 @@
+"""Tests for the opaqlint framework itself: suppressions, registry,
+scoping, runner and reporters."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.analysis import (
+    JSON_SCHEMA_VERSION,
+    all_rules,
+    get_rule,
+    lint_paths,
+    parse_module,
+    render_json,
+    render_rule_list,
+    render_text,
+)
+from repro.analysis.framework import Finding, Suppressions, dotted_name
+from repro.analysis.runner import iter_python_files
+from repro.errors import ConfigError, DataError
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def _finding(rule_id="one-pass-sort", code="OPQ101", line=1):
+    return Finding(
+        rule_id=rule_id, code=code, path="x.py", line=line, col=0, message="m"
+    )
+
+
+class TestSuppressions:
+    def test_bare_ignore_silences_everything(self):
+        sup = Suppressions("x = 1  # opaq: ignore\n")
+        assert sup.silences(_finding(line=1))
+        assert sup.silences(_finding(rule_id="anything", code="OPQ999", line=1))
+
+    def test_bracketed_ignore_silences_named_rule_only(self):
+        sup = Suppressions("x = 1  # opaq: ignore[one-pass-sort]\n")
+        assert sup.silences(_finding(line=1))
+        assert not sup.silences(_finding(rule_id="memory-materialize", line=1))
+
+    def test_code_works_in_brackets(self):
+        sup = Suppressions("x = 1  # opaq: ignore[OPQ101]\n")
+        assert sup.silences(_finding(line=1))
+
+    def test_comma_separated_ids(self):
+        sup = Suppressions("x = 1  # opaq: ignore[one-pass-sort, OPQ501]\n")
+        assert sup.silences(_finding(line=1))
+        assert sup.silences(_finding(rule_id="exception-foreign-raise", code="OPQ501"))
+
+    def test_other_lines_not_silenced(self):
+        sup = Suppressions("x = 1  # opaq: ignore\ny = 2\n")
+        assert not sup.silences(_finding(line=2))
+
+
+class TestRegistry:
+    def test_five_rule_families_registered(self):
+        families = {rule.code[:4] for rule in all_rules()}
+        assert {"OPQ1", "OPQ2", "OPQ3", "OPQ4", "OPQ5"} <= families
+
+    def test_lookup_by_id_and_code(self):
+        assert get_rule("one-pass-sort") is get_rule("OPQ101")
+
+    def test_unknown_rule_rejected(self):
+        with pytest.raises(ConfigError, match="unknown rule"):
+            get_rule("no-such-rule")
+
+    def test_every_rule_documents_itself(self):
+        for rule in all_rules():
+            assert rule.description, rule.rule_id
+            assert rule.paper_ref, rule.rule_id
+
+
+class TestScoping:
+    def test_fixture_files_in_scope_for_all_rules(self):
+        ctx = parse_module("x = 1\n")
+        assert ctx.package_rel is None
+        for rule in all_rules():
+            assert rule.in_scope(ctx)
+
+    def test_package_files_scoped_by_prefix(self):
+        src = Path(repro.__file__).parent
+        from repro.analysis.framework import ModuleContext
+
+        ctx = ModuleContext.from_path(src / "workloads" / "generators.py")
+        assert ctx.package_rel == "workloads/generators.py"
+        assert not get_rule("one-pass-sort").in_scope(ctx)
+        assert not get_rule("determinism-unseeded-rng").in_scope(ctx)
+        assert get_rule("exception-foreign-raise").in_scope(ctx)
+
+    def test_dotted_name_helper(self):
+        import ast
+
+        expr = ast.parse("a.b.c", mode="eval").body
+        assert dotted_name(expr) == "a.b.c"
+        call = ast.parse("f(x)[0]", mode="eval").body
+        assert dotted_name(call) is None
+
+
+class TestRunner:
+    def test_missing_path_rejected(self):
+        with pytest.raises(ConfigError, match="no such file"):
+            lint_paths(["/does/not/exist.py"])
+
+    def test_non_python_file_rejected(self, tmp_path):
+        other = tmp_path / "notes.txt"
+        other.write_text("hello")
+        with pytest.raises(ConfigError, match="not a Python file"):
+            lint_paths([other])
+
+    def test_unparseable_file_rejected(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def f(:\n")
+        with pytest.raises(DataError, match="cannot parse"):
+            lint_paths([bad])
+
+    def test_directory_walk_skips_pycache(self, tmp_path):
+        (tmp_path / "__pycache__").mkdir()
+        (tmp_path / "__pycache__" / "junk.py").write_text("x = 1\n")
+        (tmp_path / "real.py").write_text("x = 1\n")
+        files = list(iter_python_files([tmp_path]))
+        assert [f.name for f in files] == ["real.py"]
+
+    def test_findings_sorted_by_location(self):
+        result = lint_paths([FIXTURES / "bad_one_pass_sort.py"])
+        keys = [(f.path, f.line, f.col) for f in result.findings]
+        assert keys == sorted(keys)
+
+
+class TestReporters:
+    def test_text_report_lists_findings_and_summary(self):
+        result = lint_paths([FIXTURES / "bad_exceptions.py"])
+        text = render_text(result)
+        assert "bad_exceptions.py:" in text
+        assert "OPQ501[exception-foreign-raise]" in text
+        assert "finding(s)" in text.splitlines()[-1]
+
+    def test_text_report_clean(self):
+        result = lint_paths([FIXTURES / "good_exceptions.py"])
+        assert render_text(result).startswith("clean:")
+
+    def test_json_schema(self):
+        result = lint_paths([FIXTURES / "bad_exceptions.py"])
+        payload = json.loads(render_json(result))
+        assert payload["version"] == JSON_SCHEMA_VERSION
+        assert payload["count"] == len(payload["findings"]) > 0
+        assert payload["files_checked"] == 1
+        for finding in payload["findings"]:
+            assert set(finding) == {"rule", "code", "path", "line", "col", "message"}
+
+    def test_rule_list_covers_every_rule(self):
+        listing = render_rule_list()
+        for rule in all_rules():
+            assert rule.code in listing
+            assert rule.rule_id in listing

@@ -1,0 +1,88 @@
+"""Fixture-based tests: every rule family fires on its known-bad snippet
+and stays silent on the corresponding known-good one."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import lint_paths
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: (fixture file, rule that must fire there, expected finding count)
+BAD = [
+    ("bad_one_pass_sort.py", "one-pass-sort", 3),
+    ("bad_one_pass_reread.py", "one-pass-reread", 1),
+    ("bad_memory_materialize.py", "memory-materialize", 3),
+    ("bad_wall_clock_report.py", "determinism-wall-clock", 2),
+    ("bad_unseeded_rng.py", "determinism-unseeded-rng", 3),
+    ("bad_float_equality.py", "determinism-float-equality", 2),
+    ("bad_spmd_self_message.py", "spmd-self-message", 2),
+    ("bad_spmd_unmatched_send.py", "spmd-unmatched-send", 2),
+    ("bad_spmd_reordered_send.py", "spmd-reordered-send", 1),
+    ("bad_exceptions.py", "exception-foreign-raise", 2),
+    ("bad_exceptions.py", "exception-bare-except", 1),
+]
+
+#: (fixture file, rule that must stay silent there)
+GOOD = [
+    ("good_one_pass_sort.py", "one-pass-sort"),
+    ("good_one_pass_reread.py", "one-pass-reread"),
+    ("good_memory_materialize.py", "memory-materialize"),
+    ("good_determinism.py", "determinism-wall-clock"),
+    ("good_determinism.py", "determinism-unseeded-rng"),
+    ("good_determinism.py", "determinism-float-equality"),
+    ("good_spmd.py", "spmd-self-message"),
+    ("good_spmd.py", "spmd-unmatched-send"),
+    ("good_spmd.py", "spmd-reordered-send"),
+    ("good_exceptions.py", "exception-foreign-raise"),
+    ("good_exceptions.py", "exception-bare-except"),
+]
+
+
+@pytest.mark.parametrize("fixture,rule,count", BAD)
+def test_rule_fires_on_known_bad(fixture, rule, count):
+    result = lint_paths([FIXTURES / fixture], select=[rule])
+    assert len(result.findings) == count
+    assert all(f.rule_id == rule for f in result.findings)
+    assert all(f.line > 0 and f.path.endswith(fixture) for f in result.findings)
+
+
+@pytest.mark.parametrize("fixture,rule", GOOD)
+def test_rule_silent_on_known_good(fixture, rule):
+    result = lint_paths([FIXTURES / fixture], select=[rule])
+    assert result.findings == []
+
+
+def test_good_fixtures_are_fully_clean():
+    """Good fixtures pass the *entire* rule set, not just their family."""
+    for fixture, _ in GOOD:
+        result = lint_paths([FIXTURES / fixture])
+        assert result.findings == [], f"{fixture}: {result.findings}"
+
+
+def test_suppression_is_counted():
+    result = lint_paths([FIXTURES / "good_one_pass_sort.py"])
+    assert result.clean
+    assert result.suppressed == 1
+
+
+def test_unmatched_send_names_the_missing_mirror():
+    result = lint_paths(
+        [FIXTURES / "bad_spmd_unmatched_send.py"], select=["spmd-unmatched-send"]
+    )
+    assert any("no mirrored" in f.message for f in result.findings)
+
+
+def test_codes_and_ids_are_interchangeable():
+    by_id = lint_paths([FIXTURES / "bad_exceptions.py"], select=["exception-foreign-raise"])
+    by_code = lint_paths([FIXTURES / "bad_exceptions.py"], select=["OPQ501"])
+    assert [f.line for f in by_id.findings] == [f.line for f in by_code.findings]
+
+
+def test_ignore_excludes_a_family():
+    result = lint_paths(
+        [FIXTURES / "bad_exceptions.py"],
+        ignore=["exception-foreign-raise", "exception-bare-except"],
+    )
+    assert result.findings == []

@@ -1,6 +1,5 @@
 """Tests for the P² algorithm (Jain & Chlamtac)."""
 
-import numpy as np
 import pytest
 
 from repro.baselines import P2Estimator, P2SingleQuantile, consume

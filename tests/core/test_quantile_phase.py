@@ -7,7 +7,6 @@ from hypothesis import given, settings, strategies as st
 from repro.core import (
     OPAQ,
     OPAQConfig,
-    bounds_for,
     lower_bound_index,
     quantile_bounds,
     splitters,

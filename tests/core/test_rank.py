@@ -1,7 +1,6 @@
 """Tests for rank estimation (paper section 4)."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core import OPAQ, OPAQConfig, estimate_rank

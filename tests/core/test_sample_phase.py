@@ -25,6 +25,28 @@ class TestScaledSampleCount:
         with pytest.raises(EstimationError):
             scaled_sample_count(0, 1000, 100)
 
+    def test_single_element_run(self):
+        # A run of one element always yields exactly one sample.
+        assert scaled_sample_count(1, 1000, 100) == 1
+        assert scaled_sample_count(1, 1, 1) == 1
+
+    def test_run_smaller_than_nominal_s(self):
+        # When the run is shorter than the nominal sample count, the
+        # scaled count stays proportional and is clamped to the run size.
+        assert scaled_sample_count(50, 100, 80) == 40
+        assert scaled_sample_count(5, 100, 80) == 4
+        assert scaled_sample_count(2, 100, 80) == 2  # round(1.6) clamps up
+
+    def test_rounding_is_to_nearest(self):
+        assert scaled_sample_count(25, 100, 10) == 2   # 2.5 banker-rounds
+        assert scaled_sample_count(26, 100, 10) == 3
+        assert scaled_sample_count(24, 100, 10) == 2
+
+    def test_never_exceeds_run_size(self):
+        for run_size in range(1, 40):
+            s = scaled_sample_count(run_size, 100, 1000)
+            assert 1 <= s <= run_size
+
 
 class TestSampleRun:
     def test_samples_are_regular(self, rng):
@@ -76,6 +98,37 @@ class TestBuildSummary:
         # 10 samples from the full run, ~3 from the ragged one.
         assert summary.num_samples == 13
         assert summary.count == 130
+
+    def test_last_run_of_one_element(self, rng):
+        # The shortest possible ragged tail: one trailing element still
+        # becomes one sample and the gap bookkeeping stays exact.
+        config = OPAQConfig(run_size=100, sample_size=10)
+        summary = build_summary(
+            [rng.uniform(size=100), rng.uniform(size=1)], config
+        )
+        assert summary.count == 101
+        assert summary.num_samples == 11
+        assert summary.gaps.sum() == 101
+
+    def test_run_size_one_runs(self, rng):
+        # Degenerate m=1: every run is its own sample; the summary is the
+        # whole (sorted) dataset and the guarantee collapses to exact.
+        config = OPAQConfig(run_size=1, sample_size=1)
+        values = rng.uniform(size=17)
+        summary = build_summary([np.array([v]) for v in values], config)
+        assert summary.num_samples == 17
+        np.testing.assert_array_equal(summary.samples, np.sort(values))
+        assert summary.gaps.sum() == 17
+
+    def test_ragged_runs_preserve_gap_invariant(self, rng):
+        # Mixed run sizes: gaps always partition the data (G1 of
+        # docs/guarantees.md) no matter how ragged the input.
+        config = OPAQConfig(run_size=64, sample_size=8)
+        sizes = [64, 3, 64, 1, 17, 50]
+        summary = build_summary([rng.uniform(size=k) for k in sizes], config)
+        assert summary.count == sum(sizes)
+        assert summary.gaps.sum() == sum(sizes)
+        assert np.all(np.diff(summary.samples) >= 0)
 
     def test_empty_runs_skipped(self, rng):
         config = OPAQConfig(run_size=100, sample_size=10)

@@ -5,9 +5,6 @@ re-running the heavyweight sweeps (the benchmarks do the full CI-scale
 runs and print the tables).
 """
 
-import numpy as np
-import pytest
-
 from repro.experiments import (
     figure3,
     opaq_error_report,

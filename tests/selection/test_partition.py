@@ -1,7 +1,6 @@
 """Tests for three-way partitioning."""
 
 import numpy as np
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.selection import partition_counts, partition_three_way

@@ -1,7 +1,6 @@
 """End-to-end integration tests: the full disk-resident workflow."""
 
 import numpy as np
-import pytest
 
 from repro import (
     OPAQ,
