@@ -33,7 +33,7 @@ def main() -> None:
         history.append(batch)
         inc.update(batch)
 
-        median = inc.bound(0.5)
+        median = inc.bound(inc.summary, 0.5)
         truth = np.sort(np.concatenate(history))[median.rank - 1]
         ok = median.lower <= truth <= median.upper
         print(
@@ -49,7 +49,7 @@ def main() -> None:
     )
 
     # One extra pass (over data we still have around) -> exact median.
-    bounds = inc.bounds([0.5])
+    bounds = inc.bounds(inc.summary, [0.5])
     [exact] = refine_exact(iter(history), bounds)
     truth = np.sort(np.concatenate(history))[bounds[0].rank - 1]
     print(f"exact median via one refinement pass: {exact:.6f} (truth {truth:.6f})")

@@ -8,10 +8,10 @@ compared against, and every experiment of the paper's evaluation.
 Quick start::
 
     import numpy as np
-    from repro import estimate_quantiles
+    from repro import OPAQ
 
     data = np.random.default_rng(0).uniform(size=1_000_000)
-    [median] = estimate_quantiles(data, [0.5], sample_size=1000)
+    [median] = OPAQ.quantiles(data, [0.5], sample_size=1000)
     print(median.lower, median.upper, median.max_between)  # <= 2n/s apart
 
 Package map (see DESIGN.md for the full inventory):
@@ -35,10 +35,12 @@ Package map (see DESIGN.md for the full inventory):
 
 from repro.core import (
     OPAQ,
+    DataSource,
     IncrementalOPAQ,
     OPAQConfig,
     OPAQSummary,
     QuantileBounds,
+    QuantileEstimator,
     RankBounds,
     estimate_quantiles,
     estimate_rank,
@@ -60,6 +62,8 @@ __all__ = [
     "OPAQConfig",
     "OPAQSummary",
     "QuantileBounds",
+    "QuantileEstimator",
+    "DataSource",
     "RankBounds",
     "IncrementalOPAQ",
     "estimate_quantiles",

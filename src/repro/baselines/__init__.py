@@ -22,6 +22,7 @@ Multi-pass exact algorithms:
 
 from repro.baselines.as95 import AdaptiveIntervalEstimator
 from repro.baselines.base import StreamingQuantileEstimator, consume
+from repro.errors import ConfigError
 from repro.baselines.gk01 import GreenwaldKhanna
 from repro.baselines.gs90 import PartitionResult, RecursiveMedianPartitioner
 from repro.baselines.kll import KLLSketch
@@ -31,8 +32,46 @@ from repro.baselines.random_sampling import RandomSamplingEstimator
 from repro.baselines.sd77 import CellMidpointEstimator
 from repro.baselines.tdigest import TDigest
 
+#: The one-pass streaming estimators, keyed by their registry name.  All
+#: construct with no arguments (sensible defaults) and share the uniform
+#: construct -> update -> query interface of
+#: :class:`~repro.baselines.StreamingQuantileEstimator`; the multi-pass
+#: exact algorithms (MP80, GS90) are deliberately absent.
+STREAMING_BASELINES: dict[str, type[StreamingQuantileEstimator]] = {
+    cls.name: cls
+    for cls in (
+        RandomSamplingEstimator,
+        P2Estimator,
+        AdaptiveIntervalEstimator,
+        CellMidpointEstimator,
+        GreenwaldKhanna,
+        TDigest,
+        KLLSketch,
+    )
+}
+
+
+def make_baseline(name: str, **kwargs) -> StreamingQuantileEstimator:
+    """Construct a streaming baseline by registry name.
+
+    ``kwargs`` are forwarded to the constructor, so harnesses can apply
+    equal-memory budgets (e.g. ``make_baseline("random_sampling",
+    capacity=rs)``) while defaulting everything else.
+    """
+    try:
+        cls = STREAMING_BASELINES[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown baseline {name!r}; choose from "
+            f"{tuple(sorted(STREAMING_BASELINES))}"
+        ) from None
+    return cls(**kwargs)
+
+
 __all__ = [
     "StreamingQuantileEstimator",
+    "STREAMING_BASELINES",
+    "make_baseline",
     "consume",
     "RandomSamplingEstimator",
     "P2Estimator",

@@ -50,7 +50,7 @@ class AdaptiveIntervalEstimator(StreamingQuantileEstimator):
 
     name = "as95"
 
-    def __init__(self, intervals: int, split_factor: float = 2.0) -> None:
+    def __init__(self, intervals: int = 64, split_factor: float = 2.0) -> None:
         super().__init__()
         if intervals < 4:
             raise ConfigError("need at least 4 intervals")

@@ -112,8 +112,12 @@ class P2Estimator(StreamingQuantileEstimator):
 
     name = "p2"
 
-    def __init__(self, phis) -> None:
+    def __init__(self, phis=None) -> None:
+        """``phis`` defaults to the dectiles — the paper's standard query
+        set — so the estimator constructs uniformly with the others."""
         super().__init__()
+        if phis is None:
+            phis = [k / 10 for k in range(1, 10)]
         self._trackers = {float(phi): P2SingleQuantile(float(phi)) for phi in phis}
         if not self._trackers:
             raise ConfigError("P2Estimator needs at least one fraction")

@@ -35,7 +35,7 @@ class RandomSamplingEstimator(StreamingQuantileEstimator):
 
     name = "random_sampling"
 
-    def __init__(self, capacity: int, seed: int = 0) -> None:
+    def __init__(self, capacity: int = 1000, seed: int = 0) -> None:
         super().__init__()
         if capacity <= 0:
             raise ConfigError("capacity must be positive")

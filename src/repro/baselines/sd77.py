@@ -42,9 +42,9 @@ class CellMidpointEstimator(StreamingQuantileEstimator):
 
     def __init__(
         self,
-        lo: float,
-        hi: float,
-        cells: int,
+        lo: float = 0.0,
+        hi: float = 1.0,
+        cells: int = 64,
         interpolate: bool = False,
     ) -> None:
         super().__init__()

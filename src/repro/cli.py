@@ -9,6 +9,9 @@
     opaq query keys.summary.npz --phi 0.5 --phi 0.99
     opaq rank keys.summary.npz 123456.0
     opaq exact keys.opaq --phi 0.5 --sample-size 1000
+    opaq run keys.opaq --dectiles --trace --metrics-out metrics.json
+    opaq run keys.opaq --phi 0.5 --procs 8 --merge bitonic
+    opaq experiment table11 --metrics-out t11.json
     opaq sort keys.opaq sorted.opaq --memory 2000000
     opaq report            # regenerate EXPERIMENTS.md content on stdout
     opaq lint src/repro    # enforce the paper's disciplines statically
@@ -76,6 +79,54 @@ def _add_config_flags(parser: argparse.ArgumentParser) -> None:
         default="numpy",
         help="selection strategy: numpy|sort|median_of_medians|floyd_rivest",
     )
+
+
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="print the collected trace (spans + counters) after the run",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="write aggregated metrics (repro.obs/v1 JSON) to FILE",
+    )
+
+
+def _run_traced(args: argparse.Namespace, work):
+    """Run ``work()`` under a tracer when the obs flags ask for one.
+
+    Returns ``work()``'s result.  With ``--trace`` the span/counter
+    aggregate is printed to stderr (stdout stays parseable); with
+    ``--metrics-out`` the aggregate is written as JSON.
+    """
+    from repro.obs import MemorySink, aggregate, tracing, write_metrics
+
+    if not (args.trace or args.metrics_out):
+        return work()
+    sink = MemorySink()
+    with tracing(sink):
+        result = work()
+    if args.metrics_out:
+        write_metrics(args.metrics_out, sink.events)
+        print(
+            f"metrics ({len(sink)} events) written to {args.metrics_out}",
+            file=sys.stderr,
+        )
+    if args.trace:
+        agg = aggregate(sink.events)
+        print("trace:", file=sys.stderr)
+        for name, span in sorted(agg["spans"].items()):
+            print(
+                f"  span     {name:<24} x{span['count']:<5} "
+                f"{span['seconds']:.6f}s",
+                file=sys.stderr,
+            )
+        for name, total in sorted(agg["counters"].items()):
+            print(f"  counter  {name:<24} {total:g}", file=sys.stderr)
+    return result
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -183,6 +234,52 @@ def _cmd_exact(args: argparse.Namespace) -> int:
             f"{phi:>6.3f}  {value:>18.6f}  "
             f"[{b.lower:>18.6f}, {b.upper:>18.6f}]"
         )
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    ds = DiskDataset.open(args.data)
+    config = _config_for(ds.count, args)
+    phis = _phis_from(args)
+
+    def work():
+        if args.procs > 1:
+            from repro.parallel import ParallelOPAQ
+
+            par = ParallelOPAQ(args.procs, config, merge_method=args.merge)
+            res = par.run(ds, phis=phis)
+            return res.bounds(phis), res
+        est = OPAQ(config)
+        return est.bounds(est.summarize(ds), phis), None
+
+    bounds, parallel = _run_traced(args, work)
+    print(f"{'phi':>6}  {'lower':>18}  {'upper':>18}  {'max between':>12}")
+    for phi, b in zip(phis, bounds):
+        print(
+            f"{phi:>6.3f}  {b.lower:>18.6f}  {b.upper:>18.6f}  "
+            f"{b.max_between:>12,}"
+        )
+    if parallel is not None:
+        print(
+            f"simulated: p={parallel.num_procs} ({parallel.merge_method} "
+            f"merge), {parallel.total_time:.4f}s wall-clock"
+        )
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.errors import ConfigError
+    from repro.experiments import EXPERIMENTS
+
+    try:
+        fn = EXPERIMENTS[args.name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown experiment {args.name!r}; choose from "
+            f"{tuple(EXPERIMENTS)}"
+        ) from None
+    result = _run_traced(args, fn)
+    print(result.render())
     return 0
 
 
@@ -333,6 +430,43 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--dectiles", action="store_true")
     _add_config_flags(p)
     p.set_defaults(fn=_cmd_exact)
+
+    p = sub.add_parser(
+        "run",
+        help="one-shot estimation with optional tracing/metrics",
+        description=(
+            "Run OPAQ end to end over a dataset (optionally on the "
+            "simulated parallel machine) and print quantile bounds.  "
+            "--trace/--metrics-out expose the per-phase spans and the "
+            "cost-model counters (I/O, comparisons, SPMD messages)."
+        ),
+    )
+    p.add_argument("data")
+    p.add_argument("--phi", type=float, action="append", default=[])
+    p.add_argument("--dectiles", action="store_true")
+    p.add_argument(
+        "--procs",
+        type=int,
+        default=1,
+        help="simulate parallel OPAQ on this many processors (default 1)",
+    )
+    p.add_argument(
+        "--merge",
+        choices=("sample", "bitonic"),
+        default="sample",
+        help="global merge method for --procs > 1",
+    )
+    _add_config_flags(p)
+    _add_obs_flags(p)
+    p.set_defaults(fn=_cmd_run)
+
+    p = sub.add_parser(
+        "experiment",
+        help="run one reproduced table/figure by name",
+    )
+    p.add_argument("name", help="e.g. table11 (see repro.experiments)")
+    _add_obs_flags(p)
+    p.set_defaults(fn=_cmd_experiment)
 
     p = sub.add_parser("sort", help="external sort via OPAQ splitters")
     p.add_argument("data")

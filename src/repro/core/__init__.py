@@ -10,6 +10,7 @@ from repro.core.config import OPAQConfig
 from repro.core.estimator import OPAQ, estimate_quantiles
 from repro.core.exact import exact_quantiles, refine_exact
 from repro.core.incremental import IncrementalOPAQ
+from repro.core.protocols import DataSource, QuantileEstimator
 from repro.core.quantile_phase import (
     bounds_for,
     lower_bound_index,
@@ -26,6 +27,8 @@ __all__ = [
     "OPAQConfig",
     "OPAQSummary",
     "QuantileBounds",
+    "QuantileEstimator",
+    "DataSource",
     "estimate_quantiles",
     "quantile_bounds",
     "bounds_for",

@@ -15,12 +15,14 @@ single-pass :class:`~repro.storage.RunReader`), an in-memory numpy array
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence, TypeAlias
+import warnings
+from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
 from repro.core.bounds import QuantileBounds
 from repro.core.config import OPAQConfig
+from repro.core.protocols import DataSource
 from repro.core.quantile_phase import bounds_for, quantile_bounds, splitters
 from repro.core.sample_phase import build_summary
 from repro.core.summary import OPAQSummary
@@ -28,8 +30,6 @@ from repro.errors import ConfigError
 from repro.storage import DiskDataset, RunReader
 
 __all__ = ["OPAQ", "estimate_quantiles"]
-
-DataSource: TypeAlias = "DiskDataset | RunReader | np.ndarray | Iterable[np.ndarray]"
 
 
 class OPAQ:
@@ -57,8 +57,28 @@ class OPAQ:
             self.config.validate_for(max(1, source.size))
             m = self.config.run_size
             return (source[i : i + m] for i in range(0, source.size, m))
-        # Fall through: assume an iterable of runs.
-        return source
+        if isinstance(source, Iterable):
+            # An iterable of runs: the total size is unknowable up front, so
+            # the memory constraint is checked against the observed total
+            # once the single pass completes.
+            return self._validated_runs(source)
+        raise ConfigError(
+            f"unsupported data source {type(source).__name__!r}; expected a "
+            "DiskDataset, RunReader, numpy array, or iterable of runs"
+        )
+
+    def _validated_runs(
+        self, runs: Iterable[np.ndarray]
+    ) -> Iterator[np.ndarray]:
+        """Pass runs through, validating the memory constraint on completion."""
+        total = 0
+        for run in runs:
+            run = np.asarray(run)
+            if run.ndim != 1:
+                raise ConfigError("each run must be a one-dimensional array")
+            total += run.size
+            yield run
+        self.config.validate_for(max(1, total))
 
     def summarize(self, source: DataSource) -> OPAQSummary:
         """The one pass: build the sorted sample list for ``source``."""
@@ -84,30 +104,61 @@ class OPAQ:
         """Equi-depth cut points for partitioning applications."""
         return splitters(summary, q, which=which)
 
+    @classmethod
+    def quantiles(
+        cls,
+        source: DiskDataset | np.ndarray,
+        phis: Sequence[float],
+        sample_size: int = 1000,
+        run_size: int | None = None,
+    ) -> list[QuantileBounds]:
+        """One-shot convenience: estimate quantile bounds of ``source``.
+
+        Picks a run size of ``~sqrt(n*s)`` (the memory-optimal choice) when
+        not given.  ``source`` must have a knowable size — a numpy array or
+        a :class:`~repro.storage.DiskDataset` — since the run size is
+        derived from it; use an explicit :class:`~repro.core.OPAQConfig`
+        and :meth:`estimate` for run iterables.
+
+        >>> import numpy as np
+        >>> data = np.arange(100_000, dtype=float)
+        >>> [b] = OPAQ.quantiles(data, [0.5], sample_size=100)
+        >>> b.lower <= 49999.0 <= b.upper
+        True
+        """
+        n = (
+            source.count
+            if isinstance(source, DiskDataset)
+            else int(np.asarray(source).size)
+        )
+        if n <= 0:
+            raise ConfigError("data must be non-empty")
+        if run_size is None:
+            run_size = max(sample_size, int(np.sqrt(float(n) * sample_size)))
+            run_size = min(run_size, n)
+        config = OPAQConfig(
+            run_size=run_size, sample_size=min(sample_size, run_size)
+        )
+        return cls(config).estimate(source, phis)
+
 
 def estimate_quantiles(
-    data: DataSource,
+    data: DiskDataset | np.ndarray,
     phis: Sequence[float],
     sample_size: int = 1000,
     run_size: int | None = None,
 ) -> list[QuantileBounds]:
-    """One-shot helper: estimate quantile bounds of ``data``.
+    """Deprecated alias of :meth:`OPAQ.quantiles`.
 
-    Picks a run size of ``~sqrt(n*s)`` (the memory-optimal choice) when not
-    given.  ``data`` may be a numpy array or a
-    :class:`~repro.storage.DiskDataset`.
-
-    >>> import numpy as np
-    >>> data = np.arange(100_000, dtype=float)
-    >>> [b] = estimate_quantiles(data, [0.5], sample_size=100)
-    >>> b.lower <= 49999.0 <= b.upper
-    True
+    .. deprecated:: 1.1
+        Call ``OPAQ.quantiles(data, phis, ...)`` instead; this alias will
+        be removed in a future release.
     """
-    n = data.count if isinstance(data, DiskDataset) else int(np.asarray(data).size)
-    if n <= 0:
-        raise ConfigError("data must be non-empty")
-    if run_size is None:
-        run_size = max(sample_size, int(np.sqrt(float(n) * sample_size)))
-        run_size = min(run_size, n)
-    config = OPAQConfig(run_size=run_size, sample_size=min(sample_size, run_size))
-    return OPAQ(config).estimate(data, phis)
+    warnings.warn(
+        "estimate_quantiles() is deprecated; use OPAQ.quantiles() instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return OPAQ.quantiles(
+        data, phis, sample_size=sample_size, run_size=run_size
+    )

@@ -18,8 +18,9 @@ from typing import Sequence
 
 from repro.core.bounds import QuantileBounds
 from repro.core.config import OPAQConfig
-from repro.core.estimator import OPAQ, DataSource
-from repro.core.quantile_phase import bounds_for
+from repro.core.estimator import OPAQ
+from repro.core.protocols import DataSource
+from repro.core.quantile_phase import bounds_for, quantile_bounds
 from repro.core.summary import OPAQSummary
 from repro.errors import EstimationError
 
@@ -73,14 +74,30 @@ class IncrementalOPAQ:
         self._batches += 1
         return self._summary
 
-    def bounds(self, phis: Sequence[float]) -> list[QuantileBounds]:
-        """Quantile bounds over everything ingested so far."""
-        return bounds_for(self.summary, phis)
+    def summarize(self, source: DataSource) -> OPAQSummary:
+        """Ingest ``source`` as one batch and return the merged summary.
 
-    def bound(self, phi: float) -> QuantileBounds:
+        The :class:`~repro.core.QuantileEstimator` spelling of
+        :meth:`update` — unlike :meth:`OPAQ.summarize` it *accumulates*:
+        the returned summary covers everything ingested so far.
+        """
+        return self.update(source)
+
+    def bounds(
+        self, summary: OPAQSummary, phis: Sequence[float]
+    ) -> list[QuantileBounds]:
+        """Quantile bounds from a summary (typically :attr:`summary`)."""
+        return bounds_for(summary, phis)
+
+    def bound(self, summary: OPAQSummary, phi: float) -> QuantileBounds:
         """Single-quantile convenience."""
-        [b] = self.bounds([phi])
-        return b
+        return quantile_bounds(summary, phi)
+
+    def estimate(
+        self, source: DataSource, phis: Sequence[float]
+    ) -> list[QuantileBounds]:
+        """Ingest one batch and query the accumulated summary."""
+        return self.bounds(self.update(source), phis)
 
     def guaranteed_rank_error(self) -> int:
         """Current worst-case rank error (grows with batch count: the

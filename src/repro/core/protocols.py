@@ -1,0 +1,68 @@
+"""The public estimator interface.
+
+Every OPAQ-family estimator exposes the same four-method surface —
+``summarize`` (consume a data source into a summary), ``bounds`` /
+``bound`` (query a summary), and ``estimate`` (both in one call) — so
+experiment harnesses and applications can swap the one-pass estimator and
+the incremental maintainer freely.  :class:`QuantileEstimator` is a
+:func:`~typing.runtime_checkable` :class:`~typing.Protocol`: conformance is
+structural, no inheritance required.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Iterable,
+    Protocol,
+    Sequence,
+    TypeAlias,
+    runtime_checkable,
+)
+
+import numpy as np
+
+from repro.core.bounds import QuantileBounds
+from repro.core.summary import OPAQSummary
+from repro.storage import DiskDataset, RunReader
+
+__all__ = ["QuantileEstimator", "DataSource"]
+
+#: Anything an estimator can consume: a disk-resident dataset (read through
+#: a single-pass :class:`~repro.storage.RunReader`), an existing reader, an
+#: in-memory array (chopped into runs), or any iterable of runs.
+DataSource: TypeAlias = (
+    "DiskDataset | RunReader | np.ndarray | Iterable[np.ndarray]"
+)
+
+
+@runtime_checkable
+class QuantileEstimator(Protocol):
+    """Structural interface shared by :class:`~repro.core.OPAQ` and
+    :class:`~repro.core.IncrementalOPAQ`.
+
+    The summary is an explicit value, not hidden state: ``summarize``
+    produces it, ``bounds``/``bound`` query it, and the pairing is the
+    caller's responsibility.  (The incremental estimator additionally keeps
+    its *current* summary available as a property, but its query methods
+    take the summary argument all the same.)
+    """
+
+    def summarize(self, source: DataSource) -> OPAQSummary:
+        """Consume ``source`` and return a queryable summary."""
+        ...
+
+    def bounds(
+        self, summary: OPAQSummary, phis: Sequence[float]
+    ) -> list[QuantileBounds]:
+        """Quantile bounds for many fractions (O(1) each)."""
+        ...
+
+    def bound(self, summary: OPAQSummary, phi: float) -> QuantileBounds:
+        """Quantile bounds for a single fraction."""
+        ...
+
+    def estimate(
+        self, source: DataSource, phis: Sequence[float]
+    ) -> list[QuantileBounds]:
+        """``summarize`` + ``bounds`` in one call."""
+        ...

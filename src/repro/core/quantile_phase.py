@@ -36,6 +36,7 @@ from repro.core.bounds import QuantileBounds
 from repro.core.summary import OPAQSummary
 from repro.errors import EstimationError
 from repro.metrics.true_quantiles import quantile_rank
+from repro.obs import current_tracer
 
 __all__ = [
     "lower_bound_index",
@@ -148,7 +149,12 @@ def bounds_for(
     summary: OPAQSummary, phis: Iterable[float] | Sequence[float]
 ) -> list[QuantileBounds]:
     """Bounds for many fractions — constant extra work per fraction."""
-    return [quantile_bounds(summary, float(phi)) for phi in phis]
+    fractions = [float(phi) for phi in phis]
+    tracer = current_tracer()
+    with tracer.span("phase.quantile", queries=len(fractions)):
+        out = [quantile_bounds(summary, phi) for phi in fractions]
+    tracer.count("quantile.queries", len(fractions))
+    return out
 
 
 def splitters(summary: OPAQSummary, q: int, which: str = "upper") -> np.ndarray:

@@ -22,6 +22,7 @@ import numpy as np
 from repro.core.config import OPAQConfig
 from repro.core.summary import OPAQSummary
 from repro.errors import EstimationError
+from repro.obs import current_tracer
 from repro.selection import (
     SelectionStrategy,
     kway_merge,
@@ -89,29 +90,36 @@ def build_summary(
         The merged sorted sample list with rank bookkeeping.
     """
     strategy = config.selection_strategy()
+    tracer = current_tracer()
     sample_lists: list[np.ndarray] = []
     payload_lists: list[np.ndarray] = []
     num_runs = 0
     count = 0
     minimum = np.inf
     maximum = -np.inf
-    for run in runs:
-        run = np.asarray(run)
-        if run.size == 0:
-            continue
-        s_k = scaled_sample_count(run.size, config.run_size, config.sample_size)
-        samples, gaps, floors = sample_run(run, s_k, strategy)
-        sample_lists.append(samples)
-        payload_lists.append(
-            np.column_stack([gaps.astype(np.float64), floors])
-        )
-        num_runs += 1
-        count += run.size
-        minimum = min(minimum, float(run.min()))
-        maximum = max(maximum, float(run.max()))
-    if not sample_lists:
-        raise EstimationError("no data: the run iterable was empty")
-    merged, merged_payload = kway_merge(sample_lists, payloads=payload_lists)
+    with tracer.span("phase.sample"):
+        for run in runs:
+            run = np.asarray(run)
+            if run.size == 0:
+                continue
+            s_k = scaled_sample_count(
+                run.size, config.run_size, config.sample_size
+            )
+            samples, gaps, floors = sample_run(run, s_k, strategy)
+            sample_lists.append(samples)
+            payload_lists.append(
+                np.column_stack([gaps.astype(np.float64), floors])
+            )
+            num_runs += 1
+            count += run.size
+            minimum = min(minimum, float(run.min()))
+            maximum = max(maximum, float(run.max()))
+        if not sample_lists:
+            raise EstimationError("no data: the run iterable was empty")
+        merged, merged_payload = kway_merge(sample_lists, payloads=payload_lists)
+    tracer.count("sample.runs", num_runs)
+    tracer.count("sample.elements", count)
+    tracer.count("sample.list_length", int(merged.size))
     return OPAQSummary(
         samples=merged,
         gaps=merged_payload[:, 0].astype(np.int64),

@@ -26,9 +26,31 @@ from repro.experiments.tables import (
     table12,
 )
 
+#: Every reproduced table/figure, keyed by name, in report order (the
+#: paper's own sequence: sequential evaluation, then the parallel merge
+#: study, then the parallel evaluation).  ``opaq experiment NAME`` and the
+#: EXPERIMENTS.md generator both resolve through this registry.
+EXPERIMENTS = {
+    "table3": table3,
+    "table4": table4,
+    "table5": table5,
+    "table6": table6,
+    "table7": table7,
+    "table8": table8,
+    "figure3": figure3,
+    "table9": table9,
+    "table10": table10,
+    "table11": table11,
+    "table12": table12,
+    "figure4": figure4,
+    "figure5": figure5,
+    "figure6": figure6,
+}
+
 __all__ = [
     "AsciiChart",
     "TableResult",
+    "EXPERIMENTS",
     "full_scale",
     "resolve_n",
     "paper_dataset",

@@ -31,6 +31,7 @@ from repro.metrics import (
     rera_point_estimates,
     true_quantiles,
 )
+from repro.obs import MemorySink, phase_seconds, tracing
 from repro.parallel import MachineModel, ParallelOPAQ, predict_merge_time
 from repro.metrics import score_bounds
 
@@ -400,6 +401,20 @@ def _parallel_timing_run(
     return par.run(np.asarray(data), phis=dectile_fractions())
 
 
+def _traced_phase_seconds(per_proc: int, p: int, seed: int) -> dict[str, float]:
+    """Phase -> simulated seconds, read back from the emitted trace events.
+
+    Tables 11 and 12 consume the observability stream rather than poking
+    at the machine object: the run executes under an in-memory sink and
+    the phase times come from the ``spmd.phase_seconds`` counters, which
+    cross-checks that the emitted events carry the full cost model.
+    """
+    sink = MemorySink()
+    with tracing(sink):
+        _parallel_timing_run(per_proc, p, seed=seed)
+    return phase_seconds(sink.events)
+
+
 def table11(seed: int = DEFAULT_SEED) -> TableResult:
     """Fraction of the total time spent in I/O (paper: ~0.5 everywhere)."""
     sizes = [resolve_n(s) for s in _PER_PROC_SIZES]
@@ -419,9 +434,11 @@ def table11(seed: int = DEFAULT_SEED) -> TableResult:
     for label, per_proc in zip(labels, sizes):
         cells = [label]
         for p in _PROC_COUNTS:
-            res = _parallel_timing_run(per_proc, p, seed=seed)
-            cells.append(f"{res.io_fraction():.2f}")
+            phases = _traced_phase_seconds(per_proc, p, seed)
+            total = sum(phases.values())
+            cells.append(f"{phases.get('io', 0.0) / total if total else 0.0:.2f}")
         result.add_row(*cells)
+    result.notes.append("fractions computed from emitted trace events")
     return result
 
 
@@ -440,8 +457,11 @@ def table12(seed: int = DEFAULT_SEED) -> TableResult:
     )
     fractions = {}
     for p in _PROC_COUNTS:
-        res = _parallel_timing_run(per_proc, p, seed=seed)
-        fractions[p] = res.phase_fractions()
+        phases = _traced_phase_seconds(per_proc, p, seed)
+        total = sum(phases.values())
+        fractions[p] = (
+            {ph: t / total for ph, t in phases.items()} if total else {}
+        )
     for phase, label in (
         ("io", "I/O"),
         ("sampling", "Sampling"),
@@ -455,4 +475,5 @@ def table12(seed: int = DEFAULT_SEED) -> TableResult:
     result.notes.append(
         "paper: I/O + sampling >= 83% of the total, merges small"
     )
+    result.notes.append("fractions computed from emitted trace events")
     return result

@@ -1,0 +1,47 @@
+"""repro.obs — structured observability for the OPAQ pipeline.
+
+The paper's entire evaluation is an observability exercise: per-phase
+time breakdown, I/O fraction, and message counts on the SP-2 (section 5,
+Tables 8-12).  This package makes every run of the repro watchable the
+same way — span-based phase timers, storage/selection/SPMD counters, and
+pluggable sinks — while keeping the un-observed path zero-cost and the
+event stream deterministic (durations aside), so the counters double as
+a correctness oracle against the paper's analytic cost model.
+
+Quick tour::
+
+    from repro import OPAQ, OPAQConfig
+    from repro.obs import MemorySink, tracing
+
+    sink = MemorySink()
+    with tracing(sink):
+        OPAQ(OPAQConfig(run_size=10_000, sample_size=100)).estimate(data, [0.5])
+
+    sink.counter_total("io.elements")   # == data.size for disk sources
+    sink.spans("phase.sample")          # the one-pass wall time
+
+From the command line: ``opaq run data.opaq --metrics-out m.json`` and
+``opaq experiment table12 --trace events.jsonl``.  The event vocabulary
+and JSON-lines schema are documented in ``docs/api.md``.
+"""
+
+from repro.obs.aggregate import aggregate, io_fraction, phase_seconds, write_metrics
+from repro.obs.events import Event
+from repro.obs.sink import JsonlSink, MemorySink, NullSink, Sink, TeeSink
+from repro.obs.trace import Tracer, current_tracer, tracing
+
+__all__ = [
+    "Event",
+    "Sink",
+    "NullSink",
+    "MemorySink",
+    "JsonlSink",
+    "TeeSink",
+    "Tracer",
+    "current_tracer",
+    "tracing",
+    "aggregate",
+    "phase_seconds",
+    "io_fraction",
+    "write_metrics",
+]

@@ -1,0 +1,102 @@
+"""Turning an event stream into the paper's tables and a metrics file.
+
+The raw stream (spans + counters) is the ground truth; these helpers
+reduce it to the three shapes the repro needs:
+
+- :func:`aggregate` — the ``opaq run --metrics-out`` JSON document:
+  span totals, counter totals, and the simulated per-phase seconds.
+- :func:`phase_seconds` — the SPMD phase breakdown (paper Table 12's
+  raw material), read from the ``spmd.phase_seconds`` counters that
+  :class:`~repro.parallel.ParallelOPAQ` emits.
+- :func:`io_fraction` — the paper's Table 11 number, derived from the
+  same events.
+
+Everything here consumes events only — no timers, no machine handles —
+so the experiments harness reproduces the phase-breakdown and
+I/O-fraction tables *from the emitted stream*, which is exactly what a
+production deployment of the estimator would have to work from.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.obs.events import Event
+from repro.obs.sink import MemorySink, _iter_events
+
+__all__ = ["aggregate", "phase_seconds", "io_fraction", "write_metrics"]
+
+#: Version tag of the metrics document / JSON-lines schema.
+SCHEMA = "repro.obs/v1"
+
+
+def phase_seconds(events: "Iterable[Event] | MemorySink") -> dict[str, float]:
+    """Simulated seconds per SPMD phase, from ``spmd.phase_seconds``.
+
+    The values are mean-per-processor simulated times (what
+    ``SimulatedMachine.phase_totals`` reports and ``ParallelOPAQ`` emits);
+    they are deterministic, coming from the two-level cost model rather
+    than any wall clock.
+    """
+    phases: dict[str, float] = {}
+    for e in _iter_events(events):
+        if e.kind != "counter" or e.name != "spmd.phase_seconds":
+            continue
+        phase = str(e.attributes.get("phase", "unknown"))
+        phases[phase] = phases.get(phase, 0.0) + float(e.value or 0.0)
+    return phases
+
+
+def io_fraction(events: "Iterable[Event] | MemorySink") -> float:
+    """Fraction of simulated time spent in I/O (paper Table 11)."""
+    phases = phase_seconds(events)
+    total = sum(phases.values())
+    return phases.get("io", 0.0) / total if total else 0.0
+
+
+def aggregate(events: "Iterable[Event] | MemorySink") -> dict[str, object]:
+    """Reduce an event stream to the metrics document.
+
+    Returns a JSON-serialisable dict::
+
+        {
+          "schema": "repro.obs/v1",
+          "spans": {"phase.sample": {"count": 1, "seconds": 0.0123}, ...},
+          "counters": {"io.elements": 100000, "io.bytes": 800000, ...},
+          "spmd_phases": {"io": 1.7, "sampling": 1.5, ...},
+        }
+
+    Span seconds are wall time (nondeterministic, for humans); counters
+    and spmd_phases are deterministic and safe to assert on.
+    """
+    spans: dict[str, dict[str, float]] = {}
+    counters: dict[str, int | float] = {}
+    for e in _iter_events(events):
+        if e.kind == "span":
+            agg = spans.setdefault(e.name, {"count": 0, "seconds": 0.0})
+            agg["count"] += 1
+            agg["seconds"] += e.duration or 0.0
+        elif e.kind == "counter" and e.value is not None:
+            counters[e.name] = counters.get(e.name, 0) + e.value
+    doc: dict[str, object] = {
+        "schema": SCHEMA,
+        "spans": spans,
+        "counters": counters,
+    }
+    phases = phase_seconds(events)
+    if phases:
+        doc["spmd_phases"] = phases
+    return doc
+
+
+def write_metrics(
+    path: str | Path, events: "Iterable[Event] | MemorySink"
+) -> dict[str, object]:
+    """Aggregate and write the metrics document; returns it too."""
+    doc = aggregate(events)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return doc

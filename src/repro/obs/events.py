@@ -1,0 +1,86 @@
+"""The event vocabulary of the observability layer.
+
+One event type covers everything the instrumentation emits:
+
+- ``kind="span"`` — a timed phase (sample phase, one multiselect, the
+  k-way merge, the quantile phase).  ``duration`` carries wall seconds
+  from :func:`time.perf_counter` and is the **only** nondeterministic
+  field: replaying a run with the same seed and configuration reproduces
+  every event bit-for-bit except durations (the trace-determinism tests
+  assert exactly this via :meth:`Event.signature`).
+- ``kind="counter"`` — a named quantity (elements read, bytes read,
+  comparisons, SPMD messages, simulated seconds).  Counter values derive
+  only from the data and the configuration, so they are deterministic
+  and serve as a correctness oracle against the paper's analytic cost
+  model.
+
+Events serialise to JSON lines via :meth:`Event.to_dict`; the schema is
+documented in ``docs/api.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Event", "AttrValue", "Attrs"]
+
+#: Attribute values are restricted to JSON scalars so every sink can
+#: serialise without a fallback path.
+AttrValue = "str | int | float"
+
+#: Attributes travel as a sorted tuple of pairs — hashable, so events can
+#: be compared and deduplicated — rather than a dict.
+Attrs = "tuple[tuple[str, str | int | float], ...]"
+
+
+@dataclass(frozen=True)
+class Event:
+    """One observation: a completed span or a counter increment.
+
+    Parameters
+    ----------
+    kind:
+        ``"span"`` or ``"counter"``.
+    name:
+        Dotted event name, e.g. ``"phase.sample"`` or ``"io.run"``.
+    value:
+        Counter value (elements, bytes, messages, simulated seconds...).
+        Always deterministic.  ``None`` for spans.
+    duration:
+        Span wall-clock seconds.  The only nondeterministic field;
+        ``None`` for counters.
+    attrs:
+        Sorted ``(key, value)`` pairs of deterministic context (sizes,
+        engine names, phase labels).
+    """
+
+    kind: str
+    name: str
+    value: int | float | None = None
+    duration: float | None = None
+    attrs: tuple[tuple[str, str | int | float], ...] = ()
+
+    def signature(self) -> tuple[object, ...]:
+        """Everything except the duration — the deterministic identity.
+
+        Two runs with the same seed and configuration must produce
+        identical signature streams (same events, same order, same
+        values); only ``duration`` may differ.
+        """
+        return (self.kind, self.name, self.value, self.attrs)
+
+    @property
+    def attributes(self) -> dict[str, str | int | float]:
+        """The attribute pairs as a plain dict."""
+        return dict(self.attrs)
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-serialisable form (one object per JSON line)."""
+        out: dict[str, object] = {"kind": self.kind, "name": self.name}
+        if self.value is not None:
+            out["value"] = self.value
+        if self.duration is not None:
+            out["duration_s"] = self.duration
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        return out

@@ -1,0 +1,136 @@
+"""Pluggable sinks: where emitted events go.
+
+The :class:`Sink` protocol is a single method, ``emit(event)``.  Four
+implementations cover the needs of the repro:
+
+- :class:`NullSink` — discards everything; backs the disabled tracer so
+  the un-observed hot path stays free of work.
+- :class:`MemorySink` — collects events in order, with small aggregation
+  helpers; what the tests and the experiments harness use.
+- :class:`JsonlSink` — streams events as JSON lines to a file, one
+  object per line (the ``opaq run --trace FILE`` format).
+- :class:`TeeSink` — fans one event stream out to several sinks.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, Iterable, Protocol, runtime_checkable
+
+from repro.errors import ConfigError
+from repro.obs.events import Event
+
+__all__ = ["Sink", "NullSink", "MemorySink", "JsonlSink", "TeeSink"]
+
+
+@runtime_checkable
+class Sink(Protocol):
+    """Receives every event a :class:`~repro.obs.Tracer` emits."""
+
+    def emit(self, event: Event) -> None:
+        """Accept one event.  Must not raise on well-formed events."""
+        ...  # pragma: no cover - protocol body
+
+
+class NullSink:
+    """Discards every event (the disabled default)."""
+
+    __slots__ = ()
+
+    def emit(self, event: Event) -> None:
+        """Drop the event."""
+
+
+class MemorySink:
+    """Collects events in emission order, with aggregation helpers."""
+
+    __slots__ = ("events",)
+
+    def __init__(self) -> None:
+        self.events: list[Event] = []
+
+    def emit(self, event: Event) -> None:
+        """Append the event."""
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def counters(self) -> dict[str, int | float]:
+        """Counter name -> summed value over every counter event."""
+        acc: dict[str, int | float] = {}
+        for e in self.events:
+            if e.kind == "counter" and e.value is not None:
+                acc[e.name] = acc.get(e.name, 0) + e.value
+        return acc
+
+    def counter_total(self, name: str) -> int | float:
+        """Summed value of one counter (0 when never emitted)."""
+        return self.counters().get(name, 0)
+
+    def spans(self, name: str | None = None) -> list[Event]:
+        """Span events, optionally filtered by name."""
+        return [
+            e
+            for e in self.events
+            if e.kind == "span" and (name is None or e.name == name)
+        ]
+
+    def signatures(self) -> list[tuple[object, ...]]:
+        """Deterministic identities of the whole stream, in order."""
+        return [e.signature() for e in self.events]
+
+
+class JsonlSink:
+    """Writes events as JSON lines to a path or an open text stream."""
+
+    __slots__ = ("_stream", "_owns", "count")
+
+    def __init__(self, target: str | Path | IO[str]) -> None:
+        if isinstance(target, (str, Path)):
+            self._stream: IO[str] = open(target, "w", encoding="utf-8")
+            self._owns = True
+        else:
+            self._stream = target
+            self._owns = False
+        self.count = 0
+
+    def emit(self, event: Event) -> None:
+        """Write one JSON object line."""
+        self._stream.write(json.dumps(event.to_dict(), sort_keys=True))
+        self._stream.write("\n")
+        self.count += 1
+
+    def close(self) -> None:
+        """Flush, and close the stream if this sink opened it."""
+        self._stream.flush()
+        if self._owns:
+            self._stream.close()
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+class TeeSink:
+    """Forwards every event to each of several sinks, in order."""
+
+    __slots__ = ("sinks",)
+
+    def __init__(self, *sinks: Sink) -> None:
+        if not sinks:
+            raise ConfigError("TeeSink needs at least one sink")
+        self.sinks: tuple[Sink, ...] = sinks
+
+    def emit(self, event: Event) -> None:
+        """Forward to every sink."""
+        for sink in self.sinks:
+            sink.emit(event)
+
+
+def _iter_events(events: "Iterable[Event] | MemorySink") -> Iterable[Event]:
+    """Accept either a raw event iterable or a MemorySink."""
+    return events.events if isinstance(events, MemorySink) else events

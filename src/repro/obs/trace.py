@@ -1,0 +1,175 @@
+"""The tracer: spans and counters, with a zero-cost disabled path.
+
+Instrumented layers never hold a tracer; they ask for the ambient one::
+
+    from repro.obs import current_tracer
+
+    tracer = current_tracer()
+    with tracer.span("phase.sample"):
+        ...
+    tracer.count("io.run", run.size, bytes=run.size * 8)
+
+With no sink configured, :func:`current_tracer` returns a shared disabled
+tracer whose :meth:`~Tracer.span` hands back one preallocated no-op
+context manager and whose :meth:`~Tracer.count` returns immediately — the
+disabled path allocates nothing and reads no clock, so instrumentation
+costs one attribute check where it is threaded through.
+
+Observability is switched on for a scope with :func:`tracing`::
+
+    from repro.obs import MemorySink, tracing
+
+    with tracing(MemorySink()) as sink_tracer:
+        OPAQ(config).summarize(data)
+
+Durations come from :func:`time.perf_counter` — the sanctioned monotonic
+timer for *reporting* (see ``docs/static_analysis.md`` on OPQ301): no
+result or modelled time ever depends on it, and the wall-clock read lives
+here in ``repro.obs``, outside the deterministic ``core``/``selection``/
+``parallel`` layers that opaqlint guards.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from types import TracebackType
+from typing import Iterator
+
+from repro.obs.events import Event
+from repro.obs.sink import NullSink, Sink
+
+__all__ = ["Tracer", "current_tracer", "tracing"]
+
+
+class _NullSpan:
+    """The shared no-op span of the disabled path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """A live span: measures wall time, emits one event on exit."""
+
+    __slots__ = ("_sink", "_name", "_attrs", "_t0")
+
+    def __init__(
+        self,
+        sink: Sink,
+        name: str,
+        attrs: tuple[tuple[str, str | int | float], ...],
+    ) -> None:
+        self._sink = sink
+        self._name = name
+        self._attrs = attrs
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> bool:
+        self._sink.emit(
+            Event(
+                kind="span",
+                name=self._name,
+                duration=time.perf_counter() - self._t0,
+                attrs=self._attrs,
+            )
+        )
+        return False
+
+
+class Tracer:
+    """Emits spans and counters into a :class:`~repro.obs.Sink`.
+
+    ``enabled`` is the single flag instrumented code may branch on to
+    skip preparing event payloads (e.g. the selection counters only
+    allocate their accumulator when a tracer is live).
+    """
+
+    __slots__ = ("sink", "enabled")
+
+    def __init__(self, sink: Sink, enabled: bool = True) -> None:
+        self.sink = sink
+        self.enabled = enabled
+
+    def span(
+        self, name: str, **attrs: str | int | float
+    ) -> "_Span | _NullSpan":
+        """Context manager timing one phase; emits on exit."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return _Span(self.sink, name, tuple(sorted(attrs.items())))
+
+    def count(
+        self, name: str, value: int | float = 1, **attrs: str | int | float
+    ) -> None:
+        """Emit one counter event (a no-op when disabled)."""
+        if not self.enabled:
+            return
+        self.sink.emit(
+            Event(
+                kind="counter",
+                name=name,
+                value=value,
+                attrs=tuple(sorted(attrs.items())),
+            )
+        )
+
+
+#: The shared disabled tracer: no sink work, no clock reads, no events.
+_DISABLED = Tracer(NullSink(), enabled=False)
+
+_current: Tracer = _DISABLED
+
+
+def current_tracer() -> Tracer:
+    """The ambient tracer (the disabled singleton unless inside
+    :func:`tracing`)."""
+    return _current
+
+
+@contextmanager
+def tracing(sink: Sink) -> Iterator[Tracer]:
+    """Route instrumentation into ``sink`` for the enclosed scope.
+
+    Scopes nest *additively*: entering a tracing scope while another is
+    active tees every event to both the new sink and the enclosing one
+    (so e.g. ``opaq experiment --metrics-out`` still captures the events
+    of an experiment that traces its own sub-runs internally).  Leaving a
+    scope restores the previous tracer (the disabled singleton at the
+    outermost level).  The tracer is process-global, so concurrent
+    threads share whatever scope is active — fine for the repro's
+    single-threaded pipelines, and the deliberate choice that keeps the
+    disabled path a single attribute check.
+    """
+    from repro.obs.sink import TeeSink
+
+    global _current
+    previous = _current
+    effective = TeeSink(sink, previous.sink) if previous.enabled else sink
+    _current = Tracer(effective)
+    try:
+        yield _current
+    finally:
+        _current = previous

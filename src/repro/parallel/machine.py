@@ -29,7 +29,7 @@ import numpy as np
 
 from repro.errors import ConfigError
 
-__all__ = ["MachineModel", "SimulatedMachine", "PhaseBreakdown"]
+__all__ = ["MachineModel", "SimulatedMachine", "PhaseBreakdown", "CommStats"]
 
 
 @dataclass(frozen=True)
@@ -78,6 +78,24 @@ class MachineModel:
 
 
 @dataclass
+class CommStats:
+    """Deterministic message-traffic counters for one simulated execution.
+
+    ``messages`` counts message *endpoints paid for*: a point-to-point send
+    is one message, a pairwise exchange is two (one each way), and an
+    all-to-all charges ``p`` start-ups per processor exactly as the paper's
+    cost accounting does.  ``keys`` is the total key volume moved and
+    ``seconds`` the summed per-endpoint communication cost — all integers
+    or exact float sums of model constants, so they are reproducible
+    bit-for-bit across runs with the same configuration.
+    """
+
+    messages: int = 0
+    keys: int = 0
+    seconds: float = 0.0
+
+
+@dataclass
 class PhaseBreakdown:
     """Per-phase time accumulated on one processor."""
 
@@ -110,6 +128,7 @@ class SimulatedMachine:
         self.model = model or MachineModel.sp2()
         self._clock = np.zeros(num_procs, dtype=np.float64)
         self._phases = [PhaseBreakdown() for _ in range(num_procs)]
+        self.comm = CommStats()
 
     # ------------------------------------------------------------------
     # Charging primitives
@@ -164,6 +183,9 @@ class SimulatedMachine:
         self._clock[dst] = max(self._clock[dst], self._clock[src] - cost) + cost
         self._phases[src].add(phase, cost)
         self._phases[dst].add(phase, cost)
+        self.comm.messages += 1
+        self.comm.keys += keys
+        self.comm.seconds += 2 * cost
 
     def exchange(self, a: int, b: int, keys_each_way: int, phase: str) -> None:
         """Synchronous pairwise exchange (both directions overlap)."""
@@ -175,6 +197,9 @@ class SimulatedMachine:
         self._clock[b] = t
         self._phases[a].add(phase, cost)
         self._phases[b].add(phase, cost)
+        self.comm.messages += 2
+        self.comm.keys += 2 * keys_each_way
+        self.comm.seconds += 2 * cost
 
     def alltoall(self, out_sizes: np.ndarray, phase: str) -> None:
         """All-to-all personalised exchange (crossbar collective).
@@ -201,6 +226,9 @@ class SimulatedMachine:
                 self._phases[proc].add(phase, wait)
             self._clock[proc] = start + cost
             self._phases[proc].add(phase, cost)
+            self.comm.seconds += cost
+        self.comm.messages += self.p * self.p
+        self.comm.keys += int(sent.sum())
 
     def barrier(self, phase: str = "barrier") -> None:
         """Synchronise all clocks to the maximum (no extra cost charged)."""

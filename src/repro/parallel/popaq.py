@@ -25,6 +25,7 @@ from repro.core.quantile_phase import bounds_for
 from repro.core.sample_phase import sample_run, scaled_sample_count
 from repro.core.summary import OPAQSummary
 from repro.errors import ConfigError
+from repro.obs import current_tracer
 from repro.parallel.bitonic import bitonic_merge
 from repro.parallel.machine import MachineModel, SimulatedMachine
 from repro.parallel.sample_merge import sample_merge
@@ -136,9 +137,43 @@ class ParallelOPAQ:
         """Iterate one processor's data as runs."""
         m = self.config.run_size
         if isinstance(partition, DiskDataset):
+            # RunReader emits the io.* trace events itself.
             return RunReader(partition, run_size=m)
         arr = np.asarray(partition, dtype=np.float64)
-        return (arr[i : i + m] for i in range(0, arr.size, m))
+        return self._array_runs(arr, m)
+
+    @staticmethod
+    def _array_runs(arr, m):
+        """Yield in-memory runs, charging the same io.* trace counters a
+        :class:`RunReader` would for the equivalent disk-resident data."""
+        tracer = current_tracer()
+        if not tracer.enabled:
+            yield from (arr[i : i + m] for i in range(0, arr.size, m))
+            return
+        element_size = arr.dtype.itemsize
+        for index, start in enumerate(range(0, arr.size, m)):
+            run = arr[start : start + m]
+            tracer.count("io.elements", int(run.size), run=index)
+            tracer.count("io.bytes", int(run.size) * element_size, run=index)
+            yield run
+
+    def _emit_spmd_counters(self, machine: SimulatedMachine) -> None:
+        """Record the execution's SPMD traffic and simulated time.
+
+        All values are deterministic functions of the input and config
+        (simulated, not measured), so they participate in the trace-stream
+        determinism contract and double as cost-model oracles.
+        """
+        tracer = current_tracer()
+        if not tracer.enabled:
+            return
+        tracer.count("spmd.procs", self.p, merge=self.merge_method)
+        tracer.count("spmd.messages", machine.comm.messages)
+        tracer.count("spmd.keys", machine.comm.keys)
+        tracer.count("spmd.comm_seconds", machine.comm.seconds)
+        tracer.count("spmd.elapsed_seconds", machine.elapsed())
+        for phase, seconds in sorted(machine.phase_totals().items()):
+            tracer.count("spmd.phase_seconds", seconds, phase=phase)
 
     def scatter(self, data) -> list[np.ndarray]:
         """Block-partition a dataset/array across the processors."""
@@ -258,6 +293,7 @@ class ParallelOPAQ:
             # Constant work per quantile on the coordinating processor.
             ops = len(list(phis)) * max(1.0, math.log2(max(2, summary.num_samples)))
             machine.charge_compute(0, ops, PHASE_QUANTILE)
+        self._emit_spmd_counters(machine)
         return ParallelResult(
             summary=summary,
             machine=machine,

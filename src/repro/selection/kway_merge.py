@@ -16,6 +16,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.errors import ConfigError
+from repro.obs import current_tracer
 
 __all__ = ["kway_merge", "merge_two", "merge_two_with_payload", "is_sorted"]
 
@@ -81,7 +82,26 @@ def kway_merge(
     When ``payloads`` is given (one array per list, same lengths), each key
     carries its payload row through the merge and the function returns the
     pair ``(merged_keys, merged_payloads)``.
+
+    When tracing is active, the merge emits a ``phase.kway_merge`` span
+    plus a ``merge.keys`` counter (total keys merged).
     """
+    tracer = current_tracer()
+    if not tracer.enabled:
+        return _kway_merge(lists, payloads)
+    with tracer.span("phase.kway_merge", lists=len(lists)):
+        result = _kway_merge(lists, payloads)
+    merged = result[0] if payloads is not None else result
+    assert isinstance(merged, np.ndarray)
+    tracer.count("merge.keys", int(merged.size), lists=len(lists))
+    return result
+
+
+def _kway_merge(
+    lists: Sequence[np.ndarray],
+    payloads: Sequence[np.ndarray] | None = None,
+) -> np.ndarray | tuple[np.ndarray, np.ndarray]:
+    """The uninstrumented merge (see :func:`kway_merge`)."""
     arrays = [np.asarray(lst) for lst in lists]
     if payloads is not None:
         if len(payloads) != len(arrays):

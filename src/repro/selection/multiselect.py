@@ -25,11 +25,29 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.errors import EstimationError
+from repro.obs import current_tracer
 from repro.selection.partition import partition_three_way
 
 __all__ = ["multiselect", "regular_sample_ranks"]
 
 Selector = Callable[[np.ndarray, int], float]
+
+
+class _SelectStats:
+    """Measured work of one multiselect (allocated only under tracing).
+
+    ``comparisons`` counts elements scanned by the single-rank selections
+    and the three-way partitions — the quantity the paper's ``O(m log s)``
+    bound speaks about; ``partitions`` the partition_three_way calls;
+    ``depth`` the deepest recursion level reached.
+    """
+
+    __slots__ = ("comparisons", "partitions", "depth")
+
+    def __init__(self) -> None:
+        self.comparisons = 0
+        self.partitions = 0
+        self.depth = 0
 
 
 def regular_sample_ranks(run_size: int, sample_size: int) -> np.ndarray:
@@ -58,6 +76,8 @@ def _multiselect_into(
     out: np.ndarray,
     out_lo: int,
     select: Selector,
+    stats: _SelectStats | None = None,
+    depth: int = 0,
 ) -> None:
     """Recursive worker: fill ``out[out_lo : out_lo+len(ranks)]``.
 
@@ -70,10 +90,16 @@ def _multiselect_into(
     mid = ranks.size // 2
     local_rank = int(ranks[mid]) - base
     pivot = select(values, local_rank)
+    if stats is not None:
+        stats.depth = max(stats.depth, depth + 1)
+        stats.comparisons += values.size  # the single-rank selection scan
     out[out_lo + mid] = pivot
     if ranks.size == 1:
         return
     less, n_equal, greater = partition_three_way(values, pivot)
+    if stats is not None:
+        stats.partitions += 1
+        stats.comparisons += values.size  # the three-way partition scan
     # Ranks strictly below the first occurrence of the pivot go left; ranks
     # inside the pivot's equal-band are already answered by the pivot value;
     # the rest go right.
@@ -83,12 +109,19 @@ def _multiselect_into(
     last_eq = first_eq + n_equal  # one past the equal band
     go_left = left_ranks[left_ranks < first_eq]
     out[out_lo + go_left.size : out_lo + mid] = pivot
-    _multiselect_into(less, go_left, base, out, out_lo, select)
+    _multiselect_into(less, go_left, base, out, out_lo, select, stats, depth + 1)
     go_right = right_ranks[right_ranks >= last_eq]
     n_right_eq = right_ranks.size - go_right.size
     out[out_lo + mid + 1 : out_lo + mid + 1 + n_right_eq] = pivot
     _multiselect_into(
-        greater, go_right, last_eq, out, out_lo + mid + 1 + n_right_eq, select
+        greater,
+        go_right,
+        last_eq,
+        out,
+        out_lo + mid + 1 + n_right_eq,
+        select,
+        stats,
+        depth + 1,
     )
 
 
@@ -125,5 +158,19 @@ def multiselect(
             f"[{int(rank_arr[0])}, {int(rank_arr[-1])}]"
         )
     out = np.empty(rank_arr.size, dtype=np.float64)
-    _multiselect_into(np.asarray(values), rank_arr, 0, out, 0, select)
+    tracer = current_tracer()
+    if not tracer.enabled:
+        _multiselect_into(np.asarray(values), rank_arr, 0, out, 0, select)
+        return out
+    stats = _SelectStats()
+    with tracer.span(
+        "phase.multiselect",
+        engine="recursive",
+        size=int(values.size),
+        ranks=int(rank_arr.size),
+    ):
+        _multiselect_into(np.asarray(values), rank_arr, 0, out, 0, select, stats, 0)
+    tracer.count("selection.comparisons", stats.comparisons, engine="measured")
+    tracer.count("selection.partitions", stats.partitions)
+    tracer.count("selection.depth", stats.depth)
     return out

@@ -16,6 +16,7 @@ from typing import Iterator
 import numpy as np
 
 from repro.errors import ConfigError, SinglePassViolation
+from repro.obs import current_tracer
 from repro.storage.datafile import DiskDataset
 
 __all__ = ["IOStats", "RunReader"]
@@ -84,12 +85,16 @@ class RunReader:
                 f"over {self.dataset.path}"
             )
         self.stats.passes_started += 1
+        tracer = current_tracer()
+        tracer.count("io.pass", 1)
         element_size = self.dataset.dtype.itemsize
-        for start in range(0, self.dataset.count, self.run_size):
+        for index, start in enumerate(range(0, self.dataset.count, self.run_size)):
             count = min(self.run_size, self.dataset.count - start)
             run = self.dataset.read_range(start, count)
             self.stats.charge(count, element_size)
             self.stats.runs_read += 1
+            tracer.count("io.elements", count, run=index)
+            tracer.count("io.bytes", count * element_size, run=index)
             yield run
 
     def __iter__(self) -> Iterator[np.ndarray]:

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import OPAQ, OPAQConfig, estimate_quantiles
+from repro.core import OPAQ, OPAQConfig
 from repro.errors import ConfigError
 from repro.storage import RunReader
 
@@ -50,29 +50,47 @@ class TestSources:
         with pytest.raises(ConfigError):
             OPAQ(config).summarize(rng.uniform(size=10_000))
 
+    def test_memory_budget_enforced_on_run_iterable(self, rng):
+        # Iterable sources have unknowable size up front; the budget is
+        # checked against the observed total when the pass completes.
+        config = OPAQConfig(run_size=100, sample_size=50, memory=200)
+        runs = (rng.uniform(size=100) for _ in range(100))
+        with pytest.raises(ConfigError):
+            OPAQ(config).summarize(runs)
 
-class TestEstimateQuantiles:
+    def test_2d_run_in_iterable_rejected(self, rng):
+        config = OPAQConfig(run_size=10, sample_size=2)
+        with pytest.raises(ConfigError, match="one-dimensional"):
+            OPAQ(config).summarize(iter([rng.uniform(size=(5, 5))]))
+
+    def test_unsupported_source_rejected(self):
+        config = OPAQConfig(run_size=10, sample_size=2)
+        with pytest.raises(ConfigError, match="unsupported data source"):
+            OPAQ(config).summarize(42)
+
+
+class TestQuantilesOneShot:
     def test_default_run_size(self, uniform_data, sorted_uniform):
-        bounds = estimate_quantiles(uniform_data, [0.25, 0.75], sample_size=200)
+        bounds = OPAQ.quantiles(uniform_data, [0.25, 0.75], sample_size=200)
         for b in bounds:
             assert b.lower <= sorted_uniform[b.rank - 1] <= b.upper
 
     def test_small_input(self):
         data = np.array([3.0, 1.0, 2.0])
-        [b] = estimate_quantiles(data, [0.5], sample_size=100)
+        [b] = OPAQ.quantiles(data, [0.5], sample_size=100)
         assert b.lower <= 2.0 <= b.upper
 
     def test_dataset_input(self, dataset_factory, uniform_data):
         ds = dataset_factory(uniform_data)
-        [b] = estimate_quantiles(ds, [0.5], sample_size=100)
+        [b] = OPAQ.quantiles(ds, [0.5], sample_size=100)
         assert ds.count == uniform_data.size
 
     def test_empty_rejected(self):
         with pytest.raises(ConfigError):
-            estimate_quantiles(np.empty(0), [0.5])
+            OPAQ.quantiles(np.empty(0), [0.5])
 
     def test_explicit_run_size(self, uniform_data):
-        bounds = estimate_quantiles(
+        bounds = OPAQ.quantiles(
             uniform_data, [0.5], sample_size=100, run_size=25_000
         )
         assert len(bounds) == 1

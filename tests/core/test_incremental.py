@@ -20,7 +20,7 @@ class TestIncrementalOPAQ:
         with pytest.raises(EstimationError):
             inc.summary
         with pytest.raises(EstimationError):
-            inc.bounds([0.5])
+            inc.bounds(inc.summary, [0.5])
 
     def test_matches_single_pass(self, config, rng):
         batches = [rng.uniform(size=3000) for _ in range(4)]
@@ -43,7 +43,7 @@ class TestIncrementalOPAQ:
             seen.append(batch)
             inc.update(batch)
             sd = np.sort(np.concatenate(seen))
-            b = inc.bound(0.5)
+            b = inc.bound(inc.summary, 0.5)
             assert b.lower <= sd[b.rank - 1] <= b.upper
 
     def test_guarantee_tracks_run_count(self, config, rng):
@@ -76,7 +76,7 @@ class TestBoundedIncremental:
             inc.update(batch)
         sd = np.sort(np.concatenate(seen))
         for phi in (0.1, 0.5, 0.9):
-            b = inc.bound(phi)
+            b = inc.bound(inc.summary, phi)
             assert b.lower <= sd[b.rank - 1] <= b.upper
 
     def test_guarantee_stays_proportionate(self, config, rng):

@@ -1,0 +1,103 @@
+"""Events and sinks: the obs layer's data model."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs import (
+    Event,
+    JsonlSink,
+    MemorySink,
+    NullSink,
+    Sink,
+    TeeSink,
+    aggregate,
+    io_fraction,
+    phase_seconds,
+)
+
+
+def test_event_signature_excludes_duration():
+    a = Event(kind="span", name="phase.sample", duration=0.25)
+    b = Event(kind="span", name="phase.sample", duration=99.0)
+    assert a.signature() == b.signature()
+
+
+def test_event_to_dict_round_trips_through_json():
+    e = Event(
+        kind="counter", name="io.bytes", value=800, attrs=(("run", 3),)
+    )
+    d = json.loads(json.dumps(e.to_dict()))
+    assert d["kind"] == "counter"
+    assert d["name"] == "io.bytes"
+    assert d["value"] == 800
+    assert d["attrs"] == {"run": 3}
+
+
+def test_all_sinks_satisfy_protocol(tmp_path):
+    with JsonlSink(tmp_path / "t.jsonl") as jsonl:
+        for sink in (NullSink(), MemorySink(), jsonl, TeeSink(MemorySink())):
+            assert isinstance(sink, Sink)
+
+
+def test_memory_sink_counters_and_spans():
+    sink = MemorySink()
+    sink.emit(Event(kind="counter", name="io.bytes", value=100))
+    sink.emit(Event(kind="counter", name="io.bytes", value=200))
+    sink.emit(Event(kind="span", name="phase.sample", duration=0.1))
+    assert len(sink) == 3
+    assert sink.counter_total("io.bytes") == 300
+    assert sink.counters() == {"io.bytes": 300}
+    assert [e.name for e in sink.spans()] == ["phase.sample"]
+    assert sink.spans("nope") == []
+
+
+def test_jsonl_sink_writes_sorted_lines(tmp_path):
+    path = tmp_path / "events.jsonl"
+    with JsonlSink(path) as sink:
+        sink.emit(Event(kind="counter", name="a", value=1))
+        sink.emit(Event(kind="span", name="b", duration=0.5))
+        assert sink.count == 2
+    lines = path.read_text().strip().splitlines()
+    assert len(lines) == 2
+    assert json.loads(lines[0])["name"] == "a"
+
+
+def test_tee_sink_fans_out():
+    a, b = MemorySink(), MemorySink()
+    tee = TeeSink(a, b)
+    tee.emit(Event(kind="counter", name="x", value=1))
+    assert len(a) == len(b) == 1
+
+
+def test_tee_sink_requires_targets():
+    with pytest.raises(ConfigError):
+        TeeSink()
+
+
+def test_aggregate_shape(tmp_path):
+    events = [
+        Event(kind="span", name="phase.sample", duration=0.5),
+        Event(kind="span", name="phase.sample", duration=0.25),
+        Event(kind="counter", name="io.bytes", value=64),
+        Event(
+            kind="counter",
+            name="spmd.phase_seconds",
+            value=2.0,
+            attrs=(("phase", "io"),),
+        ),
+        Event(
+            kind="counter",
+            name="spmd.phase_seconds",
+            value=2.0,
+            attrs=(("phase", "sampling"),),
+        ),
+    ]
+    agg = aggregate(events)
+    assert agg["schema"] == "repro.obs/v1"
+    assert agg["spans"]["phase.sample"]["count"] == 2
+    assert agg["spans"]["phase.sample"]["seconds"] == 0.75
+    assert agg["counters"]["io.bytes"] == 64
+    assert phase_seconds(events) == {"io": 2.0, "sampling": 2.0}
+    assert io_fraction(events) == 0.5

@@ -1,0 +1,102 @@
+"""Tracing semantics: determinism, the disabled path, and nesting.
+
+The contract instrumented layers rely on:
+
+- same seed + same config => identical event streams modulo durations
+  (``Event.signature()`` excludes the wall-clock field);
+- with no tracer installed, instrumentation emits nothing and allocates
+  nothing observable;
+- the determinism lint family (OPQ3xx) stays clean over the instrumented
+  package — the tracer reads the wall clock only inside ``repro.obs``.
+"""
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+import repro
+from repro.analysis import lint_paths, render_text
+from repro.core import OPAQ, OPAQConfig
+from repro.obs import MemorySink, current_tracer, tracing
+from repro.parallel import ParallelOPAQ
+
+CONFIG = OPAQConfig(run_size=1000, sample_size=100)
+
+
+def _traced_run(seed: int, procs: int = 1) -> MemorySink:
+    data = np.random.default_rng(seed).uniform(size=10_000)
+    sink = MemorySink()
+    with tracing(sink):
+        if procs > 1:
+            ParallelOPAQ(procs, CONFIG, merge_method="bitonic").run(
+                data, phis=[0.5, 0.9]
+            )
+        else:
+            est = OPAQ(CONFIG)
+            est.bounds(est.summarize(data), [0.5, 0.9])
+    return sink
+
+
+@pytest.mark.parametrize("procs", [1, 4])
+def test_event_stream_deterministic_across_runs(procs):
+    first = _traced_run(7, procs=procs)
+    second = _traced_run(7, procs=procs)
+    assert len(first) > 0
+    assert first.signatures() == second.signatures()
+
+
+def test_different_data_changes_the_stream():
+    # Counters carry real values (sizes, messages), so distinct inputs of
+    # distinct sizes must not produce byte-identical streams.
+    a = _traced_run(1)
+    data = np.random.default_rng(2).uniform(size=12_345)
+    sink = MemorySink()
+    with tracing(sink):
+        OPAQ(CONFIG).summarize(data)
+    assert a.signatures() != sink.signatures()
+
+
+def test_disabled_tracer_is_ambient_default():
+    tracer = current_tracer()
+    assert not tracer.enabled
+    # Disabled spans are one shared no-op object: no per-call allocation.
+    assert tracer.span("phase.sample") is tracer.span("phase.quantile")
+
+
+def test_no_tracer_means_no_events():
+    sink = MemorySink()
+    with tracing(sink):
+        pass  # instrumented code runs OUTSIDE the scope below
+    data = np.random.default_rng(3).uniform(size=5_000)
+    est = OPAQ(CONFIG)
+    est.bounds(est.summarize(data), [0.5])
+    ParallelOPAQ(2, CONFIG).run(data, phis=[0.5])
+    assert len(sink) == 0
+
+
+def test_results_identical_with_and_without_tracing():
+    data = np.random.default_rng(4).uniform(size=10_000)
+    est = OPAQ(CONFIG)
+    plain = est.bounds(est.summarize(data), [0.25, 0.5, 0.75])
+    with tracing(MemorySink()):
+        traced = est.bounds(est.summarize(data), [0.25, 0.5, 0.75])
+    assert [(b.lower, b.upper) for b in plain] == [
+        (b.lower, b.upper) for b in traced
+    ]
+
+
+def test_nested_tracing_tees_to_outer_sink():
+    outer, inner = MemorySink(), MemorySink()
+    data = np.random.default_rng(5).uniform(size=5_000)
+    with tracing(outer):
+        with tracing(inner):
+            OPAQ(CONFIG).summarize(data)
+    assert len(inner) > 0
+    assert outer.signatures() == inner.signatures()
+
+
+def test_instrumentation_passes_determinism_lint():
+    src = Path(repro.__file__).parent
+    result = lint_paths([src], select=["OPQ301", "OPQ302", "OPQ303"])
+    assert result.findings == [], "\n" + render_text(result)

@@ -52,11 +52,24 @@ class TestTopLevel:
         """The README's quickstart snippet must actually run."""
         import numpy as np
 
-        from repro import estimate_quantiles
+        from repro import OPAQ
 
         data = np.random.default_rng(0).uniform(size=10_000)
-        [median] = estimate_quantiles(data, [0.5], sample_size=100)
+        [median] = OPAQ.quantiles(data, [0.5], sample_size=100)
         assert median.lower <= np.sort(data)[4999] <= median.upper
+
+    def test_estimate_quantiles_deprecated_alias(self):
+        import numpy as np
+
+        from repro import OPAQ, estimate_quantiles
+
+        data = np.arange(10_000, dtype=float)
+        with pytest.warns(DeprecationWarning, match="OPAQ.quantiles"):
+            deprecated = estimate_quantiles(data, [0.5], sample_size=100)
+        fresh = OPAQ.quantiles(data, [0.5], sample_size=100)
+        assert [(b.lower, b.upper) for b in deprecated] == [
+            (b.lower, b.upper) for b in fresh
+        ]
 
     def test_cli_parser_builds(self):
         from repro.cli import build_parser

@@ -244,6 +244,72 @@ class TestAnalyzeExplain:
         assert "column:lo:hi" in capsys.readouterr().err
 
 
+class TestRunCommand:
+    def test_run_prints_bounds(self, dataset, capsys):
+        rc = main(["run", str(dataset), "--phi", "0.5", "--sample-size", "100"])
+        assert rc == 0
+        assert "0.500" in capsys.readouterr().out
+
+    def test_run_metrics_out_emits_all_counter_families(
+        self, dataset, tmp_path, capsys
+    ):
+        """The acceptance check: a parallel traced run writes per-phase
+        spans plus I/O, comparison, and SPMD message counters, and the
+        deterministic counters match the analytic cost model exactly."""
+        import json
+
+        metrics = tmp_path / "metrics.json"
+        rc = main(
+            [
+                "run",
+                str(dataset),
+                "--phi",
+                "0.5",
+                "--run-size",
+                "2000",
+                "--sample-size",
+                "200",
+                "--procs",
+                "4",
+                "--merge",
+                "bitonic",
+                "--trace",
+                "--metrics-out",
+                str(metrics),
+            ]
+        )
+        assert rc == 0
+        doc = json.loads(metrics.read_text())
+        assert doc["schema"] == "repro.obs/v1"
+        counters = doc["counters"]
+        # I/O: one pass over all 20k keys of the generated dataset.
+        assert counters["io.elements"] == 20_000
+        assert counters["io.bytes"] == 20_000 * 8
+        # Comparisons: the modelled O(m log s) figure over every run.
+        assert counters["selection.comparisons"] > 0
+        # SPMD: bitonic p=4 -> S=3 supersteps -> p*S message endpoints.
+        # Each processor holds 5000 keys in runs of 2000 -> local lists of
+        # rs = 200+200+100 = 500 samples, so p*rs*S keys move in total.
+        assert counters["spmd.messages"] == 4 * 3
+        assert counters["spmd.keys"] == 4 * 500 * 3
+        assert "phase.multiselect" in doc["spans"]
+        assert doc["spmd_phases"]["io"] > 0
+        err = capsys.readouterr().err
+        assert "metrics" in err and "trace:" in err
+
+    def test_run_without_flags_writes_nothing(self, dataset, tmp_path):
+        rc = main(["run", str(dataset), "--phi", "0.5"])
+        assert rc == 0
+        assert list(tmp_path.glob("*.json")) == []
+
+
+class TestExperimentCommand:
+    def test_unknown_experiment(self, capsys):
+        rc = main(["experiment", "table99"])
+        assert rc == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+
 class TestModuleEntryPoint:
     def test_python_dash_m_invocation(self):
         import subprocess

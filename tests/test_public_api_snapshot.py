@@ -1,0 +1,101 @@
+"""Snapshot of the public API surface.
+
+A change to any list below is a deliberate API decision: additions belong
+in docs/api.md, removals need a deprecation cycle (see the policy there).
+This test exists so neither can happen by accident.
+"""
+
+import inspect
+
+import repro
+import repro.baselines
+import repro.core
+import repro.obs
+
+TOP_LEVEL = {
+    "OPAQ",
+    "OPAQConfig",
+    "OPAQSummary",
+    "QuantileBounds",
+    "QuantileEstimator",
+    "DataSource",
+    "RankBounds",
+    "IncrementalOPAQ",
+    "estimate_quantiles",
+    "estimate_rank",
+    "exact_quantiles",
+    "DiskDataset",
+    "DatasetWriter",
+    "RunReader",
+    "MemoryModel",
+    "ReproError",
+    "ConfigError",
+    "DataError",
+    "EstimationError",
+    "SinglePassViolation",
+    "__version__",
+}
+
+OBS = {
+    "Event",
+    "Sink",
+    "NullSink",
+    "MemorySink",
+    "JsonlSink",
+    "TeeSink",
+    "Tracer",
+    "current_tracer",
+    "tracing",
+    "aggregate",
+    "phase_seconds",
+    "io_fraction",
+    "write_metrics",
+}
+
+ESTIMATOR_METHODS = {"summarize", "bounds", "bound", "estimate"}
+
+
+def test_top_level_surface_is_exactly_the_snapshot():
+    assert set(repro.__all__) == TOP_LEVEL
+
+
+def test_obs_surface_is_exactly_the_snapshot():
+    assert set(repro.obs.__all__) == OBS
+
+
+def test_streaming_baseline_registry_is_stable():
+    assert set(repro.baselines.STREAMING_BASELINES) == {
+        "random_sampling",
+        "p2",
+        "as95",
+        "sd77",
+        "gk01",
+        "tdigest",
+        "kll",
+    }
+
+
+def test_estimators_conform_to_protocol():
+    from repro.core import IncrementalOPAQ, OPAQ, QuantileEstimator
+
+    for cls in (OPAQ, IncrementalOPAQ):
+        assert issubclass(cls, QuantileEstimator), cls.__name__
+
+
+def test_estimator_query_signatures_agree():
+    """OPAQ and IncrementalOPAQ expose the same (summary, ...) shapes."""
+    from repro.core import IncrementalOPAQ, OPAQ
+
+    for method in ESTIMATOR_METHODS:
+        opaq_params = list(
+            inspect.signature(getattr(OPAQ, method)).parameters
+        )
+        inc_params = list(
+            inspect.signature(getattr(IncrementalOPAQ, method)).parameters
+        )
+        assert opaq_params == inc_params, method
+
+
+def test_one_shot_classmethod_exists():
+    sig = inspect.signature(repro.OPAQ.quantiles)
+    assert list(sig.parameters)[:2] == ["source", "phis"]
