@@ -1,0 +1,113 @@
+"""Serving throughput: what the sharded service sustains end to end.
+
+Not a paper experiment — release engineering for :mod:`repro.service`.
+Measures, at 1/4/8 shards:
+
+* **ingest throughput** — elements/second through route → bounded queue →
+  worker fold, including the epoch snapshot at the end (the full cost of
+  making the data queryable);
+* **query latency** — seconds per 9-quantile query against the served
+  epoch (lock-free reads of the merged summary).
+
+Run as a script to (re)generate the committed trajectory file::
+
+    PYTHONPATH=src python benchmarks/bench_service_throughput.py
+
+which writes ``BENCH_service.json`` at the repo root, or through
+pytest-benchmark like the other benches for ``--benchmark-json`` output.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.metrics import dectile_fractions
+from repro.service import QuantileService, ServiceConfig
+
+try:  # pytest-benchmark path; absent when run as a plain script
+    from benchmarks.conftest import run_once
+except ImportError:  # pragma: no cover - script mode
+    run_once = None
+
+_N = 1_000_000
+_SHARD_COUNTS = (1, 4, 8)
+_QUERY_ROUNDS = 200
+_OUT = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+
+
+def _config(shards: int) -> ServiceConfig:
+    return ServiceConfig(
+        num_shards=shards,
+        run_size=100_000,
+        sample_size=1_000,
+        queue_capacity=64,
+    )
+
+
+def _measure(shards: int, data: np.ndarray) -> dict[str, float]:
+    phis = dectile_fractions()
+    with QuantileService(_config(shards)) as service:
+        start = time.perf_counter()
+        for begin in range(0, data.size, 50_000):
+            service.ingest(data[begin : begin + 50_000])
+        service.snapshot()
+        ingest_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        for _ in range(_QUERY_ROUNDS):
+            result = service.query(phis)
+        query_seconds = (time.perf_counter() - start) / _QUERY_ROUNDS
+
+        assert result.count == data.size
+        service.close(final_snapshot=False)
+    return {
+        "shards": shards,
+        "elements": int(data.size),
+        "ingest_seconds": ingest_seconds,
+        "ingest_elements_per_second": data.size / ingest_seconds,
+        "query_seconds_per_call": query_seconds,
+        "queries_per_second": 1.0 / query_seconds,
+        "guarantee": result.guarantee,
+    }
+
+
+def main() -> dict[str, object]:
+    data = np.random.default_rng(7).uniform(size=_N)
+    rows = [_measure(shards, data) for shards in _SHARD_COUNTS]
+    report = {
+        "benchmark": "service_throughput",
+        "elements": _N,
+        "query_phis": 9,
+        "rows": rows,
+    }
+    _OUT.write_text(json.dumps(report, indent=2) + "\n")
+    for row in rows:
+        print(
+            f"shards={row['shards']}: "
+            f"{row['ingest_elements_per_second']:,.0f} elements/s ingest, "
+            f"{row['query_seconds_per_call'] * 1e6:,.0f} us/query"
+        )
+    print(f"wrote {_OUT}")
+    return report
+
+
+def bench_service_ingest_and_query(benchmark):
+    """One full sweep under pytest-benchmark (headline numbers in extra_info)."""
+    report = run_once(benchmark, main)
+    for row in report["rows"]:
+        key = f"shards_{row['shards']}"
+        benchmark.extra_info[f"{key}_ingest_eps"] = row[
+            "ingest_elements_per_second"
+        ]
+        benchmark.extra_info[f"{key}_query_qps"] = row["queries_per_second"]
+        # Even the single-shard service must sustain a meaningful rate;
+        # the floor is far below any observed run to avoid CI flakiness.
+        assert row["ingest_elements_per_second"] > 1e5
+
+
+if __name__ == "__main__":
+    main()

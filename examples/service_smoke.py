@@ -1,0 +1,146 @@
+"""Smoke the sharded quantile service over its real wire protocol.
+
+Boots `opaq serve` as a child process on a free port, streams 100k
+elements at it over HTTP, snapshots, and checks the served median
+against ground truth computed in this process: the true median must lie
+inside the returned ``[e_l, e_u]`` with at most ``2 x guarantee``
+elements between the bounds (the paper's Lemma 3, recomputed for the
+merged shard layout).  Then SIGTERMs the server — which must exit 0
+after flushing a final snapshot — boots a second server on the same
+snapshot directory, and verifies the warm restart serves the identical
+answer without re-ingesting anything.
+
+Run:  python examples/service_smoke.py
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+import repro
+from repro.service import ServiceClient
+
+N = 100_000
+BATCH = 5_000
+PHIS = [0.25, 0.5, 0.75]
+
+
+def start_server(snapshot_dir: str) -> tuple[subprocess.Popen, str]:
+    """Launch `opaq serve` on a free port; return (process, base URL)."""
+    env = dict(os.environ)
+    src = str(Path(repro.__file__).resolve().parent.parent)
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "serve",
+            "--port",
+            "0",
+            "--shards",
+            "2",
+            "--run-size",
+            "20000",
+            "--sample-size",
+            "500",
+            "--snapshot-dir",
+            snapshot_dir,
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    while True:
+        line = proc.stdout.readline()
+        if not line:
+            raise RuntimeError("server exited before announcing its port")
+        print(f"  [server] {line.rstrip()}")
+        if line.startswith("serving on "):
+            return proc, line.split()[2]
+
+
+def stop_server(proc: subprocess.Popen) -> str:
+    """SIGTERM the server and return its remaining output (must exit 0)."""
+    proc.send_signal(signal.SIGTERM)
+    output, _ = proc.communicate(timeout=60)
+    for line in output.splitlines():
+        print(f"  [server] {line}")
+    assert proc.returncode == 0, f"server exited {proc.returncode}"
+    return output
+
+
+def check(label: str, ok: bool) -> None:
+    print(f"  {label}: {'yes' if ok else 'NO!'}")
+    assert ok, label
+
+
+def main() -> None:
+    rng = np.random.default_rng(2026)
+    data = rng.lognormal(mean=0.0, sigma=1.5, size=N)
+    sorted_data = np.sort(data)
+
+    with tempfile.TemporaryDirectory() as snapshot_dir:
+        print(f"first life (ingest {N:,} elements over HTTP):")
+        proc, url = start_server(snapshot_dir)
+        try:
+            client = ServiceClient(url)
+            for start in range(0, N, BATCH):
+                client.ingest(data[start : start + BATCH].tolist())
+            epoch = client.snapshot()
+            check(f"epoch 1 covers all {N:,} elements", epoch["count"] == N)
+
+            answer = client.quantile(PHIS)
+            guarantee = answer["guarantee"]
+            print(
+                f"  served epoch {answer['epoch']}: n={answer['count']:,}, "
+                f"guarantee n/s ~= {guarantee}"
+            )
+            for r in answer["results"]:
+                true_value = sorted_data[r["rank"] - 1]
+                enclosed = r["lower"] <= true_value <= r["upper"]
+                between = int(
+                    np.searchsorted(sorted_data, r["upper"], side="left")
+                    - np.searchsorted(sorted_data, r["lower"], side="right")
+                )
+                print(
+                    f"  phi={r['phi']:.2f}: [{r['lower']:.5f}, {r['upper']:.5f}] "
+                    f"true={true_value:.5f}, {between} elements between "
+                    f"(budget {2 * guarantee})"
+                )
+                check(
+                    f"phi={r['phi']:.2f} enclosed within deterministic window",
+                    enclosed and between <= 2 * guarantee,
+                )
+            first_answer = answer
+        finally:
+            output = stop_server(proc)
+        check("SIGTERM shut the server down cleanly", "cleanly" in output)
+
+        print("second life (warm restart from the snapshot directory):")
+        proc, url = start_server(snapshot_dir)
+        try:
+            restarted = ServiceClient(url).quantile(PHIS)
+            check(
+                "warm restart serves the identical epoch",
+                restarted["epoch"] == first_answer["epoch"]
+                and restarted["count"] == first_answer["count"],
+            )
+            check(
+                "warm restart serves identical bounds",
+                restarted["results"] == first_answer["results"],
+            )
+        finally:
+            stop_server(proc)
+
+    print("service smoke passed.")
+
+
+if __name__ == "__main__":
+    main()

@@ -31,6 +31,8 @@ Package map (see DESIGN.md for the full inventory):
 - :mod:`repro.apps` — equi-depth histograms, external sort, load
   balancing.
 - :mod:`repro.experiments` — the table/figure reproduction harness.
+- :mod:`repro.service` — the sharded quantile-serving subsystem
+  (``opaq serve``; see docs/service.md).
 """
 
 from repro.core import (
@@ -51,6 +53,7 @@ from repro.errors import (
     DataError,
     EstimationError,
     ReproError,
+    ServiceError,
     SinglePassViolation,
 )
 from repro.storage import DatasetWriter, DiskDataset, MemoryModel, RunReader
@@ -77,6 +80,7 @@ __all__ = [
     "ConfigError",
     "DataError",
     "EstimationError",
+    "ServiceError",
     "SinglePassViolation",
     "__version__",
 ]

@@ -33,6 +33,7 @@ from repro.analysis import rules_memory  # noqa: F401  (registration)
 from repro.analysis import rules_determinism  # noqa: F401  (registration)
 from repro.analysis import rules_spmd  # noqa: F401  (registration)
 from repro.analysis import rules_exceptions  # noqa: F401  (registration)
+from repro.analysis import rules_service  # noqa: F401  (registration)
 
 __all__ = [
     "Finding",

@@ -1,0 +1,181 @@
+"""Rule family 6 (OPQ6xx): the serving disciplines.
+
+The serving subsystem (:mod:`repro.service`) adds two invariants of its
+own, both invisible to unit tests on small inputs:
+
+- **Bounded ingest** — every queue between a producer and a shard worker
+  must have a capacity bound.  An unbounded queue converts overload into
+  unbounded memory growth; a bounded one converts it into backpressure,
+  which is the behaviour the service's guarantees assume.
+- **Locked snapshot swaps** — the served snapshot reference is written by
+  the snapshotter and read lock-free by query threads.  That is only safe
+  while every *assignment* of a shared snapshot slot happens under the
+  swap lock; an unlocked write reintroduces the torn-epoch races the
+  epoch design exists to prevent.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.framework import Finding, ModuleContext, Rule, dotted_name
+from repro.analysis.registry import register
+
+__all__ = ["UnboundedQueueRule", "SnapshotSwapLockRule"]
+
+#: Queue constructors that take a ``maxsize``-style bound.
+_BOUNDED_QUEUES = {"queue.Queue", "Queue", "queue.LifoQueue", "LifoQueue"}
+
+#: Queue constructors that cannot be bounded at all.
+_UNBOUNDABLE_QUEUES = {"queue.SimpleQueue", "SimpleQueue"}
+
+#: Shared snapshot slots: attributes swapped by writers and read lock-free.
+_SWAP_ATTRS = {"_snapshot", "_merged"}
+
+
+def _bound_argument(call: ast.Call) -> ast.expr | None:
+    """The ``maxsize`` argument of a queue constructor call, if present."""
+    if call.args:
+        return call.args[0]
+    for keyword in call.keywords:
+        if keyword.arg == "maxsize":
+            return keyword.value
+    return None
+
+
+@register
+class UnboundedQueueRule(Rule):
+    """Every ingest queue in the service layer carries a capacity bound."""
+
+    rule_id = "service-unbounded-queue"
+    code = "OPQ601"
+    description = (
+        "unbounded queue (Queue() without maxsize, SimpleQueue, deque "
+        "without maxlen) in the service layer; bounded queues are the "
+        "backpressure mechanism"
+    )
+    paper_ref = "docs/service.md (bounded ingest queues -> backpressure)"
+    scope_prefixes = ("service/",)
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            if name in _UNBOUNDABLE_QUEUES:
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"{name}() cannot be bounded; use queue.Queue(maxsize=...) "
+                    "so overload becomes backpressure, not memory growth",
+                )
+                continue
+            if name in _BOUNDED_QUEUES:
+                bound = _bound_argument(node)
+                if bound is None or (
+                    isinstance(bound, ast.Constant) and not bound.value
+                ):
+                    yield ctx.finding(
+                        self,
+                        node,
+                        f"{name}() without a positive maxsize is unbounded; "
+                        "pass the configured queue capacity",
+                    )
+            elif name in ("collections.deque", "deque") and not any(
+                kw.arg == "maxlen" for kw in node.keywords
+            ):
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"{name}() without maxlen grows without bound; pass "
+                    "maxlen=... or use a bounded queue.Queue",
+                )
+
+
+def _is_lock_context(item: ast.withitem) -> bool:
+    """True when a ``with`` item looks like acquiring a lock."""
+    expr = item.context_expr
+    if isinstance(expr, ast.Call):
+        expr = expr.func
+    name = dotted_name(expr)
+    return name is not None and "lock" in name.rsplit(".", 1)[-1].lower()
+
+
+@register
+class SnapshotSwapLockRule(Rule):
+    """Shared snapshot slots are only assigned under the swap lock."""
+
+    rule_id = "service-snapshot-lock"
+    code = "OPQ602"
+    description = (
+        "assignment to a shared snapshot slot (_snapshot/_merged "
+        "attribute) outside a `with <lock>:` block; lock-free readers "
+        "require locked writers"
+    )
+    paper_ref = "docs/service.md (atomic epoch swap under the swap lock)"
+    scope_prefixes = ("service/",)
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if node.name == "__init__":
+                # Construction precedes sharing: the object is not yet
+                # visible to any reader thread.
+                continue
+            yield from self._check_body(ctx, node.body, locked=False)
+
+    def _check_body(
+        self, ctx: ModuleContext, body: list[ast.stmt], locked: bool
+    ) -> Iterator[Finding]:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue  # nested defs are visited by the outer walk
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                inner = locked or any(
+                    _is_lock_context(item) for item in stmt.items
+                )
+                yield from self._check_body(ctx, stmt.body, inner)
+                continue
+            if not locked:
+                yield from self._check_statement(ctx, stmt)
+            # Recurse into compound statements (if/for/try/while bodies)
+            # preserving the current lock state.
+            for child_body in _nested_bodies(stmt):
+                yield from self._check_body(ctx, child_body, locked)
+
+    def _check_statement(
+        self, ctx: ModuleContext, stmt: ast.stmt
+    ) -> Iterator[Finding]:
+        if not isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            return
+        targets = (
+            stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+        )
+        for target in targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and target.attr in _SWAP_ATTRS
+            ):
+                yield ctx.finding(
+                    self,
+                    stmt,
+                    f"assignment to {target.attr} outside a `with <lock>:` "
+                    "block; swap the served snapshot under the swap lock",
+                )
+
+
+def _nested_bodies(stmt: ast.stmt) -> list[list[ast.stmt]]:
+    """The statement lists nested inside one compound statement."""
+    bodies: list[list[ast.stmt]] = []
+    for field in ("body", "orelse", "finalbody"):
+        value = getattr(stmt, field, None)
+        if isinstance(value, list) and value and isinstance(value[0], ast.stmt):
+            bodies.append(value)
+    handlers = getattr(stmt, "handlers", None)
+    if handlers:
+        bodies.extend(handler.body for handler in handlers)
+    return bodies

@@ -15,6 +15,8 @@
     opaq sort keys.opaq sorted.opaq --memory 2000000
     opaq report            # regenerate EXPERIMENTS.md content on stdout
     opaq lint src/repro    # enforce the paper's disciplines statically
+    opaq serve --shards 4 --snapshot-dir snaps/   # sharded quantile server
+    opaq query --server http://127.0.0.1:8629 --dectiles
 
 Every subcommand is also reachable as ``python -m repro.cli ...``.
 """
@@ -36,7 +38,7 @@ from repro.core import (
     estimate_rank,
     exact_quantiles,
 )
-from repro.errors import ReproError
+from repro.errors import ConfigError, ReproError
 from repro.metrics import dectile_fractions
 from repro.storage import DiskDataset, MemoryModel, RunReader
 from repro.workloads import GENERATOR_NAMES, make_generator, write_dataset
@@ -202,6 +204,24 @@ def _phis_from(args: argparse.Namespace) -> list[float]:
 def _cmd_query(args: argparse.Namespace) -> int:
     from repro.core import quantile_bounds
 
+    if args.server:
+        from repro.service import ServiceClient
+
+        answer = ServiceClient(args.server).quantile(_phis_from(args))
+        print(
+            f"epoch {answer['epoch']}: {answer['count']:,} keys served, "
+            f"guarantee {answer['guarantee']:,} ranks per bound, "
+            f"staleness {answer['staleness']:,}"
+        )
+        print(f"{'phi':>6}  {'lower':>18}  {'upper':>18}  {'max between':>12}")
+        for row in answer["results"]:
+            print(
+                f"{row['phi']:>6.3f}  {row['lower']:>18.6f}  "
+                f"{row['upper']:>18.6f}  {row['max_between']:>12,}"
+            )
+        return 0
+    if args.summary is None:
+        raise ConfigError("pass a summary file or --server URL")
     summary = OPAQSummary.load(args.summary)
     print(f"{'phi':>6}  {'lower':>18}  {'upper':>18}  {'max between':>12}")
     for phi in _phis_from(args):
@@ -210,6 +230,51 @@ def _cmd_query(args: argparse.Namespace) -> int:
             f"{phi:>6.3f}  {b.lower:>18.6f}  {b.upper:>18.6f}  "
             f"{b.max_between:>12,}"
         )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+
+    from repro.service import QuantileService, ServiceConfig, make_server
+
+    config = ServiceConfig(
+        num_shards=args.shards,
+        run_size=args.run_size or 100_000,
+        sample_size=args.sample_size,
+        queue_capacity=args.queue_capacity,
+        max_shard_samples=args.max_shard_samples,
+        max_merged_samples=args.max_merged_samples,
+        snapshot_every=args.snapshot_every,
+        snapshot_dir=args.snapshot_dir,
+    )
+    service = QuantileService(config)
+    if service.restored_epoch is not None:
+        restored = service.restored_epoch
+        print(
+            f"warm restart: epoch {restored.epoch} "
+            f"({restored.count:,} keys) restored from {args.snapshot_dir}",
+            flush=True,
+        )
+    server = make_server(service, host=args.host, port=args.port, verbose=args.verbose)
+
+    def _terminate(signum, frame):  # pragma: no cover - signal path
+        raise SystemExit(0)
+
+    signal.signal(signal.SIGTERM, _terminate)
+    print(
+        f"serving on {server.url} (shards={config.num_shards}, "
+        f"s={config.sample_size})",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        service.close(final_snapshot=True)
+        print("shut down cleanly (final snapshot flushed)", flush=True)
     return 0
 
 
@@ -413,11 +478,68 @@ def build_parser() -> argparse.ArgumentParser:
     _add_config_flags(p)
     p.set_defaults(fn=_cmd_summarize)
 
-    p = sub.add_parser("query", help="quantile bounds from a summary")
-    p.add_argument("summary")
+    p = sub.add_parser(
+        "query", help="quantile bounds from a summary file or a running server"
+    )
+    p.add_argument("summary", nargs="?", default=None)
     p.add_argument("--phi", type=float, action="append", default=[])
     p.add_argument("--dectiles", action="store_true")
+    p.add_argument(
+        "--server",
+        default=None,
+        metavar="URL",
+        help="query a running `opaq serve` instance instead of a file",
+    )
     p.set_defaults(fn=_cmd_query)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the sharded quantile-serving subsystem over HTTP",
+        description=(
+            "Start a QuantileService: hash-routed ingest across N shard "
+            "workers (bounded queues, backpressure), epoch-based snapshot "
+            "merging, and a JSON wire protocol (/ingest, /quantile, "
+            "/stats, /snapshot).  With --snapshot-dir the server persists "
+            "every epoch and warm-restarts from the newest one; SIGTERM/"
+            "Ctrl-C flushes a final snapshot.  See docs/service.md."
+        ),
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port", type=int, default=8629,
+        help="TCP port (0 picks a free one and prints it)",
+    )
+    p.add_argument("--shards", type=int, default=4, help="ingest shards")
+    p.add_argument(
+        "--sample-size", type=int, default=1000, help="s: samples per run"
+    )
+    p.add_argument(
+        "--run-size", type=int, default=None, help="m: keys folded per run"
+    )
+    p.add_argument(
+        "--queue-capacity", type=int, default=64,
+        help="bounded ingest queue depth per shard, in batches",
+    )
+    p.add_argument(
+        "--max-shard-samples", type=int, default=100_000,
+        help="compaction bound of each shard's sample list",
+    )
+    p.add_argument(
+        "--max-merged-samples", type=int, default=None,
+        help="compaction bound of the merged epoch snapshot",
+    )
+    p.add_argument(
+        "--snapshot-every", type=int, default=None, metavar="N",
+        help="auto-advance the epoch every N ingested elements",
+    )
+    p.add_argument(
+        "--snapshot-dir", default=None,
+        help="persist epochs here and warm-restart from the newest",
+    )
+    p.add_argument(
+        "--verbose", action="store_true", help="log every HTTP request"
+    )
+    p.set_defaults(fn=_cmd_serve)
 
     p = sub.add_parser("rank", help="rank band of a value from a summary")
     p.add_argument("summary")

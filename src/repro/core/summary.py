@@ -300,14 +300,23 @@ class OPAQSummary:
     # Serialisation
     # ------------------------------------------------------------------
 
+    #: On-disk format identity: the magic marks the file as an OPAQ
+    #: summary, the version gates compatibility.  History: 2 = pre-floor
+    #: archives, 3 = interim floors, 4 = floors + extremes, 5 = adds the
+    #: magic stamp (payload unchanged from 4).
+    FORMAT_MAGIC = "OPAQSUM"
+    FORMAT_VERSION = 5
+    _SUPPORTED_FORMATS = (2, 3, 4, 5)
+
     def save(self, path: str | os.PathLike) -> None:
-        """Persist the summary as an ``.npz`` archive."""
+        """Persist the summary as an ``.npz`` archive (versioned)."""
         meta = {
+            "magic": self.FORMAT_MAGIC,
             "num_runs": self.num_runs,
             "count": self.count,
             "minimum": self.minimum,
             "maximum": self.maximum,
-            "format": 4,
+            "format": self.FORMAT_VERSION,
         }
         np.savez(
             path,
@@ -321,8 +330,11 @@ class OPAQSummary:
     def load(cls, path: str | os.PathLike) -> "OPAQSummary":
         """Load a summary saved with :meth:`save`.
 
-        Accepts formats 2-4; pre-floor archives load with fully
-        conservative ``-inf`` floors (sound, looser).
+        Accepts formats 2-5; pre-floor archives load with fully
+        conservative ``-inf`` floors (sound, looser).  A wrong magic or an
+        unknown version raises :class:`~repro.errors.DataError` here, with
+        a message naming the problem — never an arbitrary failure three
+        layers downstream.
         """
         path = Path(path)
         if path.suffix != ".npz" and not path.exists():
@@ -337,8 +349,19 @@ class OPAQSummary:
             raise DataError(f"summary file does not exist: {path}") from None
         except (KeyError, ValueError) as exc:
             raise DataError(f"malformed summary file {path}: {exc}") from None
-        if meta.get("format") not in (2, 3, 4):
-            raise DataError(f"unsupported summary format in {path}")
+        magic = meta.get("magic", cls.FORMAT_MAGIC)  # absent pre-5: accept
+        if magic != cls.FORMAT_MAGIC:
+            raise DataError(
+                f"{path} is not an OPAQ summary file (magic {magic!r}, "
+                f"expected {cls.FORMAT_MAGIC!r})"
+            )
+        version = meta.get("format")
+        if version not in cls._SUPPORTED_FORMATS:
+            raise DataError(
+                f"summary file {path} has format version {version!r}; this "
+                f"build reads versions {cls._SUPPORTED_FORMATS} — upgrade "
+                "the library or re-create the summary with `opaq summarize`"
+            )
         return cls(
             samples=samples,
             gaps=gaps,

@@ -46,3 +46,13 @@ class EstimationError(ReproError, RuntimeError):
 
 class DataError(ReproError, ValueError):
     """Malformed on-disk data: truncated file, wrong dtype, bad header."""
+
+
+class ServiceError(ReproError, RuntimeError):
+    """The serving subsystem could not accept or answer a request.
+
+    Raised by :mod:`repro.service` when an ingest queue stays full past the
+    backpressure timeout, when a shard worker has died, or when a request
+    reaches a service that is already shut down.  Transport layers map it to
+    a retryable status (the HTTP wire layer answers 503).
+    """

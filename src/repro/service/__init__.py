@@ -1,0 +1,48 @@
+"""repro.service — a sharded quantile-serving subsystem on OPAQ summaries.
+
+The summary that one pass produces (:class:`~repro.core.OPAQSummary`) is
+mergeable, compactable and serialisable — exactly the properties a
+production serving system needs.  This package turns them into one:
+
+- :class:`ShardRouter` — deterministic hash (or user-keyed) partitioning
+  of ingest batches across shards;
+- :class:`ShardWorker` — per-shard worker threads feeding
+  :class:`~repro.core.IncrementalOPAQ` through **bounded** queues whose
+  blocking is the backpressure signal;
+- :class:`Snapshotter` / :class:`SnapshotStore` — epoch-based merge of
+  the shard summaries into one compacted, queryable summary, swapped in
+  atomically (readers never block on writers) and persisted in a
+  versioned on-disk format for warm restarts;
+- :class:`QuantileService` — the assembled engine: ``ingest`` /
+  ``query`` / ``stats`` / ``snapshot`` / ``close``;
+- :mod:`repro.service.http` — a stdlib JSON wire layer
+  (``opaq serve`` / ``opaq query --server``).
+
+Every query carries the paper's deterministic guarantee, recomputed
+exactly for the merged run layout: the true φ-quantile of the served
+epoch lies in ``[lower, upper]`` with at most ``2·guarantee`` elements
+between the bounds.  See ``docs/service.md`` for the architecture and
+wire protocol.
+"""
+
+from repro.service.config import ServiceConfig
+from repro.service.engine import QuantileService, QueryResult
+from repro.service.http import ServiceClient, ServiceHTTPServer, make_server
+from repro.service.router import ShardRouter, hash_shard_indices
+from repro.service.shard import ShardWorker
+from repro.service.snapshot import EpochSnapshot, SnapshotStore, Snapshotter
+
+__all__ = [
+    "ServiceConfig",
+    "QuantileService",
+    "QueryResult",
+    "ShardRouter",
+    "hash_shard_indices",
+    "ShardWorker",
+    "EpochSnapshot",
+    "SnapshotStore",
+    "Snapshotter",
+    "ServiceClient",
+    "ServiceHTTPServer",
+    "make_server",
+]

@@ -1,0 +1,259 @@
+"""The quantile service: router + shard workers + snapshotter + queries.
+
+:class:`QuantileService` is the in-process subsystem the wire layer
+(:mod:`repro.service.http`) wraps.  Data flow::
+
+    ingest(batch) --route--> [shard queue]* --worker--> IncrementalOPAQ*
+                                                             |
+                         snapshot() / snapshot_every: barrier, merge,
+                         compact, persist, atomic swap
+                                                             |
+    query(phi) <------ current EpochSnapshot (immutable, lock-free) <-+
+
+Queries are answered from the current epoch's merged summary with the
+paper's deterministic enclosure: the true φ-quantile of the snapshotted
+data lies in ``[lower, upper]`` with at most ``2·guarantee`` elements
+between the bounds, where ``guarantee`` is recomputed exactly from the
+merged run layout (:meth:`~repro.core.OPAQSummary.guaranteed_rank_error`).
+Elements ingested after the served epoch are reported as ``staleness``,
+never silently mixed into an answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.bounds import QuantileBounds
+from repro.core.quantile_phase import bounds_for
+from repro.errors import EstimationError, ServiceError
+from repro.obs import current_tracer
+from repro.service.config import ServiceConfig
+from repro.service.router import ShardRouter
+from repro.service.shard import ShardWorker
+from repro.service.snapshot import EpochSnapshot, SnapshotStore, Snapshotter
+
+__all__ = ["QuantileService", "QueryResult"]
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Answers for one query call, tied to the epoch that produced them."""
+
+    epoch: int
+    count: int
+    guarantee: int
+    staleness: int
+    bounds: list[QuantileBounds]
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-serialisable form (the wire layer's response body)."""
+        return {
+            "epoch": self.epoch,
+            "count": self.count,
+            "guarantee": self.guarantee,
+            "staleness": self.staleness,
+            "results": [
+                {
+                    "phi": b.phi,
+                    "rank": b.rank,
+                    "lower": b.lower,
+                    "upper": b.upper,
+                    "max_below": b.max_below,
+                    "max_above": b.max_above,
+                    "max_between": b.max_between,
+                }
+                for b in self.bounds
+            ],
+        }
+
+
+class QuantileService:
+    """Sharded, epoch-snapshotted quantile serving over OPAQ summaries."""
+
+    def __init__(
+        self,
+        config: ServiceConfig | None = None,
+        key_fn: Callable[[np.ndarray], np.ndarray] | None = None,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        self._router = ShardRouter(self.config.num_shards, key_fn=key_fn)
+        self._workers = [
+            ShardWorker(shard, self.config)
+            for shard in range(self.config.num_shards)
+        ]
+        store = (
+            SnapshotStore(self.config.snapshot_dir)
+            if self.config.snapshot_dir is not None
+            else None
+        )
+        self._snapshotter = Snapshotter(
+            self._workers,
+            store=store,
+            max_merged_samples=self.config.max_merged_samples,
+            retain=self.config.snapshot_retain,
+        )
+        self._restored = self._snapshotter.restore()
+        #: Elements accepted into shard queues this process lifetime.
+        self._accepted = 0
+        self._since_snapshot = 0
+        self._queries = 0
+        self._closed = False
+        for worker in self._workers:
+            worker.start()
+
+    # ------------------------------------------------------------------
+    # Ingest path
+    # ------------------------------------------------------------------
+
+    def ingest(
+        self, values: Sequence[float] | np.ndarray, timeout: float | None = None
+    ) -> dict[str, int]:
+        """Route one batch across the shards (blocking backpressure).
+
+        Returns ``{"accepted": n, "epoch": current}``; raises
+        :class:`~repro.errors.ServiceError` when a shard queue stays full
+        past the backpressure timeout and
+        :class:`~repro.errors.DataError` for NaN or non-1-D input.
+        """
+        self._check_open()
+        parts = self._router.split(values)
+        accepted = 0
+        for worker, part in zip(self._workers, parts):
+            if part.size:
+                worker.submit(part, timeout=timeout)
+                accepted += int(part.size)
+        self._accepted += accepted
+        self._since_snapshot += accepted
+        tracer = current_tracer()
+        tracer.count("service.ingest.elements", accepted)
+        tracer.count("service.ingest.batches", 1, shards=self.config.num_shards)
+        if (
+            self.config.snapshot_every is not None
+            and self._since_snapshot >= self.config.snapshot_every
+        ):
+            self.snapshot()
+        current = self._snapshotter.current
+        return {
+            "accepted": accepted,
+            "epoch": current.epoch if current else 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Snapshot / epoch control
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> EpochSnapshot:
+        """Advance one epoch now (barrier + merge + persist + swap)."""
+        self._check_open()
+        snapshot = self._snapshotter.run_epoch()
+        self._since_snapshot = 0
+        return snapshot
+
+    @property
+    def current_epoch(self) -> EpochSnapshot | None:
+        """The served epoch (None until data is snapshotted)."""
+        return self._snapshotter.current
+
+    @property
+    def restored_epoch(self) -> EpochSnapshot | None:
+        """The epoch adopted from disk at startup, if any."""
+        return self._restored
+
+    # ------------------------------------------------------------------
+    # Query path (lock-free; never blocks on writers)
+    # ------------------------------------------------------------------
+
+    def query(self, phis: Sequence[float] | float) -> QueryResult:
+        """Quantile bounds from the current epoch's merged summary."""
+        fractions = [phis] if isinstance(phis, (int, float)) else list(phis)
+        snapshot = self._snapshotter.current
+        if snapshot is None:
+            raise EstimationError(
+                "no epoch snapshot to serve yet: ingest data and call "
+                "snapshot() (or configure snapshot_every)"
+            )
+        tracer = current_tracer()
+        with tracer.span("service.query", queries=len(fractions)):
+            bounds = bounds_for(snapshot.summary, fractions)
+        self._queries += len(fractions)
+        tracer.count("service.query.count", len(fractions), epoch=snapshot.epoch)
+        return QueryResult(
+            epoch=snapshot.epoch,
+            count=snapshot.count,
+            guarantee=snapshot.guarantee,
+            staleness=self.staleness,
+            bounds=bounds,
+        )
+
+    @property
+    def staleness(self) -> int:
+        """Elements accepted but not yet covered by the served epoch."""
+        snapshot = self._snapshotter.current
+        covered = snapshot.count if snapshot else 0
+        restored = self._restored.count if self._restored else 0
+        return restored + self._accepted - covered
+
+    def stats(self) -> dict[str, object]:
+        """Operational counters (the wire layer's ``/stats`` body)."""
+        snapshot = self._snapshotter.current
+        return {
+            "shards": self.config.num_shards,
+            "accepted": self._accepted,
+            "queries": self._queries,
+            "epoch": snapshot.epoch if snapshot else 0,
+            "count": snapshot.count if snapshot else 0,
+            "guarantee": snapshot.guarantee if snapshot else None,
+            "staleness": self.staleness,
+            "samples": snapshot.summary.num_samples if snapshot else 0,
+            "closed": self._closed,
+            "per_shard": [
+                {
+                    "shard": w.shard_id,
+                    "ingested": w.ingested,
+                    "pending_batches": w.pending,
+                    "folds": w.folds,
+                    "samples": (
+                        w.summary.num_samples if w.summary is not None else 0
+                    ),
+                }
+                for w in self._workers
+            ],
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self, final_snapshot: bool = True) -> None:
+        """Stop the workers; by default flush a final epoch first.
+
+        Idempotent.  With ``final_snapshot`` the shutdown epoch lands in
+        the snapshot store, so a subsequent warm restart serves every
+        element this process ever accepted.
+        """
+        if self._closed:
+            return
+        if final_snapshot and (
+            self._since_snapshot or self._snapshotter.current is None
+        ):
+            try:
+                self.snapshot()
+            except EstimationError:
+                pass  # nothing ingested: nothing to persist
+        for worker in self._workers:
+            worker.stop()
+        self._closed = True
+        current_tracer().count("service.closed", 1)
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ServiceError("service is closed")
+
+    def __enter__(self) -> "QuantileService":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

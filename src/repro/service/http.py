@@ -1,0 +1,264 @@
+"""The wire layer: a stdlib JSON/HTTP front end for the quantile service.
+
+Deliberately thin — ``ThreadingHTTPServer`` plus a request handler that
+translates JSON bodies to :class:`~repro.service.QuantileService` calls
+and repro errors to status codes.  No framework, no dependency; the
+subsystem stays importable anywhere the library is.
+
+Endpoints (see ``docs/service.md`` for the full protocol):
+
+====================  =====================================================
+``POST /ingest``      body ``{"values": [..]}`` → ``{"accepted", "epoch"}``
+``GET  /quantile``    ``?phi=0.5&phi=0.99`` → bounds + epoch metadata
+``POST /quantile``    body ``{"phis": [..]}`` → same
+``POST /snapshot``    advance one epoch → ``{"epoch", "count", ...}``
+``GET  /stats``       operational counters
+``GET  /healthz``     liveness probe
+====================  =====================================================
+
+Status codes: ``400`` for malformed requests (bad JSON, NaN, unknown φ),
+``409`` for queries before the first epoch, ``503`` for backpressure
+timeouts (retryable), ``404`` for unknown paths.
+
+:class:`ServiceClient` is the matching urllib-based client used by
+``opaq query --server`` and the smoke tests.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.parse
+import urllib.request
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from repro.errors import (
+    ConfigError,
+    DataError,
+    EstimationError,
+    ReproError,
+    ServiceError,
+)
+from repro.service.engine import QuantileService
+
+__all__ = ["ServiceClient", "ServiceHTTPServer", "make_server"]
+
+#: Refuse request bodies beyond this size; a bounded wire buffer is the
+#: HTTP-side sibling of the bounded ingest queues.
+_MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes HTTP verbs+paths to service calls; JSON in, JSON out."""
+
+    server: "ServiceHTTPServer"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ------------------------------------------------------
+
+    @property
+    def service(self) -> QuantileService:
+        return self.server.service
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+    def _reply(self, status: int, payload: dict[str, Any]) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if status >= 400:
+            # An error reply may leave an unread request body on the
+            # socket; closing keeps keep-alive clients from desyncing.
+            self.send_header("Connection", "close")
+            self.close_connection = True
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> dict[str, Any]:
+        length = int(self.headers.get("Content-Length", 0))
+        if length <= 0:
+            raise DataError("request body required (Content-Length missing)")
+        if length > _MAX_BODY_BYTES:
+            raise DataError(
+                f"request body of {length} bytes exceeds the "
+                f"{_MAX_BODY_BYTES}-byte limit; split the batch"
+            )
+        try:
+            payload = json.loads(self.rfile.read(length))
+        except ValueError as exc:
+            raise DataError(f"malformed JSON body: {exc}") from None
+        if not isinstance(payload, dict):
+            raise DataError("JSON body must be an object")
+        return payload
+
+    def _dispatch(self, method: str) -> None:
+        parsed = urllib.parse.urlparse(self.path)
+        route = (method, parsed.path.rstrip("/") or "/")
+        try:
+            handler = _ROUTES.get(route)
+            if handler is None:
+                self._reply(404, {"error": f"no route {method} {parsed.path}"})
+                return
+            handler(self, urllib.parse.parse_qs(parsed.query))
+        except (DataError, ConfigError) as exc:
+            self._reply(400, {"error": str(exc)})
+        except EstimationError as exc:
+            self._reply(409, {"error": str(exc)})
+        except ServiceError as exc:
+            self._reply(503, {"error": str(exc), "retryable": True})
+        except ReproError as exc:
+            self._reply(400, {"error": str(exc)})
+        except Exception as exc:  # pragma: no cover - defensive 500
+            self._reply(500, {"error": f"internal error: {exc}"})
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch("POST")
+
+    # -- endpoints -----------------------------------------------------
+
+    def _ep_health(self, query: dict[str, list[str]]) -> None:
+        self._reply(200, {"ok": True})
+
+    def _ep_stats(self, query: dict[str, list[str]]) -> None:
+        self._reply(200, self.service.stats())
+
+    def _ep_ingest(self, query: dict[str, list[str]]) -> None:
+        payload = self._read_json()
+        values = payload.get("values")
+        if not isinstance(values, list) or not values:
+            raise DataError('body must be {"values": [number, ...]}')
+        self._reply(200, dict(self.service.ingest(values)))
+
+    def _ep_quantile_get(self, query: dict[str, list[str]]) -> None:
+        raw = query.get("phi", [])
+        if not raw:
+            raise DataError("pass at least one ?phi= parameter")
+        self._answer_quantiles(raw)
+
+    def _ep_quantile_post(self, query: dict[str, list[str]]) -> None:
+        payload = self._read_json()
+        phis = payload.get("phis")
+        if not isinstance(phis, list) or not phis:
+            raise DataError('body must be {"phis": [fraction, ...]}')
+        self._answer_quantiles(phis)
+
+    def _answer_quantiles(self, raw: list[Any]) -> None:
+        try:
+            phis = [float(p) for p in raw]
+        except (TypeError, ValueError):
+            raise DataError(f"unparseable quantile fractions: {raw!r}") from None
+        self._reply(200, self.service.query(phis).to_dict())
+
+    def _ep_snapshot(self, query: dict[str, list[str]]) -> None:
+        snapshot = self.service.snapshot()
+        self._reply(
+            200,
+            {
+                "epoch": snapshot.epoch,
+                "count": snapshot.count,
+                "guarantee": snapshot.guarantee,
+                "samples": snapshot.summary.num_samples,
+            },
+        )
+
+
+_ROUTES = {
+    ("GET", "/healthz"): _Handler._ep_health,
+    ("GET", "/stats"): _Handler._ep_stats,
+    ("POST", "/ingest"): _Handler._ep_ingest,
+    ("GET", "/quantile"): _Handler._ep_quantile_get,
+    ("POST", "/quantile"): _Handler._ep_quantile_post,
+    ("POST", "/snapshot"): _Handler._ep_snapshot,
+}
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one :class:`QuantileService`."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        service: QuantileService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        verbose: bool = False,
+    ) -> None:
+        self.service = service
+        self.verbose = verbose
+        super().__init__((host, port), _Handler)
+
+    @property
+    def url(self) -> str:
+        """Base URL of the bound socket (resolves ``port=0``)."""
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+def make_server(
+    service: QuantileService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    verbose: bool = False,
+) -> ServiceHTTPServer:
+    """Bind (but do not start) the wire layer for ``service``.
+
+    ``port=0`` asks the OS for a free port; read the result off
+    :attr:`ServiceHTTPServer.url`.
+    """
+    return ServiceHTTPServer(service, host=host, port=port, verbose=verbose)
+
+
+class ServiceClient:
+    """Minimal urllib client for the wire protocol (no dependencies)."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def _request(
+        self, method: str, path: str, payload: dict[str, Any] | None = None
+    ) -> dict[str, Any]:
+        request = urllib.request.Request(
+            self.base_url + path,
+            method=method,
+            data=None if payload is None else json.dumps(payload).encode(),
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                return dict(json.loads(resp.read()))
+        except urllib.error.HTTPError as exc:
+            try:
+                message = json.loads(exc.read()).get("error", str(exc))
+            except ValueError:
+                message = str(exc)
+            raise ServiceError(
+                f"{method} {path} failed with HTTP {exc.code}: {message}"
+            ) from None
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"cannot reach {self.base_url}: {exc.reason}"
+            ) from None
+
+    def health(self) -> bool:
+        return bool(self._request("GET", "/healthz").get("ok"))
+
+    def ingest(self, values: list[float]) -> dict[str, Any]:
+        return self._request("POST", "/ingest", {"values": list(values)})
+
+    def quantile(self, phis: list[float]) -> dict[str, Any]:
+        return self._request("POST", "/quantile", {"phis": list(phis)})
+
+    def snapshot(self) -> dict[str, Any]:
+        return self._request("POST", "/snapshot")
+
+    def stats(self) -> dict[str, Any]:
+        return self._request("GET", "/stats")

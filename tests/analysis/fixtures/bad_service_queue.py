@@ -1,0 +1,12 @@
+"""Known-bad fixture: unbounded queues in a serving code path."""
+
+import collections
+import queue
+
+
+def build_ingest_path():
+    pending = queue.Queue()  # unbounded: overload becomes memory growth
+    overflow = queue.Queue(0)  # maxsize=0 means unbounded too
+    firehose = queue.SimpleQueue()  # cannot be bounded at all
+    history = collections.deque()  # no maxlen: grows forever
+    return pending, overflow, firehose, history

@@ -1,0 +1,14 @@
+"""Known-bad fixture: snapshot swaps outside the swap lock."""
+
+
+class RacySnapshotter:
+    def __init__(self, lock):
+        self._lock = lock
+        self._snapshot = None  # allowed: not shared during construction
+
+    def run_epoch(self, merged):
+        self._snapshot = merged  # unlocked swap: readers may see a torn epoch
+
+    def adopt(self, merged, ready):
+        if ready:
+            self._merged = merged  # unlocked, even though behind a branch

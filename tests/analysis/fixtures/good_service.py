@@ -1,0 +1,25 @@
+"""Known-good fixture: bounded queues, locked snapshot swaps."""
+
+import collections
+import queue
+import threading
+
+
+class DisciplinedService:
+    def __init__(self, capacity):
+        self._queue = queue.Queue(maxsize=capacity)
+        self._recent = collections.deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._snapshot = None
+
+    def run_epoch(self, merged):
+        with self._lock:
+            self._snapshot = merged
+
+    def adopt(self, merged, ready):
+        with self._lock:
+            if ready:
+                self._merged = merged
+
+    def current(self):
+        return self._snapshot

@@ -22,6 +22,8 @@ BAD = [
     ("bad_spmd_reordered_send.py", "spmd-reordered-send", 1),
     ("bad_exceptions.py", "exception-foreign-raise", 2),
     ("bad_exceptions.py", "exception-bare-except", 1),
+    ("bad_service_queue.py", "service-unbounded-queue", 4),
+    ("bad_service_snapshot.py", "service-snapshot-lock", 2),
 ]
 
 #: (fixture file, rule that must stay silent there)
@@ -37,6 +39,8 @@ GOOD = [
     ("good_spmd.py", "spmd-reordered-send"),
     ("good_exceptions.py", "exception-foreign-raise"),
     ("good_exceptions.py", "exception-bare-except"),
+    ("good_service.py", "service-unbounded-queue"),
+    ("good_service.py", "service-snapshot-lock"),
 ]
 
 

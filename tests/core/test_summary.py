@@ -162,6 +162,93 @@ class TestSerialisation:
             OPAQSummary.load(path)
 
 
+class TestFormatStamp:
+    """The on-disk format carries a magic + version stamp."""
+
+    def _meta_of(self, path):
+        import json
+
+        with np.load(path) as archive:
+            return json.loads(bytes(archive["meta"].tobytes()).decode())
+
+    def _write_with_meta(self, s, path, meta):
+        import json
+
+        np.savez(
+            path,
+            samples=s.samples,
+            gaps=s.gaps,
+            floors=s.floors,
+            meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+        )
+
+    def _fresh(self, rng):
+        config = OPAQConfig(run_size=100, sample_size=10)
+        return OPAQ(config).summarize(rng.uniform(size=1000))
+
+    def test_save_stamps_magic_and_version(self, rng, tmp_path):
+        s = self._fresh(rng)
+        path = tmp_path / "stamped.npz"
+        s.save(path)
+        meta = self._meta_of(path)
+        assert meta["magic"] == OPAQSummary.FORMAT_MAGIC == "OPAQSUM"
+        assert meta["format"] == OPAQSummary.FORMAT_VERSION
+
+    def test_unknown_version_raises_clearly(self, rng, tmp_path):
+        s = self._fresh(rng)
+        path = tmp_path / "future.npz"
+        self._write_with_meta(
+            s,
+            path,
+            {
+                "magic": "OPAQSUM",
+                "num_runs": s.num_runs,
+                "count": s.count,
+                "minimum": s.minimum,
+                "maximum": s.maximum,
+                "format": 99,
+            },
+        )
+        with pytest.raises(DataError, match="format version 99"):
+            OPAQSummary.load(path)
+        with pytest.raises(DataError, match="upgrade the library"):
+            OPAQSummary.load(path)
+
+    def test_wrong_magic_raises_clearly(self, rng, tmp_path):
+        s = self._fresh(rng)
+        path = tmp_path / "alien.npz"
+        self._write_with_meta(
+            s,
+            path,
+            {
+                "magic": "NOTOPAQ",
+                "num_runs": s.num_runs,
+                "count": s.count,
+                "minimum": s.minimum,
+                "maximum": s.maximum,
+                "format": 5,
+            },
+        )
+        with pytest.raises(DataError, match="not an OPAQ summary"):
+            OPAQSummary.load(path)
+
+    def test_missing_version_rejected(self, rng, tmp_path):
+        s = self._fresh(rng)
+        path = tmp_path / "unversioned.npz"
+        self._write_with_meta(
+            s,
+            path,
+            {
+                "num_runs": s.num_runs,
+                "count": s.count,
+                "minimum": s.minimum,
+                "maximum": s.maximum,
+            },
+        )
+        with pytest.raises(DataError, match="format version None"):
+            OPAQSummary.load(path)
+
+
 class TestCompaction:
     def test_compact_halves_samples(self, rng):
         config = OPAQConfig(run_size=1000, sample_size=100)

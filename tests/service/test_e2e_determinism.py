@@ -1,0 +1,127 @@
+"""End-to-end acceptance: the served bounds carry the paper's guarantee,
+and a kill + warm-restart reproduces identical answers.
+
+This is the subsystem-level restatement of the paper's Lemma 3: for every
+queried φ, the served interval ``[e_l, e_u]`` encloses the true
+φ-quantile of everything snapshotted, and at most ``2 × guarantee``
+elements of the ingested stream lie strictly between the bounds — where
+``guarantee`` is recomputed exactly for the *merged* run layout, not
+assumed from the single-stream formula.
+"""
+
+import numpy as np
+import pytest
+
+from repro.metrics import true_quantiles
+from repro.service import QuantileService, ServiceConfig
+
+PHI_GRID = [0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99]
+
+
+def config(tmp_path=None, shards=4):
+    return ServiceConfig(
+        num_shards=shards,
+        run_size=5_000,
+        sample_size=250,
+        snapshot_dir=None if tmp_path is None else tmp_path / "snaps",
+    )
+
+
+@pytest.mark.parametrize(
+    "distribution",
+    ["uniform", "normal", "lognormal", "duplicates"],
+)
+@pytest.mark.parametrize("shards", [1, 4])
+def test_served_bounds_satisfy_deterministic_guarantee(
+    rng, distribution, shards
+):
+    n = 100_000
+    if distribution == "uniform":
+        data = rng.uniform(0.0, 1.0e6, size=n)
+    elif distribution == "normal":
+        data = rng.normal(size=n)
+    elif distribution == "lognormal":
+        data = rng.lognormal(mean=0.0, sigma=2.0, size=n)
+    else:
+        data = np.round(rng.normal(size=n) * 8.0) / 8.0 + 0.0
+
+    sorted_data = np.sort(data)
+    exact = true_quantiles(sorted_data, PHI_GRID)
+
+    with QuantileService(config(shards=shards)) as service:
+        # Stream in uneven batches: batching must not affect validity.
+        for start in range(0, n, 7_919):
+            service.ingest(data[start : start + 7_919])
+        snapshot = service.snapshot()
+        assert snapshot.count == n
+        result = service.query(PHI_GRID)
+
+    guarantee = result.guarantee
+    assert guarantee > 0
+    for b, true_value in zip(result.bounds, exact):
+        psi = b.rank
+        assert psi == int(np.ceil(b.phi * n))
+        # Enclosure: rank(e_l) <= psi <= rank(e_u).  Expressed on the
+        # sorted stream: e_l is <= the psi-th element, e_u is >= it.
+        assert b.lower <= sorted_data[psi - 1] <= b.upper
+        assert b.lower <= true_value <= b.upper
+        # Lemma 3 for the merged layout: the number of stream elements
+        # strictly between the served bounds is at most 2n/s_effective.
+        between = int(
+            np.searchsorted(sorted_data, b.upper, side="left")
+            - np.searchsorted(sorted_data, b.lower, side="right")
+        )
+        assert between <= b.max_between <= 2 * guarantee
+
+
+def test_kill_and_warm_restart_reproduces_identical_answers(rng, tmp_path):
+    n = 60_000
+    data = rng.normal(size=n)
+
+    # First life: ingest everything, snapshot, record the answers, then
+    # close WITHOUT a final flush — simulating an abrupt kill after the
+    # last completed epoch (the on-disk state is the completed epoch).
+    with QuantileService(config(tmp_path)) as service:
+        service.ingest(data)
+        service.snapshot()
+        before = service.query(PHI_GRID)
+        stats_before = service.stats()
+        service.close(final_snapshot=False)
+
+    # Second life: warm restart from disk; no re-ingest.
+    with QuantileService(config(tmp_path)) as restarted:
+        after = restarted.query(PHI_GRID)
+        restarted.close(final_snapshot=False)
+
+    assert after.epoch == before.epoch
+    assert after.count == before.count == stats_before["count"]
+    assert after.guarantee == before.guarantee
+    assert after.staleness == 0
+    # Byte-identical served answers, field by field.
+    for x, y in zip(before.bounds, after.bounds):
+        assert x == y
+
+
+def test_restart_then_continue_still_satisfies_guarantee(rng, tmp_path):
+    """Restart is not just a replay: new data merges under the restored
+    base and the combined answer still encloses the combined truth."""
+    first, second = rng.normal(size=40_000), rng.normal(loc=3.0, size=20_000)
+
+    with QuantileService(config(tmp_path)) as service:
+        service.ingest(first)
+
+    with QuantileService(config(tmp_path)) as restarted:
+        restarted.ingest(second)
+        snapshot = restarted.snapshot()
+        assert snapshot.count == 60_000
+        result = restarted.query(PHI_GRID)
+        restarted.close(final_snapshot=False)
+
+    sorted_all = np.sort(np.concatenate([first, second]))
+    for b in result.bounds:
+        assert b.lower <= sorted_all[b.rank - 1] <= b.upper
+        between = int(
+            np.searchsorted(sorted_all, b.upper, side="left")
+            - np.searchsorted(sorted_all, b.lower, side="right")
+        )
+        assert between <= 2 * result.guarantee

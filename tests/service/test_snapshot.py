@@ -1,0 +1,137 @@
+"""Snapshot persistence: atomic store, manifest versioning, warm restart."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import OPAQ, OPAQConfig
+from repro.errors import DataError
+from repro.service import EpochSnapshot, QuantileService, ServiceConfig, SnapshotStore
+
+
+def make_snapshot(rng, epoch=1, n=5_000):
+    summary = OPAQ(OPAQConfig(run_size=1_000, sample_size=50)).summarize(
+        rng.uniform(size=n)
+    )
+    return EpochSnapshot(epoch=epoch, summary=summary)
+
+
+def service_config(tmp_path, **kw):
+    defaults = dict(
+        num_shards=2,
+        run_size=1_000,
+        sample_size=50,
+        snapshot_dir=tmp_path / "snaps",
+    )
+    defaults.update(kw)
+    return ServiceConfig(**defaults)
+
+
+class TestSnapshotStore:
+    def test_roundtrip(self, rng, tmp_path):
+        store = SnapshotStore(tmp_path)
+        snapshot = make_snapshot(rng, epoch=7)
+        path = store.save(snapshot)
+        assert path.name == "epoch-00000007.npz"
+
+        loaded = store.load_latest()
+        assert loaded is not None
+        assert loaded.epoch == 7
+        assert loaded.count == snapshot.count
+        np.testing.assert_array_equal(
+            loaded.summary.samples, snapshot.summary.samples
+        )
+        np.testing.assert_array_equal(loaded.summary.gaps, snapshot.summary.gaps)
+
+    def test_empty_store_loads_none(self, tmp_path):
+        assert SnapshotStore(tmp_path).load_latest() is None
+
+    def test_no_tmp_litter_after_save(self, rng, tmp_path):
+        store = SnapshotStore(tmp_path)
+        store.save(make_snapshot(rng))
+        assert not list(tmp_path.glob("*.tmp*"))
+
+    def test_prune_keeps_newest(self, rng, tmp_path):
+        store = SnapshotStore(tmp_path)
+        for epoch in range(1, 6):
+            store.save(make_snapshot(rng, epoch=epoch), retain=2)
+        kept = sorted(p.name for p in tmp_path.glob("epoch-*.npz"))
+        assert kept == ["epoch-00000004.npz", "epoch-00000005.npz"]
+        assert store.load_latest().epoch == 5
+
+    def test_bad_manifest_magic_rejected(self, rng, tmp_path):
+        store = SnapshotStore(tmp_path)
+        store.save(make_snapshot(rng))
+        manifest = json.loads(store.manifest_path.read_text())
+        manifest["magic"] = "NOTSNAP"
+        store.manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(DataError, match="not an OPAQ snapshot manifest"):
+            store.load_latest()
+
+    def test_unknown_manifest_version_rejected(self, rng, tmp_path):
+        store = SnapshotStore(tmp_path)
+        store.save(make_snapshot(rng))
+        manifest = json.loads(store.manifest_path.read_text())
+        manifest["version"] = 99
+        store.manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(DataError, match="version 99"):
+            store.load_latest()
+
+    def test_garbage_manifest_rejected(self, rng, tmp_path):
+        store = SnapshotStore(tmp_path)
+        store.manifest_path.write_text("{not json")
+        with pytest.raises(DataError, match="unreadable"):
+            store.load_latest()
+
+
+class TestWarmRestart:
+    def test_restart_serves_identical_answers(self, rng, tmp_path):
+        data = rng.normal(size=20_000)
+        phis = [0.05, 0.25, 0.5, 0.75, 0.95]
+
+        with QuantileService(service_config(tmp_path)) as service:
+            service.ingest(data)
+            service.snapshot()
+            before = service.query(phis)
+
+        with QuantileService(service_config(tmp_path)) as restarted:
+            assert restarted.restored_epoch is not None
+            assert restarted.restored_epoch.epoch == before.epoch
+            after = restarted.query(phis)
+            restarted.close(final_snapshot=False)
+
+        assert after.epoch == before.epoch
+        assert after.count == before.count
+        assert after.guarantee == before.guarantee
+        assert after.bounds == before.bounds
+
+    def test_restart_keeps_restored_data_under_new_epochs(self, rng, tmp_path):
+        first = rng.uniform(size=8_000)
+        second = rng.uniform(size=4_000)
+
+        with QuantileService(service_config(tmp_path)) as service:
+            service.ingest(first)
+
+        with QuantileService(service_config(tmp_path)) as restarted:
+            restarted.ingest(second)
+            snapshot = restarted.snapshot()
+            # The new epoch covers the restored 8k AND the new 4k.
+            assert snapshot.count == 12_000
+            assert snapshot.epoch == 2
+            assert restarted.staleness == 0
+
+    def test_close_final_snapshot_persists_tail(self, rng, tmp_path):
+        service = QuantileService(service_config(tmp_path))
+        service.ingest(rng.uniform(size=3_000))
+        service.close()  # default: flush a final epoch to disk
+
+        with QuantileService(service_config(tmp_path)) as restarted:
+            assert restarted.restored_epoch is not None
+            assert restarted.restored_epoch.count == 3_000
+            restarted.close(final_snapshot=False)
+
+    def test_no_snapshot_dir_means_no_restore(self, rng):
+        config = ServiceConfig(num_shards=2, run_size=1_000, sample_size=50)
+        with QuantileService(config) as service:
+            assert service.restored_epoch is None

@@ -32,6 +32,7 @@ TOP_LEVEL = {
     "ConfigError",
     "DataError",
     "EstimationError",
+    "ServiceError",
     "SinglePassViolation",
     "__version__",
 }
@@ -52,6 +53,21 @@ OBS = {
     "write_metrics",
 }
 
+SERVICE = {
+    "ServiceConfig",
+    "QuantileService",
+    "QueryResult",
+    "ShardRouter",
+    "hash_shard_indices",
+    "ShardWorker",
+    "EpochSnapshot",
+    "SnapshotStore",
+    "Snapshotter",
+    "ServiceClient",
+    "ServiceHTTPServer",
+    "make_server",
+}
+
 ESTIMATOR_METHODS = {"summarize", "bounds", "bound", "estimate"}
 
 
@@ -61,6 +77,12 @@ def test_top_level_surface_is_exactly_the_snapshot():
 
 def test_obs_surface_is_exactly_the_snapshot():
     assert set(repro.obs.__all__) == OBS
+
+
+def test_service_surface_is_exactly_the_snapshot():
+    import repro.service
+
+    assert set(repro.service.__all__) == SERVICE
 
 
 def test_streaming_baseline_registry_is_stable():
