@@ -17,7 +17,17 @@ Run it from the command line as ``opaq lint [paths...]``; see
 
 from __future__ import annotations
 
-from repro.analysis.framework import Finding, ModuleContext, Rule, Suppressions
+from repro.analysis.baseline import load_baseline, write_baseline
+from repro.analysis.cfg import CFG, build_cfg
+from repro.analysis.framework import (
+    Finding,
+    ModuleContext,
+    ProjectRule,
+    Rule,
+    Suppressions,
+    SyntheticRule,
+)
+from repro.analysis.project import ProjectContext, build_project
 from repro.analysis.registry import all_rules, get_rule, register
 from repro.analysis.reporters import (
     JSON_SCHEMA_VERSION,
@@ -26,6 +36,8 @@ from repro.analysis.reporters import (
     render_text,
 )
 from repro.analysis.runner import LintResult, lint_paths, parse_module
+from repro.analysis.rules_threads import ThreadModel, build_thread_model
+from repro.analysis.sarif import render_sarif
 
 # Importing the rule modules registers every rule family.
 from repro.analysis import rules_onepass  # noqa: F401  (registration)
@@ -34,20 +46,33 @@ from repro.analysis import rules_determinism  # noqa: F401  (registration)
 from repro.analysis import rules_spmd  # noqa: F401  (registration)
 from repro.analysis import rules_exceptions  # noqa: F401  (registration)
 from repro.analysis import rules_service  # noqa: F401  (registration)
+from repro.analysis import rules_onepass_flow  # noqa: F401  (registration)
+from repro.analysis import rules_meta  # noqa: F401  (registration)
 
 __all__ = [
+    "CFG",
     "Finding",
     "ModuleContext",
+    "ProjectContext",
+    "ProjectRule",
     "Rule",
     "Suppressions",
+    "SyntheticRule",
+    "ThreadModel",
     "LintResult",
     "lint_paths",
     "parse_module",
+    "build_cfg",
+    "build_project",
+    "build_thread_model",
     "all_rules",
     "get_rule",
     "register",
+    "load_baseline",
+    "write_baseline",
     "render_text",
     "render_json",
     "render_rule_list",
+    "render_sarif",
     "JSON_SCHEMA_VERSION",
 ]

@@ -1,0 +1,126 @@
+"""The lint baseline: adopted findings that may only shrink.
+
+Turning the deep families on against a living codebase usually surfaces
+debt that cannot all be paid at once.  The baseline file
+(``.opaqlint-baseline.json`` by convention) records the *adopted* subset:
+a finding matching a baseline entry does not fail the run, it is counted
+as ``baselined`` and reported as such.
+
+Matching is a **multiset** over ``(rule_id, path, message)`` — line
+numbers are deliberately excluded so an unrelated edit above a baselined
+finding does not invalidate the whole file's entries, while two distinct
+findings with identical text still need two entries.
+
+The ratchet: an entry no finding matched is *stale*, and staleness is an
+error (OPQ903).  Fixed debt must leave the baseline — otherwise the file
+silently pre-approves the next regression with the same message.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.framework import Finding
+from repro.errors import ConfigError
+
+__all__ = [
+    "BaselineEntry",
+    "apply_baseline",
+    "load_baseline",
+    "write_baseline",
+    "BASELINE_VERSION",
+]
+
+BASELINE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One adopted finding, identified by rule, file and message."""
+
+    rule_id: str
+    path: str
+    message: str
+
+    def key(self) -> tuple[str, str, str]:
+        return (self.rule_id, self.path, self.message)
+
+    def to_dict(self) -> dict[str, str]:
+        return {"rule": self.rule_id, "path": self.path, "message": self.message}
+
+
+def load_baseline(path: Path) -> list[BaselineEntry]:
+    """Parse a baseline file; raises :class:`ConfigError` on any defect."""
+    if not path.is_file():
+        raise ConfigError(f"baseline file not found: {path}")
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"baseline file {path} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("version") != BASELINE_VERSION:
+        raise ConfigError(
+            f"baseline file {path} has unsupported shape or version "
+            f"(expected version {BASELINE_VERSION})"
+        )
+    entries = []
+    for raw in payload.get("entries", []):
+        try:
+            entries.append(
+                BaselineEntry(
+                    rule_id=raw["rule"], path=raw["path"], message=raw["message"]
+                )
+            )
+        except (TypeError, KeyError) as exc:
+            raise ConfigError(
+                f"baseline file {path} has a malformed entry: {raw!r}"
+            ) from exc
+    return entries
+
+
+def write_baseline(path: Path, findings: Sequence[Finding]) -> int:
+    """Write ``findings`` as the new baseline; returns the entry count."""
+    entries = [
+        BaselineEntry(rule_id=f.rule_id, path=f.path, message=f.message)
+        for f in findings
+    ]
+    payload = {
+        "version": BASELINE_VERSION,
+        "entries": [e.to_dict() for e in sorted(entries, key=BaselineEntry.key)],
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return len(entries)
+
+
+def apply_baseline(
+    findings: Iterable[Finding], entries: Iterable[BaselineEntry]
+) -> tuple[list[Finding], int, list[BaselineEntry]]:
+    """Split findings against the baseline.
+
+    Returns ``(remaining, baselined_count, stale_entries)``: findings not
+    covered by the baseline, how many were, and entries nothing matched.
+    Matching is multiset: two identical findings need two entries.
+    """
+    budget: Counter[tuple[str, str, str]] = Counter(e.key() for e in entries)
+    remaining: list[Finding] = []
+    baselined = 0
+    for finding in findings:
+        key = (finding.rule_id, finding.path, finding.message)
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            baselined += 1
+        else:
+            remaining.append(finding)
+    stale = [e for e in entries if budget.get(e.key(), 0) > 0]
+    # Each surplus key is stale once per unmatched copy; drop duplicates
+    # beyond the surplus count.
+    stale_out: list[BaselineEntry] = []
+    spent: Counter[tuple[str, str, str]] = Counter()
+    for entry in stale:
+        if spent[entry.key()] < budget[entry.key()]:
+            spent[entry.key()] += 1
+            stale_out.append(entry)
+    return remaining, baselined, stale_out

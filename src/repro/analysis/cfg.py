@@ -1,0 +1,419 @@
+"""Per-function control-flow graphs for the flow-sensitive rules.
+
+The syntactic rule families (OPQ1xx–OPQ6xx) walk the AST and judge each
+node in isolation; that is enough for "never call ``np.sort`` here" but
+not for path properties — "this stream is consumed twice *on some path*"
+or "this write is *always* dominated by the lock acquisition".  Those need
+a control-flow graph.
+
+:func:`build_cfg` lowers one function body into basic blocks of
+:class:`Op` events.  Control constructs become explicit events so the
+dataflow layer (:mod:`repro.analysis.dataflow`) can attach gen/kill
+behaviour to them:
+
+``for-iter``
+    The evaluation-and-iteration of a ``for`` loop's iterable — *the*
+    consumption event of the one-pass rules.  It lives in the loop-head
+    block, so the back edge re-reaches it (consuming an iterator inside a
+    ``while`` loop is a second pass; the fixpoint finds it).
+``with-enter`` / ``with-exit``
+    Context-manager entry and exit — the lock acquisition/release events
+    of the OPQ7xx rules.  Exception edges out of a ``with`` body bypass
+    ``with-exit``, which is exactly why lock inference must be a *must*
+    analysis (intersection at joins).
+``except``
+    A handler entry.  Every block of the guarded body gets an edge to
+    every handler: any statement may raise.
+
+Abrupt exits (``return``/``raise``/``break``/``continue``) are routed
+through enclosing ``finally`` suites before reaching their target, so a
+``try/finally`` reads the way it executes.
+
+The graph is deliberately small-scale: one function at a time, no
+interprocedural edges (the project index layers call edges on top), and
+no expression-level temporaries.  ``describe()`` renders a stable text
+form used by the golden tests.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = ["Op", "Block", "CFG", "build_cfg"]
+
+#: AST nodes a CFG can be built for.
+FunctionNode = ast.FunctionDef | ast.AsyncFunctionDef
+
+
+@dataclass(frozen=True)
+class Op:
+    """One event inside a basic block.
+
+    ``kind`` is one of ``stmt`` (a simple statement), ``branch`` (the test
+    of an ``if``/``while``), ``for-iter``, ``with-enter``, ``with-exit``,
+    or ``except``; ``node`` is the AST node that produced the event.
+    """
+
+    kind: str
+    node: ast.AST
+
+    def describe(self) -> str:
+        if self.kind == "stmt":
+            return type(self.node).__name__.lower()
+        if self.kind == "branch":
+            return f"branch({type(self.node).__name__.lower()})"
+        return self.kind
+
+
+@dataclass
+class Block:
+    """A basic block: a straight-line run of ops with explicit edges."""
+
+    id: int
+    label: str = ""
+    ops: list[Op] = field(default_factory=list)
+    succs: list[int] = field(default_factory=list)
+    preds: list[int] = field(default_factory=list)
+
+
+class CFG:
+    """The control-flow graph of one function."""
+
+    def __init__(self, func: FunctionNode) -> None:
+        self.func = func
+        self.blocks: dict[int, Block] = {}
+        self._next_id = 0
+        self.entry = self.new_block("entry").id
+        self.exit = self.new_block("exit").id
+
+    def new_block(self, label: str = "") -> Block:
+        block = Block(id=self._next_id, label=label)
+        self._next_id += 1
+        self.blocks[block.id] = block
+        return block
+
+    def add_edge(self, src: int, dst: int) -> None:
+        if dst not in self.blocks[src].succs:
+            self.blocks[src].succs.append(dst)
+            self.blocks[dst].preds.append(src)
+
+    def iter_blocks(self) -> Iterator[Block]:
+        """Blocks in creation order (entry first, exit second)."""
+        for bid in sorted(self.blocks):
+            yield self.blocks[bid]
+
+    def reachable(self) -> set[int]:
+        """Block ids reachable from the entry block."""
+        seen: set[int] = set()
+        stack = [self.entry]
+        while stack:
+            bid = stack.pop()
+            if bid in seen:
+                continue
+            seen.add(bid)
+            stack.extend(self.blocks[bid].succs)
+        return seen
+
+    def describe(self) -> str:
+        """Stable text rendering (the golden-test format).
+
+        One line per *reachable* block::
+
+            B0<entry> -> B2
+            B2<loop-head>: branch(while) -> B3 B4
+        """
+        reachable = self.reachable()
+        lines = []
+        for block in self.iter_blocks():
+            if block.id not in reachable:
+                continue
+            head = f"B{block.id}" + (f"<{block.label}>" if block.label else "")
+            ops = " ".join(op.describe() for op in block.ops)
+            succs = " ".join(
+                f"B{s}" for s in sorted(block.succs) if s in reachable
+            )
+            line = head
+            if ops:
+                line += f": {ops}"
+            if succs:
+                line += f" -> {succs}"
+            lines.append(line)
+        return "\n".join(lines)
+
+
+class _LoopContext:
+    """Break/continue targets of the innermost enclosing loop."""
+
+    __slots__ = ("continue_target", "break_target")
+
+    def __init__(self, continue_target: int, break_target: int) -> None:
+        self.continue_target = continue_target
+        self.break_target = break_target
+
+
+class _FinallyContext:
+    """An enclosing ``finally`` suite abrupt exits must route through."""
+
+    __slots__ = ("entry", "last", "pending")
+
+    def __init__(self, entry: int, last: int) -> None:
+        self.entry = entry
+        self.last = last
+        #: Targets abrupt exits inside the try asked for; each becomes an
+        #: edge out of the finally suite once it is built.
+        self.pending: set[int] = set()
+
+
+class _Builder:
+    """Lowers one function body into a :class:`CFG`."""
+
+    def __init__(self, func: FunctionNode) -> None:
+        self.cfg = CFG(func)
+        self.current: int | None = None
+        self.loops: list[_LoopContext] = []
+        self.finallies: list[_FinallyContext] = []
+        #: Handler-entry blocks of enclosing ``try`` bodies: every block
+        #: created inside the body may raise into them.
+        self.handler_stack: list[list[int]] = []
+
+    # -- plumbing ------------------------------------------------------
+
+    def build(self) -> CFG:
+        body_entry = self.cfg.new_block("body")
+        self.cfg.add_edge(self.cfg.entry, body_entry.id)
+        self.current = body_entry.id
+        self.visit_body(self.cfg.func.body)
+        if self.current is not None:
+            self.cfg.add_edge(self.current, self.cfg.exit)
+        return self.cfg
+
+    def emit(self, op: Op) -> None:
+        if self.current is None:  # unreachable code after return/raise
+            self.current = self.cfg.new_block("dead").id
+        block = self.cfg.blocks[self.current]
+        block.ops.append(op)
+        # Any op inside a try body may raise into each of its handlers.
+        for handlers in self.handler_stack:
+            for handler in handlers:
+                self.cfg.add_edge(block.id, handler)
+
+    def start_block(self, label: str = "") -> int:
+        block = self.cfg.new_block(label)
+        if self.current is not None:
+            self.cfg.add_edge(self.current, block.id)
+        self.current = block.id
+        return block.id
+
+    def jump(self, target: int) -> None:
+        """Abrupt edge to ``target``, routed through enclosing finallies."""
+        if self.current is None:
+            return
+        if self.finallies:
+            innermost = self.finallies[-1]
+            self.cfg.add_edge(self.current, innermost.entry)
+            innermost.pending.add(target)
+        else:
+            self.cfg.add_edge(self.current, target)
+        self.current = None
+
+    # -- statement dispatch --------------------------------------------
+
+    def visit_body(self, body: list[ast.stmt]) -> None:
+        for stmt in body:
+            self.visit(stmt)
+
+    def visit(self, stmt: ast.stmt) -> None:
+        method = getattr(self, f"visit_{type(stmt).__name__}", None)
+        if method is not None:
+            method(stmt)
+        else:
+            # Simple statement (Assign, Expr, Pass, Import, nested defs,
+            # ...): a straight-line op in the current block.
+            self.emit(Op("stmt", stmt))
+
+    def visit_Return(self, stmt: ast.Return) -> None:
+        self.emit(Op("stmt", stmt))
+        self.jump(self.cfg.exit)
+
+    def visit_Raise(self, stmt: ast.Raise) -> None:
+        self.emit(Op("stmt", stmt))
+        # The emit above already added edges into enclosing handlers; the
+        # propagating path routes through finallies to the exit.
+        self.jump(self.cfg.exit)
+
+    def visit_Break(self, stmt: ast.Break) -> None:
+        self.emit(Op("stmt", stmt))
+        if self.loops:
+            self.jump(self.loops[-1].break_target)
+        else:
+            self.current = None
+
+    def visit_Continue(self, stmt: ast.Continue) -> None:
+        self.emit(Op("stmt", stmt))
+        if self.loops:
+            self.jump(self.loops[-1].continue_target)
+        else:
+            self.current = None
+
+    def visit_If(self, stmt: ast.If) -> None:
+        self.emit(Op("branch", stmt))
+        branch_block = self.current
+
+        self.current = branch_block
+        self.start_block("then")
+        self.visit_body(stmt.body)
+        then_end = self.current
+
+        self.current = branch_block
+        if stmt.orelse:
+            self.start_block("else")
+            self.visit_body(stmt.orelse)
+            else_end = self.current
+        else:
+            else_end = branch_block
+
+        after = self.cfg.new_block("after-if").id
+        for end in (then_end, else_end):
+            if end is not None:
+                self.cfg.add_edge(end, after)
+        # When both arms ended abruptly the after block stays unreachable
+        # and describe()/dataflow skip it.
+        self.current = (
+            after if (then_end is not None or else_end is not None) else None
+        )
+
+    def visit_While(self, stmt: ast.While) -> None:
+        head = self.start_block("loop-head")
+        self.emit(Op("branch", stmt))
+        after = self.cfg.new_block("after-loop")
+
+        self.loops.append(_LoopContext(head, after.id))
+        self.current = head
+        self.start_block("loop-body")
+        self.visit_body(stmt.body)
+        if self.current is not None:
+            self.cfg.add_edge(self.current, head)  # back edge
+        self.loops.pop()
+
+        self.current = head
+        if stmt.orelse:
+            # else runs on normal loop exit (condition false), not break.
+            self.start_block("loop-else")
+            self.visit_body(stmt.orelse)
+            if self.current is not None:
+                self.cfg.add_edge(self.current, after.id)
+        else:
+            self.cfg.add_edge(head, after.id)
+        self.current = after.id
+
+    def visit_For(self, stmt: ast.For) -> None:
+        self._for(stmt)
+
+    def visit_AsyncFor(self, stmt: ast.AsyncFor) -> None:
+        self._for(stmt)
+
+    def _for(self, stmt: ast.For | ast.AsyncFor) -> None:
+        head = self.start_block("loop-head")
+        self.emit(Op("for-iter", stmt))
+        after = self.cfg.new_block("after-loop")
+
+        self.loops.append(_LoopContext(head, after.id))
+        self.current = head
+        self.start_block("loop-body")
+        self.visit_body(stmt.body)
+        if self.current is not None:
+            self.cfg.add_edge(self.current, head)  # back edge
+        self.loops.pop()
+
+        self.current = head
+        if stmt.orelse:
+            self.start_block("loop-else")
+            self.visit_body(stmt.orelse)
+            if self.current is not None:
+                self.cfg.add_edge(self.current, after.id)
+        else:
+            self.cfg.add_edge(head, after.id)
+        self.current = after.id
+
+    def visit_With(self, stmt: ast.With) -> None:
+        self._with(stmt)
+
+    def visit_AsyncWith(self, stmt: ast.AsyncWith) -> None:
+        self._with(stmt)
+
+    def _with(self, stmt: ast.With | ast.AsyncWith) -> None:
+        self.start_block("with")
+        self.emit(Op("with-enter", stmt))
+        self.visit_body(stmt.body)
+        if self.current is not None:
+            self.start_block("with-exit")
+            self.emit(Op("with-exit", stmt))
+
+    def visit_Try(self, stmt: ast.Try) -> None:
+        after = self.cfg.new_block("after-try")
+
+        # The finally suite is built first so abrupt exits inside the try
+        # have an entry block to route through.
+        fin: _FinallyContext | None = None
+        if stmt.finalbody:
+            fin_entry = self.cfg.new_block("finally")
+            saved = self.current
+            self.current = fin_entry.id
+            self.visit_body(stmt.finalbody)
+            fin_last = self.current if self.current is not None else fin_entry.id
+            fin = _FinallyContext(fin_entry.id, fin_last)
+            self.current = saved
+
+        # Handler entry blocks exist before the body so every body block
+        # can raise into them.
+        handler_entries: list[int] = []
+        for handler in stmt.handlers:
+            hblock = self.cfg.new_block("except")
+            hblock.ops.append(Op("except", handler))
+            handler_entries.append(hblock.id)
+
+        if fin is not None:
+            self.finallies.append(fin)
+        self.handler_stack.append(handler_entries)
+        self.start_block("try")
+        self.visit_body(stmt.body)
+        body_end = self.current
+        self.handler_stack.pop()
+
+        # Normal completion runs the else suite.
+        if stmt.orelse:
+            if body_end is not None:
+                self.current = body_end
+                self.start_block("try-else")
+                self.visit_body(stmt.orelse)
+                body_end = self.current
+
+        ends: list[int] = [] if body_end is None else [body_end]
+        for handler, entry in zip(stmt.handlers, handler_entries):
+            self.current = entry
+            self.visit_body(handler.body)
+            if self.current is not None:
+                ends.append(self.current)
+        if fin is not None:
+            self.finallies.pop()
+
+        if fin is not None:
+            for end in ends:
+                self.cfg.add_edge(end, fin.entry)
+            self.cfg.add_edge(fin.last, after.id)
+            for target in fin.pending:
+                self.cfg.add_edge(fin.last, target)
+            # An unhandled exception also unwinds through the finally.
+            if not handler_entries:
+                self.cfg.add_edge(fin.last, self.cfg.exit)
+        else:
+            for end in ends:
+                self.cfg.add_edge(end, after.id)
+        self.current = after.id
+
+
+def build_cfg(func: FunctionNode) -> CFG:
+    """Build the control-flow graph of one function definition."""
+    return _Builder(func).build()

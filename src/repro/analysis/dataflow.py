@@ -1,0 +1,187 @@
+"""Forward dataflow over the per-function CFG.
+
+A tiny classical framework: facts are frozensets of strings, transfer
+functions are gen/kill per :class:`~repro.analysis.cfg.Op`, and
+:func:`run_forward` iterates a worklist to fixpoint.  Two lattice modes:
+
+``may`` (union at joins)
+    "On *some* path ..." — the one-pass rules use it for the set of
+    already-consumed streams: a consumption reached by its own fact via a
+    back edge is a second pass.
+``must`` (intersection at joins)
+    "On *every* path ..." — the lock rules use it for the set of held
+    locks: a write is safe only when the guarding acquisition dominates
+    it, i.e. the lock is in the must-held set at the write.
+
+:func:`iter_ops_with_facts` replays the fixpoint through each reachable
+block and yields every op with its in-fact, which is the form the rules
+consume: "here is the event, here is what must/may be true just before
+it".
+
+:class:`LockTracker` is the shared must-analysis of held locks: a
+``with <something ending in .lock/._lock/...>:`` gens the lock's dotted
+name, the matching ``with-exit`` kills it.  Exception edges bypass
+``with-exit`` by construction, and the intersection at the handler join
+correctly drops the lock — an unwound ``with`` has released it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Iterator
+
+from repro.analysis.cfg import CFG, Op
+from repro.analysis.framework import dotted_name
+
+__all__ = [
+    "GenKill",
+    "dominators",
+    "run_forward",
+    "iter_ops_with_facts",
+    "LockTracker",
+    "lock_names_of",
+]
+
+Fact = frozenset[str]
+EMPTY: Fact = frozenset()
+
+
+class GenKill:
+    """One forward gen/kill analysis.
+
+    Subclasses (or instances built from callables) define ``gen(op)`` and
+    ``kill(op)``; ``mode`` selects the join (``"may"`` union,
+    ``"must"`` intersection).
+    """
+
+    mode: str = "may"
+
+    def gen(self, op: Op) -> Fact:  # pragma: no cover - trivial default
+        return EMPTY
+
+    def kill(self, op: Op) -> Fact:  # pragma: no cover - trivial default
+        return EMPTY
+
+    def transfer(self, op: Op, fact: Fact) -> Fact:
+        return (fact - self.kill(op)) | self.gen(op)
+
+    def transfer_block(self, ops: list[Op], fact: Fact) -> Fact:
+        for op in ops:
+            fact = self.transfer(op, fact)
+        return fact
+
+
+def run_forward(cfg: CFG, analysis: GenKill) -> dict[int, Fact]:
+    """Fixpoint of ``analysis`` over ``cfg``; returns block-entry facts.
+
+    Must-mode entries start at TOP (modelled as ``None`` until first
+    reached) so unvisited joins do not clamp the intersection to empty.
+    """
+    reachable = cfg.reachable()
+    in_facts: dict[int, Fact | None] = {bid: None for bid in reachable}
+    in_facts[cfg.entry] = EMPTY
+    worklist = [cfg.entry]
+    while worklist:
+        bid = worklist.pop()
+        fact = in_facts[bid]
+        if fact is None:  # not yet reached with a concrete fact
+            continue
+        out = analysis.transfer_block(cfg.blocks[bid].ops, fact)
+        for succ in cfg.blocks[bid].succs:
+            if succ not in reachable:
+                continue
+            old = in_facts[succ]
+            if old is None:
+                new: Fact = out
+            elif analysis.mode == "must":
+                new = old & out
+            else:
+                new = old | out
+            if new != old:
+                in_facts[succ] = new
+                worklist.append(succ)
+    return {bid: (fact if fact is not None else EMPTY) for bid, fact in in_facts.items()}
+
+
+def dominators(cfg: CFG) -> dict[int, set[int]]:
+    """Block id -> set of block ids dominating it (reachable blocks only).
+
+    The classical iterative algorithm.  The one-pass rules use it to tell
+    a loop's *own* back edge (the ``for`` protocol resumes one iterator —
+    not a second pass) apart from an *enclosing* loop's back edge
+    (re-executing the ``for`` statement calls ``iter()`` again — a second
+    pass): a predecessor dominated by the loop head is the former.
+    """
+    reach = cfg.reachable()
+    dom: dict[int, set[int]] = {bid: set(reach) for bid in reach}
+    dom[cfg.entry] = {cfg.entry}
+    changed = True
+    while changed:
+        changed = False
+        for bid in sorted(reach):
+            if bid == cfg.entry:
+                continue
+            preds = [p for p in cfg.blocks[bid].preds if p in reach]
+            if preds:
+                new = set.intersection(*(dom[p] for p in preds))
+            else:  # only the entry block has no reachable predecessors
+                new = set()
+            new.add(bid)
+            if new != dom[bid]:
+                dom[bid] = new
+                changed = True
+    return dom
+
+
+def iter_ops_with_facts(
+    cfg: CFG, analysis: GenKill
+) -> Iterator[tuple[Op, Fact]]:
+    """Yield every reachable op with the analysis fact holding before it."""
+    entry_facts = run_forward(cfg, analysis)
+    for bid in sorted(entry_facts):
+        fact = entry_facts[bid]
+        for op in cfg.blocks[bid].ops:
+            yield op, fact
+            fact = analysis.transfer(op, fact)
+
+
+def lock_names_of(stmt: ast.With | ast.AsyncWith) -> list[str]:
+    """Dotted names of the lock-like context managers of one ``with``.
+
+    An item counts as a lock when its context expression's last attribute
+    segment contains ``lock`` (``self._lock``, ``self._swap_lock.acquire``
+    stripped of a trailing call, a bare ``lock`` name, ...).
+    """
+    names = []
+    for item in stmt.items:
+        expr = item.context_expr
+        if isinstance(expr, ast.Call):
+            expr = expr.func
+        name = dotted_name(expr)
+        if name is not None and "lock" in name.rsplit(".", 1)[-1].lower():
+            names.append(name)
+    return names
+
+
+class LockTracker(GenKill):
+    """Must-analysis of held lock names through one function."""
+
+    mode = "must"
+
+    def gen(self, op: Op) -> Fact:
+        if op.kind == "with-enter" and isinstance(
+            op.node, (ast.With, ast.AsyncWith)
+        ):
+            return frozenset(lock_names_of(op.node))
+        return EMPTY
+
+    def kill(self, op: Op) -> Fact:
+        if op.kind == "with-exit" and isinstance(
+            op.node, (ast.With, ast.AsyncWith)
+        ):
+            return frozenset(lock_names_of(op.node))
+        return EMPTY
+
+
+#: Convenience alias used by rule modules to build ad-hoc analyses.
+TransferFn = Callable[[Op, Fact], Fact]

@@ -22,16 +22,23 @@ bracket form takes a comma-separated list of rule ids or codes.
 from __future__ import annotations
 
 import ast
+import io
 import re
+import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.analysis.project import ProjectContext
 
 __all__ = [
     "Finding",
     "ModuleContext",
+    "ProjectRule",
     "Rule",
     "Suppressions",
+    "SyntheticRule",
     "dotted_name",
 ]
 
@@ -51,7 +58,9 @@ def dotted_name(node: ast.AST) -> str | None:
         return ".".join(reversed(parts))
     return None
 
-#: Matches ``# opaq: ignore`` and ``# opaq: ignore[id, id2]`` comments.
+#: Matches the suppression directive, bare or with an ``[id, id2]`` list.
+#: (Spelled without the literal text here: this comment is itself a
+#: token the scanner reads.)
 _SUPPRESS_RE = re.compile(
     r"#\s*opaq:\s*ignore(?:\[(?P<ids>[^\]]*)\])?", re.IGNORECASE
 )
@@ -91,11 +100,21 @@ class Finding:
 
 
 class Suppressions:
-    """Per-line ``# opaq: ignore[...]`` directives of one module."""
+    """Per-line ``# opaq: ignore[...]`` directives of one module.
+
+    Directives are read from real ``COMMENT`` tokens, not raw lines, so a
+    directive *quoted inside a docstring* (the framework documents its own
+    syntax) is not a live suppression.  Every :meth:`silences` hit is
+    recorded; :meth:`unused_lines` reports directives that silenced
+    nothing, which the runner turns into OPQ902 findings — a suppression
+    whose finding has been fixed is stale noise that would hide a future
+    regression on that line.
+    """
 
     def __init__(self, source: str) -> None:
         self._by_line: dict[int, set[str]] = {}
-        for lineno, text in enumerate(source.splitlines(), start=1):
+        self._used: set[int] = set()
+        for lineno, text in _comment_lines(source):
             match = _SUPPRESS_RE.search(text)
             if match is None:
                 continue
@@ -111,12 +130,39 @@ class Suppressions:
         ids = self._by_line.get(finding.line)
         if not ids:
             return False
-        return _ALL in ids or finding.rule_id in ids or finding.code in ids
+        if _ALL in ids or finding.rule_id in ids or finding.code in ids:
+            self._used.add(finding.line)
+            return True
+        return False
 
     @property
     def directive_count(self) -> int:
         """Number of lines carrying a suppression (for reporting)."""
         return len(self._by_line)
+
+    def unused_lines(self) -> list[tuple[int, set[str]]]:
+        """``(line, ids)`` of directives that silenced no finding."""
+        return sorted(
+            (line, ids)
+            for line, ids in self._by_line.items()
+            if line not in self._used
+        )
+
+
+def _comment_lines(source: str) -> Iterator[tuple[int, str]]:
+    """``(lineno, comment_text)`` for each comment token in ``source``.
+
+    Falls back to a raw line scan when tokenisation fails (the runner
+    still lints what it can of a file it cannot fully tokenise).
+    """
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(source).readline):
+            if token.type == tokenize.COMMENT:
+                yield token.start[0], token.string
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            if "#" in text:
+                yield lineno, text
 
 
 @dataclass
@@ -196,6 +242,10 @@ class Rule:
     paper_ref: str = ""
     #: Package-relative path prefixes the rule applies to.
     scope_prefixes: tuple[str, ...] = ()
+    #: True for rules that run once over the whole project (deep mode).
+    requires_project: bool = False
+    #: True for runner-emitted rules with no check() of their own.
+    synthetic: bool = False
 
     def in_scope(self, ctx: ModuleContext) -> bool:
         if ctx.package_rel is None:
@@ -209,3 +259,45 @@ class Rule:
     ) -> Iterator[Finding]:  # pragma: no cover - interface
         """Yield :class:`Finding` objects for violations in ``ctx``."""
         raise NotImplementedError
+
+
+class ProjectRule(Rule):
+    """A rule that needs the whole-project view (``opaq lint --deep``).
+
+    Module rules see one file at a time; project rules run once per lint
+    invocation against a :class:`~repro.analysis.project.ProjectContext`
+    — the cross-module import graph, class/method tables and call edges —
+    and use :meth:`Rule.in_scope` per *module* to decide which classes
+    and functions they judge.  They only run in deep mode: building the
+    index and the per-function CFGs costs real time, and the properties
+    they check (thread roles, interprocedural stream consumption) only
+    change when the flow structure does.
+    """
+
+    #: The runner only executes these when ``deep=True``.
+    requires_project = True
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Project rules contribute nothing at module granularity."""
+        return iter(())
+
+    def check_project(
+        self, project: "ProjectContext"
+    ) -> Iterator[Finding]:  # pragma: no cover - interface
+        """Yield findings judged over the whole project."""
+        raise NotImplementedError
+
+
+class SyntheticRule(Rule):
+    """A rule whose findings are produced by the runner itself.
+
+    Parse failures, unused suppressions and stale baseline entries are
+    facts about the *lint run*, not about any AST the rule could walk, so
+    the runner emits these findings directly.  Registering them keeps the
+    ids listable, selectable and suppressible like any other rule.
+    """
+
+    synthetic = True
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        return iter(())

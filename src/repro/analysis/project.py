@@ -1,0 +1,227 @@
+"""The project index: what deep rules know before they run.
+
+Module rules judge one AST at a time; the flow- and thread-aware families
+need to answer questions that span files — "which methods does a
+``ThreadingHTTPServer`` handler reach?", "does the function this stream
+is passed to consume its parameter?".  :func:`build_project` walks every
+parsed module once, before any rule executes, and indexes:
+
+- the **import graph** (module → imported module names, plus per-module
+  alias tables so ``from repro.service.shard import ShardWorker`` resolves),
+- **class tables**: bases, methods, the fields assigned in ``__init__``
+  and the constructor type each field was initialised from,
+- **call edges**: every call site inside every function, with the callee's
+  dotted name exactly as written (``self._fold``, ``worker.submit``) —
+  resolution to candidate targets is name-based and deliberately
+  conservative, which is the right bias for a checker that must not miss
+  a cross-thread write because the receiver's type was unknowable.
+
+Per-function CFGs (:mod:`repro.analysis.cfg`) are built lazily and
+memoised on the context, so the OPQ7xx and OPQ8xx families share one
+graph per function instead of re-lowering it.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.analysis.cfg import CFG, FunctionNode, build_cfg
+from repro.analysis.framework import ModuleContext, dotted_name
+
+__all__ = [
+    "CallSite",
+    "FunctionInfo",
+    "ClassInfo",
+    "ProjectContext",
+    "build_project",
+]
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One call expression and its callee's dotted name as written."""
+
+    node: ast.Call
+    callee: str
+
+
+@dataclass(eq=False)
+class FunctionInfo:
+    """One function or method definition plus its outgoing call edges.
+
+    Identity-hashed (``eq=False``): the role-propagation worklists key on
+    *this definition*, not on structural equality of two parses.
+    """
+
+    name: str
+    qualname: str
+    node: FunctionNode
+    module: ModuleContext
+    class_name: str | None = None
+    calls: list[CallSite] = field(default_factory=list)
+
+    @property
+    def is_method(self) -> bool:
+        return self.class_name is not None
+
+
+@dataclass(eq=False)
+class ClassInfo:
+    """One class definition: bases, methods, constructor-known fields."""
+
+    name: str
+    node: ast.ClassDef
+    module: ModuleContext
+    bases: list[str] = field(default_factory=list)
+    methods: dict[str, FunctionInfo] = field(default_factory=dict)
+    #: ``self.<field>`` names assigned anywhere in ``__init__``.
+    init_fields: set[str] = field(default_factory=set)
+    #: field -> dotted constructor name when ``__init__`` assigns
+    #: ``self.f = Ctor(...)`` (how the thread rules learn a field holds a
+    #: ``queue.Queue`` or a ``threading.Lock``).
+    field_types: dict[str, str] = field(default_factory=dict)
+
+    def base_names(self) -> set[str]:
+        """Last segments of the base-class names (``BaseHTTPRequestHandler``)."""
+        return {base.rsplit(".", 1)[-1] for base in self.bases}
+
+
+class ProjectContext:
+    """Cross-module tables exposed to :class:`~repro.analysis.framework.ProjectRule`."""
+
+    def __init__(self, modules: list[ModuleContext]) -> None:
+        self.modules = modules
+        self.classes: list[ClassInfo] = []
+        self.functions: list[FunctionInfo] = []
+        #: module path (str) -> imported module dotted names.
+        self.imports: dict[str, set[str]] = {}
+        #: module path (str) -> local alias -> imported dotted name.
+        self.aliases: dict[str, dict[str, str]] = {}
+        self._methods_by_name: dict[str, list[FunctionInfo]] = {}
+        self._functions_by_name: dict[str, list[FunctionInfo]] = {}
+        self._cfgs: dict[int, CFG] = {}
+        for module in modules:
+            self._index_module(module)
+
+    # -- construction --------------------------------------------------
+
+    def _index_module(self, module: ModuleContext) -> None:
+        key = str(module.path)
+        imported: set[str] = set()
+        aliases: dict[str, str] = {}
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    imported.add(alias.name)
+                    aliases[alias.asname or alias.name.split(".")[0]] = alias.name
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                imported.add(node.module)
+                for alias in node.names:
+                    aliases[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}"
+                    )
+        self.imports[key] = imported
+        self.aliases[key] = aliases
+
+        for stmt in module.tree.body:
+            if isinstance(stmt, ast.ClassDef):
+                self._index_class(module, stmt)
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                info = self._function_info(module, stmt, class_name=None)
+                self.functions.append(info)
+                self._functions_by_name.setdefault(stmt.name, []).append(info)
+
+    def _index_class(self, module: ModuleContext, node: ast.ClassDef) -> None:
+        info = ClassInfo(
+            name=node.name,
+            node=node,
+            module=module,
+            bases=[
+                name
+                for base in node.bases
+                if (name := dotted_name(base)) is not None
+            ],
+        )
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                method = self._function_info(module, stmt, class_name=node.name)
+                info.methods[stmt.name] = method
+                self._methods_by_name.setdefault(stmt.name, []).append(method)
+        init = info.methods.get("__init__")
+        if init is not None:
+            for sub in ast.walk(init.node):
+                targets: list[ast.expr] = []
+                if isinstance(sub, ast.Assign):
+                    targets = list(sub.targets)
+                elif isinstance(sub, (ast.AnnAssign, ast.AugAssign)):
+                    targets = [sub.target]
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        info.init_fields.add(target.attr)
+                        value = getattr(sub, "value", None)
+                        if isinstance(value, ast.Call):
+                            ctor = dotted_name(value.func)
+                            if ctor is not None:
+                                info.field_types.setdefault(target.attr, ctor)
+        self.classes.append(info)
+
+    def _function_info(
+        self,
+        module: ModuleContext,
+        node: FunctionNode,
+        class_name: str | None,
+    ) -> FunctionInfo:
+        qual = node.name if class_name is None else f"{class_name}.{node.name}"
+        calls = [
+            CallSite(node=sub, callee=callee)
+            for sub in ast.walk(node)
+            if isinstance(sub, ast.Call)
+            and (callee := dotted_name(sub.func)) is not None
+        ]
+        return FunctionInfo(
+            name=node.name,
+            qualname=f"{module.path.name}:{qual}",
+            node=node,
+            module=module,
+            class_name=class_name,
+            calls=calls,
+        )
+
+    # -- queries -------------------------------------------------------
+
+    def cfg(self, fn: FunctionInfo) -> CFG:
+        """The (memoised) control-flow graph of one indexed function."""
+        key = id(fn.node)
+        if key not in self._cfgs:
+            self._cfgs[key] = build_cfg(fn.node)
+        return self._cfgs[key]
+
+    def methods_named(self, name: str) -> list[FunctionInfo]:
+        """Every class method with this bare name, project-wide."""
+        return self._methods_by_name.get(name, [])
+
+    def functions_named(self, name: str) -> list[FunctionInfo]:
+        """Every module-level function with this bare name, project-wide."""
+        return self._functions_by_name.get(name, [])
+
+    def class_named(self, name: str) -> Iterator[ClassInfo]:
+        for info in self.classes:
+            if info.name == name:
+                yield info
+
+    def iter_functions(self) -> Iterator[FunctionInfo]:
+        """Every indexed function and method."""
+        yield from self.functions
+        for cls in self.classes:
+            yield from cls.methods.values()
+
+
+def build_project(modules: list[ModuleContext]) -> ProjectContext:
+    """Index ``modules`` into one :class:`ProjectContext`."""
+    return ProjectContext(modules)

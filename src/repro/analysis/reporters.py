@@ -9,23 +9,24 @@ from repro.analysis.runner import LintResult
 
 __all__ = ["render_text", "render_json", "render_rule_list", "JSON_SCHEMA_VERSION"]
 
-JSON_SCHEMA_VERSION = 1
+#: Version 2 added ``suppressed_by_rule`` and ``baselined``.
+JSON_SCHEMA_VERSION = 2
 
 
 def render_text(result: LintResult) -> str:
     """Human-readable report: one line per finding plus a summary."""
     lines = [finding.render() for finding in result.findings]
     noun = "file" if result.files_checked == 1 else "files"
+    extra = f"{result.suppressed} suppressed"
+    if result.baselined:
+        extra += f", {result.baselined} baselined"
     if result.findings:
         summary = (
             f"{len(result.findings)} finding(s) in {result.files_checked} "
-            f"{noun} checked ({result.suppressed} suppressed)"
+            f"{noun} checked ({extra})"
         )
     else:
-        summary = (
-            f"clean: {result.files_checked} {noun} checked "
-            f"({result.suppressed} suppressed)"
-        )
+        summary = f"clean: {result.files_checked} {noun} checked ({extra})"
     return "\n".join([*lines, summary])
 
 
@@ -35,6 +36,8 @@ def render_json(result: LintResult) -> str:
         "version": JSON_SCHEMA_VERSION,
         "files_checked": result.files_checked,
         "suppressed": result.suppressed,
+        "suppressed_by_rule": dict(sorted(result.suppressed_by_rule.items())),
+        "baselined": result.baselined,
         "count": len(result.findings),
         "findings": [finding.to_dict() for finding in result.findings],
     }

@@ -17,7 +17,7 @@ from typing import Iterator
 from repro.analysis.framework import Finding, ModuleContext, Rule, dotted_name
 from repro.analysis.registry import register
 
-__all__ = ["ForeignRaiseRule", "BareExceptRule"]
+__all__ = ["ForeignRaiseRule", "BareExceptRule", "BroadExceptRule"]
 
 #: Builtin exception types that must not be raised directly; use the
 #: corresponding repro.errors type.
@@ -101,3 +101,50 @@ class BareExceptRule(Rule):
                     "one-pass and configuration invariant errors; name "
                     "the exception type",
                 )
+
+
+#: Handler types as broad as a bare ``except:`` in practice.
+_BROAD_CATCHES = {"Exception", "BaseException"}
+
+
+@register
+class BroadExceptRule(Rule):
+    """No ``except Exception:`` / ``except BaseException:`` handlers.
+
+    OPQ502 only sees the literally bare form; catching ``Exception`` by
+    name swallows exactly the same invariant errors.  The two sanctioned
+    last-resort handlers — the wire layer's 500 guard and the shard
+    worker's must-not-die loop — carry an explicit
+    ``# opaq: ignore[exception-broad-except]`` with their justification,
+    which is the point: broadness must be a visible, argued decision.
+    """
+
+    rule_id = "exception-broad-except"
+    code = "OPQ503"
+    description = (
+        "except Exception/BaseException is as indiscriminate as a bare "
+        "except; catch the concrete repro.errors types (or suppress with "
+        "a justification where a last-resort guard is intended)"
+    )
+    paper_ref = "errors.py (one catchable taxonomy per violated discipline)"
+    scope_prefixes = ()
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler) or node.type is None:
+                continue
+            types = (
+                list(node.type.elts)
+                if isinstance(node.type, ast.Tuple)
+                else [node.type]
+            )
+            for type_expr in types:
+                name = dotted_name(type_expr)
+                if name in _BROAD_CATCHES:
+                    yield ctx.finding(
+                        self,
+                        node,
+                        f"except {name}: swallows SinglePassViolation and "
+                        "every other invariant error; catch the concrete "
+                        "types this block can actually handle",
+                    )

@@ -1,0 +1,71 @@
+"""Rule family 9 (OPQ9xx): facts about the lint run itself.
+
+These are :class:`~repro.analysis.framework.SyntheticRule` subclasses —
+the runner emits their findings directly, because the condition is not
+visible from any single AST:
+
+OPQ901
+    A file that would not parse.  PR 1 aborted the whole run with a
+    ``DataError``; one unreadable scratch file should not hide real
+    findings in the ninety-nine files that do parse, so the failure is
+    now itself a finding and the walk continues.
+OPQ902
+    A ``# opaq: ignore`` directive that silenced nothing.  A stale
+    suppression is worse than noise: it pre-silences the *next* finding
+    on that line.  Only judged on full runs (no ``--select``), since a
+    partial run legitimately leaves other rules' directives unused.
+OPQ903
+    A baseline entry no finding matched.  The baseline exists to ratchet
+    — adopted debt may only shrink — so a stale entry fails the run
+    until the baseline is regenerated with ``--write-baseline``.
+
+Registering them keeps the ids listable (``--list-rules``), selectable
+and ignorable like any organic rule.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.framework import SyntheticRule
+from repro.analysis.registry import register
+
+__all__ = ["ParseErrorRule", "UnusedSuppressionRule", "BaselineStaleRule"]
+
+
+@register
+class ParseErrorRule(SyntheticRule):
+    """A linted file failed to parse; emitted by the runner."""
+
+    rule_id = "parse-error"
+    code = "OPQ901"
+    description = (
+        "the file could not be parsed as Python; the rest of the run "
+        "continued, but nothing in this file was checked"
+    )
+    paper_ref = "lint integrity (unchecked code proves nothing)"
+
+
+@register
+class UnusedSuppressionRule(SyntheticRule):
+    """A suppression directive that silenced no finding."""
+
+    rule_id = "unused-suppression"
+    code = "OPQ902"
+    description = (
+        "a '# opaq: ignore' directive silenced nothing; stale "
+        "suppressions pre-silence the next real finding on their line"
+    )
+    paper_ref = "lint integrity (suppressions must earn their keep)"
+
+
+@register
+class BaselineStaleRule(SyntheticRule):
+    """A baseline entry that matched no current finding."""
+
+    rule_id = "baseline-stale"
+    code = "OPQ903"
+    description = (
+        "a baseline entry matched no finding in this run; the adopted "
+        "debt shrank, so the baseline must be regenerated "
+        "(--write-baseline) to keep the ratchet tight"
+    )
+    paper_ref = "lint integrity (baselines ratchet, never drift)"

@@ -1,0 +1,481 @@
+"""Rule family 8 (OPQ8xx): semantic one-pass verification over the CFG.
+
+The OPQ1xx family is syntactic — "no ``np.sort`` on the stream", "no
+``seek(0)``" — and misses the violation the paper actually forbids:
+reading the *same* disk-resident stream twice, however it happens.  This
+family tracks stream **values** through each function's control-flow
+graph:
+
+- A *stream origin* is an assignment of a fresh single-pass source:
+  ``reader = RunReader(source, run_size=...)`` (without an explicit
+  ``max_passes=`` budget, which declares a sanctioned multi-pass
+  algorithm — the same exemption OPQ102 honours) or
+  ``runs = something.runs()``.
+- A *consumption* is direct iteration (``for run in reader``, a
+  comprehension, ``list(reader)``/``sorted(reader)``/...), calling
+  ``.runs()`` on it, or passing it into a call.
+- A may-analysis (:mod:`repro.analysis.dataflow`) carries the set of
+  already-consumed stream names; a consumption reached by its own name's
+  fact is a second pass **on some path** — sequential loops, a loop
+  inside an enclosing ``while``, a retry branch.
+
+A ``for`` loop's own back edge is *not* a second pass (the loop resumes
+one iterator), so OPQ801 judges the loop-head event against predecessor
+facts filtered through :func:`~repro.analysis.dataflow.dominators` —
+only edges from blocks the head does not dominate count, which is
+exactly the enclosing-loop case.
+
+Passing a consumed stream into a call is judged interprocedurally:
+OPQ802 fires only when the project index resolves the callee to a
+function whose matched parameter is itself consumed (direct iteration or
+``.runs()`` in the callee body).  Unresolvable callees conservatively
+*mark* the stream consumed — so a later direct iteration is still caught
+— but do not report, keeping the family quiet on helpers the index
+cannot see through.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from repro.analysis.cfg import CFG, Op
+from repro.analysis.dataflow import EMPTY, Fact, GenKill, dominators, run_forward
+from repro.analysis.framework import Finding, ProjectRule, dotted_name
+from repro.analysis.project import FunctionInfo, ProjectContext
+from repro.analysis.registry import register
+
+__all__ = [
+    "StreamOrigin",
+    "stream_origins",
+    "DoubleConsumeRule",
+    "ConsumedReentryRule",
+]
+
+#: Constructors (last dotted segment) producing a single-pass source.
+_STREAM_CTORS = {"RunReader"}
+
+#: Builtins that exhaust an iterable argument.
+_EXHAUSTING_BUILTINS = {
+    "list",
+    "tuple",
+    "set",
+    "frozenset",
+    "sorted",
+    "sum",
+    "max",
+    "min",
+    "any",
+    "all",
+    "enumerate",
+    "zip",
+    "iter",
+}
+
+
+@dataclass(frozen=True)
+class StreamOrigin:
+    """One local name bound to a fresh single-pass stream."""
+
+    name: str
+    node: ast.AST  # the binding statement
+    kind: str  # "ctor" (RunReader(...)) | "runs" (x.runs())
+
+
+@dataclass(frozen=True)
+class _Consumption:
+    """One consumption event of a tracked stream inside one op."""
+
+    name: str
+    node: ast.AST
+    kind: str  # "iterate" | "call"
+    callee: str | None = None  # dotted callee for "call" events
+
+
+def stream_origins(fn: ast.AST) -> dict[str, StreamOrigin]:
+    """Local names bound to fresh single-pass streams in ``fn``.
+
+    Only simple ``name = ...`` bindings are tracked; a stream stored into
+    an attribute or container escapes the per-function view (the thread
+    family owns shared state).
+    """
+    origins: dict[str, StreamOrigin] = {}
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+            value = node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+            value = node.value
+        else:
+            continue
+        if len(targets) != 1 or not isinstance(targets[0], ast.Name):
+            continue
+        if not isinstance(value, ast.Call):
+            continue
+        name = targets[0].id
+        callee = dotted_name(value.func)
+        if callee is not None and callee.rsplit(".", 1)[-1] in _STREAM_CTORS:
+            if any(kw.arg == "max_passes" for kw in value.keywords):
+                continue  # declared multi-pass budget: OPQ102's exemption
+            origins[name] = StreamOrigin(name=name, node=node, kind="ctor")
+        elif (
+            isinstance(value.func, ast.Attribute)
+            and value.func.attr == "runs"
+        ):
+            origins[name] = StreamOrigin(name=name, node=node, kind="runs")
+    return origins
+
+
+def _expr_roots_of(op: Op) -> list[ast.AST]:
+    """The expression subtrees one op actually evaluates.
+
+    ``branch``/``for-iter``/``with-enter`` ops carry the whole compound
+    statement as their node; the body statements have ops of their own, so
+    only the test / iterable / context expressions belong to this event.
+    """
+    node = op.node
+    if op.kind == "stmt":
+        return [node]
+    if op.kind == "branch" and isinstance(node, (ast.If, ast.While)):
+        return [node.test]
+    if op.kind == "for-iter" and isinstance(node, (ast.For, ast.AsyncFor)):
+        return [node.iter]
+    if op.kind == "with-enter" and isinstance(node, (ast.With, ast.AsyncWith)):
+        return [item.context_expr for item in node.items]
+    return []
+
+
+def _consumptions_of(op: Op, streams: set[str]) -> list[_Consumption]:
+    """Every consumption of a tracked stream performed by one op."""
+    events: list[_Consumption] = []
+    claimed: set[int] = set()
+
+    def iterate(name_node: ast.Name, anchor: ast.AST) -> None:
+        events.append(
+            _Consumption(name=name_node.id, node=anchor, kind="iterate")
+        )
+        claimed.add(id(name_node))
+
+    # The for-iter event itself: direct iteration of a tracked name.
+    if op.kind == "for-iter" and isinstance(op.node, (ast.For, ast.AsyncFor)):
+        it = op.node.iter
+        if isinstance(it, ast.Name) and it.id in streams:
+            iterate(it, op.node)
+
+    for root in _expr_roots_of(op):
+        for sub in ast.walk(root):
+            if isinstance(sub, ast.Call):
+                func = sub.func
+                # x.runs() re-opens the source: direct consumption.
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr == "runs"
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id in streams
+                ):
+                    iterate(func.value, sub)
+                    continue
+                callee = dotted_name(func)
+                exhausting = (
+                    callee is not None
+                    and callee in _EXHAUSTING_BUILTINS
+                )
+                for arg in list(sub.args) + [kw.value for kw in sub.keywords]:
+                    if (
+                        isinstance(arg, ast.Name)
+                        and arg.id in streams
+                        and id(arg) not in claimed
+                    ):
+                        if exhausting:
+                            iterate(arg, sub)
+                        else:
+                            events.append(
+                                _Consumption(
+                                    name=arg.id,
+                                    node=sub,
+                                    kind="call",
+                                    callee=callee,
+                                )
+                            )
+                            claimed.add(id(arg))
+            elif isinstance(sub, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                for gen in sub.generators:
+                    if (
+                        isinstance(gen.iter, ast.Name)
+                        and gen.iter.id in streams
+                        and id(gen.iter) not in claimed
+                    ):
+                        iterate(gen.iter, sub)
+    return events
+
+
+def _killed_names(op: Op, streams: set[str]) -> Fact:
+    """Tracked names this op rebinds (a fresh binding resets the pass)."""
+    node = op.node
+    killed: set[str] = set()
+    targets: list[ast.expr] = []
+    if op.kind == "stmt":
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            targets = [node.target]
+    elif op.kind == "for-iter" and isinstance(node, (ast.For, ast.AsyncFor)):
+        targets = [node.target]
+    for target in targets:
+        for sub in ast.walk(target):
+            if isinstance(sub, ast.Name) and sub.id in streams:
+                killed.add(sub.id)
+    return frozenset(killed)
+
+
+class _ConsumedStreams(GenKill):
+    """May-analysis: stream names consumed on *some* path so far.
+
+    ``consumes(callee, name, call)`` answers whether passing ``name``
+    into ``call`` consumes it — ``True``/``None`` (unknown) gen the fact,
+    ``False`` (resolved, non-consuming) does not.
+    """
+
+    mode = "may"
+
+    def __init__(
+        self,
+        streams: set[str],
+        consumes: Callable[[str | None, str, ast.Call], bool | None],
+    ) -> None:
+        self.streams = streams
+        self.consumes = consumes
+
+    def gen(self, op: Op) -> Fact:
+        names: set[str] = set()
+        for event in _consumptions_of(op, self.streams):
+            if event.kind == "iterate":
+                names.add(event.name)
+            else:
+                verdict = self.consumes(event.callee, event.name, event.node)
+                if verdict is not False:
+                    names.add(event.name)
+        return frozenset(names)
+
+    def kill(self, op: Op) -> Fact:
+        return _killed_names(op, self.streams)
+
+
+def _param_names(fn: FunctionInfo) -> list[str]:
+    args = fn.node.args
+    names = [a.arg for a in args.posonlyargs + args.args]
+    if fn.is_method and names and names[0] in ("self", "cls"):
+        names = names[1:]
+    return names
+
+
+def _consumes_param(fn: FunctionInfo, param: str) -> bool:
+    """Does ``fn``'s body directly consume its parameter ``param``?
+
+    One level deep by design: direct iteration, ``.runs()``, or an
+    exhausting builtin.  A callee that merely forwards the stream again
+    is not reported — the forwarding function gets its own analysis.
+    """
+    for node in ast.walk(fn.node):
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            if isinstance(node.iter, ast.Name) and node.iter.id == param:
+                return True
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+            for gen in node.generators:
+                if isinstance(gen.iter, ast.Name) and gen.iter.id == param:
+                    return True
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr == "runs"
+                and isinstance(func.value, ast.Name)
+                and func.value.id == param
+            ):
+                return True
+            callee = dotted_name(func)
+            if callee in _EXHAUSTING_BUILTINS and any(
+                isinstance(a, ast.Name) and a.id == param for a in node.args
+            ):
+                return True
+    return False
+
+
+class _CalleeOracle:
+    """Resolves call edges to "does the callee consume this argument?"."""
+
+    def __init__(self, project: ProjectContext) -> None:
+        self.project = project
+        self._cache: dict[tuple[int, str], tuple[bool | None, FunctionInfo | None]] = {}
+
+    def lookup(
+        self, callee: str | None, name: str, call: ast.Call
+    ) -> tuple[bool | None, FunctionInfo | None]:
+        """``(verdict, consuming_candidate)`` for one call-pass.
+
+        ``verdict`` is ``True`` when some resolved candidate consumes the
+        matched parameter, ``False`` when every candidate was resolved
+        and none consumes it, ``None`` when the callee is unknown.
+        """
+        if callee is None:
+            return None, None
+        key = (id(call), name)
+        if key not in self._cache:
+            self._cache[key] = self._lookup(callee, name, call)
+        return self._cache[key]
+
+    def _lookup(
+        self, callee: str, name: str, call: ast.Call
+    ) -> tuple[bool | None, FunctionInfo | None]:
+        parts = callee.split(".")
+        if len(parts) == 1:
+            candidates = self.project.functions_named(parts[0])
+        else:
+            candidates = self.project.methods_named(parts[-1])
+        if not candidates:
+            return None, None
+        for candidate in candidates:
+            param = self._matched_param(candidate, name, call)
+            if param is not None and _consumes_param(candidate, param):
+                return True, candidate
+        return False, None
+
+    @staticmethod
+    def _matched_param(
+        fn: FunctionInfo, name: str, call: ast.Call
+    ) -> str | None:
+        params = _param_names(fn)
+        for index, arg in enumerate(call.args):
+            if isinstance(arg, ast.Name) and arg.id == name:
+                if index < len(params):
+                    return params[index]
+                return None
+        for kw in call.keywords:
+            if (
+                kw.arg is not None
+                and isinstance(kw.value, ast.Name)
+                and kw.value.id == name
+            ):
+                return kw.arg if kw.arg in params else None
+        return None
+
+
+def _double_consumptions(
+    project: ProjectContext, fn: FunctionInfo, oracle: _CalleeOracle
+) -> Iterator[tuple[_Consumption, StreamOrigin]]:
+    """Consumption events of ``fn`` whose stream may already be consumed."""
+    origins = stream_origins(fn.node)
+    if not origins:
+        return
+    streams = set(origins)
+    cfg = project.cfg(fn)
+    analysis = _ConsumedStreams(
+        streams, lambda callee, name, call: oracle.lookup(callee, name, call)[0]
+    )
+    in_facts = run_forward(cfg, analysis)
+    out_facts = {
+        bid: analysis.transfer_block(cfg.blocks[bid].ops, fact)
+        for bid, fact in in_facts.items()
+    }
+    doms = dominators(cfg)
+    for bid in sorted(in_facts):
+        fact = in_facts[bid]
+        for op in cfg.blocks[bid].ops:
+            for event in _consumptions_of(op, streams):
+                judged = fact
+                if event.kind == "iterate" and op.kind == "for-iter":
+                    # Ignore this loop's own back edges: predecessors the
+                    # head dominates resume the same iterator.
+                    judged = EMPTY
+                    for pred in cfg.blocks[bid].preds:
+                        if pred in out_facts and bid not in doms.get(pred, set()):
+                            judged |= out_facts[pred]
+                if event.name in judged:
+                    yield event, origins[event.name]
+            fact = analysis.transfer(op, fact)
+
+
+def _scoped_functions(
+    project: ProjectContext, rule: ProjectRule
+) -> Iterator[FunctionInfo]:
+    for fn in project.iter_functions():
+        if rule.in_scope(fn.module):
+            yield fn
+
+
+@register
+class DoubleConsumeRule(ProjectRule):
+    """A stream directly iterated again after some path consumed it."""
+
+    rule_id = "one-pass-double-consume"
+    code = "OPQ801"
+    description = (
+        "a single-pass stream (RunReader without max_passes, or .runs()) "
+        "is directly iterated on a path that has already consumed it — a "
+        "second pass over disk-resident input"
+    )
+    paper_ref = "Section 2, Lemma 1 (each run is read exactly once)"
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        oracle = _CalleeOracle(project)
+        for fn in _scoped_functions(project, self):
+            for event, origin in _double_consumptions(project, fn, oracle):
+                if event.kind != "iterate":
+                    continue
+                yield Finding(
+                    rule_id=self.rule_id,
+                    code=self.code,
+                    path=str(fn.module.path),
+                    line=getattr(event.node, "lineno", fn.node.lineno),
+                    col=getattr(event.node, "col_offset", 0),
+                    message=(
+                        f"stream '{event.name}' (bound at line "
+                        f"{getattr(origin.node, 'lineno', '?')}) is iterated "
+                        f"again in {fn.qualname}; some path has already "
+                        "consumed it, so this is a second pass over the "
+                        "input"
+                    ),
+                )
+
+
+@register
+class ConsumedReentryRule(ProjectRule):
+    """A consumed stream passed into a call that consumes its parameter."""
+
+    rule_id = "one-pass-consumed-reentry"
+    code = "OPQ802"
+    description = (
+        "a stream that may already be consumed is passed to a function "
+        "whose matched parameter is itself iterated — the exhausted "
+        "iterator re-enters a consuming call across a call edge"
+    )
+    paper_ref = "Section 2, Lemma 1 (each run is read exactly once)"
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        oracle = _CalleeOracle(project)
+        for fn in _scoped_functions(project, self):
+            for event, origin in _double_consumptions(project, fn, oracle):
+                if event.kind != "call":
+                    continue
+                verdict, candidate = oracle.lookup(
+                    event.callee, event.name, event.node  # type: ignore[arg-type]
+                )
+                if verdict is not True or candidate is None:
+                    continue  # unknown callees mark, resolved safe ones pass
+                yield Finding(
+                    rule_id=self.rule_id,
+                    code=self.code,
+                    path=str(fn.module.path),
+                    line=getattr(event.node, "lineno", fn.node.lineno),
+                    col=getattr(event.node, "col_offset", 0),
+                    message=(
+                        f"stream '{event.name}' (bound at line "
+                        f"{getattr(origin.node, 'lineno', '?')}) may already "
+                        f"be consumed, yet it is passed to "
+                        f"{candidate.qualname}, which consumes its "
+                        "parameter — a consumed iterator re-enters a "
+                        "consuming call"
+                    ),
+                )

@@ -1,4 +1,18 @@
-"""Walk files, apply every in-scope rule, filter suppressions."""
+"""Walk files, apply every in-scope rule, filter suppressions.
+
+The runner is the only place findings are *about the run* rather than
+about code: parse failures (OPQ901) no longer abort the walk — one
+unreadable file becomes one finding and the other files still get
+checked — unused suppressions (OPQ902) are judged once every enabled
+rule has had its chance to use them, and baseline bookkeeping (OPQ903)
+happens last, against the post-suppression findings.
+
+Deep mode (``opaq lint --deep``) additionally builds the project index
+over every module that parsed and runs the
+:class:`~repro.analysis.framework.ProjectRule` families (OPQ7xx/OPQ8xx).
+Their findings still honour per-line suppressions in the module they
+point into.
+"""
 
 from __future__ import annotations
 
@@ -6,9 +20,11 @@ import ast
 from pathlib import Path
 from typing import Iterable, Iterator, Sequence
 
+from repro.analysis.baseline import apply_baseline, load_baseline
 from repro.analysis.framework import Finding, ModuleContext
-from repro.analysis.registry import all_rules, resolve_rule_ids
-from repro.errors import ConfigError, DataError
+from repro.analysis.project import build_project
+from repro.analysis.registry import all_rules, get_rule, resolve_rule_ids
+from repro.errors import ConfigError
 
 __all__ = ["LintResult", "lint_paths", "iter_python_files", "parse_module"]
 
@@ -20,11 +36,20 @@ class LintResult:
     """Findings plus the bookkeeping reporters need."""
 
     def __init__(
-        self, findings: list[Finding], files_checked: int, suppressed: int
+        self,
+        findings: list[Finding],
+        files_checked: int,
+        suppressed: int,
+        suppressed_by_rule: dict[str, int] | None = None,
+        baselined: int = 0,
     ) -> None:
         self.findings = findings
         self.files_checked = files_checked
         self.suppressed = suppressed
+        #: rule_id -> how many of its findings inline directives silenced.
+        self.suppressed_by_rule = suppressed_by_rule or {}
+        #: Findings covered by the baseline file (not in ``findings``).
+        self.baselined = baselined
 
     @property
     def clean(self) -> bool:
@@ -53,6 +78,8 @@ def lint_paths(
     paths: Sequence[str | Path],
     select: Iterable[str] | None = None,
     ignore: Iterable[str] | None = None,
+    deep: bool = False,
+    baseline: Path | None = None,
 ) -> LintResult:
     """Run every registered rule over ``paths``.
 
@@ -64,6 +91,12 @@ def lint_paths(
         Rule ids/codes to run exclusively (default: all).
     ignore:
         Rule ids/codes to skip.
+    deep:
+        Also build the project index and run the flow/thread families
+        (:class:`~repro.analysis.framework.ProjectRule`).
+    baseline:
+        Baseline file to subtract adopted findings against; its stale
+        entries become OPQ903 findings.
 
     Returns
     -------
@@ -72,33 +105,130 @@ def lint_paths(
     """
     selected = resolve_rule_ids(list(select) if select else None)
     ignored = resolve_rule_ids(list(ignore) if ignore else None) or set()
-    rules = [
+
+    def enabled(rule_id: str) -> bool:
+        return (
+            selected is None or rule_id in selected
+        ) and rule_id not in ignored
+
+    module_rules = [
         rule
         for rule in all_rules()
-        if (selected is None or rule.rule_id in selected)
-        and rule.rule_id not in ignored
+        if not rule.synthetic
+        and not rule.requires_project
+        and enabled(rule.rule_id)
     ]
+    project_rules = [
+        rule
+        for rule in all_rules()
+        if rule.requires_project and enabled(rule.rule_id)
+    ]
+
     findings: list[Finding] = []
+    contexts: dict[str, ModuleContext] = {}
     files_checked = 0
     suppressed = 0
+    suppressed_by_rule: dict[str, int] = {}
+
+    def admit(ctx: ModuleContext | None, finding: Finding) -> None:
+        nonlocal suppressed
+        if ctx is not None and ctx.suppressions.silences(finding):
+            suppressed += 1
+            suppressed_by_rule[finding.rule_id] = (
+                suppressed_by_rule.get(finding.rule_id, 0) + 1
+            )
+        else:
+            findings.append(finding)
+
     for path in iter_python_files(paths):
         files_checked += 1
         try:
             ctx = ModuleContext.from_path(path)
-        except SyntaxError as exc:
-            raise DataError(
-                f"cannot parse {path}: {exc.msg} (line {exc.lineno})"
-            ) from exc
-        for rule in rules:
+        except (SyntaxError, ValueError, UnicodeDecodeError) as exc:
+            # One unreadable file is one finding, not a dead run.
+            # (ValueError covers null bytes, UnicodeDecodeError bad
+            # encodings; neither carries a location.)
+            if enabled("parse-error"):
+                rule = get_rule("parse-error")
+                message = getattr(exc, "msg", None) or str(exc)
+                findings.append(
+                    Finding(
+                        rule_id=rule.rule_id,
+                        code=rule.code,
+                        path=str(path),
+                        line=getattr(exc, "lineno", None) or 1,
+                        col=(getattr(exc, "offset", None) or 1) - 1,
+                        message=f"cannot parse file: {message}",
+                    )
+                )
+            continue
+        contexts[str(ctx.path)] = ctx
+        for rule in module_rules:
             if not rule.in_scope(ctx):
                 continue
             for finding in rule.check(ctx):
-                if ctx.suppressions.silences(finding):
-                    suppressed += 1
-                else:
-                    findings.append(finding)
+                admit(ctx, finding)
+
+    if deep and project_rules and contexts:
+        project = build_project(list(contexts.values()))
+        for rule in project_rules:
+            for finding in rule.check_project(project):
+                admit(contexts.get(finding.path), finding)
+
+    # Unused suppressions are only a fact on full runs: under --select a
+    # directive for an unselected rule never had the chance to be used.
+    if selected is None and enabled("unused-suppression"):
+        rule = get_rule("unused-suppression")
+        for ctx in contexts.values():
+            for line, ids in ctx.suppressions.unused_lines():
+                listed = ", ".join(sorted(ids))
+                # Deliberately bypasses admit(): the directive would
+                # silence its own staleness report.
+                findings.append(
+                    Finding(
+                        rule_id=rule.rule_id,
+                        code=rule.code,
+                        path=str(ctx.path),
+                        line=line,
+                        col=0,
+                        message=(
+                            f"suppression [{listed}] silenced nothing; "
+                            "remove the stale directive"
+                        ),
+                    )
+                )
+
+    baselined = 0
+    if baseline is not None:
+        entries = load_baseline(baseline)
+        findings, baselined, stale = apply_baseline(findings, entries)
+        if stale and enabled("baseline-stale"):
+            rule = get_rule("baseline-stale")
+            for entry in stale:
+                findings.append(
+                    Finding(
+                        rule_id=rule.rule_id,
+                        code=rule.code,
+                        path=str(baseline),
+                        line=1,
+                        col=0,
+                        message=(
+                            f"stale baseline entry: no {entry.rule_id} "
+                            f"finding in {entry.path} matches "
+                            f"{entry.message!r}; regenerate with "
+                            "--write-baseline"
+                        ),
+                    )
+                )
+
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
-    return LintResult(findings, files_checked, suppressed)
+    return LintResult(
+        findings,
+        files_checked,
+        suppressed,
+        suppressed_by_rule=suppressed_by_rule,
+        baselined=baselined,
+    )
 
 
 def parse_module(source: str, name: str = "<fixture>") -> ModuleContext:

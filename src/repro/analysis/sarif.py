@@ -1,0 +1,82 @@
+"""SARIF 2.1.0 output for lint results.
+
+SARIF is the interchange format CI forges ingest natively (GitHub code
+scanning, Azure DevOps, VS Code's SARIF viewer): emitting it means the
+deep findings land as review annotations instead of a log to grep.  The
+emitted document is deliberately minimal but schema-faithful:
+
+- one ``run`` with an ``opaqlint`` driver,
+- every registered rule in ``tool.driver.rules`` (so ``ruleIndex`` is
+  stable across runs regardless of which rules fired),
+- one ``result`` per finding with a single physical location; SARIF
+  columns are 1-based while findings carry 0-based AST columns, so the
+  reporter shifts by one.
+
+``ruleId`` is the OPQ code (the stable public identifier); the
+kebab-case ``rule_id`` becomes the rule's ``name``.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.registry import all_rules
+from repro.analysis.runner import LintResult
+
+__all__ = ["render_sarif", "SARIF_SCHEMA_URI", "SARIF_VERSION"]
+
+SARIF_SCHEMA_URI = "https://json.schemastore.org/sarif-2.1.0.json"
+SARIF_VERSION = "2.1.0"
+
+
+def render_sarif(result: LintResult) -> str:
+    """Render one lint run as a SARIF 2.1.0 document."""
+    rules = all_rules()
+    rule_index = {rule.code: index for index, rule in enumerate(rules)}
+    driver = {
+        "name": "opaqlint",
+        "version": _tool_version(),
+        "informationUri": "https://example.invalid/opaqlint",
+        "rules": [
+            {
+                "id": rule.code,
+                "name": rule.rule_id,
+                "shortDescription": {"text": rule.description or rule.rule_id},
+                "help": {"text": rule.paper_ref or rule.description},
+            }
+            for rule in rules
+        ],
+    }
+    results = []
+    for finding in result.findings:
+        results.append(
+            {
+                "ruleId": finding.code,
+                "ruleIndex": rule_index.get(finding.code, -1),
+                "level": "error",
+                "message": {"text": finding.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {"uri": finding.path},
+                            "region": {
+                                "startLine": max(finding.line, 1),
+                                "startColumn": finding.col + 1,
+                            },
+                        }
+                    }
+                ],
+            }
+        )
+    document = {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [{"tool": {"driver": driver}, "results": results}],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)
+
+
+def _tool_version() -> str:
+    from repro import __version__
+
+    return __version__

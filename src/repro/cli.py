@@ -423,21 +423,43 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
     from repro.analysis import (
         lint_paths,
         render_json,
         render_rule_list,
+        render_sarif,
         render_text,
+        write_baseline,
     )
 
     if args.list_rules:
         print(render_rule_list())
         return 0
+    baseline = Path(args.baseline) if args.baseline else None
+    if args.write_baseline:
+        target = baseline or Path(".opaqlint-baseline.json")
+        result = lint_paths(
+            args.paths or ["src/repro"],
+            select=args.select,
+            ignore=args.ignore,
+            deep=args.deep,
+        )
+        count = write_baseline(target, result.findings)
+        print(f"wrote {count} baseline entr{'y' if count == 1 else 'ies'} to {target}")
+        return 0
     result = lint_paths(
-        args.paths or ["src/repro"], select=args.select, ignore=args.ignore
+        args.paths or ["src/repro"],
+        select=args.select,
+        ignore=args.ignore,
+        deep=args.deep,
+        baseline=baseline,
     )
     if args.format == "json":
         print(render_json(result))
+    elif args.format == "sarif":
+        print(render_sarif(result))
     else:
         print(render_text(result))
     return 0 if result.clean else 1
@@ -636,8 +658,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="files or directories to lint (default: src/repro)",
     )
     p.add_argument(
-        "--format", choices=("text", "json"), default="text",
-        help="report format",
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="report format (sarif: SARIF 2.1.0 for CI annotation)",
     )
     p.add_argument(
         "--select", action="append", metavar="RULE",
@@ -646,6 +668,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--ignore", action="append", metavar="RULE",
         help="skip this rule id/code (repeatable)",
+    )
+    p.add_argument(
+        "--deep", action="store_true",
+        help="also run the project-wide flow/thread families "
+        "(OPQ7xx/OPQ8xx): builds the cross-module index and per-function "
+        "control-flow graphs",
+    )
+    p.add_argument(
+        "--baseline", metavar="FILE",
+        help="subtract adopted findings recorded in this baseline file; "
+        "stale entries fail the run (OPQ903)",
+    )
+    p.add_argument(
+        "--write-baseline", action="store_true",
+        help="record the current findings as the new baseline "
+        "(to --baseline, default .opaqlint-baseline.json) and exit 0",
     )
     p.add_argument(
         "--list-rules", action="store_true",

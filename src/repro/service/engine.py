@@ -21,6 +21,7 @@ never silently mixed into an answer.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
@@ -96,6 +97,10 @@ class QuantileService:
             retain=self.config.snapshot_retain,
         )
         self._restored = self._snapshotter.restore()
+        #: Guards the operational counters below: ingest() and query() run
+        #: on whatever thread calls them — under the HTTP layer that is a
+        #: thread per request — so the += updates race without it.
+        self._state_lock = threading.Lock()
         #: Elements accepted into shard queues this process lifetime.
         self._accepted = 0
         self._since_snapshot = 0
@@ -125,8 +130,9 @@ class QuantileService:
             if part.size:
                 worker.submit(part, timeout=timeout)
                 accepted += int(part.size)
-        self._accepted += accepted
-        self._since_snapshot += accepted
+        with self._state_lock:
+            self._accepted += accepted
+            self._since_snapshot += accepted
         tracer = current_tracer()
         tracer.count("service.ingest.elements", accepted)
         tracer.count("service.ingest.batches", 1, shards=self.config.num_shards)
@@ -149,7 +155,8 @@ class QuantileService:
         """Advance one epoch now (barrier + merge + persist + swap)."""
         self._check_open()
         snapshot = self._snapshotter.run_epoch()
-        self._since_snapshot = 0
+        with self._state_lock:
+            self._since_snapshot = 0
         return snapshot
 
     @property
@@ -178,7 +185,8 @@ class QuantileService:
         tracer = current_tracer()
         with tracer.span("service.query", queries=len(fractions)):
             bounds = bounds_for(snapshot.summary, fractions)
-        self._queries += len(fractions)
+        with self._state_lock:
+            self._queries += len(fractions)
         tracer.count("service.query.count", len(fractions), epoch=snapshot.epoch)
         return QueryResult(
             epoch=snapshot.epoch,

@@ -185,7 +185,7 @@ class ShardWorker:
                 self._buffered += item.size
                 if self._buffered >= self.config.effective_flush_threshold:
                     self._fold()
-            except BaseException as exc:  # noqa: B036 - worker must not die silently
+            except BaseException as exc:  # noqa: B036  # opaq: ignore[exception-broad-except] worker must not die silently
                 self._error = exc
                 if isinstance(item, _Control):
                     item.done.set()

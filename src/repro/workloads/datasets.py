@@ -14,7 +14,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, DataError
 from repro.storage import DatasetWriter, DiskDataset
 from repro.workloads.generators import KeyGenerator
 
@@ -77,6 +77,10 @@ def dataset_cache(
     if path.exists():
         try:
             return DiskDataset.open(path)
-        except Exception:
+        except (DataError, OSError):
+            # A half-written or truncated cache file fails open()'s
+            # validation (DataError) or plain I/O (OSError); anything
+            # else — a real bug — must propagate, not trigger a silent
+            # regeneration loop.
             path.unlink()
     return write_dataset(path, generator, n, seed)

@@ -1,0 +1,15 @@
+"""Known-bad: except Exception/BaseException is as broad as a bare except."""
+
+
+def load(reader):
+    try:
+        return reader.next_chunk()
+    except Exception:  # swallows SinglePassViolation with everything else
+        return None
+
+
+def guard(fn):
+    try:
+        fn()
+    except (ValueError, BaseException):  # tuple form is just as broad
+        pass

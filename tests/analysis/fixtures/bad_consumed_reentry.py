@@ -1,0 +1,30 @@
+"""Known-bad: a consumed stream re-enters a consuming call.
+
+``merge_runs`` iterates its parameter; passing the same reader in twice
+(or iterating and then passing) hands an exhausted iterator across the
+call edge — the interprocedural half of the one-pass discipline.
+"""
+
+from repro.storage import RunReader
+
+
+def merge_runs(runs):
+    merged = None
+    for run in runs:
+        merged = run
+    return merged
+
+
+def summarize_twice(source):
+    reader = RunReader(source, run_size=4096)
+    first = merge_runs(reader)
+    second = merge_runs(reader)  # reader is already exhausted
+    return first, second
+
+
+def count_then_merge(source):
+    reader = RunReader(source, run_size=4096)
+    n = 0
+    for run in reader:
+        n += len(run)
+    return n, merge_runs(reader)  # consumed by the loop above

@@ -1,0 +1,28 @@
+"""Known-bad: the same single-pass stream is directly iterated twice.
+
+The second function is the case the syntactic OPQ102 rule cannot see:
+one ``for`` statement, textually a single consumption, re-executed by an
+enclosing ``while`` — the flow-sensitive rule finds the fact through the
+outer loop's back edge.
+"""
+
+from repro.storage import RunReader
+
+
+def two_sequential_loops(source, run_size):
+    reader = RunReader(source, run_size=run_size)
+    total = 0
+    for run in reader:
+        total += len(run)
+    for run in reader:  # second pass: the stream is exhausted
+        total += len(run)
+    return total
+
+
+def loop_inside_while(source, run_size, needs_more):
+    reader = RunReader(source, run_size=run_size)
+    merged = None
+    while needs_more(merged):
+        for run in reader:  # re-entered on every while iteration
+            merged = run
+    return merged

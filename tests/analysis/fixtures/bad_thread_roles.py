@@ -1,0 +1,51 @@
+"""Known-bad: shared fields written from the HTTP-handler role unguarded.
+
+``Snapshotter.run_epoch`` teaches the analyzer that ``self._lock`` guards
+``_snapshot``; ``adopt`` then writes the same field without it, and the
+role inference proves ``adopt`` is reachable from a thread-per-request
+handler (``do_POST`` -> ``Service.ingest`` -> ``adopt``).  The counter
+``Service._accepted`` is a read-modify-write from that concurrent role
+with no lock at all.
+"""
+
+import threading
+from http.server import BaseHTTPRequestHandler
+
+
+class Snapshotter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._snapshot = None
+        self._epoch = 0
+
+    def run_epoch(self, summary):
+        with self._lock:
+            self._snapshot = summary
+            self._epoch += 1
+
+    def adopt(self, summary):
+        self._snapshot = summary  # unguarded write to a guarded field
+
+    @property
+    def current(self):
+        return self._snapshot  # lock-free read: fine by design
+
+
+class Service:
+    def __init__(self):
+        self._snapshotter = Snapshotter()
+        self._accepted = 0
+
+    def ingest(self, batch):
+        self._accepted += len(batch)  # unlocked RMW from a handler thread
+        self._snapshotter.adopt(batch)
+
+    def snapshot(self, summary):
+        self._snapshotter.run_epoch(summary)
+
+
+class Handler(BaseHTTPRequestHandler):
+    service = Service()
+
+    def do_POST(self):
+        self.service.ingest([1.0, 2.0])

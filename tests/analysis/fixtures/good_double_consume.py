@@ -1,0 +1,56 @@
+"""Known-good: single-pass consumption patterns the flow rules accept.
+
+``branch_but_one_pass`` is the shape the flow-sensitive family exists
+for: two textual consumptions on *exclusive* paths are still one pass.
+``handoff_to_helper`` shows the interprocedural direction: passing the
+stream to a resolved non-consuming helper does not spend the pass (the
+syntactic OPQ102 over-counts call-passes, hence its one justified
+suppression — the deep OPQ802 rule proves the handoff safe).
+"""
+
+from repro.storage import RunReader
+
+
+def single_pass(source):
+    reader = RunReader(source, run_size=4096)
+    total = 0
+    for run in reader:
+        total += len(run)
+    return total
+
+
+def declared_multi_pass(source):
+    reader = RunReader(source, run_size=4096, max_passes=2)
+    largest = 0
+    for run in reader:
+        largest = len(run) if len(run) > largest else largest
+    for run in reader:  # second pass covered by the declared budget
+        largest = len(run) if len(run) > largest else largest
+    return largest
+
+
+def branch_but_one_pass(source, fast):
+    reader = RunReader(source, run_size=4096)
+    if fast:
+        return sum(len(run) for run in reader)
+    total = 0
+    for run in reader:
+        total += len(run)
+    return total
+
+
+def handoff_to_helper(source):
+    reader = RunReader(source, run_size=4096)
+    announce(reader)
+    return consume(reader)  # opaq: ignore[one-pass-reread] announce() only logs; OPQ802 checks the callee bodies
+
+
+def announce(reader):
+    print("starting pass over", reader)
+
+
+def consume(runs):
+    total = 0
+    for run in runs:
+        total += len(run)
+    return total

@@ -1,0 +1,52 @@
+"""Known-good: the same service shape with the documented lock discipline.
+
+Every write to the snapshotter's published reference happens under the
+swap lock, the service counters take a state lock around their
+read-modify-writes, and reads stay lock-free — the invariants the thread
+family must *derive*, not just pattern-match.
+"""
+
+import threading
+from http.server import BaseHTTPRequestHandler
+
+
+class Snapshotter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._snapshot = None
+        self._epoch = 0
+
+    def run_epoch(self, summary):
+        with self._lock:
+            self._snapshot = summary
+            self._epoch += 1
+
+    def adopt(self, summary):
+        with self._lock:
+            self._snapshot = summary
+
+    @property
+    def current(self):
+        return self._snapshot  # lock-free read: fine by design
+
+
+class Service:
+    def __init__(self):
+        self._snapshotter = Snapshotter()
+        self._state_lock = threading.Lock()
+        self._accepted = 0
+
+    def ingest(self, batch):
+        with self._state_lock:
+            self._accepted += len(batch)
+        self._snapshotter.adopt(batch)
+
+    def snapshot(self, summary):
+        self._snapshotter.run_epoch(summary)
+
+
+class Handler(BaseHTTPRequestHandler):
+    service = Service()
+
+    def do_POST(self):
+        self.service.ingest([1.0, 2.0])

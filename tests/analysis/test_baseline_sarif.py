@@ -1,0 +1,135 @@
+"""Tests for the SARIF reporter and the adopted-findings baseline."""
+
+import json
+
+import pytest
+
+from repro.analysis import lint_paths, load_baseline, render_sarif, write_baseline
+from repro.analysis.baseline import BASELINE_VERSION, BaselineEntry, apply_baseline
+from repro.analysis.registry import all_rules
+from repro.analysis.sarif import SARIF_SCHEMA_URI, SARIF_VERSION
+from repro.errors import ConfigError
+
+BAD_SOURCE = "import time\n\n\ndef f() -> float:\n    return time.time()\n"
+
+
+@pytest.fixture()
+def bad_tree(tmp_path):
+    (tmp_path / "clock.py").write_text(BAD_SOURCE, encoding="utf-8")
+    return tmp_path
+
+
+class TestSarifShape:
+    def test_document_envelope(self, bad_tree):
+        doc = json.loads(render_sarif(lint_paths([bad_tree])))
+        assert doc["$schema"] == SARIF_SCHEMA_URI
+        assert doc["version"] == SARIF_VERSION == "2.1.0"
+        assert len(doc["runs"]) == 1
+
+    def test_driver_lists_every_registered_rule(self, bad_tree):
+        doc = json.loads(render_sarif(lint_paths([bad_tree])))
+        driver = doc["runs"][0]["tool"]["driver"]
+        assert driver["name"] == "opaqlint"
+        codes = [rule["id"] for rule in driver["rules"]]
+        assert codes == [rule.code for rule in all_rules()]
+        # The deep families are part of the published catalogue.
+        assert {"OPQ701", "OPQ801", "OPQ901"} <= set(codes)
+
+    def test_results_point_back_into_the_rules_array(self, bad_tree):
+        doc = json.loads(render_sarif(lint_paths([bad_tree])))
+        run = doc["runs"][0]
+        assert run["results"], "the wall-clock read must produce a finding"
+        rules = run["tool"]["driver"]["rules"]
+        for result in run["results"]:
+            assert rules[result["ruleIndex"]]["id"] == result["ruleId"]
+            assert result["level"] == "error"
+            assert result["message"]["text"]
+
+    def test_locations_are_one_based(self, bad_tree):
+        doc = json.loads(render_sarif(lint_paths([bad_tree])))
+        region = doc["runs"][0]["results"][0]["locations"][0]["physicalLocation"][
+            "region"
+        ]
+        assert region["startLine"] >= 1
+        assert region["startColumn"] >= 1
+
+    def test_clean_run_has_empty_results(self, tmp_path):
+        (tmp_path / "ok.py").write_text("X = 1\n", encoding="utf-8")
+        doc = json.loads(render_sarif(lint_paths([tmp_path])))
+        assert doc["runs"][0]["results"] == []
+
+
+class TestBaselineWorkflow:
+    def test_write_then_apply_silences_adopted_findings(self, bad_tree, tmp_path):
+        first = lint_paths([bad_tree])
+        assert first.findings
+        baseline = tmp_path / "baseline.json"
+        count = write_baseline(baseline, first.findings)
+        assert count == len(first.findings)
+
+        second = lint_paths([bad_tree], baseline=baseline)
+        assert second.findings == []
+        assert second.baselined == count
+
+    def test_stale_entry_is_an_error(self, bad_tree, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        first = lint_paths([bad_tree])
+        write_baseline(baseline, first.findings)
+
+        # The debt gets paid: the offending file is fixed...
+        (bad_tree / "clock.py").write_text("X = 1\n", encoding="utf-8")
+        # ...but the baseline entry lingers.  That is OPQ903.
+        result = lint_paths([bad_tree], baseline=baseline)
+        stale = [f for f in result.findings if f.code == "OPQ903"]
+        assert len(stale) == len(first.findings)
+        assert all(f.path == str(baseline) for f in stale)
+
+    def test_matching_is_a_multiset(self):
+        entry = BaselineEntry(rule_id="r", path="p.py", message="m")
+        finding_like = type(
+            "F", (), {"rule_id": "r", "path": "p.py", "message": "m"}
+        )
+        remaining, baselined, stale = apply_baseline(
+            [finding_like(), finding_like()], [entry]
+        )
+        # One entry covers one finding; the twin survives.
+        assert baselined == 1
+        assert len(remaining) == 1
+        assert stale == []
+
+    def test_missing_baseline_file_is_a_config_error(self, tmp_path):
+        with pytest.raises(ConfigError):
+            load_baseline(tmp_path / "nope.json")
+
+    def test_malformed_baseline_is_a_config_error(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json at all", encoding="utf-8")
+        with pytest.raises(ConfigError):
+            load_baseline(bad)
+
+        wrong_version = tmp_path / "versioned.json"
+        wrong_version.write_text(
+            json.dumps({"version": BASELINE_VERSION + 1, "entries": []}),
+            encoding="utf-8",
+        )
+        with pytest.raises(ConfigError):
+            load_baseline(wrong_version)
+
+        missing_key = tmp_path / "partial.json"
+        missing_key.write_text(
+            json.dumps(
+                {"version": BASELINE_VERSION, "entries": [{"rule": "OPQ301"}]}
+            ),
+            encoding="utf-8",
+        )
+        with pytest.raises(ConfigError):
+            load_baseline(missing_key)
+
+    def test_roundtrip_through_disk(self, bad_tree, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        findings = lint_paths([bad_tree]).findings
+        write_baseline(baseline, findings)
+        entries = load_baseline(baseline)
+        assert [e.key() for e in entries] == sorted(
+            (f.rule_id, f.path, f.message) for f in findings
+        )

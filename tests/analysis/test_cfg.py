@@ -1,0 +1,185 @@
+"""Golden-output tests for the per-function CFG builder.
+
+``CFG.describe()`` renders a stable text form; these tests pin it for
+the shapes the dataflow rules lean on hardest — finally routing, loop
+``else`` vs ``break``, nested ``with`` enter/exit events — so a builder
+regression shows up as a readable graph diff, not a mystery finding.
+"""
+
+import ast
+import textwrap
+
+import pytest
+
+from repro.analysis.cfg import build_cfg
+
+
+def cfg_of(source: str):
+    fn = ast.parse(textwrap.dedent(source)).body[0]
+    return build_cfg(fn)
+
+
+class TestGoldenShapes:
+    def test_try_finally_routes_both_exits_through_finally(self):
+        cfg = cfg_of(
+            """
+            def f(path):
+                fh = open(path)
+                try:
+                    data = fh.read()
+                    if not data:
+                        return None
+                finally:
+                    fh.close()
+                return data
+            """
+        )
+        assert cfg.describe() == textwrap.dedent(
+            """\
+            B0<entry> -> B2
+            B1<exit>
+            B2<body>: assign -> B5
+            B3<after-try>: return -> B1
+            B4<finally>: expr -> B1 B3
+            B5<try>: assign branch(if) -> B6 B7
+            B6<then>: return -> B4
+            B7<after-if> -> B4"""
+        )
+
+    def test_while_else_runs_on_normal_exit_not_break(self):
+        cfg = cfg_of(
+            """
+            def f(items):
+                n = 0
+                while n < 10:
+                    if bad(items):
+                        break
+                    n += 1
+                else:
+                    finish(items)
+                return n
+            """
+        )
+        assert cfg.describe() == textwrap.dedent(
+            """\
+            B0<entry> -> B2
+            B1<exit>
+            B2<body>: assign -> B3
+            B3<loop-head>: branch(while) -> B5 B8
+            B4<after-loop>: return -> B1
+            B5<loop-body>: branch(if) -> B6 B7
+            B6<then>: break -> B4
+            B7<after-if>: augassign -> B3
+            B8<loop-else>: expr -> B4"""
+        )
+
+    def test_nested_with_emits_paired_enter_exit_events(self):
+        cfg = cfg_of(
+            """
+            def f(service):
+                with service.swap_lock:
+                    with service.state_lock:
+                        service.counter += 1
+                    service.publish()
+            """
+        )
+        assert cfg.describe() == textwrap.dedent(
+            """\
+            B0<entry> -> B2
+            B1<exit>
+            B2<body> -> B3
+            B3<with>: with-enter -> B4
+            B4<with>: with-enter augassign -> B5
+            B5<with-exit>: with-exit expr -> B6
+            B6<with-exit>: with-exit -> B1"""
+        )
+
+
+class TestStructuralProperties:
+    def test_for_loop_has_back_edge_and_after_edge(self):
+        cfg = cfg_of(
+            """
+            def f(reader):
+                for run in reader:
+                    work(run)
+                done()
+            """
+        )
+        heads = [
+            b for b in cfg.iter_blocks() if any(o.kind == "for-iter" for o in b.ops)
+        ]
+        assert len(heads) == 1
+        head = heads[0]
+        # The loop body points back at the head; the head also exits.
+        assert any(head.id in cfg.blocks[p].succs for p in head.preds)
+        assert len(head.succs) == 2
+
+    def test_raise_inside_try_reaches_every_handler(self):
+        cfg = cfg_of(
+            """
+            def f(x):
+                try:
+                    step_one(x)
+                    step_two(x)
+                except ValueError:
+                    a()
+                except OSError:
+                    b()
+            """
+        )
+        handler_ids = {
+            b.id for b in cfg.iter_blocks() if any(o.kind == "except" for o in b.ops)
+        }
+        assert len(handler_ids) == 2
+        try_blocks = [b for b in cfg.iter_blocks() if b.label == "try"]
+        assert try_blocks
+        for block in try_blocks:
+            assert handler_ids <= set(block.succs)
+
+    def test_code_after_return_is_unreachable(self):
+        cfg = cfg_of(
+            """
+            def f():
+                return 1
+                x = 2
+            """
+        )
+        reachable = cfg.reachable()
+        dead = [b for b in cfg.iter_blocks() if b.label == "dead"]
+        assert dead and all(b.id not in reachable for b in dead)
+        assert "dead" not in cfg.describe()  # golden form hides dead code
+
+    def test_continue_targets_loop_head(self):
+        cfg = cfg_of(
+            """
+            def f(items):
+                for item in items:
+                    if skip(item):
+                        continue
+                    use(item)
+            """
+        )
+        head = next(
+            b for b in cfg.iter_blocks() if any(o.kind == "for-iter" for o in b.ops)
+        )
+        continue_blocks = [
+            b
+            for b in cfg.iter_blocks()
+            if any(isinstance(o.node, ast.Continue) for o in b.ops)
+        ]
+        assert continue_blocks
+        assert all(head.id in b.succs for b in continue_blocks)
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "def f():\n    pass\n",
+            "def f(x):\n    while x:\n        x -= 1\n",
+            "def f(x):\n    try:\n        g(x)\n    except Exception:\n        pass\n    finally:\n        h(x)\n",
+            "async def f(xs):\n    async for x in xs:\n        await g(x)\n",
+            "def f(x):\n    with a(), b():\n        return x\n",
+        ],
+    )
+    def test_entry_reaches_exit(self, source):
+        cfg = cfg_of(source)
+        assert cfg.exit in cfg.reachable()

@@ -61,9 +61,11 @@ class TestJsonFormat:
         )
         assert rc == 1
         payload = json.loads(capsys.readouterr().out)
-        assert payload["version"] == 1
+        assert payload["version"] == 2
         assert payload["count"] == 3
         assert payload["files_checked"] == 1
+        assert payload["baselined"] == 0
+        assert payload["suppressed_by_rule"] == {}
         for finding in payload["findings"]:
             assert finding["rule"] == "determinism-unseeded-rng"
             assert finding["code"] == "OPQ302"

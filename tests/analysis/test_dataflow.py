@@ -1,0 +1,200 @@
+"""Tests for the gen/kill dataflow framework and the shared LockTracker."""
+
+import ast
+import textwrap
+
+from repro.analysis.cfg import build_cfg
+from repro.analysis.dataflow import (
+    EMPTY,
+    GenKill,
+    LockTracker,
+    dominators,
+    iter_ops_with_facts,
+    lock_names_of,
+    run_forward,
+)
+
+
+def cfg_of(source: str):
+    fn = ast.parse(textwrap.dedent(source)).body[0]
+    return build_cfg(fn)
+
+
+def facts_at_assignments(source: str, analysis):
+    """``{target_name: fact}`` for each ``x = ...`` statement."""
+    cfg = cfg_of(source)
+    out = {}
+    for op, fact in iter_ops_with_facts(cfg, analysis):
+        if op.kind == "stmt" and isinstance(op.node, ast.Assign):
+            target = op.node.targets[0]
+            if isinstance(target, ast.Name):
+                out[target.id] = fact
+    return out
+
+
+class TestLockTracker:
+    def test_lock_held_inside_with_released_after(self):
+        facts = facts_at_assignments(
+            """
+            def f(self):
+                before = 1
+                with self._lock:
+                    inside = 2
+                after = 3
+            """,
+            LockTracker(),
+        )
+        assert facts["before"] == EMPTY
+        assert facts["inside"] == {"self._lock"}
+        assert facts["after"] == EMPTY
+
+    def test_must_join_drops_lock_held_on_only_one_arm(self):
+        facts = facts_at_assignments(
+            """
+            def f(self, flag):
+                if flag:
+                    with self._lock:
+                        inside = 1
+                joined = 2
+            """,
+            LockTracker(),
+        )
+        assert facts["inside"] == {"self._lock"}
+        assert facts["joined"] == EMPTY
+
+    def test_exception_edge_drops_the_lock_in_the_handler(self):
+        # The raise path bypasses with-exit, but an unwound `with` has
+        # released the lock: the handler's must-set is empty.
+        facts = facts_at_assignments(
+            """
+            def f(self):
+                try:
+                    with self._lock:
+                        inside = risky()
+                except ValueError:
+                    handler = 1
+                done = 2
+            """,
+            LockTracker(),
+        )
+        assert facts["inside"] == {"self._lock"}
+        assert facts["handler"] == EMPTY
+        assert facts["done"] == EMPTY
+
+    def test_nested_locks_accumulate(self):
+        facts = facts_at_assignments(
+            """
+            def f(self):
+                with self._swap_lock:
+                    with self._state_lock:
+                        both = 1
+                    outer_only = 2
+            """,
+            LockTracker(),
+        )
+        assert facts["both"] == {"self._swap_lock", "self._state_lock"}
+        assert facts["outer_only"] == {"self._swap_lock"}
+
+    def test_lock_names_of_matches_lock_like_names_only(self):
+        stmt = ast.parse(
+            "with self._lock, open(p) as fh, swap_lock:\n    pass\n"
+        ).body[0]
+        assert lock_names_of(stmt) == ["self._lock", "swap_lock"]
+
+
+class _Taint(GenKill):
+    """Toy may-analysis: names assigned from calls to taint()."""
+
+    mode = "may"
+
+    def gen(self, op):
+        node = op.node
+        if (
+            op.kind == "stmt"
+            and isinstance(node, ast.Assign)
+            and isinstance(node.value, ast.Call)
+            and isinstance(node.value.func, ast.Name)
+            and node.value.func.id == "taint"
+        ):
+            return frozenset(
+                t.id for t in node.targets if isinstance(t, ast.Name)
+            )
+        return frozenset()
+
+
+class TestMayAnalysis:
+    def test_union_at_joins(self):
+        facts = facts_at_assignments(
+            """
+            def f(flag):
+                if flag:
+                    a = taint()
+                else:
+                    b = 1
+                joined = 2
+            """,
+            _Taint(),
+        )
+        assert facts["joined"] == {"a"}
+
+    def test_loop_fact_reaches_its_own_head(self):
+        cfg = cfg_of(
+            """
+            def f(n):
+                while n:
+                    x = taint()
+            """
+        )
+        entry_facts = run_forward(cfg, _Taint())
+        head = next(
+            b
+            for b in cfg.iter_blocks()
+            if any(o.kind == "branch" for o in b.ops)
+        )
+        assert "x" in entry_facts[head.id]
+
+
+class TestDominators:
+    def test_loop_head_dominates_body_but_not_preheader(self):
+        cfg = cfg_of(
+            """
+            def f(reader):
+                setup()
+                for run in reader:
+                    work(run)
+            """
+        )
+        doms = dominators(cfg)
+        head = next(
+            b
+            for b in cfg.iter_blocks()
+            if any(o.kind == "for-iter" for o in b.ops)
+        )
+        body = next(b for b in cfg.iter_blocks() if b.label == "loop-body")
+        pre = next(b for b in cfg.iter_blocks() if b.label == "body")
+        assert head.id in doms[body.id]
+        assert head.id not in doms[pre.id]
+        assert cfg.entry in doms[head.id]
+
+    def test_inner_loop_does_not_dominate_outer_head(self):
+        cfg = cfg_of(
+            """
+            def f(reader, n):
+                while n:
+                    for run in reader:
+                        work(run)
+            """
+        )
+        doms = dominators(cfg)
+        inner = next(
+            b
+            for b in cfg.iter_blocks()
+            if any(o.kind == "for-iter" for o in b.ops)
+        )
+        outer = next(
+            b
+            for b in cfg.iter_blocks()
+            if any(o.kind == "branch" for o in b.ops)
+        )
+        assert inner.id not in doms[outer.id]
+        assert outer.id in doms[inner.id]

@@ -19,7 +19,7 @@ from repro.analysis import (
 )
 from repro.analysis.framework import Finding, Suppressions, dotted_name
 from repro.analysis.runner import iter_python_files
-from repro.errors import ConfigError, DataError
+from repro.errors import ConfigError
 
 FIXTURES = Path(__file__).parent / "fixtures"
 
@@ -110,11 +110,21 @@ class TestRunner:
         with pytest.raises(ConfigError, match="not a Python file"):
             lint_paths([other])
 
-    def test_unparseable_file_rejected(self, tmp_path):
+    def test_unparseable_file_becomes_a_finding(self, tmp_path):
+        # One broken file must not hide findings in the files that parse.
         bad = tmp_path / "broken.py"
         bad.write_text("def f(:\n")
-        with pytest.raises(DataError, match="cannot parse"):
-            lint_paths([bad])
+        good = tmp_path / "fine.py"
+        good.write_text("import time\n\ndef f():\n    return time.time()\n")
+        result = lint_paths([tmp_path])
+        assert result.files_checked == 2
+        codes = {(f.code, Path(f.path).name) for f in result.findings}
+        assert ("OPQ901", "broken.py") in codes
+        # The parseable neighbour was still checked (wall-clock rule).
+        assert ("OPQ301", "fine.py") in codes
+        parse = next(f for f in result.findings if f.code == "OPQ901")
+        assert "cannot parse" in parse.message
+        assert parse.line >= 1
 
     def test_directory_walk_skips_pycache(self, tmp_path):
         (tmp_path / "__pycache__").mkdir()

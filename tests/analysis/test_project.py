@@ -1,0 +1,76 @@
+"""Tests for the cross-module project index."""
+
+from pathlib import Path
+
+import repro
+from repro.analysis import build_project
+from repro.analysis.runner import iter_python_files, parse_module
+from repro.analysis.framework import ModuleContext
+
+SERVICE = Path(repro.__file__).parent / "service"
+
+
+def service_project():
+    modules = [ModuleContext.from_path(p) for p in iter_python_files([SERVICE])]
+    return build_project(modules)
+
+
+class TestIndexShape:
+    def test_indexes_service_classes_and_methods(self):
+        project = service_project()
+        names = {cls.name for cls in project.classes}
+        assert {"QuantileService", "ShardWorker", "Snapshotter"} <= names
+        worker = next(iter(project.class_named("ShardWorker")))
+        assert "_loop" in worker.methods
+        assert worker.methods["_loop"].qualname == "shard.py:ShardWorker._loop"
+
+    def test_field_types_learn_constructors(self):
+        project = service_project()
+        worker = next(iter(project.class_named("ShardWorker")))
+        # __init__ assigns self._queue = queue.Queue(...): the thread
+        # rules use this to classify fields as internally synchronised.
+        assert worker.field_types.get("_queue", "").endswith("Queue")
+
+    def test_call_edges_record_callee_as_written(self):
+        project = service_project()
+        worker = next(iter(project.class_named("ShardWorker")))
+        loop = worker.methods["_loop"]
+        callees = {site.callee for site in loop.calls}
+        assert "self._fold" in callees
+
+    def test_import_graph_sees_cross_module_imports(self):
+        project = service_project()
+        engine_key = next(k for k in project.imports if k.endswith("engine.py"))
+        assert any(
+            "repro.service.shard" in mod for mod in project.imports[engine_key]
+        )
+        assert "ShardWorker" in project.aliases[engine_key]
+
+    def test_methods_named_spans_modules(self):
+        project = service_project()
+        names = {fn.qualname for fn in project.methods_named("start")}
+        assert any(q.startswith("shard.py:") for q in names)
+
+
+class TestCfgMemoisation:
+    def test_same_function_returns_same_graph(self):
+        project = service_project()
+        worker = next(iter(project.class_named("ShardWorker")))
+        loop = worker.methods["_loop"]
+        assert project.cfg(loop) is project.cfg(loop)
+
+
+class TestFixtureModules:
+    def test_parse_module_contexts_index_too(self):
+        ctx = parse_module(
+            "class A:\n"
+            "    def __init__(self):\n"
+            "        self.x = Thing()\n"
+            "    def go(self):\n"
+            "        self.run(1)\n"
+        )
+        project = build_project([ctx])
+        cls = next(iter(project.class_named("A")))
+        assert cls.init_fields == {"x"}
+        assert cls.field_types["x"] == "Thing"
+        assert {s.callee for s in cls.methods["go"].calls} == {"self.run"}

@@ -24,6 +24,23 @@ BAD = [
     ("bad_exceptions.py", "exception-bare-except", 1),
     ("bad_service_queue.py", "service-unbounded-queue", 4),
     ("bad_service_snapshot.py", "service-snapshot-lock", 2),
+    ("bad_broad_except.py", "exception-broad-except", 2),
+]
+
+#: (fixture file, rule that must fire under --deep, expected finding count)
+DEEP_BAD = [
+    ("bad_thread_roles.py", "thread-unguarded-write", 2),
+    ("bad_thread_roles.py", "thread-concurrent-rmw", 1),
+    ("bad_double_consume.py", "one-pass-double-consume", 2),
+    ("bad_consumed_reentry.py", "one-pass-consumed-reentry", 2),
+]
+
+#: fixtures that must be fully clean under the whole deep rule set
+DEEP_GOOD = [
+    "good_thread_roles.py",
+    "good_double_consume.py",
+    "good_service.py",
+    "good_broad_except.py",
 ]
 
 #: (fixture file, rule that must stay silent there)
@@ -41,6 +58,7 @@ GOOD = [
     ("good_exceptions.py", "exception-bare-except"),
     ("good_service.py", "service-unbounded-queue"),
     ("good_service.py", "service-snapshot-lock"),
+    ("good_broad_except.py", "exception-broad-except"),
 ]
 
 
@@ -63,6 +81,30 @@ def test_good_fixtures_are_fully_clean():
     for fixture, _ in GOOD:
         result = lint_paths([FIXTURES / fixture])
         assert result.findings == [], f"{fixture}: {result.findings}"
+
+
+@pytest.mark.parametrize("fixture,rule,count", DEEP_BAD)
+def test_deep_rule_fires_on_known_bad(fixture, rule, count):
+    result = lint_paths([FIXTURES / fixture], select=[rule], deep=True)
+    assert len(result.findings) == count, result.findings
+    assert all(f.rule_id == rule for f in result.findings)
+    assert all(f.line > 0 and f.path.endswith(fixture) for f in result.findings)
+
+
+def test_deep_rules_need_deep_mode():
+    # Without --deep the project families never run: the bad threading
+    # fixture sails through a shallow pass.
+    result = lint_paths(
+        [FIXTURES / "bad_thread_roles.py"], select=["thread-unguarded-write"]
+    )
+    assert result.findings == []
+
+
+@pytest.mark.parametrize("fixture", DEEP_GOOD)
+def test_deep_good_fixtures_are_fully_clean(fixture):
+    """Good fixtures pass the entire rule set *including* deep families."""
+    result = lint_paths([FIXTURES / fixture], deep=True)
+    assert result.findings == [], f"{fixture}: {result.findings}"
 
 
 def test_suppression_is_counted():

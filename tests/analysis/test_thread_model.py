@@ -1,0 +1,107 @@
+"""The OPQ7xx family must *derive* the service layer's documented
+concurrency invariants — not restate them.
+
+``docs/service.md`` promises: each shard worker thread sole-owns its
+estimator state, the served snapshot reference is swapped only under the
+snapshotter's lock, and readers are lock-free.  These tests build the
+thread model over the real ``repro.service`` sources and assert those
+invariants as facts the analyzer inferred on its own.
+"""
+
+from pathlib import Path
+
+import repro
+from repro.analysis import build_project, build_thread_model, lint_paths
+from repro.analysis.framework import ModuleContext
+from repro.analysis.runner import iter_python_files
+from repro.analysis.rules_threads import ROLE_HTTP_HANDLER, ROLE_MAIN
+
+SERVICE = Path(repro.__file__).parent / "service"
+
+
+def service_model():
+    modules = [ModuleContext.from_path(p) for p in iter_python_files([SERVICE])]
+    project = build_project(modules)
+    return build_thread_model(project)
+
+
+class TestDerivedRoles:
+    def test_shard_worker_loop_runs_in_a_worker_role(self):
+        model = service_model()
+        worker = model.for_class("ShardWorker")
+        assert "worker:ShardWorker._loop" in worker.roles["_loop"]
+        # _fold is reached from the loop, so it inherits the role.
+        assert "worker:ShardWorker._loop" in worker.roles["_fold"]
+
+    def test_http_handler_methods_carry_the_handler_role(self):
+        model = service_model()
+        handler = model.for_class("_Handler")
+        assert handler is not None
+        assert ROLE_HTTP_HANDLER in handler.roles["do_POST"]
+        assert handler.per_thread_instances
+
+    def test_handler_role_propagates_into_the_service(self):
+        # self.service.ingest(...) crosses the module boundary: the
+        # engine's public entry points run under request threads too.
+        model = service_model()
+        service = model.for_class("QuantileService")
+        assert ROLE_HTTP_HANDLER in service.roles["ingest"]
+        assert ROLE_MAIN in service.roles["ingest"]
+
+    def test_handler_role_is_concurrent(self):
+        model = service_model()
+        service = model.for_class("QuantileService")
+        assert ROLE_HTTP_HANDLER in service.concurrent_roles
+
+
+class TestDerivedInvariants:
+    def test_worker_estimator_state_is_sole_owned(self):
+        """Writers sole-own the estimator: every write to the fold-side
+        fields happens from the worker role alone."""
+        model = service_model()
+        worker = model.for_class("ShardWorker")
+        for field in ("_buffer", "_buffered", "_folds", "_latest"):
+            writing = worker.writing_roles(field)
+            assert writing == {"worker:ShardWorker._loop"}, (field, writing)
+
+    def test_snapshot_swaps_only_under_the_lock(self):
+        """Every write to the published snapshot reference holds the
+        snapshotter's lock — the swap discipline, derived."""
+        model = service_model()
+        snap = model.for_class("Snapshotter")
+        writes = snap.writes("_snapshot")
+        assert writes  # restore() and run_epoch() both publish
+        assert all("self._lock" in w.locks for w in writes)
+        assert snap.guard_of("_snapshot") == "self._lock"
+
+    def test_snapshot_reads_are_lock_free(self):
+        """The `current` property reads the reference without the lock —
+        sanctioned because every writer publishes under it."""
+        model = service_model()
+        snap = model.for_class("Snapshotter")
+        reads = [a for a in snap.accesses["_snapshot"] if a.kind == "read"]
+        assert any(a.method == "current" and not a.locks for a in reads)
+
+    def test_service_counters_are_guarded_by_the_state_lock(self):
+        model = service_model()
+        service = model.for_class("QuantileService")
+        for field in ("_accepted", "_since_snapshot", "_queries"):
+            writes = service.writes(field)
+            assert writes, field
+            assert all("self._state_lock" in w.locks for w in writes), field
+            assert service.guard_of(field) == "self._state_lock"
+
+    def test_queue_fields_are_classified_thread_safe(self):
+        model = service_model()
+        worker = model.for_class("ShardWorker")
+        assert worker.field_is_thread_safe("_queue")
+        assert not worker.field_is_thread_safe("_buffer")
+
+
+class TestServiceIsDeepClean:
+    def test_no_thread_findings_in_the_service_layer(self):
+        result = lint_paths([SERVICE], deep=True)
+        thread_findings = [
+            f for f in result.findings if f.code in ("OPQ701", "OPQ702")
+        ]
+        assert thread_findings == []
