@@ -66,6 +66,31 @@ class Op:
             return f"branch({type(self.node).__name__.lower()})"
         return self.kind
 
+    def expr_roots(self) -> list[ast.AST]:
+        """The expression subtrees this op actually evaluates.
+
+        ``branch``/``for-iter``/``with-enter`` ops carry the whole
+        compound statement as their node; the body statements have ops of
+        their own, so only the test / iterable / context expressions
+        belong to this event.  Walking the full compound node instead
+        would attribute every body access to the pre-statement fact — and
+        record it twice.
+        """
+        node = self.node
+        if self.kind == "stmt":
+            return [node]
+        if self.kind == "branch" and isinstance(node, (ast.If, ast.While)):
+            return [node.test]
+        if self.kind == "for-iter" and isinstance(
+            node, (ast.For, ast.AsyncFor)
+        ):
+            return [node.iter]
+        if self.kind == "with-enter" and isinstance(
+            node, (ast.With, ast.AsyncWith)
+        ):
+            return [item.context_expr for item in node.items]
+        return []
+
 
 @dataclass
 class Block:
@@ -207,16 +232,26 @@ class _Builder:
         return block.id
 
     def jump(self, target: int) -> None:
-        """Abrupt edge to ``target``, routed through enclosing finallies."""
+        """Abrupt edge to ``target``, routed through enclosing finallies.
+
+        With nested ``try/finally`` the exit runs *every* enclosing suite
+        innermost-first, so the pending targets chain: each finally's
+        last block continues into the next enclosing finally's entry, and
+        only the outermost one edges to the real target.
+        """
         if self.current is None:
             return
-        if self.finallies:
-            innermost = self.finallies[-1]
-            self.cfg.add_edge(self.current, innermost.entry)
-            innermost.pending.add(target)
-        else:
-            self.cfg.add_edge(self.current, target)
+        self._route_abrupt(self.current, target)
         self.current = None
+
+    def _route_abrupt(self, src: int, target: int) -> None:
+        if self.finallies:
+            self.cfg.add_edge(src, self.finallies[-1].entry)
+            for outer, inner in zip(self.finallies, self.finallies[1:]):
+                inner.pending.add(outer.entry)
+            self.finallies[0].pending.add(target)
+        else:
+            self.cfg.add_edge(src, target)
 
     # -- statement dispatch --------------------------------------------
 
@@ -405,9 +440,10 @@ class _Builder:
             self.cfg.add_edge(fin.last, after.id)
             for target in fin.pending:
                 self.cfg.add_edge(fin.last, target)
-            # An unhandled exception also unwinds through the finally.
+            # An unhandled exception also unwinds through the finally —
+            # and on through any finally suites enclosing this try.
             if not handler_entries:
-                self.cfg.add_edge(fin.last, self.cfg.exit)
+                self._route_abrupt(fin.last, self.cfg.exit)
         else:
             for end in ends:
                 self.cfg.add_edge(end, after.id)

@@ -149,8 +149,11 @@ def lock_names_of(stmt: ast.With | ast.AsyncWith) -> list[str]:
     """Dotted names of the lock-like context managers of one ``with``.
 
     An item counts as a lock when its context expression's last attribute
-    segment contains ``lock`` (``self._lock``, ``self._swap_lock.acquire``
-    stripped of a trailing call, a bare ``lock`` name, ...).
+    segment contains ``lock``: ``self._lock``, a bare ``lock`` name, or
+    ``self._swap_lock.acquire()`` — the trailing call and the ``acquire``
+    segment are both stripped, so the tracked name (``self._swap_lock``)
+    matches the plain ``with self._swap_lock:`` spelling of the same
+    lock.
     """
     names = []
     for item in stmt.items:
@@ -158,7 +161,13 @@ def lock_names_of(stmt: ast.With | ast.AsyncWith) -> list[str]:
         if isinstance(expr, ast.Call):
             expr = expr.func
         name = dotted_name(expr)
-        if name is not None and "lock" in name.rsplit(".", 1)[-1].lower():
+        if name is None:
+            continue
+        base, _, last = name.rpartition(".")
+        if last == "acquire" and base:
+            name = base
+            last = base.rsplit(".", 1)[-1]
+        if "lock" in last.lower():
             names.append(name)
     return names
 

@@ -128,25 +128,6 @@ def stream_origins(fn: ast.AST) -> dict[str, StreamOrigin]:
     return origins
 
 
-def _expr_roots_of(op: Op) -> list[ast.AST]:
-    """The expression subtrees one op actually evaluates.
-
-    ``branch``/``for-iter``/``with-enter`` ops carry the whole compound
-    statement as their node; the body statements have ops of their own, so
-    only the test / iterable / context expressions belong to this event.
-    """
-    node = op.node
-    if op.kind == "stmt":
-        return [node]
-    if op.kind == "branch" and isinstance(node, (ast.If, ast.While)):
-        return [node.test]
-    if op.kind == "for-iter" and isinstance(node, (ast.For, ast.AsyncFor)):
-        return [node.iter]
-    if op.kind == "with-enter" and isinstance(node, (ast.With, ast.AsyncWith)):
-        return [item.context_expr for item in node.items]
-    return []
-
-
 def _consumptions_of(op: Op, streams: set[str]) -> list[_Consumption]:
     """Every consumption of a tracked stream performed by one op."""
     events: list[_Consumption] = []
@@ -164,7 +145,7 @@ def _consumptions_of(op: Op, streams: set[str]) -> list[_Consumption]:
         if isinstance(it, ast.Name) and it.id in streams:
             iterate(it, op.node)
 
-    for root in _expr_roots_of(op):
+    for root in op.expr_roots():
         for sub in ast.walk(root):
             if isinstance(sub, ast.Call):
                 func = sub.func

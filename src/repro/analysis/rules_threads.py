@@ -377,16 +377,25 @@ def _accesses_of_op(op: Op) -> Iterator[tuple[str, str, bool, ast.AST]]:
             if field_name is not None:
                 written.add(id(target))
                 yield field_name, "write", False, node
-    # Mutating method calls and plain reads anywhere in the op.
-    for sub in ast.walk(node):
-        if isinstance(sub, ast.Call) and isinstance(sub.func, ast.Attribute):
-            receiver = _self_field_of(sub.func.value)
-            if receiver is not None and sub.func.attr in _MUTATING_METHODS:
-                written.add(id(sub.func.value))
-                yield receiver, "mutate", False, sub
-        field_name = _self_field_of(sub) if isinstance(sub, ast.expr) else None
-        if field_name is not None and id(sub) not in written:
-            yield field_name, "read", False, sub
+    # Mutating method calls and plain reads in the expressions this op
+    # evaluates.  Compound ops (branch/for-iter/with-enter) carry the
+    # whole statement as their node but only evaluate the test/iterable/
+    # context expressions — body accesses belong to the body ops, with
+    # the facts holding *there* (e.g. inside the just-entered ``with``).
+    for root in op.expr_roots():
+        for sub in ast.walk(root):
+            if isinstance(sub, ast.Call) and isinstance(
+                sub.func, ast.Attribute
+            ):
+                receiver = _self_field_of(sub.func.value)
+                if receiver is not None and sub.func.attr in _MUTATING_METHODS:
+                    written.add(id(sub.func.value))
+                    yield receiver, "mutate", False, sub
+            field_name = (
+                _self_field_of(sub) if isinstance(sub, ast.expr) else None
+            )
+            if field_name is not None and id(sub) not in written:
+                yield field_name, "read", False, sub
 
 
 def build_thread_model(

@@ -177,11 +177,23 @@ def lint_paths(
 
     # Unused suppressions are only a fact on full runs: under --select a
     # directive for an unselected rule never had the chance to be used.
+    # Likewise on shallow runs the ProjectRule families never execute, so
+    # a directive naming one (its rule_id or code) is not judged — else
+    # every deep-finding suppression would fail the shallow CI pass.
     if selected is None and enabled("unused-suppression"):
         rule = get_rule("unused-suppression")
+        deep_only: set[str] = set()
+        if not deep:
+            for project_rule in all_rules():
+                if project_rule.requires_project:
+                    deep_only.add(project_rule.rule_id)
+                    deep_only.add(project_rule.code)
         for ctx in contexts.values():
             for line, ids in ctx.suppressions.unused_lines():
-                listed = ", ".join(sorted(ids))
+                judged = ids - deep_only
+                if not judged:
+                    continue
+                listed = ", ".join(sorted(judged))
                 # Deliberately bypasses admit(): the directive would
                 # silence its own staleness report.
                 findings.append(

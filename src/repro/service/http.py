@@ -112,7 +112,7 @@ class _Handler(BaseHTTPRequestHandler):
             self._reply(503, {"error": str(exc), "retryable": True})
         except ReproError as exc:
             self._reply(400, {"error": str(exc)})
-        except Exception as exc:  # opaq: ignore[exception-broad-except] last-resort 500 guard; pragma: no cover
+        except Exception as exc:  # opaq: ignore[exception-broad-except] last-resort 500 guard  # pragma: no cover
             self._reply(500, {"error": f"internal error: {exc}"})
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API

@@ -35,11 +35,19 @@ class Service:
         self._snapshotter = Snapshotter()
         self._state_lock = threading.Lock()
         self._accepted = 0
+        self._pending = []
 
     def ingest(self, batch):
         with self._state_lock:
             self._accepted += len(batch)
+            self._pending.append(batch)
         self._snapshotter.adopt(batch)
+
+    def drain(self):
+        with self._state_lock:
+            drained = list(self._pending)
+            self._pending = []
+        return drained
 
     def snapshot(self, summary):
         self._snapshotter.run_epoch(summary)

@@ -136,6 +136,50 @@ class TestStructuralProperties:
         for block in try_blocks:
             assert handler_ids <= set(block.succs)
 
+    def test_nested_finally_chains_innermost_to_outermost(self):
+        # A return inside nested try/finally runs *both* suites: the
+        # inner finally continues into the outer one, and only the
+        # outer finally edges to the exit.
+        cfg = cfg_of(
+            """
+            def f(x):
+                try:
+                    try:
+                        return g(x)
+                    finally:
+                        inner(x)
+                finally:
+                    outer(x)
+            """
+        )
+        fins = [b for b in cfg.iter_blocks() if b.label == "finally"]
+        assert len(fins) == 2
+        outer_fin, inner_fin = fins  # creation order: outer built first
+        assert outer_fin.id in inner_fin.succs
+        assert cfg.exit not in inner_fin.succs
+        assert cfg.exit in outer_fin.succs
+
+    def test_unwind_from_inner_try_chains_through_outer_finally(self):
+        # An unhandled exception inside the inner try/finally must also
+        # reach the exit through the outer finally, not directly.
+        cfg = cfg_of(
+            """
+            def f(x):
+                try:
+                    try:
+                        risky(x)
+                    finally:
+                        inner(x)
+                finally:
+                    outer(x)
+            """
+        )
+        fins = [b for b in cfg.iter_blocks() if b.label == "finally"]
+        outer_fin, inner_fin = fins
+        assert outer_fin.id in inner_fin.succs
+        assert cfg.exit not in inner_fin.succs
+        assert cfg.exit in outer_fin.succs
+
     def test_code_after_return_is_unreachable(self):
         cfg = cfg_of(
             """

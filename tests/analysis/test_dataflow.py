@@ -101,6 +101,17 @@ class TestLockTracker:
         ).body[0]
         assert lock_names_of(stmt) == ["self._lock", "swap_lock"]
 
+    def test_lock_names_of_strips_trailing_acquire(self):
+        # `with self._swap_lock.acquire():` tracks the same name as the
+        # plain `with self._swap_lock:` spelling, so the must-sets of the
+        # two forms agree.
+        stmt = ast.parse(
+            "with self._swap_lock.acquire():\n    pass\n"
+        ).body[0]
+        assert lock_names_of(stmt) == ["self._swap_lock"]
+        plain = ast.parse("with self._swap_lock:\n    pass\n").body[0]
+        assert lock_names_of(plain) == lock_names_of(stmt)
+
 
 class _Taint(GenKill):
     """Toy may-analysis: names assigned from calls to taint()."""

@@ -133,6 +133,27 @@ class TestRunner:
         files = list(iter_python_files([tmp_path]))
         assert [f.name for f in files] == ["real.py"]
 
+    def test_deep_suppression_not_judged_unused_on_shallow_runs(self, tmp_path):
+        # A directive naming a ProjectRule only gets its chance to be used
+        # under --deep; a shallow run must not call it stale, or inline
+        # deep suppressions would break the default CI pass.
+        mod = tmp_path / "svc.py"
+        mod.write_text("x = 1  # opaq: ignore[thread-unguarded-write]\n")
+        shallow = lint_paths([mod])
+        assert shallow.findings == []
+        deep = lint_paths([mod], deep=True)
+        assert [f.code for f in deep.findings] == ["OPQ902"]
+
+    def test_mixed_directive_reports_only_shallow_ids_on_shallow_runs(
+        self, tmp_path
+    ):
+        mod = tmp_path / "svc.py"
+        mod.write_text("x = 1  # opaq: ignore[one-pass-sort, OPQ701]\n")
+        result = lint_paths([mod])
+        assert [f.code for f in result.findings] == ["OPQ902"]
+        assert "one-pass-sort" in result.findings[0].message
+        assert "OPQ701" not in result.findings[0].message
+
     def test_findings_sorted_by_location(self):
         result = lint_paths([FIXTURES / "bad_one_pass_sort.py"])
         keys = [(f.path, f.line, f.col) for f in result.findings]

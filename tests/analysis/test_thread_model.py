@@ -8,12 +8,13 @@ thread model over the real ``repro.service`` sources and assert those
 invariants as facts the analyzer inferred on its own.
 """
 
+import textwrap
 from pathlib import Path
 
 import repro
 from repro.analysis import build_project, build_thread_model, lint_paths
 from repro.analysis.framework import ModuleContext
-from repro.analysis.runner import iter_python_files
+from repro.analysis.runner import iter_python_files, parse_module
 from repro.analysis.rules_threads import ROLE_HTTP_HANDLER, ROLE_MAIN
 
 SERVICE = Path(repro.__file__).parent / "service"
@@ -96,6 +97,51 @@ class TestDerivedInvariants:
         worker = model.for_class("ShardWorker")
         assert worker.field_is_thread_safe("_queue")
         assert not worker.field_is_thread_safe("_buffer")
+
+
+class TestAccessPrecision:
+    def test_guarded_mutate_in_with_body_carries_the_lock_fact(self):
+        """A mutating call inside ``with self._lock:`` belongs to the body
+        op, with the lock held — not (also) to the with-enter op with the
+        pre-statement fact.  The double record used to make OPQ701 flag
+        correctly guarded multi-role code."""
+        ctx = parse_module(
+            textwrap.dedent(
+                """
+                import threading
+                from http.server import BaseHTTPRequestHandler
+
+
+                class Service:
+                    def __init__(self):
+                        self._state_lock = threading.Lock()
+                        self._pending = []
+
+                    def submit(self, batch):
+                        with self._state_lock:
+                            self._pending.append(batch)
+
+                    def drain(self):
+                        with self._state_lock:
+                            self._pending = []
+
+
+                class Handler(BaseHTTPRequestHandler):
+                    service = Service()
+
+                    def do_POST(self):
+                        self.service.submit([1.0])
+                """
+            )
+        )
+        model = build_thread_model(build_project([ctx]))
+        svc = model.for_class("Service")
+        writes = svc.writes("_pending")
+        # Exactly one mutate (submit) and one write (drain) — no duplicate
+        # access recorded at the with-enter event.
+        assert sorted(w.kind for w in writes) == ["mutate", "write"]
+        assert all("self._state_lock" in w.locks for w in writes)
+        assert svc.writing_roles("_pending") >= {ROLE_MAIN, ROLE_HTTP_HANDLER}
 
 
 class TestServiceIsDeepClean:
