@@ -52,6 +52,7 @@ from repro.errors import (
     ConfigError,
     DataError,
     EstimationError,
+    ParallelError,
     ReproError,
     ServiceError,
     SinglePassViolation,
@@ -80,6 +81,7 @@ __all__ = [
     "ConfigError",
     "DataError",
     "EstimationError",
+    "ParallelError",
     "ServiceError",
     "SinglePassViolation",
     "__version__",

@@ -21,7 +21,12 @@ from typing import Iterator
 from repro.analysis.framework import Finding, ModuleContext, Rule, dotted_name
 from repro.analysis.registry import register
 
-__all__ = ["SelfMessageRule", "UnmatchedSendRule", "ReorderedSendRule"]
+__all__ = [
+    "SelfMessageRule",
+    "UnmatchedSendRule",
+    "ReorderedSendRule",
+    "UnboundedBlockingRule",
+]
 
 #: Point-to-point primitives: (attribute name, how many endpoint args).
 _POINT_TO_POINT = {"send": 2, "exchange": 2}
@@ -168,3 +173,54 @@ class ReorderedSendRule(Rule):
                         "pair up first-to-first",
                     )
                     break
+
+
+#: Blocking primitives that accept a ``timeout=`` keyword and block
+#: forever without one: Queue.get, Barrier/Event/Condition.wait,
+#: Thread/Process.join, Lock/Semaphore.acquire.
+_BLOCKING_ATTRS = ("get", "wait", "join", "acquire")
+
+
+@register
+class UnboundedBlockingRule(Rule):
+    """Real-backend blocking calls must carry a timeout.
+
+    The backend contract (``repro.parallel.backends.base``) promises that
+    a dead or wedged worker surfaces as a typed
+    :class:`~repro.errors.ParallelError`, never a hang.  An unbounded
+    ``queue.get()`` / ``barrier.wait()`` / ``worker.join()`` /
+    ``lock.acquire()`` breaks that promise the moment a peer dies between
+    the send and the receive.  Only zero-argument attribute calls are
+    flagged: ``dict.get(key)``, ``str.join(parts)`` and ``worker.join(5.0)``
+    all pass positional arguments and are out of scope.
+    """
+
+    rule_id = "spmd-unbounded-blocking"
+    code = "OPQ404"
+    description = (
+        "blocking primitive (get/wait/join/acquire) called with no "
+        "timeout in a real execution backend; a dead peer turns the "
+        "call into a hang instead of a typed ParallelError"
+    )
+    paper_ref = "backends contract (fail typed, never hang)"
+    scope_prefixes = ("parallel/backends/",)
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _BLOCKING_ATTRS
+            ):
+                continue
+            if node.args:  # dict.get(key), "".join(seq), join(5.0): bounded
+                continue
+            if any(kw.arg == "timeout" for kw in node.keywords):
+                continue
+            name = dotted_name(node.func) or node.func.attr
+            yield ctx.finding(
+                self,
+                node,
+                f"{name}() blocks forever if the peer died; pass "
+                "timeout= and convert expiry into a ParallelError",
+            )

@@ -11,6 +11,7 @@
     opaq exact keys.opaq --phi 0.5 --sample-size 1000
     opaq run keys.opaq --dectiles --trace --metrics-out metrics.json
     opaq run keys.opaq --phi 0.5 --procs 8 --merge bitonic
+    opaq run keys.opaq --phi 0.5 --procs 4 --backend process --kernel numpy
     opaq experiment table11 --metrics-out t11.json
     opaq sort keys.opaq sorted.opaq --memory 2000000
     opaq report            # regenerate EXPERIMENTS.md content on stdout
@@ -60,6 +61,7 @@ def _config_for(n: int, args: argparse.Namespace) -> OPAQConfig:
         sample_size=min(sample_size, run_size),
         memory=args.memory,
         strategy=args.strategy,
+        kernel=getattr(args, "kernel", "python"),
     )
 
 
@@ -80,6 +82,13 @@ def _add_config_flags(parser: argparse.ArgumentParser) -> None:
         "--strategy",
         default="numpy",
         help="selection strategy: numpy|sort|median_of_medians|floyd_rivest",
+    )
+    parser.add_argument(
+        "--kernel",
+        choices=("python", "numpy"),
+        default="python",
+        help="hot-path implementation: python (reference) or numpy "
+        "(vectorised; bit-identical output)",
     )
 
 
@@ -308,10 +317,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
     phis = _phis_from(args)
 
     def work():
-        if args.procs > 1:
+        if args.procs > 1 or args.backend != "simulated":
             from repro.parallel import ParallelOPAQ
 
-            par = ParallelOPAQ(args.procs, config, merge_method=args.merge)
+            par = ParallelOPAQ(
+                max(1, args.procs),
+                config,
+                merge_method=args.merge,
+                backend=args.backend,
+            )
             res = par.run(ds, phis=phis)
             return res.bounds(phis), res
         est = OPAQ(config)
@@ -326,9 +340,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
         )
     if parallel is not None:
         print(
-            f"simulated: p={parallel.num_procs} ({parallel.merge_method} "
-            f"merge), {parallel.total_time:.4f}s wall-clock"
+            f"modelled: p={parallel.num_procs} ({parallel.merge_method} "
+            f"merge), {parallel.total_time:.4f}s simulated wall-clock"
         )
+        measured = parallel.measured_elapsed()
+        if measured is not None:
+            print(
+                f"measured: {parallel.backend} backend, "
+                f"{measured:.4f}s wall-clock across phases"
+            )
     return 0
 
 
@@ -592,13 +612,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--procs",
         type=int,
         default=1,
-        help="simulate parallel OPAQ on this many processors (default 1)",
+        help="run parallel OPAQ on this many processors (default 1)",
     )
     p.add_argument(
         "--merge",
         choices=("sample", "bitonic"),
         default="sample",
         help="global merge method for --procs > 1",
+    )
+    p.add_argument(
+        "--backend",
+        choices=("simulated", "serial", "thread", "process"),
+        default="simulated",
+        help="execution substrate for the parallel run: the SP-2 cost "
+        "model (simulated, default) or real workers (see docs/parallel.md)",
     )
     _add_config_flags(p)
     _add_obs_flags(p)

@@ -111,6 +111,9 @@ class OPAQ:
         phis: Sequence[float],
         sample_size: int = 1000,
         run_size: int | None = None,
+        kernel: str = "python",
+        backend: str | None = None,
+        num_procs: int = 1,
     ) -> list[QuantileBounds]:
         """One-shot convenience: estimate quantile bounds of ``source``.
 
@@ -119,6 +122,14 @@ class OPAQ:
         a :class:`~repro.storage.DiskDataset` — since the run size is
         derived from it; use an explicit :class:`~repro.core.OPAQConfig`
         and :meth:`estimate` for run iterables.
+
+        ``kernel`` selects the hot-path implementation (``"python"`` or
+        ``"numpy"``; bit-identical output either way).  ``backend`` routes
+        the estimate through the parallel formulation: ``"serial"``,
+        ``"thread"`` or ``"process"`` run POPAQ over ``num_procs`` real
+        workers (``"simulated"`` charges the cost model instead); ``None``
+        — the default — runs the sequential single pass in this thread.
+        Every combination produces the same bounds; see ``docs/parallel.md``.
 
         >>> import numpy as np
         >>> data = np.arange(100_000, dtype=float)
@@ -137,8 +148,18 @@ class OPAQ:
             run_size = max(sample_size, int(np.sqrt(float(n) * sample_size)))
             run_size = min(run_size, n)
         config = OPAQConfig(
-            run_size=run_size, sample_size=min(sample_size, run_size)
+            run_size=run_size,
+            sample_size=min(sample_size, run_size),
+            kernel=kernel,
         )
+        if backend is not None:
+            # Imported here: core must stay importable without parallel
+            # (parallel already imports core, so a module-level import
+            # would be a cycle).
+            from repro.parallel import ParallelOPAQ
+
+            popaq = ParallelOPAQ(num_procs, config, backend=backend)
+            return popaq.run(source, phis).bounds(phis)
         return cls(config).estimate(source, phis)
 
 

@@ -26,6 +26,7 @@ from repro.obs import current_tracer
 from repro.selection import (
     SelectionStrategy,
     kway_merge,
+    multiselect_numpy,
     regular_sample_ranks,
 )
 
@@ -46,7 +47,10 @@ def scaled_sample_count(run_size: int, nominal_run: int, nominal_s: int) -> int:
 
 
 def sample_run(
-    run: np.ndarray, sample_count: int, strategy: SelectionStrategy
+    run: np.ndarray,
+    sample_count: int,
+    strategy: SelectionStrategy,
+    kernel: str = "python",
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Extract the regular samples of one run.
 
@@ -55,6 +59,12 @@ def sample_run(
     size (the gap to the previous sample rank; gaps sum to the run size);
     and each sub-run's floor — the previous sample's value (``-inf`` for
     the first), below which none of the sub-run's elements can fall.
+
+    ``kernel="python"`` (default) extracts via the configured strategy's
+    multiselect; ``kernel="numpy"`` forces the vectorised
+    :func:`~repro.selection.multiselect_numpy` kernel regardless of
+    strategy.  Both return bit-identical samples (order statistics are
+    value-deterministic; see :mod:`repro.selection.kernels`).
     """
     run = np.asarray(run)
     if run.ndim != 1:
@@ -64,7 +74,10 @@ def sample_run(
         # every guarantee downstream.
         raise EstimationError("run contains NaN keys; quantiles are undefined")
     ranks = regular_sample_ranks(run.size, sample_count)
-    samples = strategy.multiselect(run, ranks)
+    if kernel == "numpy":
+        samples = multiselect_numpy(run, ranks)
+    else:
+        samples = strategy.multiselect(run, ranks)
     gaps = np.diff(np.concatenate([[-1], ranks])).astype(np.int64)
     floors = np.concatenate([[-np.inf], samples[:-1]])
     return samples, gaps, floors
@@ -105,7 +118,9 @@ def build_summary(
             s_k = scaled_sample_count(
                 run.size, config.run_size, config.sample_size
             )
-            samples, gaps, floors = sample_run(run, s_k, strategy)
+            samples, gaps, floors = sample_run(
+                run, s_k, strategy, kernel=config.kernel
+            )
             sample_lists.append(samples)
             payload_lists.append(
                 np.column_stack([gaps.astype(np.float64), floors])
@@ -116,7 +131,9 @@ def build_summary(
             maximum = max(maximum, float(run.max()))
         if not sample_lists:
             raise EstimationError("no data: the run iterable was empty")
-        merged, merged_payload = kway_merge(sample_lists, payloads=payload_lists)
+        merged, merged_payload = kway_merge(
+            sample_lists, payloads=payload_lists, kernel=config.kernel
+        )
     tracer.count("sample.runs", num_runs)
     tracer.count("sample.elements", count)
     tracer.count("sample.list_length", int(merged.size))

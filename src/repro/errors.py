@@ -48,6 +48,18 @@ class DataError(ReproError, ValueError):
     """Malformed on-disk data: truncated file, wrong dtype, bad header."""
 
 
+class ParallelError(ReproError, RuntimeError):
+    """A real execution backend failed to complete an SPMD program.
+
+    Raised by :mod:`repro.parallel.backends` when a worker raises (the
+    original exception type and traceback are carried in the message),
+    when a worker process dies without reporting a result, or when a
+    receive/join exceeds its timeout.  Real backends never surface bare
+    ``multiprocessing`` tracebacks or hang on worker death — every
+    failure path converges to this type.
+    """
+
+
 class ServiceError(ReproError, RuntimeError):
     """The serving subsystem could not accept or answer a request.
 

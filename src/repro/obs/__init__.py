@@ -21,8 +21,10 @@ Quick tour::
     sink.spans("phase.sample")          # the one-pass wall time
 
 From the command line: ``opaq run data.opaq --metrics-out m.json`` and
-``opaq experiment table12 --trace events.jsonl``.  The event vocabulary
-and JSON-lines schema are documented in ``docs/api.md``.
+``opaq experiment table12 --trace`` (``--trace`` prints the collected
+spans and counters; ``--metrics-out FILE`` writes the aggregate JSON
+document).  The event vocabulary and JSON-lines schema are documented
+in ``docs/api.md``.
 """
 
 from repro.obs.aggregate import aggregate, io_fraction, phase_seconds, write_metrics

@@ -121,6 +121,29 @@ class Tracer:
             return _NULL_SPAN
         return _Span(self.sink, name, tuple(sorted(attrs.items())))
 
+    def record_span(
+        self, name: str, seconds: float, **attrs: str | int | float
+    ) -> None:
+        """Emit a span whose duration was measured externally.
+
+        Used by the real execution backends: a worker may run in a forked
+        process whose ambient tracer cannot reach this sink, so it measures
+        its phase with ``time.perf_counter`` and returns the seconds for
+        the driver to record.  The duration is the event's only
+        nondeterministic field, exactly as for live spans; the attributes
+        (rank, phase, backend) stay deterministic.
+        """
+        if not self.enabled:
+            return
+        self.sink.emit(
+            Event(
+                kind="span",
+                name=name,
+                duration=seconds,
+                attrs=tuple(sorted(attrs.items())),
+            )
+        )
+
     def count(
         self, name: str, value: int | float = 1, **attrs: str | int | float
     ) -> None:
@@ -147,6 +170,20 @@ def current_tracer() -> Tracer:
     """The ambient tracer (the disabled singleton unless inside
     :func:`tracing`)."""
     return _current
+
+
+def _reset_to_disabled() -> None:
+    """Detach the ambient tracer in a worker process.
+
+    A forked child inherits the parent's tracer object, but the sink
+    behind it is process-local state (a memory buffer the parent will
+    never see, or a file descriptor that ``p`` children would interleave
+    half-lines into).  Process-backend workers call this first thing so
+    their instrumentation takes the zero-cost disabled path; measured
+    timings travel back to the parent by value instead.
+    """
+    global _current
+    _current = _DISABLED
 
 
 @contextmanager

@@ -3,9 +3,22 @@
 Implements the paper's section 3: the two-level cost model of the IBM SP-2
 (:class:`MachineModel`, :class:`SimulatedMachine`), the two global merge
 algorithms (:func:`bitonic_merge`, :func:`sample_merge`), the parallel
-driver (:class:`ParallelOPAQ`), and the scalability metric helpers.
+driver (:class:`ParallelOPAQ`), and the scalability metric helpers — plus
+the real execution backends (:mod:`repro.parallel.backends`) that run the
+same SPMD program on this machine's threads or processes instead of the
+simulated clocks (``ParallelOPAQ(..., backend="process")``).
 """
 
+from repro.parallel.backends import (
+    BACKEND_NAMES,
+    Comm,
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    WorkerReport,
+    get_backend,
+)
 from repro.parallel.bitonic import bitonic_merge
 from repro.parallel.machine import MachineModel, PhaseBreakdown, SimulatedMachine
 from repro.parallel.perf_metrics import (
@@ -30,6 +43,14 @@ __all__ = [
     "MachineModel",
     "SimulatedMachine",
     "PhaseBreakdown",
+    "ExecutionBackend",
+    "Comm",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "WorkerReport",
+    "get_backend",
+    "BACKEND_NAMES",
     "bitonic_merge",
     "sample_merge",
     "ParallelOPAQ",

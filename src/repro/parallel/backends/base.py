@@ -1,0 +1,142 @@
+"""The execution-backend protocol: SPMD programs on real cores.
+
+The simulated machine (:mod:`repro.parallel.machine`) *models* the paper's
+16-node SP-2; an :class:`ExecutionBackend` *executes* the same SPMD
+program on this machine's cores.  The contract is deliberately tiny so the
+identical program text runs everywhere:
+
+- A program is a plain function ``fn(comm, *args)``.  The backend runs one
+  copy per rank and returns the per-rank return values, ordered by rank.
+- Each copy talks through a :class:`Comm` — ``send(dst, payload)``,
+  ``recv(src)``, ``barrier()`` — the same point-to-point + barrier
+  vocabulary :class:`~repro.parallel.machine.SimulatedMachine` charges for.
+- Message order is per ``(src, dst)`` pair FIFO on every backend, and a
+  program that receives in a fixed rank order (as
+  :func:`repro.parallel.backends.spmd.popaq_worker` does) is therefore
+  deterministic on every backend: the result is a pure function of the
+  inputs, never of scheduling.
+
+Every failure path — a worker raising, a worker process dying, a receive
+or join exceeding its timeout — converges to
+:class:`repro.errors.ParallelError`; no backend surfaces a bare
+``multiprocessing`` traceback or hangs on worker death.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Callable, Sequence
+
+from repro.errors import ConfigError
+
+__all__ = [
+    "Comm",
+    "ExecutionBackend",
+    "WorkerFn",
+    "get_backend",
+    "backend_names",
+    "validate_backend",
+]
+
+#: An SPMD program: called once per rank as ``fn(comm, *args[rank])``.
+WorkerFn = Callable[..., Any]
+
+
+class Comm(ABC):
+    """One rank's view of the SPMD communicator.
+
+    Mirrors the vocabulary the simulated machine charges for: point-to-point
+    sends with per-pair FIFO ordering, matching receives, and a full
+    barrier.  Self-sends are rejected (the same invariant lint rule OPQ401
+    enforces statically for the simulated machine).
+    """
+
+    def __init__(self, rank: int, size: int) -> None:
+        if not 0 <= rank < size:
+            raise ConfigError(f"rank {rank} out of range for {size} workers")
+        self.rank = rank
+        self.size = size
+
+    def _check_peer(self, peer: int, verb: str) -> None:
+        if not 0 <= peer < self.size:
+            raise ConfigError(
+                f"cannot {verb} rank {peer}: only ranks 0..{self.size - 1} exist"
+            )
+        if peer == self.rank:
+            raise ConfigError(
+                f"rank {self.rank} cannot {verb} itself (self-messages are "
+                "banned, exactly as OPQ401 bans them on the simulated machine)"
+            )
+
+    @abstractmethod
+    def send(self, dst: int, payload: Any) -> None:
+        """Deliver ``payload`` to ``dst``'s mailbox (non-blocking)."""
+
+    @abstractmethod
+    def recv(self, src: int) -> Any:
+        """Next payload sent by ``src`` to this rank (per-pair FIFO)."""
+
+    @abstractmethod
+    def barrier(self) -> None:
+        """Block until every rank has reached the barrier."""
+
+
+class ExecutionBackend(ABC):
+    """Runs an SPMD program on ``p`` workers and collects the results."""
+
+    #: Registry name; subclasses override.
+    name: str = "abstract"
+
+    @abstractmethod
+    def run(self, fn: WorkerFn, args: Sequence[tuple[Any, ...]]) -> list[Any]:
+        """Execute ``fn(comm, *args[rank])`` for each rank.
+
+        ``len(args)`` determines the number of workers ``p``.  Returns the
+        per-rank return values ordered by rank.  Raises
+        :class:`repro.errors.ParallelError` if any worker fails.
+        """
+
+
+_REGISTRY: dict[str, type[ExecutionBackend]] = {}
+
+
+def register_backend(cls: type[ExecutionBackend]) -> type[ExecutionBackend]:
+    """Class decorator adding a backend to the by-name registry."""
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def backend_names() -> tuple[str, ...]:
+    """The registered real-backend names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_backend(name: str | ExecutionBackend) -> ExecutionBackend:
+    """Resolve a backend by name (or pass an instance through unchanged)."""
+    if isinstance(name, ExecutionBackend):
+        return name
+    try:
+        return _REGISTRY[name]()
+    except KeyError:
+        raise ConfigError(
+            f"unknown execution backend {name!r}; choose from "
+            f"{backend_names()} (or 'simulated' where the cost model is "
+            "accepted)"
+        ) from None
+
+
+def validate_backend(
+    name: str | ExecutionBackend, allow_simulated: bool = True
+) -> str | ExecutionBackend:
+    """Return ``name`` if it names a backend, else raise ConfigError.
+
+    ``"simulated"`` — the cost-model execution inside
+    :class:`~repro.parallel.popaq.ParallelOPAQ` — is accepted by default
+    because every consumer that takes a ``backend=`` knob also supports it.
+    """
+    if isinstance(name, ExecutionBackend):
+        return name
+    if allow_simulated and name == "simulated":
+        return name
+    get_backend(name)
+    return name

@@ -1,0 +1,384 @@
+"""The process backend: real cores via multiprocessing + shared memory.
+
+One worker process per rank, communicating through per-pair queues and a
+shared barrier.  Numpy arrays crossing a process boundary — run data going
+out to workers, sample lists coming back — travel through
+``multiprocessing.shared_memory`` segments instead of pickle streams: the
+sender copies the array into a segment once and ships a tiny descriptor;
+the single consumer copies it out, closes and unlinks the segment.  For
+the megabyte-scale partitions and sample lists POPAQ moves, this removes
+the double serialisation cost that makes naive queue-of-arrays designs
+slower than serial execution.
+
+Failure handling (the backend's hard contract):
+
+- A worker that raises catches everything, aborts the shared barrier and
+  reports ``(rank, exception type, traceback)`` on the result queue; the
+  parent re-raises it as :class:`~repro.errors.ParallelError` with the
+  worker traceback in the message — never a bare multiprocessing dump.
+- A worker that *dies* without reporting (``os._exit``, a segfault, the
+  OOM killer) is detected by polling liveness while draining the result
+  queue; its exit code lands in the :class:`~repro.errors.ParallelError`.
+- Every blocking call — queue gets, barrier waits, joins — carries a
+  timeout; on any failure the parent terminates surviving workers before
+  raising, so no execution path hangs.
+
+The start method defaults to ``fork`` where available (cheap, inherits
+the loaded numpy) and falls back to the platform default otherwise; the
+worker entry point and all shipped objects are picklable, so ``spawn``
+works too.  Tracing inside workers is detached: a forked child must not
+write to the parent's sink, so workers measure their phase seconds with
+``time.perf_counter`` and return them for the parent to report.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue
+import threading
+import time
+import traceback
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.errors import ParallelError
+from repro.parallel.backends.base import (
+    Comm,
+    ExecutionBackend,
+    WorkerFn,
+    register_backend,
+)
+
+__all__ = ["ProcessBackend"]
+
+
+# ----------------------------------------------------------------------
+# Shared-memory transport for numpy arrays
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _ShmArray:
+    """Descriptor of an array parked in a shared-memory segment.
+
+    The producer has already copied the data in and detached; exactly one
+    consumer calls :func:`_unpack`, which copies the data out and unlinks
+    the segment.  Single-consumer is a structural property here: payloads
+    are point-to-point messages, worker args and per-rank results.
+    """
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: str
+
+
+def _pack(obj: Any, threshold: int) -> Any:
+    """Recursively park large arrays in shared memory, returning descriptors."""
+    if (
+        isinstance(obj, np.ndarray)
+        and obj.dtype != object
+        and obj.nbytes >= threshold
+    ):
+        segment = shared_memory.SharedMemory(create=True, size=max(1, obj.nbytes))
+        view: np.ndarray = np.ndarray(obj.shape, dtype=obj.dtype, buffer=segment.buf)
+        view[...] = obj
+        # The segment stays registered with the (tree-wide) resource
+        # tracker until the consumer's unlink() unregisters it — so an
+        # abandoned segment on an error path is still reclaimed at exit.
+        handle = _ShmArray(segment.name, tuple(obj.shape), obj.dtype.str)
+        segment.close()
+        return handle
+    if isinstance(obj, tuple):
+        return tuple(_pack(item, threshold) for item in obj)
+    if isinstance(obj, list):
+        return [_pack(item, threshold) for item in obj]
+    if isinstance(obj, dict):
+        return {key: _pack(value, threshold) for key, value in obj.items()}
+    return obj
+
+
+def _unpack(obj: Any) -> Any:
+    """Resolve descriptors back to arrays, unlinking each segment."""
+    if isinstance(obj, _ShmArray):
+        try:
+            segment = shared_memory.SharedMemory(name=obj.name)
+        except FileNotFoundError:
+            raise ParallelError(
+                f"shared-memory segment {obj.name!r} vanished before its "
+                "consumer read it (was the producer terminated?)"
+            ) from None
+        arr = np.ndarray(
+            obj.shape, dtype=np.dtype(obj.dtype), buffer=segment.buf
+        ).copy()
+        segment.close()
+        try:
+            segment.unlink()  # also unregisters from the resource tracker
+        except FileNotFoundError:
+            pass
+        return arr
+    if isinstance(obj, tuple):
+        return tuple(_unpack(item) for item in obj)
+    if isinstance(obj, list):
+        return [_unpack(item) for item in obj]
+    if isinstance(obj, dict):
+        return {key: _unpack(value) for key, value in obj.items()}
+    return obj
+
+
+# ----------------------------------------------------------------------
+# The communicator and worker entry point
+# ----------------------------------------------------------------------
+
+
+class _ProcessComm(Comm):
+    """Per-pair ``multiprocessing.Queue`` mailboxes plus a shared barrier."""
+
+    def __init__(
+        self,
+        rank: int,
+        size: int,
+        mailboxes: dict[tuple[int, int], Any],
+        barrier: Any,
+        timeout: float,
+        shm_threshold: int,
+    ) -> None:
+        super().__init__(rank, size)
+        self._mailboxes = mailboxes
+        self._barrier = barrier
+        self._timeout = timeout
+        self._shm_threshold = shm_threshold
+
+    def send(self, dst: int, payload: Any) -> None:
+        self._check_peer(dst, "send to")
+        self._mailboxes[(self.rank, dst)].put(
+            _pack(payload, self._shm_threshold)
+        )
+
+    def recv(self, src: int) -> Any:
+        self._check_peer(src, "receive from")
+        try:
+            packed = self._mailboxes[(src, self.rank)].get(
+                timeout=self._timeout
+            )
+        except queue.Empty:
+            raise ParallelError(
+                f"rank {self.rank} timed out after {self._timeout}s waiting "
+                f"for a message from rank {src}"
+            ) from None
+        return _unpack(packed)
+
+    def barrier(self) -> None:
+        try:
+            self._barrier.wait(timeout=self._timeout)
+        except threading.BrokenBarrierError:
+            # Raised on abort by a failing peer AND on wait timeout (the
+            # timeout breaks the barrier); both become ParallelError.
+            raise ParallelError(
+                f"barrier broken while rank {self.rank} was waiting: a peer "
+                "worker failed or timed out"
+            ) from None
+
+
+def _worker_main(
+    fn: WorkerFn,
+    rank: int,
+    size: int,
+    packed_arg: tuple[Any, ...],
+    mailboxes: dict[tuple[int, int], Any],
+    barrier: Any,
+    results: Any,
+    timeout: float,
+    shm_threshold: int,
+) -> None:
+    """Module-level worker entry point (picklable, so spawn works too)."""
+    from repro.obs.trace import _reset_to_disabled
+
+    # A child must never write to the parent's trace sink: a forked
+    # JsonlSink would interleave half-lines from p processes.  Workers
+    # measure and *return* their timings instead.
+    _reset_to_disabled()
+    try:
+        arg = _unpack(packed_arg)
+        comm = _ProcessComm(rank, size, mailboxes, barrier, timeout, shm_threshold)
+        result = fn(comm, *arg)
+        results.put((rank, "ok", _pack(result, shm_threshold)))
+    except BaseException as exc:  # noqa: B036  # opaq: ignore[exception-broad-except] isolation boundary: every worker failure must become a typed report
+        try:
+            barrier.abort()
+        except Exception:  # opaq: ignore[exception-broad-except] best-effort peer unblocking on a failure path
+            pass
+        try:
+            results.put(
+                (rank, "error", type(exc).__name__, str(exc), traceback.format_exc())
+            )
+        except Exception:  # opaq: ignore[exception-broad-except] the parent detects a silent death by exit code
+            pass
+
+
+# ----------------------------------------------------------------------
+# The backend
+# ----------------------------------------------------------------------
+
+
+@register_backend
+class ProcessBackend(ExecutionBackend):
+    """One process per rank, shared-memory array transport.
+
+    Parameters
+    ----------
+    timeout:
+        Seconds any single blocking step (receive, barrier, result wait)
+        may take before the execution is declared failed.
+    start_method:
+        ``multiprocessing`` start method; default prefers ``fork``.
+    shm_threshold:
+        Arrays at least this many bytes travel via shared memory; smaller
+        ones ride the queue pickle stream (a segment per tiny array would
+        cost more than it saves).
+    """
+
+    name = "process"
+
+    def __init__(
+        self,
+        timeout: float = 120.0,
+        start_method: str | None = None,
+        shm_threshold: int = 1 << 14,
+    ) -> None:
+        self.timeout = timeout
+        if start_method is None:
+            methods = mp.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else methods[0]
+        self.start_method = start_method
+        self.shm_threshold = shm_threshold
+
+    def run(self, fn: WorkerFn, args: Sequence[tuple[Any, ...]]) -> list[Any]:
+        if not args:
+            raise ParallelError("an SPMD program needs at least one worker")
+        p = len(args)
+        ctx = mp.get_context(self.start_method)
+        mailboxes = {
+            (src, dst): ctx.Queue()
+            for src in range(p)
+            for dst in range(p)
+            if src != dst
+        }
+        barrier = ctx.Barrier(p)
+        results: Any = ctx.Queue()
+        workers = [
+            ctx.Process(
+                target=_worker_main,
+                args=(
+                    fn,
+                    rank,
+                    p,
+                    _pack(tuple(args[rank]), self.shm_threshold),
+                    mailboxes,
+                    barrier,
+                    results,
+                    self.timeout,
+                    self.shm_threshold,
+                ),
+                name=f"opaq-spmd-{rank}",
+                daemon=True,
+            )
+            for rank in range(p)
+        ]
+        for worker in workers:
+            worker.start()
+        try:
+            outcomes = self._collect(workers, results, p)
+        except BaseException:  # noqa: B036  # opaq: ignore[exception-broad-except] re-raised: terminate-then-raise must cover every failure
+            self._terminate(workers)
+            raise
+        for worker in workers:
+            worker.join(timeout=self.timeout)
+        self._terminate(workers)  # reap any post-report stragglers
+        return [_unpack(outcomes[rank][2]) for rank in range(p)]
+
+    # ------------------------------------------------------------------
+
+    def _collect(
+        self, workers: list[Any], results: Any, p: int
+    ) -> dict[int, tuple[Any, ...]]:
+        """Drain ``p`` worker reports, watching for deaths and timeouts.
+
+        On the first error report the drain keeps going for a short
+        grace window instead of raising immediately: the first report to
+        arrive is often a *knock-on* failure (a peer's broken barrier),
+        and the raise should carry the root cause — the worker's own
+        exception — when it lands within the window.
+        """
+        outcomes: dict[int, tuple[Any, ...]] = {}
+        deadline = time.perf_counter() + self.timeout
+        grace_end: float | None = None
+        while len(outcomes) < p:
+            if grace_end is not None and time.perf_counter() > grace_end:
+                break
+            try:
+                outcome = results.get(timeout=0.2)
+            except queue.Empty:
+                outcome = None
+            if outcome is not None:
+                outcomes[outcome[0]] = outcome
+                if outcome[1] == "error" and grace_end is None:
+                    grace_end = time.perf_counter() + min(2.0, self.timeout)
+                deadline = time.perf_counter() + self.timeout
+                continue
+            for rank, worker in enumerate(workers):
+                if rank not in outcomes and not worker.is_alive():
+                    # One last non-blocking drain: the report may have been
+                    # queued in the instant before the liveness check.
+                    try:
+                        late = results.get_nowait()
+                        outcomes[late[0]] = late
+                        continue
+                    except queue.Empty:
+                        pass
+                    if grace_end is not None:
+                        # A peer already failed; record the death as a
+                        # knock-on so the root cause still wins below.
+                        outcomes[rank] = (
+                            rank,
+                            "error",
+                            "ParallelError",
+                            f"worker process rank {rank} died with exit "
+                            f"code {worker.exitcode}",
+                            "",
+                        )
+                        continue
+                    raise ParallelError(
+                        f"worker process rank {rank} died with exit code "
+                        f"{worker.exitcode} before reporting a result"
+                    )
+            if time.perf_counter() > deadline:
+                pending = sorted(set(range(p)) - set(outcomes))
+                raise ParallelError(
+                    f"timed out after {self.timeout}s waiting for worker "
+                    f"results (pending ranks {pending})"
+                )
+        self._raise_root_cause(outcomes)
+        return outcomes
+
+    @staticmethod
+    def _raise_root_cause(outcomes: dict[int, tuple[Any, ...]]) -> None:
+        errors = [o for o in outcomes.values() if o[1] == "error"]
+        if not errors:
+            return
+        primary = next(
+            (o for o in errors if o[2] != "ParallelError"), errors[0]
+        )
+        rank, _, etype, message, tb = primary
+        raise ParallelError(
+            f"worker process rank {rank} raised {etype}: {message}\n{tb}"
+        )
+
+    @staticmethod
+    def _terminate(workers: list[Any]) -> None:
+        for worker in workers:
+            if worker.is_alive():
+                worker.terminate()
+                worker.join(timeout=1.0)

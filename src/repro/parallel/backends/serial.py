@@ -1,0 +1,112 @@
+"""The serial reference backend: demand-driven SPMD in one thread.
+
+Runs every rank to completion in this thread, scheduling on demand: when a
+running worker receives from a rank that has not produced the message yet,
+that rank's worker is executed (recursively) until the message exists.
+This executes any *acyclic* communication pattern — gathers, scatters,
+pipelines — without threads or processes, which makes it the oracle the
+concurrent backends are conformance-tested against: its output is what
+"the program, minus all scheduling freedom" computes.
+
+A genuinely cyclic pattern (rank 0 receives from rank 1 while rank 1
+receives from rank 0) cannot be serialised; the cycle is detected — the
+needed rank is already on the execution stack — and surfaces as
+:class:`~repro.errors.ParallelError` instead of a hang.  ``barrier()`` is
+a no-op: with run-to-completion scheduling every rank observes all program
+order it could ever observe.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Sequence
+
+from repro.errors import ParallelError
+from repro.parallel.backends.base import (
+    Comm,
+    ExecutionBackend,
+    WorkerFn,
+    register_backend,
+)
+
+__all__ = ["SerialBackend"]
+
+_NEW, _RUNNING, _DONE = "new", "running", "done"
+
+
+class _SerialState:
+    """Shared mailboxes and scheduler for one serial execution."""
+
+    def __init__(self, fn: WorkerFn, args: Sequence[tuple[Any, ...]]) -> None:
+        self.fn = fn
+        self.args = list(args)
+        self.p = len(self.args)
+        self.mail: dict[tuple[int, int], deque[Any]] = {}
+        self.status = [_NEW] * self.p
+        self.results: list[Any] = [None] * self.p
+
+    def ensure_done(self, rank: int) -> None:
+        """Run ``rank``'s worker to completion (no-op if it already ran)."""
+        if self.status[rank] == _DONE:
+            return
+        if self.status[rank] == _RUNNING:
+            raise ParallelError(
+                f"serial backend deadlock: rank {rank} is needed to make "
+                "progress but is itself blocked on a receive — the program's "
+                "communication pattern is cyclic"
+            )
+        self.status[rank] = _RUNNING
+        try:
+            self.results[rank] = self.fn(
+                _SerialComm(rank, self), *self.args[rank]
+            )
+        except ParallelError:
+            raise
+        except BaseException as exc:  # noqa: B036  # opaq: ignore[exception-broad-except] isolation boundary: rewrapped as ParallelError below
+            raise ParallelError(
+                f"worker rank {rank} raised {type(exc).__name__}: {exc}"
+            ) from exc
+        self.status[rank] = _DONE
+
+
+class _SerialComm(Comm):
+    """Mailbox communicator backed by the demand-driven scheduler."""
+
+    def __init__(self, rank: int, state: _SerialState) -> None:
+        super().__init__(rank, state.p)
+        self._state = state
+
+    def send(self, dst: int, payload: Any) -> None:
+        self._check_peer(dst, "send to")
+        self._state.mail.setdefault((self.rank, dst), deque()).append(payload)
+
+    def recv(self, src: int) -> Any:
+        self._check_peer(src, "receive from")
+        box = self._state.mail.setdefault((src, self.rank), deque())
+        if not box:
+            # Demand-driven: produce the message by running the sender now.
+            self._state.ensure_done(src)
+        if not box:
+            raise ParallelError(
+                f"rank {src} finished without sending the message rank "
+                f"{self.rank} is waiting for"
+            )
+        return box.popleft()
+
+    def barrier(self) -> None:
+        """No-op: run-to-completion scheduling already serialises ranks."""
+
+
+@register_backend
+class SerialBackend(ExecutionBackend):
+    """The single-threaded reference executor (see module docstring)."""
+
+    name = "serial"
+
+    def run(self, fn: WorkerFn, args: Sequence[tuple[Any, ...]]) -> list[Any]:
+        if not args:
+            raise ParallelError("an SPMD program needs at least one worker")
+        state = _SerialState(fn, args)
+        for rank in range(state.p):
+            state.ensure_done(rank)
+        return state.results

@@ -26,6 +26,12 @@ from repro.core.sample_phase import sample_run, scaled_sample_count
 from repro.core.summary import OPAQSummary
 from repro.errors import ConfigError
 from repro.obs import current_tracer
+from repro.parallel.backends import (
+    WorkerReport,
+    get_backend,
+    popaq_worker,
+    validate_backend,
+)
 from repro.parallel.bitonic import bitonic_merge
 from repro.parallel.machine import MachineModel, SimulatedMachine
 from repro.parallel.sample_merge import sample_merge
@@ -43,13 +49,23 @@ PHASE_QUANTILE = "quantile"
 
 @dataclass
 class ParallelResult:
-    """Everything one parallel OPAQ execution produced."""
+    """Everything one parallel OPAQ execution produced.
+
+    ``machine`` always carries the *modelled* timings: for a simulated
+    execution they are the execution; for a real backend they are the
+    cost-model replay of the same run layout, so
+    :meth:`phase_fractions` (modelled) and
+    :meth:`measured_phase_fractions` (wall-clock) line up phase by phase —
+    the real-vs-modelled comparison of the backend benchmark.
+    """
 
     summary: OPAQSummary
     machine: SimulatedMachine
     num_procs: int
     merge_method: str
     bucket_expansion: float = 1.0
+    backend: str = "simulated"
+    worker_reports: list[WorkerReport] | None = None
 
     @property
     def total_time(self) -> float:
@@ -59,6 +75,41 @@ class ParallelResult:
     def phase_fractions(self) -> dict[str, float]:
         """Phase -> fraction of mean total time (paper Tables 11/12)."""
         return self.machine.phase_fractions()
+
+    def measured_phase_totals(self) -> dict[str, float] | None:
+        """Phase -> mean measured seconds per worker (real backends only).
+
+        ``None`` for simulated executions, which measure nothing.  The
+        global-merge phase runs on rank 0 alone but is averaged over all
+        workers, mirroring :meth:`SimulatedMachine.phase_totals`.
+        """
+        if self.worker_reports is None:
+            return None
+        acc: dict[str, float] = {}
+        for report in self.worker_reports:
+            for phase, seconds in report.phase_seconds.items():
+                acc[phase] = acc.get(phase, 0.0) + seconds
+        return {phase: t / self.num_procs for phase, t in sorted(acc.items())}
+
+    def measured_phase_fractions(self) -> dict[str, float] | None:
+        """Phase -> fraction of measured time (real backends only)."""
+        totals = self.measured_phase_totals()
+        if totals is None:
+            return None
+        denom = sum(totals.values())
+        if denom == 0:
+            return {}
+        return {phase: t / denom for phase, t in totals.items()}
+
+    def measured_elapsed(self) -> float | None:
+        """Slowest worker's summed measured phase seconds (real backends
+        only) — the wall-clock analogue of :attr:`total_time`."""
+        if self.worker_reports is None:
+            return None
+        return max(
+            sum(report.phase_seconds.values())
+            for report in self.worker_reports
+        )
 
     def io_fraction(self) -> float:
         """The paper's Table 11 number."""
@@ -113,23 +164,33 @@ class ParallelOPAQ:
         merge_method: str = "sample",
         oversample: int | None = None,
         overlap_io: bool = False,
+        backend: str = "simulated",
     ) -> None:
         """``overlap_io`` enables the paper's future-work optimisation:
         reading the next run proceeds concurrently with sampling the
         current one, so each run costs ``max(io, sampling)`` instead of
-        their sum.  Accuracy is unaffected (the same bytes are read)."""
+        their sum.  Accuracy is unaffected (the same bytes are read).
+
+        ``backend`` selects the execution substrate: ``"simulated"`` (the
+        default) runs on the cost model's per-processor clocks, while
+        ``"serial"``, ``"thread"`` and ``"process"`` run the same SPMD
+        program on real workers (see :mod:`repro.parallel.backends`) and
+        *replay* the run layout through the cost model, so the result
+        carries measured and modelled timings side by side."""
         if num_procs < 1:
             raise ConfigError("need at least one processor")
         if merge_method not in ("sample", "bitonic"):
             raise ConfigError("merge_method must be 'sample' or 'bitonic'")
         if merge_method == "bitonic" and num_procs & (num_procs - 1):
             raise ConfigError("bitonic merge requires a power-of-two p")
+        validate_backend(backend)
         self.p = num_procs
         self.config = config
         self.model = model or MachineModel.sp2()
         self.merge_method = merge_method
         self.oversample = oversample
         self.overlap_io = overlap_io
+        self.backend = backend
 
     # ------------------------------------------------------------------
 
@@ -201,6 +262,8 @@ class ParallelOPAQ:
             raise ConfigError(
                 f"{len(partitions)} partitions for {self.p} processors"
             )
+        if self.backend != "simulated":
+            return self._run_real(partitions, phis)
         machine = SimulatedMachine(self.p, self.model)
         strategy = self.config.selection_strategy()
         s_nominal = self.config.sample_size
@@ -222,7 +285,9 @@ class ParallelOPAQ:
                 if run.size == 0:
                     continue
                 s_k = scaled_sample_count(run.size, m_nominal, s_nominal)
-                samples, gaps, floors = sample_run(run, s_k, strategy)
+                samples, gaps, floors = sample_run(
+                    run, s_k, strategy, kernel=self.config.kernel
+                )
                 sampling_ops = run.size * max(1.0, math.log2(max(2, s_k)))
                 if self.overlap_io:
                     machine.charge_overlapped(
@@ -246,7 +311,8 @@ class ParallelOPAQ:
             if not runs_here:
                 raise ConfigError(f"processor {proc} received no data")
             merged, merged_payload = kway_merge(
-                sample_lists, payloads=payload_lists
+                sample_lists, payloads=payload_lists,
+                kernel=self.config.kernel,
             )
             machine.charge_compute(
                 proc,
@@ -301,3 +367,111 @@ class ParallelOPAQ:
             merge_method=self.merge_method,
             bucket_expansion=expansion,
         )
+
+    # ------------------------------------------------------------------
+    # Real execution backends
+    # ------------------------------------------------------------------
+
+    def _run_real(self, partitions, phis) -> ParallelResult:
+        """Execute the SPMD program on a real backend (see ``backend=``).
+
+        The data-path result is the workers' own: the global sample list
+        is gathered to rank 0 and r-way merged there (an order-preserving
+        merge of the same per-partition lists the simulated merge networks
+        move, so the merged *values* are identical).  The cost model is
+        then replayed over the measured run layout, giving the modelled
+        timings that sit next to the workers' measured phase seconds.
+        """
+        backend = get_backend(self.backend)
+        results = backend.run(
+            popaq_worker, [(part, self.config) for part in partitions]
+        )
+        reports: list[WorkerReport] = [res["report"] for res in results]
+        root = results[0]
+        summary = OPAQSummary(
+            samples=root["samples"],
+            gaps=root["payload"][:, 0].astype(np.int64),
+            floors=root["payload"][:, 1],
+            num_runs=sum(r.num_runs for r in reports),
+            count=sum(r.count for r in reports),
+            minimum=min(r.minimum for r in reports),
+            maximum=max(r.maximum for r in reports),
+        )
+        machine = self._replay_model(reports)
+        if phis is not None:
+            ops = len(list(phis)) * max(1.0, math.log2(max(2, summary.num_samples)))
+            machine.charge_compute(0, ops, PHASE_QUANTILE)
+        self._emit_spmd_counters(machine)
+        self._emit_worker_timings(backend.name, reports)
+        return ParallelResult(
+            summary=summary,
+            machine=machine,
+            num_procs=self.p,
+            merge_method=self.merge_method,
+            backend=backend.name,
+            worker_reports=reports,
+        )
+
+    def _replay_model(self, reports: list[WorkerReport]) -> SimulatedMachine:
+        """Charge a fresh simulated machine for the run layout a real
+        execution reported — the modelled half of real-vs-modelled.
+
+        Per-run I/O, sampling and the local merge replay exactly as the
+        simulated execution charges them; the global merge is charged from
+        the paper's Table 8 closed forms (:func:`predict_merge_time`)
+        because the real gather-merge has no simulated network to walk.
+        """
+        machine = SimulatedMachine(self.p, self.model)
+        for proc, report in enumerate(reports):
+            for run_size, s_k in report.run_layout:
+                sampling_ops = run_size * max(1.0, math.log2(max(2, s_k)))
+                if self.overlap_io:
+                    machine.charge_overlapped(
+                        proc,
+                        {
+                            PHASE_IO: self.model.read_cost(run_size),
+                            PHASE_SAMPLING: self.model.compute_cost(sampling_ops),
+                        },
+                    )
+                else:
+                    machine.charge_io(proc, run_size, PHASE_IO)
+                    machine.charge_compute(proc, sampling_ops, PHASE_SAMPLING)
+            list_len = sum(s for _, s in report.run_layout)
+            machine.charge_compute(
+                proc,
+                list_len * max(1.0, math.log2(max(2, report.num_runs))),
+                PHASE_LOCAL_MERGE,
+            )
+        if self.p > 1:
+            lengths = [sum(s for _, s in r.run_layout) for r in reports]
+            list_size = round(sum(lengths) / len(lengths))
+            merge_time = predict_merge_time(
+                self.p, list_size, self.model, self.merge_method, self.oversample
+            )
+            for proc in range(self.p):
+                machine.charge(proc, merge_time, PHASE_GLOBAL_MERGE)
+        machine.barrier(PHASE_GLOBAL_MERGE)
+        return machine
+
+    def _emit_worker_timings(
+        self, backend_name: str, reports: list[WorkerReport]
+    ) -> None:
+        """Record each worker's measured phase seconds as obs spans.
+
+        The durations were measured inside the workers (possibly in other
+        processes), so they are recorded after the fact; the attributes
+        stay deterministic, the duration is — as for every span — the
+        sanctioned nondeterministic field.
+        """
+        tracer = current_tracer()
+        if not tracer.enabled:
+            return
+        for report in reports:
+            for phase, seconds in sorted(report.phase_seconds.items()):
+                tracer.record_span(
+                    "backend.phase",
+                    seconds,
+                    backend=backend_name,
+                    rank=report.rank,
+                    phase=phase,
+                )

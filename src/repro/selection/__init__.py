@@ -7,6 +7,12 @@ merge of per-run sample lists.
 """
 
 from repro.selection.floyd_rivest import floyd_rivest_select
+from repro.selection.kernels import (
+    KERNEL_NAMES,
+    merge_sorted_numpy,
+    multiselect_numpy,
+    validate_kernel,
+)
 from repro.selection.kway_merge import (
     is_sorted,
     kway_merge,
@@ -30,6 +36,10 @@ from repro.selection.strategies import (
 )
 
 __all__ = [
+    "KERNEL_NAMES",
+    "validate_kernel",
+    "multiselect_numpy",
+    "merge_sorted_numpy",
     "floyd_rivest_select",
     "median_of_medians_select",
     "median_of_medians_pivot",

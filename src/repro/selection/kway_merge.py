@@ -6,6 +6,12 @@ merges the ``r`` lists into a single sorted list of ``r*s`` samples in
 r-way merge (and is what the complexity accounting in the parallel simulator
 models); :func:`merge_two` is the binary merge used by the incremental
 extension and by the simulated bitonic merge network.
+
+The heap loop is the *reference kernel*; passing ``kernel="numpy"`` routes
+the merge through :func:`repro.selection.kernels.merge_sorted_numpy`
+(stable argsort of the concatenation, entirely in C) which is
+bit-identical in output — ties break by list index either way — and much
+faster for realistic ``r``.  See :mod:`repro.selection.kernels`.
 """
 
 from __future__ import annotations
@@ -17,6 +23,7 @@ import numpy as np
 
 from repro.errors import ConfigError
 from repro.obs import current_tracer
+from repro.selection.kernels import merge_sorted_numpy, validate_kernel
 
 __all__ = ["kway_merge", "merge_two", "merge_two_with_payload", "is_sorted"]
 
@@ -71,6 +78,7 @@ def merge_two_with_payload(
 def kway_merge(
     lists: Sequence[np.ndarray],
     payloads: Sequence[np.ndarray] | None = None,
+    kernel: str = "python",
 ) -> np.ndarray | tuple[np.ndarray, np.ndarray]:
     """Merge ``r`` sorted arrays into one sorted array.
 
@@ -78,6 +86,9 @@ def kway_merge(
     ``O(N log r)`` algorithm the paper's cost analysis assumes — but drains
     runs of consecutive elements from the winning list in bulk so the Python
     overhead stays modest.  Falls back to :func:`merge_two` for two lists.
+    ``kernel="numpy"`` swaps in the vectorised stable-argsort kernel
+    (:func:`repro.selection.kernels.merge_sorted_numpy`), whose output is
+    bit-identical to the heap's.
 
     When ``payloads`` is given (one array per list, same lengths), each key
     carries its payload row through the merge and the function returns the
@@ -86,11 +97,13 @@ def kway_merge(
     When tracing is active, the merge emits a ``phase.kway_merge`` span
     plus a ``merge.keys`` counter (total keys merged).
     """
+    validate_kernel(kernel)
+    merge = merge_sorted_numpy if kernel == "numpy" else _kway_merge
     tracer = current_tracer()
     if not tracer.enabled:
-        return _kway_merge(lists, payloads)
-    with tracer.span("phase.kway_merge", lists=len(lists)):
-        result = _kway_merge(lists, payloads)
+        return merge(lists, payloads)
+    with tracer.span("phase.kway_merge", lists=len(lists), kernel=kernel):
+        result = merge(lists, payloads)
     merged = result[0] if payloads is not None else result
     assert isinstance(merged, np.ndarray)
     tracer.count("merge.keys", int(merged.size), lists=len(lists))
@@ -137,9 +150,17 @@ def _kway_merge(
     while heap:
         value, i, cursor = heapq.heappop(heap)
         lst = arrays[i]
-        # Bulk-drain every element of lst that is <= the next heap head.
-        limit = heap[0][0] if heap else np.inf
-        end = int(np.searchsorted(lst, limit, side="right"))
+        # Bulk-drain from the winning list up to the next heap head.  A
+        # key EQUAL to that head belongs to whichever list has the lower
+        # index (the heap's tie order, which the stable argsort kernel
+        # reproduces) — so the drain may swallow ties only when this
+        # list's index is below the waiting head's.
+        if heap:
+            limit, j = heap[0][0], heap[0][1]
+            side = "right" if i < j else "left"
+        else:
+            limit, side = np.inf, "right"
+        end = int(np.searchsorted(lst, limit, side=side))
         if end <= cursor:
             end = cursor + 1  # always make progress
         chunk = lst[cursor:end]

@@ -24,6 +24,7 @@ import numpy as np
 from repro.errors import ConfigError, EstimationError
 from repro.obs import current_tracer
 from repro.selection.floyd_rivest import floyd_rivest_select
+from repro.selection.kernels import multiselect_numpy
 from repro.selection.median_of_medians import median_of_medians_select
 from repro.selection.multiselect import multiselect
 
@@ -135,8 +136,6 @@ class NumpyPartitionStrategy(SelectionStrategy):
         rank_arr = np.asarray(ranks, dtype=np.int64)
         if rank_arr.size == 0:
             return np.empty(0, dtype=np.float64)
-        if rank_arr.min() < 0 or rank_arr.max() >= values.size:
-            raise EstimationError("ranks out of range")
         tracer = current_tracer()
         with tracer.span(
             "phase.multiselect",
@@ -144,9 +143,7 @@ class NumpyPartitionStrategy(SelectionStrategy):
             size=int(values.size),
             ranks=int(rank_arr.size),
         ):
-            unique = np.unique(rank_arr)
-            parted = np.partition(values, unique)
-            out = parted[rank_arr].astype(np.float64)
+            out = multiselect_numpy(values, rank_arr)
         _count_modelled_work(self.name, int(values.size), rank_arr, 1)
         return out
 

@@ -16,6 +16,7 @@ from pathlib import Path
 
 from repro.core.config import OPAQConfig
 from repro.errors import ConfigError
+from repro.parallel.backends import validate_backend
 
 __all__ = ["ServiceConfig"]
 
@@ -67,6 +68,17 @@ class ServiceConfig:
     snapshot_retain:
         How many persisted epochs to keep on disk (older ones are
         pruned).
+    kernel:
+        Hot-path implementation for the per-shard estimators and epoch
+        merges — ``"python"`` (reference) or ``"numpy"`` (vectorised,
+        bit-identical output); forwarded into the per-shard
+        :class:`~repro.core.OPAQConfig`.
+    backend:
+        Execution backend for :meth:`QuantileService.estimate`, the batch
+        counterpart of the streaming path: ``"serial"`` (default),
+        ``"thread"``, ``"process"`` or ``"simulated"`` (see
+        :mod:`repro.parallel.backends`).  The streaming ingest path always
+        uses its own shard worker threads regardless.
     """
 
     num_shards: int = 4
@@ -80,6 +92,8 @@ class ServiceConfig:
     snapshot_every: int | None = None
     snapshot_dir: str | Path | None = None
     snapshot_retain: int = 3
+    kernel: str = "python"
+    backend: str = "serial"
 
     def __post_init__(self) -> None:
         if self.num_shards < 1:
@@ -99,13 +113,19 @@ class ServiceConfig:
             raise ConfigError("snapshot_retain must be at least 1")
         if self.max_merged_samples is not None and self.max_merged_samples < 2:
             raise ConfigError("max_merged_samples must be at least 2")
-        # Delegate run/sample validation (and strategy resolution) to the
-        # core config so the two layers cannot drift apart.
+        # Delegate run/sample/kernel validation (and strategy resolution)
+        # to the core config so the two layers cannot drift apart; backend
+        # names resolve against the parallel layer's registry.
         self.opaq_config()
+        validate_backend(self.backend)
 
     def opaq_config(self) -> OPAQConfig:
         """The per-shard estimator configuration."""
-        return OPAQConfig(run_size=self.run_size, sample_size=self.sample_size)
+        return OPAQConfig(
+            run_size=self.run_size,
+            sample_size=self.sample_size,
+            kernel=self.kernel,
+        )
 
     @property
     def effective_flush_threshold(self) -> int:

@@ -196,6 +196,34 @@ class QuantileService:
             bounds=bounds,
         )
 
+    def estimate(
+        self, source: np.ndarray, phis: Sequence[float]
+    ) -> list[QuantileBounds]:
+        """Batch counterpart of the streaming path: one POPAQ pass.
+
+        Partitions ``source`` across ``num_shards`` workers on the
+        configured execution backend (``ServiceConfig.backend``) and
+        answers from the single merged summary, bypassing the ingest
+        queues and the epoch machinery entirely.  Nothing is retained:
+        this neither advances the epoch nor touches the shard estimators.
+        Useful for ad-hoc questions over data that is already at hand —
+        the streaming path exists for data that is not.
+        """
+        self._check_open()
+        # Imported here, not at module level: the service's streaming core
+        # must stay importable without the parallel layer.
+        from repro.parallel import ParallelOPAQ
+
+        popaq = ParallelOPAQ(
+            self.config.num_shards,
+            self.config.opaq_config(),
+            backend=self.config.backend,
+        )
+        result = popaq.run(np.asarray(source, dtype=np.float64), phis)
+        with self._state_lock:
+            self._queries += len(list(phis))
+        return result.bounds(phis)
+
     @property
     def staleness(self) -> int:
         """Elements accepted but not yet covered by the served epoch."""

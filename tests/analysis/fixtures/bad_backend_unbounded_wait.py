@@ -1,0 +1,9 @@
+"""Known-bad: unbounded blocking calls in a real-backend collect loop."""
+
+
+def collect(outcome_queue, barrier, worker, lock):
+    lock.acquire()
+    barrier.wait()
+    outcome = outcome_queue.get()
+    worker.join()
+    return outcome

@@ -20,6 +20,7 @@ BAD = [
     ("bad_spmd_self_message.py", "spmd-self-message", 2),
     ("bad_spmd_unmatched_send.py", "spmd-unmatched-send", 2),
     ("bad_spmd_reordered_send.py", "spmd-reordered-send", 1),
+    ("bad_backend_unbounded_wait.py", "spmd-unbounded-blocking", 4),
     ("bad_exceptions.py", "exception-foreign-raise", 2),
     ("bad_exceptions.py", "exception-bare-except", 1),
     ("bad_service_queue.py", "service-unbounded-queue", 4),
@@ -54,6 +55,7 @@ GOOD = [
     ("good_spmd.py", "spmd-self-message"),
     ("good_spmd.py", "spmd-unmatched-send"),
     ("good_spmd.py", "spmd-reordered-send"),
+    ("good_backend_bounded_wait.py", "spmd-unbounded-blocking"),
     ("good_exceptions.py", "exception-foreign-raise"),
     ("good_exceptions.py", "exception-bare-except"),
     ("good_service.py", "service-unbounded-queue"),

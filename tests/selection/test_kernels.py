@@ -1,0 +1,167 @@
+"""The numpy kernels against their pure-python oracles, bit for bit.
+
+The ``kernel="numpy"`` switch must be a pure performance decision:
+:func:`multiselect_numpy` against the recursive multiselect, and
+:func:`merge_sorted_numpy` against the heap k-way merge, over ragged run
+sizes, heavy duplicates and mixed-sign zeros — the regimes where a
+subtly different tie order or dtype would first show.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.sample_phase import sample_run
+from repro.errors import ConfigError, EstimationError
+from repro.selection import (
+    KERNEL_NAMES,
+    get_strategy,
+    kway_merge,
+    merge_sorted_numpy,
+    multiselect_numpy,
+    regular_sample_ranks,
+    validate_kernel,
+)
+
+# ----------------------------------------------------------------------
+# multiselect_numpy vs the reference selection
+# ----------------------------------------------------------------------
+
+
+@given(
+    values=st.lists(
+        st.floats(allow_nan=False, allow_infinity=False, width=32),
+        min_size=1,
+        max_size=200,
+    ),
+    data=st.data(),
+)
+@settings(max_examples=150, deadline=None)
+def test_multiselect_numpy_matches_reference(values, data):
+    run = np.asarray(values, dtype=np.float64)
+    num_ranks = data.draw(st.integers(min_value=1, max_value=min(8, run.size)))
+    ranks = sorted(
+        data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=run.size - 1),
+                min_size=num_ranks,
+                max_size=num_ranks,
+            )
+        )
+    )
+    reference = get_strategy("sort").multiselect(run, ranks)
+    vectorised = multiselect_numpy(run, ranks)
+    np.testing.assert_array_equal(reference, vectorised)
+    assert vectorised.dtype == np.float64
+
+
+@given(
+    run_size=st.integers(min_value=1, max_value=500),
+    sample_count=st.integers(min_value=1, max_value=40),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+@settings(max_examples=60, deadline=None)
+def test_sample_run_is_kernel_invariant_over_ragged_runs(
+    run_size, sample_count, seed
+):
+    """The whole per-run hot path: ragged sizes, any s, both kernels."""
+    run = np.random.default_rng(seed).uniform(size=run_size)
+    # Duplicate-heavy variant of the same run exercises tie handling.
+    duplicated = np.repeat(run[: max(1, run_size // 3)], 3)[:run_size]
+    for data in (run, duplicated):
+        s = min(sample_count, data.size)
+        python = sample_run(data, s, get_strategy("sort"), kernel="python")
+        vectorised = sample_run(data, s, get_strategy("sort"), kernel="numpy")
+        np.testing.assert_array_equal(python, vectorised)
+
+
+def test_multiselect_numpy_rejects_bad_ranks():
+    values = np.arange(10.0)
+    with pytest.raises(EstimationError):
+        multiselect_numpy(values, [3, 1])  # decreasing
+    with pytest.raises(EstimationError):
+        multiselect_numpy(values, [10])  # out of range
+    assert multiselect_numpy(values, []).size == 0
+
+
+def test_multiselect_numpy_permits_duplicate_ranks():
+    values = np.asarray([5.0, 1.0, 3.0])
+    np.testing.assert_array_equal(
+        multiselect_numpy(values, [1, 1, 2]), [3.0, 3.0, 5.0]
+    )
+
+
+# ----------------------------------------------------------------------
+# merge_sorted_numpy vs the heap merge
+# ----------------------------------------------------------------------
+
+
+@st.composite
+def _sorted_lists(draw):
+    """A ragged collection of sorted float64 arrays, duplicates likely."""
+    count = draw(st.integers(min_value=0, max_value=6))
+    lists = []
+    for _ in range(count):
+        values = draw(
+            st.lists(
+                st.one_of(
+                    st.integers(min_value=-5, max_value=5).map(float),
+                    st.floats(allow_nan=False, allow_infinity=False, width=16),
+                    st.sampled_from([0.0, -0.0]),
+                ),
+                min_size=0,
+                max_size=30,
+            )
+        )
+        lists.append(np.sort(np.asarray(values, dtype=np.float64)))
+    return lists
+
+
+@given(lists=_sorted_lists())
+@settings(max_examples=150, deadline=None)
+def test_merge_kernels_are_bit_identical(lists):
+    python = kway_merge(lists, kernel="python")
+    vectorised = kway_merge(lists, kernel="numpy")
+    # assert_array_equal treats 0.0 == -0.0; the contract is bitwise.
+    assert python.tobytes() == vectorised.tobytes()
+
+
+@given(lists=_sorted_lists())
+@settings(max_examples=100, deadline=None)
+def test_merge_kernels_carry_payloads_identically(lists):
+    """Ties must resolve to the SAME payload row under both kernels."""
+    payloads = [
+        np.arange(lst.size, dtype=np.int64) + 100 * idx
+        for idx, lst in enumerate(lists)
+    ]
+    keys_py, rows_py = kway_merge(lists, payloads, kernel="python")
+    keys_np, rows_np = kway_merge(lists, payloads, kernel="numpy")
+    assert keys_py.tobytes() == keys_np.tobytes()
+    np.testing.assert_array_equal(rows_py, rows_np)
+
+
+def test_merge_sorted_numpy_validates_payload_shapes():
+    lists = [np.asarray([1.0, 2.0])]
+    with pytest.raises(ConfigError):
+        merge_sorted_numpy(lists, payloads=[])
+    with pytest.raises(ConfigError):
+        merge_sorted_numpy(lists, payloads=[np.arange(3)])
+
+
+def test_kernel_names_and_validation():
+    assert set(KERNEL_NAMES) == {"python", "numpy"}
+    for name in KERNEL_NAMES:
+        assert validate_kernel(name) == name
+    with pytest.raises(ConfigError):
+        validate_kernel("fortran")
+
+
+def test_regular_sample_ranks_feed_both_kernels_identically():
+    """The exact ranks the sample phase uses, on a ragged final run."""
+    for m in (97, 100, 1000, 1003):
+        run = np.random.default_rng(m).normal(size=m)
+        ranks = regular_sample_ranks(m, min(10, m))
+        np.testing.assert_array_equal(
+            get_strategy("sort").multiselect(run, ranks),
+            multiselect_numpy(run, ranks),
+        )

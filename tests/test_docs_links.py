@@ -1,0 +1,96 @@
+"""Tier-1 gate: no dangling cross-references in the docs tree.
+
+``tools/check_docs_links.py`` (also the CI ``docs-check`` job) verifies
+every internal markdown link and anchor in ``README.md`` + ``docs/*.md``.
+The first tests here hold the checker itself to its contract on
+synthetic trees — a checker that silently checks nothing would pass the
+real tree forever.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+from check_docs_links import (  # noqa: E402
+    anchors_in,
+    check_file,
+    default_targets,
+    slugify,
+)
+
+
+def test_slugify_matches_github_rules():
+    assert slugify("The SPMD contract") == "the-spmd-contract"
+    assert slugify("Reading speed-up, scale-up and size-up") == (
+        "reading-speed-up-scale-up-and-size-up"
+    )
+    # Code spans keep their text; stray punctuation is dropped.
+    assert slugify("The committed `BENCH_*.json` files") == (
+        "the-committed-bench_json-files"
+    )
+
+
+def test_duplicate_headings_get_numbered_anchors(tmp_path):
+    doc = tmp_path / "doc.md"
+    doc.write_text("# Setup\n\n## Setup\n\n### Setup\n")
+    assert anchors_in(doc) == {"setup", "setup-1", "setup-2"}
+
+
+def test_broken_file_link_is_reported(tmp_path):
+    doc = tmp_path / "doc.md"
+    doc.write_text("see [other](missing.md)\n")
+    problems = check_file(doc, tmp_path)
+    assert len(problems) == 1
+    assert "missing.md" in problems[0]
+
+
+def test_dangling_anchor_is_reported(tmp_path):
+    target = tmp_path / "target.md"
+    target.write_text("# Real Heading\n")
+    doc = tmp_path / "doc.md"
+    doc.write_text("see [t](target.md#real-heading) and [x](target.md#nope)\n")
+    problems = check_file(doc, tmp_path)
+    assert len(problems) == 1
+    assert "nope" in problems[0]
+
+
+def test_links_inside_code_fences_are_ignored(tmp_path):
+    doc = tmp_path / "doc.md"
+    doc.write_text("```\n[not a link](missing.md)\n```\n")
+    assert check_file(doc, tmp_path) == []
+
+
+def test_escaping_the_repository_is_reported(tmp_path):
+    sub = tmp_path / "docs"
+    sub.mkdir()
+    doc = sub / "doc.md"
+    doc.write_text("see [up](../../outside.md)\n")
+    assert any(
+        "escapes" in p for p in check_file(doc, tmp_path)
+    )
+
+
+def test_repo_docs_have_no_dangling_references():
+    """The real gate: README + docs/*.md resolve completely."""
+    problems = []
+    for path in default_targets(REPO_ROOT):
+        problems.extend(check_file(path, REPO_ROOT))
+    assert problems == [], "\n".join(problems)
+
+
+def test_docs_tree_is_nonempty():
+    # A glob typo must not turn the gate into a vacuous pass.
+    targets = default_targets(REPO_ROOT)
+    assert len(targets) >= 8
+    names = {p.name for p in targets}
+    assert {"README.md", "parallel.md", "benchmarks.md"} <= names
+
+
+@pytest.mark.parametrize("page", ["parallel.md", "benchmarks.md"])
+def test_new_docs_are_linked_from_readme(page):
+    readme = (REPO_ROOT / "README.md").read_text()
+    assert f"docs/{page}" in readme

@@ -32,6 +32,7 @@ TOP_LEVEL = {
     "ConfigError",
     "DataError",
     "EstimationError",
+    "ParallelError",
     "ServiceError",
     "SinglePassViolation",
     "__version__",

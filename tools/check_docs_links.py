@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Check markdown cross-references in the repo docs (stdlib only).
+
+Scans ``README.md`` and ``docs/*.md`` (or the paths given on the
+command line) for inline markdown links and verifies every *internal*
+reference:
+
+* relative file targets must exist (resolved against the linking file);
+* ``#anchor`` fragments — same-file or cross-file — must match a
+  heading in the target document, using GitHub's slug rules
+  (lowercase, punctuation stripped, spaces to hyphens, ``-1``/``-2``
+  suffixes for duplicates).
+
+External targets (``http://``, ``https://``, ``mailto:``) are not
+fetched — this is a *consistency* check for the docs tree, meant to run
+in CI (the ``docs-check`` job) and in tier-1 via
+``tests/test_docs_links.py``.
+
+Exit status: 0 when every reference resolves, 1 with one line per
+dangling reference otherwise.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Inline links and images: [text](target) — target captured lazily so
+#: ``[a](b) and [c](d)`` yields two matches, not one.
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+_EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+#: GitHub slugging keeps word characters, spaces and hyphens; the rest
+#: (backticks, dots, stars, parens, ...) is deleted.
+_SLUG_DROP = re.compile(r"[^\w\- ]")
+_CODE_FENCE = re.compile(r"^(```|~~~)")
+
+
+def slugify(heading: str) -> str:
+    """GitHub's anchor for a heading line (good enough for our docs)."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)  # drop code spans, keep text
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # links -> text
+    text = _SLUG_DROP.sub("", text.lower())
+    return text.strip().replace(" ", "-")
+
+
+def anchors_in(path: Path) -> set[str]:
+    """Every anchor a markdown file exposes (headings, GitHub rules)."""
+    seen: dict[str, int] = {}
+    anchors: set[str] = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if _CODE_FENCE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = _HEADING.match(line)
+        if not match:
+            continue
+        slug = slugify(match.group(2))
+        count = seen.get(slug, 0)
+        seen[slug] = count + 1
+        anchors.add(slug if count == 0 else f"{slug}-{count}")
+    return anchors
+
+
+def links_in(path: Path) -> list[str]:
+    """Every inline link target in a markdown file (code blocks skipped)."""
+    targets: list[str] = []
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if _CODE_FENCE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        # Inline code spans may contain [x](y)-shaped text; drop them.
+        stripped = re.sub(r"`[^`]*`", "", line)
+        targets.extend(_LINK.findall(stripped))
+    return targets
+
+
+def check_file(path: Path, repo_root: Path) -> list[str]:
+    """Dangling references in one file, as human-readable strings."""
+    problems: list[str] = []
+    for target in links_in(path):
+        if target.startswith(_EXTERNAL):
+            continue
+        file_part, _, fragment = target.partition("#")
+        if file_part:
+            dest = (path.parent / file_part).resolve()
+            try:
+                dest.relative_to(repo_root)
+            except ValueError:
+                problems.append(
+                    f"{path}: link {target!r} escapes the repository"
+                )
+                continue
+            if not dest.exists():
+                problems.append(
+                    f"{path}: broken link {target!r} ({dest} does not exist)"
+                )
+                continue
+        else:
+            dest = path
+        if fragment:
+            if dest.suffix.lower() not in (".md", ".markdown"):
+                continue  # anchors into non-markdown files: not checkable
+            if fragment.lower() not in anchors_in(dest):
+                problems.append(
+                    f"{path}: dangling anchor {target!r} "
+                    f"(no heading slugs to {fragment!r} in {dest.name})"
+                )
+    return problems
+
+
+def default_targets(repo_root: Path) -> list[Path]:
+    docs = sorted((repo_root / "docs").glob("*.md"))
+    return [repo_root / "README.md", *docs]
+
+
+def main(argv: list[str]) -> int:
+    repo_root = Path(__file__).resolve().parent.parent
+    paths = (
+        [Path(arg).resolve() for arg in argv]
+        if argv
+        else default_targets(repo_root)
+    )
+    problems: list[str] = []
+    for path in paths:
+        problems.extend(check_file(path, repo_root))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if not problems:
+        print(f"docs links ok: {len(paths)} files checked")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
