@@ -38,6 +38,7 @@ from repro.analysis.reporters import (
 from repro.analysis.runner import LintResult, lint_paths, parse_module
 from repro.analysis.rules_threads import ThreadModel, build_thread_model
 from repro.analysis.sarif import render_sarif
+from repro.analysis.summaries import FunctionSummary, SummaryIndex
 
 # Importing the rule modules registers every rule family.
 from repro.analysis import rules_onepass  # noqa: F401  (registration)
@@ -47,6 +48,8 @@ from repro.analysis import rules_spmd  # noqa: F401  (registration)
 from repro.analysis import rules_exceptions  # noqa: F401  (registration)
 from repro.analysis import rules_service  # noqa: F401  (registration)
 from repro.analysis import rules_onepass_flow  # noqa: F401  (registration)
+from repro.analysis import rules_resources  # noqa: F401  (registration)
+from repro.analysis import rules_deadlock  # noqa: F401  (registration)
 from repro.analysis import rules_meta  # noqa: F401  (registration)
 
 __all__ = [
@@ -59,6 +62,8 @@ __all__ = [
     "Suppressions",
     "SyntheticRule",
     "ThreadModel",
+    "FunctionSummary",
+    "SummaryIndex",
     "LintResult",
     "lint_paths",
     "parse_module",

@@ -71,11 +71,21 @@ class GenKill:
         return fact
 
 
-def run_forward(cfg: CFG, analysis: GenKill) -> dict[int, Fact]:
+def run_forward(
+    cfg: CFG,
+    analysis: GenKill,
+    edge_filter: Callable[[int, int], bool] | None = None,
+) -> dict[int, Fact]:
     """Fixpoint of ``analysis`` over ``cfg``; returns block-entry facts.
 
     Must-mode entries start at TOP (modelled as ``None`` until first
     reached) so unvisited joins do not clamp the intersection to empty.
+
+    ``edge_filter(src, dst)`` — when given — drops edges it returns
+    ``False`` for.  The resource-lifetime family uses it to compute the
+    *normal-termination* view of a function (exception edges into
+    handlers removed) next to the full view; the difference between the
+    two is exactly "leaks only on an exception path".
     """
     reachable = cfg.reachable()
     in_facts: dict[int, Fact | None] = {bid: None for bid in reachable}
@@ -89,6 +99,8 @@ def run_forward(cfg: CFG, analysis: GenKill) -> dict[int, Fact]:
         out = analysis.transfer_block(cfg.blocks[bid].ops, fact)
         for succ in cfg.blocks[bid].succs:
             if succ not in reachable:
+                continue
+            if edge_filter is not None and not edge_filter(bid, succ):
                 continue
             old = in_facts[succ]
             if old is None:

@@ -125,6 +125,25 @@ class Suppressions:
                 ids = {part.strip() for part in raw.split(",") if part.strip()}
                 self._by_line.setdefault(lineno, set()).update(ids)
 
+    def to_table(self) -> dict[str, list[str]]:
+        """JSON-serialisable directive table (the cache's view).
+
+        Usage marks are deliberately not serialised: a warm run re-earns
+        them by replaying the cached raw findings through
+        :meth:`silences`, so OPQ902 judges the *current* run.
+        """
+        return {
+            str(line): sorted(ids) for line, ids in self._by_line.items()
+        }
+
+    @classmethod
+    def from_table(cls, table: dict[str, list[str]]) -> "Suppressions":
+        """Rebuild a directive table without the source text."""
+        obj = cls.__new__(cls)
+        obj._by_line = {int(line): set(ids) for line, ids in table.items()}
+        obj._used = set()
+        return obj
+
     def silences(self, finding: Finding) -> bool:
         """True when the finding's line carries a matching directive."""
         ids = self._by_line.get(finding.line)
@@ -188,7 +207,11 @@ class ModuleContext:
 
     @classmethod
     def from_path(cls, path: Path) -> "ModuleContext":
-        source = path.read_text(encoding="utf-8")
+        return cls.from_source(path, path.read_text(encoding="utf-8"))
+
+    @classmethod
+    def from_source(cls, path: Path, source: str) -> "ModuleContext":
+        """Build from already-read text (the cache hashes bytes first)."""
         tree = ast.parse(source, filename=str(path))
         return cls(
             path=path,
@@ -246,6 +269,13 @@ class Rule:
     requires_project: bool = False
     #: True for runner-emitted rules with no check() of their own.
     synthetic: bool = False
+    #: What a :class:`ProjectRule`'s findings depend on, for the
+    #: incremental cache: ``"project"`` (any file change invalidates —
+    #: the sound default, since summaries flow through arbitrary call
+    #: edges) or ``"scope"`` (only files under ``scope_prefixes``; valid
+    #: ONLY for rules whose resolution provably never leaves their
+    #: scope, like the thread-model family).
+    deep_dependencies: str = "project"
 
     def in_scope(self, ctx: ModuleContext) -> bool:
         if ctx.package_rel is None:

@@ -25,10 +25,13 @@ from __future__ import annotations
 
 import ast
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
 from repro.analysis.cfg import CFG, FunctionNode, build_cfg
 from repro.analysis.framework import ModuleContext, dotted_name
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.analysis.summaries import SummaryIndex
 
 __all__ = [
     "CallSite",
@@ -102,6 +105,7 @@ class ProjectContext:
         self._methods_by_name: dict[str, list[FunctionInfo]] = {}
         self._functions_by_name: dict[str, list[FunctionInfo]] = {}
         self._cfgs: dict[int, CFG] = {}
+        self._summaries: "SummaryIndex | None" = None
         for module in modules:
             self._index_module(module)
 
@@ -201,6 +205,18 @@ class ProjectContext:
         if key not in self._cfgs:
             self._cfgs[key] = build_cfg(fn.node)
         return self._cfgs[key]
+
+    def summaries(self) -> "SummaryIndex":
+        """The (memoised) interprocedural function-summary index.
+
+        Built on first use so shallow runs never pay for it; every deep
+        rule family shares one fixpoint instead of recomputing it.
+        """
+        if self._summaries is None:
+            from repro.analysis.summaries import SummaryIndex
+
+            self._summaries = SummaryIndex(self)
+        return self._summaries
 
     def methods_named(self, name: str) -> list[FunctionInfo]:
         """Every class method with this bare name, project-wide."""

@@ -1,0 +1,315 @@
+"""Rule family OPQ75x: global lock-order acyclicity and blocking holds.
+
+The OPQ7xx family proves *which* lock guards each cross-thread field;
+this family proves the locks compose: the machine model's SPMD exchange
+deadlocks silently when two roles take the same locks in opposite
+orders, so the discipline is a **global lock-order graph with no
+cycles**.
+
+The graph joins two sources, both semantic rather than syntactic:
+
+- intraprocedural: :class:`~repro.analysis.dataflow.LockTracker`'s
+  must-held fact at every ``with <lock>:`` — holding ``A`` while
+  acquiring ``B`` adds the edge ``A -> B`` with the acquisition site as
+  witness;
+- interprocedural: at every call executed with locks held, the callee's
+  (transitive) :attr:`~repro.analysis.summaries.FunctionSummary.acquires_locks`
+  adds edges through the call — the caller never spells the callee's
+  locks, the summary does.
+
+Lock names are qualified by :func:`~repro.analysis.summaries.qualified_lock`
+(``self._lock`` in a ``Snapshotter`` method is the node
+``Snapshotter._lock``), so two functions naming the same lock object
+meet at one node.
+
+OPQ751 reports each elementary cycle once, with a witness site for every
+edge.  OPQ752 upgrades OPQ404 from syntactic to semantic: an *unbounded*
+blocking call (``get``/``wait``/``join``/``acquire`` with no timeout —
+directly, or anywhere in the callee per its summary) made while the
+must-held lock set is non-empty can stall every other holder of those
+locks forever.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from repro.analysis.dataflow import LockTracker, iter_ops_with_facts, lock_names_of
+from repro.analysis.framework import Finding, ModuleContext, ProjectRule, dotted_name
+from repro.analysis.project import FunctionInfo, ProjectContext
+from repro.analysis.registry import register
+from repro.analysis.summaries import (
+    SummaryIndex,
+    qualified_lock,
+    unbounded_blocking_attr,
+)
+
+__all__ = [
+    "LockSite",
+    "LockOrderGraph",
+    "build_lock_order_graph",
+    "LockOrderCycleRule",
+    "BlockingWhileHoldingRule",
+]
+
+_SCOPE = ("service/", "parallel/")
+
+
+@dataclass(frozen=True)
+class LockSite:
+    """One witness for a lock-order edge."""
+
+    fn_qualname: str
+    path: str
+    line: int
+    detail: str  # "acquired directly" | "via call to <callee>"
+
+
+@dataclass
+class LockOrderGraph:
+    """Directed lock-order graph: edge ``A -> B`` = B acquired under A."""
+
+    #: ``(held, acquired) -> witness sites`` in discovery order.
+    edges: dict[tuple[str, str], list[LockSite]] = field(default_factory=dict)
+
+    def add(self, held: str, acquired: str, site: LockSite) -> None:
+        if held == acquired:
+            # Re-acquisition of the held lock is reentrancy, not order;
+            # the OPQ7xx family owns that judgement.
+            return
+        self.edges.setdefault((held, acquired), []).append(site)
+
+    def nodes(self) -> set[str]:
+        return {name for edge in self.edges for name in edge}
+
+    def successors(self, node: str) -> list[str]:
+        return sorted(b for (a, b) in self.edges if a == node)
+
+    def cycles(self) -> list[tuple[str, ...]]:
+        """Every elementary cycle, canonicalised and sorted.
+
+        The graph is tiny (one node per lock object in the project), so
+        a DFS with an explicit path stack is plenty; each cycle is
+        rotated to start at its smallest node so the same cycle found
+        from two entry points reports once.
+        """
+        found: set[tuple[str, ...]] = set()
+
+        def walk(node: str, path: list[str], on_path: set[str]) -> None:
+            for succ in self.successors(node):
+                if succ in on_path:
+                    cycle = tuple(path[path.index(succ) :])
+                    pivot = cycle.index(min(cycle))
+                    found.add(cycle[pivot:] + cycle[:pivot])
+                    continue
+                path.append(succ)
+                on_path.add(succ)
+                walk(succ, path, on_path)
+                on_path.discard(succ)
+                path.pop()
+
+        for start in sorted(self.nodes()):
+            walk(start, [start], {start})
+        return sorted(found)
+
+    def witness(self, held: str, acquired: str) -> LockSite:
+        """The first-discovered site of one edge (for cycle reports)."""
+        return self.edges[(held, acquired)][0]
+
+
+def _held_qualified(fact: frozenset[str], fn: FunctionInfo) -> list[str]:
+    return sorted(qualified_lock(name, fn) for name in fact)
+
+
+def build_lock_order_graph(
+    project: ProjectContext,
+    in_scope: Callable[[ModuleContext], bool] | None = None,
+) -> LockOrderGraph:
+    """The global lock-order graph over (scoped) project functions."""
+    graph = LockOrderGraph()
+    index = project.summaries()
+    for fn in project.iter_functions():
+        if in_scope is not None and not in_scope(fn.module):
+            continue
+        cfg = project.cfg(fn)
+        for op, fact in iter_ops_with_facts(cfg, LockTracker()):
+            held = _held_qualified(fact, fn)
+            if op.kind == "with-enter" and isinstance(
+                op.node, (ast.With, ast.AsyncWith)
+            ):
+                acquired = [
+                    qualified_lock(name, fn) for name in lock_names_of(op.node)
+                ]
+                site = LockSite(
+                    fn_qualname=fn.qualname,
+                    path=str(fn.module.path),
+                    line=op.node.lineno,
+                    detail="acquired directly",
+                )
+                for h in held:
+                    for a in acquired:
+                        graph.add(h, a, site)
+                # One `with a, b:` acquires left-to-right: a -> b.
+                for i, first in enumerate(acquired):
+                    for second in acquired[i + 1 :]:
+                        graph.add(first, second, site)
+            if not held:
+                continue
+            for root in op.expr_roots():
+                for sub in ast.walk(root):
+                    if not isinstance(sub, ast.Call):
+                        continue
+                    callee = dotted_name(sub.func)
+                    if callee is None:
+                        continue
+                    for candidate in index.resolve(fn, callee):
+                        summary = index.summary_of(candidate)
+                        site = LockSite(
+                            fn_qualname=fn.qualname,
+                            path=str(fn.module.path),
+                            line=sub.lineno,
+                            detail=f"via call to {callee} "
+                            f"({candidate.qualname})",
+                        )
+                        for h in held:
+                            for a in sorted(summary.acquires_locks):
+                                graph.add(h, a, site)
+    return graph
+
+
+class _DeadlockRule(ProjectRule):
+    scope_prefixes = _SCOPE
+
+
+@register
+class LockOrderCycleRule(_DeadlockRule):
+    """A cycle in the global lock-order graph (OPQ751)."""
+
+    rule_id = "lock-order-cycle"
+    code = "OPQ751"
+    description = (
+        "two execution paths acquire the same locks in opposite orders "
+        "(judged over must-held dataflow facts joined with callee "
+        "summaries); a cycle in the lock-order graph is a potential "
+        "deadlock"
+    )
+    paper_ref = "section 5 (SPMD exchange deadlocks are silent)"
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        graph = build_lock_order_graph(project, self.in_scope)
+        for cycle in graph.cycles():
+            closed = cycle + (cycle[0],)
+            witnesses = [
+                graph.witness(closed[i], closed[i + 1])
+                for i in range(len(cycle))
+            ]
+            order = " -> ".join(closed)
+            paths = "; ".join(
+                f"{closed[i]} -> {closed[i + 1]} at "
+                f"{w.path}:{w.line} in {w.fn_qualname} ({w.detail})"
+                for i, w in enumerate(witnesses)
+            )
+            anchor = witnesses[0]
+            yield Finding(
+                rule_id=self.rule_id,
+                code=self.code,
+                path=anchor.path,
+                line=anchor.line,
+                col=0,
+                message=(
+                    f"lock-order cycle {order}: {paths} — two threads "
+                    "interleaving these paths deadlock; pick one global "
+                    "order and acquire in it everywhere"
+                ),
+            )
+
+
+@register
+class BlockingWhileHoldingRule(_DeadlockRule):
+    """An unbounded blocking call under a held lock (OPQ752)."""
+
+    rule_id = "blocking-while-holding-lock"
+    code = "OPQ752"
+    description = (
+        "an unbounded blocking call (get/wait/join/acquire with no "
+        "timeout, directly or through a callee per its summary) executes "
+        "while a lock is provably held; every other thread needing that "
+        "lock can stall forever"
+    )
+    paper_ref = "section 5 (SPMD exchange deadlocks are silent)"
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        index = project.summaries()
+        for fn in project.iter_functions():
+            if not self.in_scope(fn.module):
+                continue
+            cfg = project.cfg(fn)
+            for op, fact in iter_ops_with_facts(cfg, LockTracker()):
+                if not fact:
+                    continue
+                held = ", ".join(_held_qualified(fact, fn))
+                lock_exprs = (
+                    set(lock_names_of(op.node))
+                    if op.kind == "with-enter"
+                    and isinstance(op.node, (ast.With, ast.AsyncWith))
+                    else set()
+                )
+                for root in op.expr_roots():
+                    for sub in ast.walk(root):
+                        if not isinstance(sub, ast.Call):
+                            continue
+                        yield from self._judge_call(
+                            index, fn, sub, held, lock_exprs
+                        )
+
+    def _judge_call(
+        self,
+        index: SummaryIndex,
+        fn: FunctionInfo,
+        call: ast.Call,
+        held: str,
+        lock_exprs: set[str],
+    ) -> Iterator[Finding]:
+        attr = unbounded_blocking_attr(call)
+        callee = dotted_name(call.func)
+        if attr is not None:
+            receiver = (callee or attr).rsplit(".", 1)[0]
+            # A nested lock acquisition is an *ordering* event; OPQ751
+            # judges it against the global graph instead.
+            if receiver not in lock_exprs:
+                yield Finding(
+                    rule_id=self.rule_id,
+                    code=self.code,
+                    path=str(fn.module.path),
+                    line=call.lineno,
+                    col=call.col_offset,
+                    message=(
+                        f"unbounded {callee or attr}() while holding "
+                        f"{held} in {fn.qualname}: the call can block "
+                        "forever with the lock held — pass a timeout or "
+                        "move it outside the critical section"
+                    ),
+                )
+            return
+        if callee is None:
+            return
+        for candidate in index.resolve(fn, callee):
+            blocking = sorted(index.summary_of(candidate).blocking_calls)
+            if blocking:
+                yield Finding(
+                    rule_id=self.rule_id,
+                    code=self.code,
+                    path=str(fn.module.path),
+                    line=call.lineno,
+                    col=call.col_offset,
+                    message=(
+                        f"call to {callee} while holding {held} in "
+                        f"{fn.qualname} reaches an unbounded blocking "
+                        f"call ({blocking[0]}); the lock stays held for "
+                        "as long as it blocks — pass a timeout or move "
+                        "the call outside the critical section"
+                    ),
+                )
+                return

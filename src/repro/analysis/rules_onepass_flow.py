@@ -25,13 +25,14 @@ facts filtered through :func:`~repro.analysis.dataflow.dominators` —
 only edges from blocks the head does not dominate count, which is
 exactly the enclosing-loop case.
 
-Passing a consumed stream into a call is judged interprocedurally:
-OPQ802 fires only when the project index resolves the callee to a
-function whose matched parameter is itself consumed (direct iteration or
-``.runs()`` in the callee body).  Unresolvable callees conservatively
-*mark* the stream consumed — so a later direct iteration is still caught
-— but do not report, keeping the family quiet on helpers the index
-cannot see through.
+Passing a consumed stream into a call is judged interprocedurally
+through the :class:`~repro.analysis.summaries.SummaryIndex`: OPQ802
+fires only when a resolved candidate's matched parameter is in its
+**transitive** consume set — a callee that merely forwards the stream to
+a consumer is itself a consumer, which the v2 one-level oracle could not
+see.  Unresolvable callees conservatively *mark* the stream consumed —
+so a later direct iteration is still caught — but do not report, keeping
+the family quiet on helpers the index cannot see through.
 """
 
 from __future__ import annotations
@@ -40,11 +41,12 @@ import ast
 from dataclasses import dataclass
 from typing import Callable, Iterator
 
-from repro.analysis.cfg import CFG, Op
+from repro.analysis.cfg import Op
 from repro.analysis.dataflow import EMPTY, Fact, GenKill, dominators, run_forward
 from repro.analysis.framework import Finding, ProjectRule, dotted_name
 from repro.analysis.project import FunctionInfo, ProjectContext
 from repro.analysis.registry import register
+from repro.analysis.summaries import EXHAUSTING_BUILTINS as _EXHAUSTING_BUILTINS
 
 __all__ = [
     "StreamOrigin",
@@ -55,23 +57,6 @@ __all__ = [
 
 #: Constructors (last dotted segment) producing a single-pass source.
 _STREAM_CTORS = {"RunReader"}
-
-#: Builtins that exhaust an iterable argument.
-_EXHAUSTING_BUILTINS = {
-    "list",
-    "tuple",
-    "set",
-    "frozenset",
-    "sorted",
-    "sum",
-    "max",
-    "min",
-    "any",
-    "all",
-    "enumerate",
-    "zip",
-    "iter",
-}
 
 
 @dataclass(frozen=True)
@@ -244,107 +229,8 @@ class _ConsumedStreams(GenKill):
         return _killed_names(op, self.streams)
 
 
-def _param_names(fn: FunctionInfo) -> list[str]:
-    args = fn.node.args
-    names = [a.arg for a in args.posonlyargs + args.args]
-    if fn.is_method and names and names[0] in ("self", "cls"):
-        names = names[1:]
-    return names
-
-
-def _consumes_param(fn: FunctionInfo, param: str) -> bool:
-    """Does ``fn``'s body directly consume its parameter ``param``?
-
-    One level deep by design: direct iteration, ``.runs()``, or an
-    exhausting builtin.  A callee that merely forwards the stream again
-    is not reported — the forwarding function gets its own analysis.
-    """
-    for node in ast.walk(fn.node):
-        if isinstance(node, (ast.For, ast.AsyncFor)):
-            if isinstance(node.iter, ast.Name) and node.iter.id == param:
-                return True
-        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
-            for gen in node.generators:
-                if isinstance(gen.iter, ast.Name) and gen.iter.id == param:
-                    return True
-        elif isinstance(node, ast.Call):
-            func = node.func
-            if (
-                isinstance(func, ast.Attribute)
-                and func.attr == "runs"
-                and isinstance(func.value, ast.Name)
-                and func.value.id == param
-            ):
-                return True
-            callee = dotted_name(func)
-            if callee in _EXHAUSTING_BUILTINS and any(
-                isinstance(a, ast.Name) and a.id == param for a in node.args
-            ):
-                return True
-    return False
-
-
-class _CalleeOracle:
-    """Resolves call edges to "does the callee consume this argument?"."""
-
-    def __init__(self, project: ProjectContext) -> None:
-        self.project = project
-        self._cache: dict[tuple[int, str], tuple[bool | None, FunctionInfo | None]] = {}
-
-    def lookup(
-        self, callee: str | None, name: str, call: ast.Call
-    ) -> tuple[bool | None, FunctionInfo | None]:
-        """``(verdict, consuming_candidate)`` for one call-pass.
-
-        ``verdict`` is ``True`` when some resolved candidate consumes the
-        matched parameter, ``False`` when every candidate was resolved
-        and none consumes it, ``None`` when the callee is unknown.
-        """
-        if callee is None:
-            return None, None
-        key = (id(call), name)
-        if key not in self._cache:
-            self._cache[key] = self._lookup(callee, name, call)
-        return self._cache[key]
-
-    def _lookup(
-        self, callee: str, name: str, call: ast.Call
-    ) -> tuple[bool | None, FunctionInfo | None]:
-        parts = callee.split(".")
-        if len(parts) == 1:
-            candidates = self.project.functions_named(parts[0])
-        else:
-            candidates = self.project.methods_named(parts[-1])
-        if not candidates:
-            return None, None
-        for candidate in candidates:
-            param = self._matched_param(candidate, name, call)
-            if param is not None and _consumes_param(candidate, param):
-                return True, candidate
-        return False, None
-
-    @staticmethod
-    def _matched_param(
-        fn: FunctionInfo, name: str, call: ast.Call
-    ) -> str | None:
-        params = _param_names(fn)
-        for index, arg in enumerate(call.args):
-            if isinstance(arg, ast.Name) and arg.id == name:
-                if index < len(params):
-                    return params[index]
-                return None
-        for kw in call.keywords:
-            if (
-                kw.arg is not None
-                and isinstance(kw.value, ast.Name)
-                and kw.value.id == name
-            ):
-                return kw.arg if kw.arg in params else None
-        return None
-
-
 def _double_consumptions(
-    project: ProjectContext, fn: FunctionInfo, oracle: _CalleeOracle
+    project: ProjectContext, fn: FunctionInfo
 ) -> Iterator[tuple[_Consumption, StreamOrigin]]:
     """Consumption events of ``fn`` whose stream may already be consumed."""
     origins = stream_origins(fn.node)
@@ -352,8 +238,12 @@ def _double_consumptions(
         return
     streams = set(origins)
     cfg = project.cfg(fn)
+    index = project.summaries()
     analysis = _ConsumedStreams(
-        streams, lambda callee, name, call: oracle.lookup(callee, name, call)[0]
+        streams,
+        lambda callee, name, call: index.consumption_verdict(
+            fn, callee, name, call
+        )[0],
     )
     in_facts = run_forward(cfg, analysis)
     out_facts = {
@@ -400,9 +290,8 @@ class DoubleConsumeRule(ProjectRule):
     paper_ref = "Section 2, Lemma 1 (each run is read exactly once)"
 
     def check_project(self, project: ProjectContext) -> Iterator[Finding]:
-        oracle = _CalleeOracle(project)
         for fn in _scoped_functions(project, self):
-            for event, origin in _double_consumptions(project, fn, oracle):
+            for event, origin in _double_consumptions(project, fn):
                 if event.kind != "iterate":
                     continue
                 yield Finding(
@@ -435,13 +324,13 @@ class ConsumedReentryRule(ProjectRule):
     paper_ref = "Section 2, Lemma 1 (each run is read exactly once)"
 
     def check_project(self, project: ProjectContext) -> Iterator[Finding]:
-        oracle = _CalleeOracle(project)
+        index = project.summaries()
         for fn in _scoped_functions(project, self):
-            for event, origin in _double_consumptions(project, fn, oracle):
+            for event, origin in _double_consumptions(project, fn):
                 if event.kind != "call":
                     continue
-                verdict, candidate = oracle.lookup(
-                    event.callee, event.name, event.node  # type: ignore[arg-type]
+                verdict, candidate = index.consumption_verdict(
+                    fn, event.callee, event.name, event.node  # type: ignore[arg-type]
                 )
                 if verdict is not True or candidate is None:
                     continue  # unknown callees mark, resolved safe ones pass

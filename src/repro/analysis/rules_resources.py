@@ -1,0 +1,866 @@
+"""Rule family OPQ25x: resource lifetimes over exception edges.
+
+The paper's guarantees are *resource* guarantees — one pass, bounded
+memory, p-way exchange — and the runtime's are too: every
+``SharedMemory`` segment the process backend creates must be closed and
+unlinked on **all** paths (a stranded named segment outlives the
+process), every file/mmap handle must not leak past the pass.  Unit
+tests only see the happy path; this family proves the exception paths.
+
+For each function, acquisitions are tracked as gen/kill facts flowing
+over the CFG — crucially including the exception edges
+:mod:`repro.analysis.cfg` lowers (any op in a ``try`` body may jump to a
+handler; a ``raise`` unwinds to the exit).  Two fixpoints per function:
+
+- the **full view** (every edge): a resource live at the exit leaks on
+  *some* path;
+- the **normal view** (edges into handlers removed, ``raise`` paths
+  dropped): a resource live at the exit leaks on a *non-exceptional*
+  path.
+
+The difference classifies the finding: live only in the full view is
+OPQ251 ("may leak when an exception unwinds"), live in the normal view
+is OPQ252 ("release does not post-dominate the acquisition").
+
+Ownership handoffs are explicit: a resource that escapes — returned,
+stored into a field or container, its capability captured (a
+``SharedMemory`` segment's ``.name`` shipped in a descriptor), or passed
+to a callee whose summary says the argument escapes — must carry the
+transfer annotation on the escaping statement::
+
+    handle = _ShmArray(segment.name, ...)  # opaq: transfer[segment] consumer unlinks
+
+An annotated transfer ends the local obligation (the new owner's
+release is checked where the new owner lives); an unannotated escape is
+OPQ253.  Call edges are judged through
+:class:`~repro.analysis.summaries.SummaryIndex`: passing a resource to a
+function that (transitively) releases its parameter is a release here.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.analysis.cfg import CFG, Op
+from repro.analysis.dataflow import EMPTY, Fact, GenKill, run_forward
+from repro.analysis.framework import (
+    Finding,
+    ProjectRule,
+    _comment_lines,
+    dotted_name,
+)
+from repro.analysis.project import FunctionInfo, ProjectContext
+from repro.analysis.registry import register
+from repro.analysis.summaries import SummaryIndex, matched_param
+
+__all__ = [
+    "Acquisition",
+    "EscapeEvent",
+    "ResourceFact",
+    "function_resource_facts",
+    "transfer_directives",
+    "ResourceLeakOnExceptionRule",
+    "ResourceReleaseNotPostDominatingRule",
+    "ResourceEscapesUndocumentedRule",
+]
+
+#: Constructor names (last dotted segment) that acquire a tracked
+#: resource when their result is bound to a plain name.
+#: ``with Ctor(...) as x:`` forms release by construction and are not
+#: tracked.
+_ACQUIRING_CTORS = frozenset(
+    {
+        "SharedMemory",
+        "open",
+        "mmap",
+        "TemporaryFile",
+        "NamedTemporaryFile",
+        "SpooledTemporaryFile",
+    }
+)
+
+#: The transfer directive: ``# opaq: transfer[name, other] rationale``.
+_TRANSFER_RE = re.compile(
+    r"#\s*opaq:\s*transfer\[(?P<names>[^\]]*)\]", re.IGNORECASE
+)
+
+_SCOPE = ("parallel/", "storage/", "service/", "obs/")
+
+
+def transfer_directives(source: str) -> dict[int, set[str]]:
+    """``line -> names`` of every ownership-transfer directive.
+
+    Directives are read from real comment tokens (like suppressions), so
+    the syntax documented in a docstring is not a live transfer.
+    """
+    table: dict[int, set[str]] = {}
+    for lineno, text in _comment_lines(source):
+        match = _TRANSFER_RE.search(text)
+        if match is None:
+            continue
+        names = {
+            part.strip()
+            for part in match.group("names").split(",")
+            if part.strip()
+        }
+        if names:
+            table.setdefault(lineno, set()).update(names)
+    return table
+
+
+@dataclass(frozen=True)
+class Acquisition:
+    """One resource bound to a local name (or a field) in one function."""
+
+    token: str  # "<name>@<line>", unique per acquisition site
+    name: str  # the bound local name ("segment") or field ("self._file")
+    kind: str  # shm-create | shm-attach | file | mmap | tempfile | enter
+    node: ast.stmt  # the binding statement (finding anchor)
+    line: int
+
+    @property
+    def describe(self) -> str:
+        labels = {
+            "shm-create": "SharedMemory segment (created)",
+            "shm-attach": "SharedMemory segment (attached)",
+            "file": "file handle",
+            "mmap": "mmap",
+            "tempfile": "temporary file",
+            "enter": "context-manager resource",
+        }
+        return labels.get(self.kind, self.kind)
+
+
+@dataclass(frozen=True)
+class EscapeEvent:
+    """One point where a tracked resource's ownership leaves the scope."""
+
+    token: str
+    node: ast.AST
+    line: int
+    via: str  # "return" | "yield" | "store" | "capability" | "call"
+    sanctioned: bool  # a transfer directive covers the statement
+    detail: str = ""
+
+
+@dataclass
+class ResourceFact:
+    """Everything the analysis derived about one acquisition."""
+
+    acquisition: Acquisition
+    release_lines: tuple[int, ...] = ()
+    escapes: list[EscapeEvent] = field(default_factory=list)
+    #: Live at the function exit considering every edge.
+    leaks_on_some_path: bool = False
+    #: Live at the function exit on a non-exceptional path.
+    leaks_on_normal_path: bool = False
+
+    @property
+    def released_on_all_paths(self) -> bool:
+        return not (self.leaks_on_some_path or self.leaks_on_normal_path)
+
+    @property
+    def exception_safe(self) -> bool:
+        return not self.leaks_on_some_path
+
+
+@dataclass(frozen=True)
+class _OpEffect:
+    """Precomputed transfer behaviour of one op for the flow analyses."""
+
+    gen: frozenset[str]
+    kill: frozenset[str]
+    escapes: tuple[EscapeEvent, ...]
+    is_raise: bool
+    #: The op evaluates something that can raise (a call, a subscript, an
+    #: attribute access).  A resource live across such an op *outside any
+    #: try* unwinds straight out of the function — the CFG only has
+    #: exception edges for ops under a handler, so the full-view fixpoint
+    #: alone cannot see this leak.
+    may_raise: bool
+
+
+def _classify_ctor(call: ast.Call) -> str | None:
+    """The resource kind acquired by a constructor call, if any."""
+    func = call.func
+    if isinstance(func, ast.Attribute) and func.attr == "__enter__":
+        return "enter"
+    callee = dotted_name(func)
+    if callee is None:
+        return None
+    last = callee.rsplit(".", 1)[-1]
+    if last not in _ACQUIRING_CTORS:
+        return None
+    if last == "SharedMemory":
+        for kw in call.keywords:
+            if kw.arg == "create" and isinstance(kw.value, ast.Constant):
+                if kw.value.value:
+                    return "shm-create"
+        return "shm-attach"
+    if last == "open":
+        return "file"
+    if last == "mmap":
+        return "mmap"
+    return "tempfile"
+
+
+def _kill_matches(kind: str, method: str) -> bool:
+    """Does calling ``method`` on a resource of ``kind`` release it?
+
+    A *created* shared-memory segment is only released by ``unlink()``
+    (``close()`` merely detaches the mapping; the named segment
+    persists) — the asymmetry this family exists to catch.
+    """
+    if method == "unlink":
+        return kind in ("shm-create", "shm-attach")
+    if kind == "shm-create":
+        return False
+    return method in ("close", "__exit__", "shutdown")
+
+
+class _ResourceFlow(GenKill):
+    """May-analysis of live (unreleased, unescaped) resource tokens."""
+
+    mode = "may"
+
+    def __init__(
+        self, effects: dict[int, _OpEffect], all_tokens: Fact, normal: bool
+    ) -> None:
+        self.effects = effects
+        self.all_tokens = all_tokens
+        #: In the normal view a ``raise`` path is not a normal exit, so
+        #: its facts are dropped before they can reach the exit block.
+        self.normal = normal
+
+    def gen(self, op: Op) -> Fact:
+        effect = self.effects.get(id(op))
+        return effect.gen if effect is not None else EMPTY
+
+    def kill(self, op: Op) -> Fact:
+        effect = self.effects.get(id(op))
+        if effect is None:
+            return EMPTY
+        if self.normal and effect.is_raise:
+            return self.all_tokens
+        return effect.kill
+
+
+class _FunctionResourceAnalysis:
+    """Shared machinery for the three OPQ25x rules and the golden tests."""
+
+    def __init__(
+        self,
+        project: ProjectContext,
+        fn: FunctionInfo,
+        index: SummaryIndex,
+    ) -> None:
+        self.project = project
+        self.fn = fn
+        self.index = index
+        self.transfers = transfer_directives(fn.module.source)
+        self.local_acqs: list[Acquisition] = []
+        self.field_acqs: list[Acquisition] = []
+        self._find_acquisitions()
+        self.tokens_by_name: dict[str, set[str]] = {}
+        self.kinds: dict[str, str] = {}
+        for acq in self.local_acqs:
+            self.tokens_by_name.setdefault(acq.name, set()).add(acq.token)
+            self.kinds[acq.token] = acq.kind
+        self.release_lines: dict[str, set[int]] = {}
+
+    # -- acquisition discovery ----------------------------------------
+
+    def _find_acquisitions(self) -> None:
+        for node in ast.walk(self.fn.node):
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+                value = node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets = [node.target]
+                value = node.value
+            else:
+                continue
+            if len(targets) != 1 or not isinstance(value, ast.Call):
+                continue
+            kind = _classify_ctor(value)
+            if kind is None:
+                continue
+            target = targets[0]
+            if isinstance(target, ast.Name):
+                self.local_acqs.append(
+                    Acquisition(
+                        token=f"{target.id}@{node.lineno}",
+                        name=target.id,
+                        kind=kind,
+                        node=node,
+                        line=node.lineno,
+                    )
+                )
+            elif (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                name = f"self.{target.attr}"
+                self.field_acqs.append(
+                    Acquisition(
+                        token=f"{name}@{node.lineno}",
+                        name=name,
+                        kind=kind,
+                        node=node,
+                        line=node.lineno,
+                    )
+                )
+
+    # -- per-op effects ------------------------------------------------
+
+    def _sanctioned(self, stmt: ast.AST, name: str) -> bool:
+        """A transfer directive on the statement names this resource."""
+        first = getattr(stmt, "lineno", None)
+        last = getattr(stmt, "end_lineno", None) or first
+        if first is None:
+            return False
+        for line in range(first, last + 1):
+            names = self.transfers.get(line)
+            if names and (
+                name in names or name.rsplit(".", 1)[-1] in names or "*" in names
+            ):
+                return True
+        return False
+
+    def _tokens_of(self, name: str) -> frozenset[str]:
+        return frozenset(self.tokens_by_name.get(name, ()))
+
+    def _op_effect(self, op: Op) -> _OpEffect:
+        gen: set[str] = set()
+        kill: set[str] = set()
+        escapes: list[EscapeEvent] = []
+        node = op.node
+        is_raise = op.kind == "stmt" and isinstance(node, ast.Raise)
+
+        # Acquisitions and rebindings anchor on the statement op itself.
+        if op.kind == "stmt":
+            for acq in self.local_acqs:
+                if acq.node is node:
+                    gen.add(acq.token)
+            self._stmt_effects(node, kill, escapes)
+
+        if op.kind == "with-exit" and isinstance(
+            node, (ast.With, ast.AsyncWith)
+        ):
+            for item in node.items:
+                if isinstance(item.context_expr, ast.Name):
+                    self._method_kill(
+                        item.context_expr.id, "__exit__", node.lineno, kill
+                    )
+
+        for root in op.expr_roots():
+            for sub in ast.walk(root):
+                if isinstance(sub, ast.Call):
+                    self._call_effects(sub, node, kill, escapes)
+                elif (
+                    isinstance(sub, ast.Attribute)
+                    and sub.attr == "name"
+                    and isinstance(sub.value, ast.Name)
+                ):
+                    self._capability_effects(sub, node, kill, escapes)
+
+        may_raise = any(
+            isinstance(sub, (ast.Call, ast.Subscript, ast.Attribute))
+            for root in op.expr_roots()
+            for sub in ast.walk(root)
+        )
+        return _OpEffect(
+            gen=frozenset(gen),
+            kill=frozenset(kill),
+            escapes=tuple(escapes),
+            is_raise=is_raise,
+            may_raise=may_raise,
+        )
+
+    def _stmt_effects(
+        self, node: ast.AST, kill: set[str], escapes: list[EscapeEvent]
+    ) -> None:
+        if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets = (
+                list(node.targets)
+                if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            value = getattr(node, "value", None)
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    # Rebinding drops older acquisitions of the name —
+                    # except the one this very statement creates.
+                    for token in self._tokens_of(target.id):
+                        if token != f"{target.id}@{node.lineno}":
+                            kill.add(token)
+                elif isinstance(target, (ast.Attribute, ast.Subscript)):
+                    for name in _whole_value_names(value):
+                        for token in self._tokens_of(name):
+                            kill.add(token)
+                            escapes.append(
+                                EscapeEvent(
+                                    token=token,
+                                    node=node,
+                                    line=node.lineno,
+                                    via="store",
+                                    sanctioned=self._sanctioned(node, name),
+                                    detail="stored into a field/container",
+                                )
+                            )
+        elif isinstance(node, ast.Return) or (
+            isinstance(node, ast.Expr)
+            and isinstance(node.value, (ast.Yield, ast.YieldFrom))
+        ):
+            value = (
+                node.value
+                if isinstance(node, ast.Return)
+                else node.value.value  # type: ignore[union-attr]
+            )
+            via = "return" if isinstance(node, ast.Return) else "yield"
+            for name in _whole_value_names(value):
+                for token in self._tokens_of(name):
+                    kill.add(token)
+                    escapes.append(
+                        EscapeEvent(
+                            token=token,
+                            node=node,
+                            line=node.lineno,
+                            via=via,
+                            sanctioned=self._sanctioned(node, name),
+                            detail=f"ownership leaves via {via}",
+                        )
+                    )
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    kill.update(self._tokens_of(target.id))
+
+    def _method_kill(
+        self, name: str, method: str, line: int, kill: set[str]
+    ) -> None:
+        for token in self._tokens_of(name):
+            if _kill_matches(self.kinds[token], method):
+                kill.add(token)
+                self.release_lines.setdefault(token, set()).add(line)
+
+    def _call_effects(
+        self,
+        call: ast.Call,
+        stmt: ast.AST,
+        kill: set[str],
+        escapes: list[EscapeEvent],
+    ) -> None:
+        func = call.func
+        if isinstance(func, ast.Attribute) and isinstance(
+            func.value, ast.Name
+        ):
+            receiver = func.value.id
+            if receiver in self.tokens_by_name and func.attr in (
+                "close",
+                "unlink",
+                "__exit__",
+                "shutdown",
+                "release",
+            ):
+                method = "close" if func.attr == "release" else func.attr
+                self._method_kill(receiver, method, call.lineno, kill)
+                return
+        callee = dotted_name(func)
+        for arg in list(call.args) + [kw.value for kw in call.keywords]:
+            if not (
+                isinstance(arg, ast.Name) and arg.id in self.tokens_by_name
+            ):
+                continue
+            name = arg.id
+            if self._callee_releases(callee, name, call):
+                for token in self._tokens_of(name):
+                    kill.add(token)
+                    self.release_lines.setdefault(token, set()).add(
+                        call.lineno
+                    )
+            elif self.index.escapes_argument(self.fn, callee, name, call):
+                for token in self._tokens_of(name):
+                    kill.add(token)
+                    escapes.append(
+                        EscapeEvent(
+                            token=token,
+                            node=call,
+                            line=call.lineno,
+                            via="call",
+                            sanctioned=self._sanctioned(stmt, name),
+                            detail=f"passed to {callee or '<call>'}, "
+                            "which lets it escape",
+                        )
+                    )
+
+    def _callee_releases(
+        self, callee: str | None, name: str, call: ast.Call
+    ) -> bool:
+        """Every candidate releases the matched parameter (kind-aware)."""
+        if callee is None:
+            return False
+        candidates = self.index.resolve(self.fn, callee)
+        if not candidates:
+            return False
+        needs_unlink = any(
+            self.kinds[t] == "shm-create" for t in self._tokens_of(name)
+        )
+        for candidate in candidates:
+            param = matched_param(candidate, name, call)
+            if param is None:
+                return False
+            summary = self.index.summary_of(candidate)
+            if needs_unlink:
+                if param not in summary.unlinks_params:
+                    return False
+            elif param not in summary.releases_params:
+                return False
+        return True
+
+    def _capability_effects(
+        self,
+        attr: ast.Attribute,
+        stmt: ast.AST,
+        kill: set[str],
+        escapes: list[EscapeEvent],
+    ) -> None:
+        """``segment.name`` read on a created segment: identity handoff.
+
+        Shipping the segment's *name* is how ownership of a named
+        segment actually moves between processes — the descriptor is a
+        capability.  It must be an annotated transfer; otherwise the
+        local release obligation silently evaporates.
+        """
+        assert isinstance(attr.value, ast.Name)
+        name = attr.value.id
+        tokens = [
+            t for t in self._tokens_of(name) if self.kinds[t] == "shm-create"
+        ]
+        for token in tokens:
+            kill.add(token)
+            escapes.append(
+                EscapeEvent(
+                    token=token,
+                    node=attr,
+                    line=attr.lineno,
+                    via="capability",
+                    sanctioned=self._sanctioned(stmt, name),
+                    detail="its segment name (the unlink capability) is "
+                    "captured",
+                )
+            )
+
+    # -- the fixpoints -------------------------------------------------
+
+    def run(self) -> list[ResourceFact]:
+        facts = [
+            ResourceFact(acquisition=acq)
+            for acq in self.local_acqs + self.field_acqs
+        ]
+        by_token = {f.acquisition.token: f for f in facts}
+
+        for acq in self.field_acqs:
+            # A field store at acquisition is an escape at birth: the
+            # object owns the resource now, which is fine exactly when
+            # it is declared.
+            by_token[acq.token].escapes.append(
+                EscapeEvent(
+                    token=acq.token,
+                    node=acq.node,
+                    line=acq.line,
+                    via="store",
+                    sanctioned=self._sanctioned(acq.node, acq.name),
+                    detail=f"bound to field {acq.name} at construction",
+                )
+            )
+
+        if not self.local_acqs:
+            return facts
+
+        cfg = self.project.cfg(self.fn)
+        effects: dict[int, _OpEffect] = {}
+        reachable = cfg.reachable()
+        for bid in reachable:
+            for op in cfg.blocks[bid].ops:
+                effects[id(op)] = self._op_effect(op)
+        all_tokens = frozenset(t for acq in self.local_acqs for t in [acq.token])
+
+        full_flow = _ResourceFlow(effects, all_tokens, normal=False)
+        full = self._run_full(cfg, full_flow)
+        normal_flow = _ResourceFlow(effects, all_tokens, normal=True)
+        normal = run_forward(
+            cfg,
+            normal_flow,
+            edge_filter=lambda src, dst: cfg.blocks[dst].label != "except",
+        )
+
+        unwind_leaks = self._replay_full(cfg, full, full_flow, by_token)
+
+        live_full = full.get(cfg.exit, EMPTY)
+        live_normal = normal.get(cfg.exit, EMPTY)
+        for acq in self.local_acqs:
+            fact = by_token[acq.token]
+            fact.release_lines = tuple(
+                sorted(self.release_lines.get(acq.token, ()))
+            )
+            fact.leaks_on_normal_path = acq.token in live_normal
+            fact.leaks_on_some_path = not fact.leaks_on_normal_path and (
+                acq.token in live_full or acq.token in unwind_leaks
+            )
+        return facts
+
+    def _run_full(
+        self, cfg: CFG, flow: _ResourceFlow
+    ) -> dict[int, Fact]:
+        """Full-view fixpoint with edge-precise exception facts.
+
+        :func:`~repro.analysis.dataflow.run_forward` propagates one
+        out-fact to every successor, so an acquisition whose *own*
+        constructor raises would flow its freshly gen'd token into the
+        handler — as if the binding both succeeded and failed.  Here an
+        edge into a handler carries the union of the block's *pre-op*
+        states instead: every point an exception could actually have
+        left from, none of which includes the not-yet-bound token of the
+        block's final op.
+        """
+        reachable = cfg.reachable()
+        in_facts: dict[int, Fact | None] = {bid: None for bid in reachable}
+        in_facts[cfg.entry] = EMPTY
+        worklist = [cfg.entry]
+        while worklist:
+            bid = worklist.pop()
+            fact = in_facts[bid]
+            if fact is None:
+                continue
+            states = [fact]
+            for op in cfg.blocks[bid].ops:
+                states.append(flow.transfer(op, states[-1]))
+            out_normal = states[-1]
+            out_except: Fact = frozenset().union(*states[:-1]) if len(
+                states
+            ) > 1 else states[0]
+            for succ in cfg.blocks[bid].succs:
+                if succ not in reachable:
+                    continue
+                out = (
+                    out_except
+                    if cfg.blocks[succ].label == "except"
+                    else out_normal
+                )
+                old = in_facts[succ]
+                new = out if old is None else old | out
+                if new != old:
+                    in_facts[succ] = new
+                    worklist.append(succ)
+        return {
+            bid: fact if fact is not None else EMPTY
+            for bid, fact in in_facts.items()
+        }
+
+    def _replay_full(
+        self,
+        cfg: CFG,
+        entry_facts: dict[int, Fact],
+        flow: _ResourceFlow,
+        by_token: dict[str, ResourceFact],
+    ) -> set[str]:
+        """Replay the full view op by op.
+
+        Attaches escape events where the resource was actually live, and
+        returns the tokens live across an unguarded may-raise op — the
+        implicit-unwind leaks the block-level fixpoint cannot represent
+        (no try, so no exception edge exists to carry the fact out).
+        """
+        seen: set[tuple[str, int, str]] = set()
+        unwind_leaks: set[str] = set()
+        for bid in sorted(entry_facts):
+            guarded = any(
+                cfg.blocks[succ].label in ("except", "finally")
+                for succ in cfg.blocks[bid].succs
+            )
+            # Inside a handler/finally suite the function is already on
+            # its cleanup path; demanding the cleanup's own calls be
+            # exception-proof in turn would be a second-order obligation
+            # no release sequence could meet.
+            cleanup = cfg.blocks[bid].label in ("except", "finally")
+            fact = entry_facts[bid]
+            for op in cfg.blocks[bid].ops:
+                effect = flow.effects.get(id(op))
+                if effect is not None:
+                    for event in effect.escapes:
+                        key = (event.token, event.line, event.via)
+                        if event.token in fact and key not in seen:
+                            seen.add(key)
+                            by_token[event.token].escapes.append(event)
+                    if effect.may_raise and not guarded and not cleanup:
+                        # Live here, not released by this very op, and an
+                        # unwind has nowhere to go but out of the frame.
+                        unwind_leaks.update(fact - effect.kill)
+                fact = flow.transfer(op, fact)
+        return unwind_leaks
+
+
+def function_resource_facts(
+    project: ProjectContext, fn: FunctionInfo
+) -> list[ResourceFact]:
+    """Resource-lifetime facts for one function (golden-test surface)."""
+    return _FunctionResourceAnalysis(project, fn, project.summaries()).run()
+
+
+def _whole_value_names(value: ast.expr | None) -> list[str]:
+    """Names handed over as whole objects by a value expression."""
+    if value is None:
+        return []
+    names: list[str] = []
+    stack: list[ast.expr] = [value]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.Name):
+            names.append(node.id)
+        elif isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            stack.extend(node.elts)
+        elif isinstance(node, ast.Dict):
+            stack.extend(v for v in node.values if v is not None)
+    return names
+
+
+def _scoped_functions(
+    project: ProjectContext, rule: ProjectRule
+) -> Iterator[FunctionInfo]:
+    for fn in project.iter_functions():
+        if rule.in_scope(fn.module):
+            yield fn
+
+
+class _ResourceRule(ProjectRule):
+    """Shared driver: analyse every scoped function once per rule."""
+
+    scope_prefixes = _SCOPE
+
+    def _iter_facts(
+        self, project: ProjectContext
+    ) -> Iterator[tuple[FunctionInfo, ResourceFact]]:
+        for fn in _scoped_functions(project, self):
+            for fact in function_resource_facts(project, fn):
+                yield fn, fact
+
+
+@register
+class ResourceLeakOnExceptionRule(_ResourceRule):
+    """A resource that leaks only when an exception unwinds (OPQ251)."""
+
+    rule_id = "resource-leak-exception-path"
+    code = "OPQ251"
+    description = (
+        "an acquired resource (SharedMemory/open/mmap/tempfile) is "
+        "released on the normal path but leaks when an exception unwinds "
+        "between acquisition and release; release it in try/finally or "
+        "an except block"
+    )
+    paper_ref = "section 4 (SPMD exchange must not strand segments)"
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        for fn, fact in self._iter_facts(project):
+            if not fact.leaks_on_some_path:
+                continue
+            acq = fact.acquisition
+            yield Finding(
+                rule_id=self.rule_id,
+                code=self.code,
+                path=str(fn.module.path),
+                line=acq.line,
+                col=acq.node.col_offset,
+                message=(
+                    f"{acq.describe} '{acq.name}' acquired here may leak "
+                    f"when an exception unwinds out of {fn.qualname}: no "
+                    "release on the exception path — wrap the hand-off in "
+                    "try/finally or release in an except block"
+                ),
+            )
+
+
+@register
+class ResourceReleaseNotPostDominatingRule(_ResourceRule):
+    """A resource whose release misses some normal path (OPQ252)."""
+
+    rule_id = "resource-release-not-postdominating"
+    code = "OPQ252"
+    description = (
+        "an acquired resource's close()/unlink() does not post-dominate "
+        "the acquisition: some non-exceptional path reaches the function "
+        "exit with the resource still live"
+    )
+    paper_ref = "section 4 (SPMD exchange must not strand segments)"
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        for fn, fact in self._iter_facts(project):
+            if not fact.leaks_on_normal_path:
+                continue
+            acq = fact.acquisition
+            if fact.release_lines:
+                detail = (
+                    f"released at line"
+                    f"{'s' if len(fact.release_lines) > 1 else ''} "
+                    f"{', '.join(str(li) for li in fact.release_lines)}, "
+                    "but the release does not post-dominate the "
+                    "acquisition — some path skips it"
+                )
+            else:
+                needs = (
+                    "unlink()"
+                    if acq.kind == "shm-create"
+                    else "close()"
+                )
+                detail = f"never released ({needs} required)"
+            yield Finding(
+                rule_id=self.rule_id,
+                code=self.code,
+                path=str(fn.module.path),
+                line=acq.line,
+                col=acq.node.col_offset,
+                message=(
+                    f"{acq.describe} '{acq.name}' acquired here is not "
+                    f"released on every path of {fn.qualname}: {detail}"
+                ),
+            )
+
+
+@register
+class ResourceEscapesUndocumentedRule(_ResourceRule):
+    """A resource escapes without a documented transfer (OPQ253)."""
+
+    rule_id = "resource-escape-undocumented"
+    code = "OPQ253"
+    description = (
+        "a resource's ownership leaves the acquiring function (returned, "
+        "stored into a field, capability captured, or passed to an "
+        "escaping callee) without an '# opaq: transfer[name]' annotation "
+        "naming the handoff"
+    )
+    paper_ref = "section 4 (descriptor handoff is an ownership transfer)"
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        for fn, fact in self._iter_facts(project):
+            acq = fact.acquisition
+            for event in fact.escapes:
+                if event.sanctioned:
+                    continue
+                yield Finding(
+                    rule_id=self.rule_id,
+                    code=self.code,
+                    path=str(fn.module.path),
+                    line=event.line,
+                    col=getattr(event.node, "col_offset", 0),
+                    message=(
+                        f"{acq.describe} '{acq.name}' (acquired at line "
+                        f"{acq.line}) escapes {fn.qualname}: "
+                        f"{event.detail}; document the ownership transfer "
+                        f"with '# opaq: transfer[{acq.name}]' on this "
+                        "statement and release it in the new owner"
+                    ),
+                )

@@ -439,6 +439,9 @@ class UnguardedSharedWriteRule(ProjectRule):
     )
     paper_ref = "docs/service.md (locked writers, lock-free readers)"
     scope_prefixes = ("service/",)
+    # Sound: _RoleInference restricts method/function resolution to the
+    # scoped modules, so no out-of-scope file can change these findings.
+    deep_dependencies = "scope"
 
     def check_project(self, project: ProjectContext) -> Iterator[Finding]:
         classes = [c for c in project.classes if self.in_scope(c.module)]
@@ -493,6 +496,9 @@ class ConcurrentReadModifyWriteRule(ProjectRule):
     )
     paper_ref = "docs/service.md (ingest counters under the state lock)"
     scope_prefixes = ("service/",)
+    # Sound for the same reason as OPQ701: role inference never resolves
+    # outside the scoped modules.
+    deep_dependencies = "scope"
 
     def check_project(self, project: ProjectContext) -> Iterator[Finding]:
         classes = [c for c in project.classes if self.in_scope(c.module)]

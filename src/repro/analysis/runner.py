@@ -18,15 +18,26 @@ from __future__ import annotations
 
 import ast
 from pathlib import Path
-from typing import Iterable, Iterator, Sequence
+from typing import Iterable, Iterator, Sequence, Union
 
 from repro.analysis.baseline import apply_baseline, load_baseline
-from repro.analysis.framework import Finding, ModuleContext
-from repro.analysis.project import build_project
+from repro.analysis.cache import (
+    AnalysisCache,
+    CachedModule,
+    CacheStats,
+    cache_fingerprint,
+    hash_bytes,
+)
+from repro.analysis.framework import Finding, ModuleContext, ProjectRule
+from repro.analysis.project import ProjectContext, build_project
 from repro.analysis.registry import all_rules, get_rule, resolve_rule_ids
 from repro.errors import ConfigError
 
 __all__ = ["LintResult", "lint_paths", "iter_python_files", "parse_module"]
+
+#: What the suppression/OPQ902 pipeline needs per file: a real parsed
+#: context, or a cache-hit replay stub.
+_CtxLike = Union[ModuleContext, CachedModule]
 
 #: Directory names never descended into.
 _SKIP_DIRS = {"__pycache__", ".git", ".venv", "node_modules"}
@@ -42,6 +53,7 @@ class LintResult:
         suppressed: int,
         suppressed_by_rule: dict[str, int] | None = None,
         baselined: int = 0,
+        cache_stats: CacheStats | None = None,
     ) -> None:
         self.findings = findings
         self.files_checked = files_checked
@@ -50,6 +62,10 @@ class LintResult:
         self.suppressed_by_rule = suppressed_by_rule or {}
         #: Findings covered by the baseline file (not in ``findings``).
         self.baselined = baselined
+        #: Reuse counters when ``cache=`` was given, else ``None``.
+        #: Deliberately absent from every reporter: cached and cold runs
+        #: must render byte-identically.
+        self.cache_stats = cache_stats
 
     @property
     def clean(self) -> bool:
@@ -80,6 +96,7 @@ def lint_paths(
     ignore: Iterable[str] | None = None,
     deep: bool = False,
     baseline: Path | None = None,
+    cache: str | Path | None = None,
 ) -> LintResult:
     """Run every registered rule over ``paths``.
 
@@ -97,6 +114,12 @@ def lint_paths(
     baseline:
         Baseline file to subtract adopted findings against; its stale
         entries become OPQ903 findings.
+    cache:
+        Path of an incremental cache file (see
+        :mod:`repro.analysis.cache`).  Unchanged files replay their
+        cached raw findings; project rules whose dependency digest is
+        unchanged replay theirs.  Output is byte-identical to a cold
+        run; the file is created/updated at the end of the run.
 
     Returns
     -------
@@ -121,16 +144,28 @@ def lint_paths(
     project_rules = [
         rule
         for rule in all_rules()
-        if rule.requires_project and enabled(rule.rule_id)
+        if isinstance(rule, ProjectRule) and enabled(rule.rule_id)
     ]
 
+    analysis_cache: AnalysisCache | None = None
+    stats: CacheStats | None = None
+    if cache is not None:
+        analysis_cache = AnalysisCache(
+            Path(cache),
+            cache_fingerprint(selected, ignored, deep, all_rules()),
+        )
+        stats = CacheStats()
+
     findings: list[Finding] = []
-    contexts: dict[str, ModuleContext] = {}
+    contexts: dict[str, _CtxLike] = {}
+    #: Fully parsed contexts only (the project index's input).
+    parsed: dict[str, ModuleContext] = {}
+    file_hashes: dict[str, str] = {}
     files_checked = 0
     suppressed = 0
     suppressed_by_rule: dict[str, int] = {}
 
-    def admit(ctx: ModuleContext | None, finding: Finding) -> None:
+    def admit(ctx: _CtxLike | None, finding: Finding) -> None:
         nonlocal suppressed
         if ctx is not None and ctx.suppressions.silences(finding):
             suppressed += 1
@@ -140,39 +175,109 @@ def lint_paths(
         else:
             findings.append(finding)
 
+    def parse_failure(path: Path, exc: Exception) -> None:
+        # One unreadable file is one finding, not a dead run.
+        # (ValueError covers null bytes, UnicodeDecodeError bad
+        # encodings; neither carries a location.)
+        if enabled("parse-error"):
+            rule = get_rule("parse-error")
+            message = getattr(exc, "msg", None) or str(exc)
+            findings.append(
+                Finding(
+                    rule_id=rule.rule_id,
+                    code=rule.code,
+                    path=str(path),
+                    line=getattr(exc, "lineno", None) or 1,
+                    col=(getattr(exc, "offset", None) or 1) - 1,
+                    message=f"cannot parse file: {message}",
+                )
+            )
+
     for path in iter_python_files(paths):
         files_checked += 1
-        try:
-            ctx = ModuleContext.from_path(path)
-        except (SyntaxError, ValueError, UnicodeDecodeError) as exc:
-            # One unreadable file is one finding, not a dead run.
-            # (ValueError covers null bytes, UnicodeDecodeError bad
-            # encodings; neither carries a location.)
-            if enabled("parse-error"):
-                rule = get_rule("parse-error")
-                message = getattr(exc, "msg", None) or str(exc)
-                findings.append(
-                    Finding(
-                        rule_id=rule.rule_id,
-                        code=rule.code,
-                        path=str(path),
-                        line=getattr(exc, "lineno", None) or 1,
-                        col=(getattr(exc, "offset", None) or 1) - 1,
-                        message=f"cannot parse file: {message}",
-                    )
-                )
-            continue
-        contexts[str(ctx.path)] = ctx
+        key = str(path)
+        if analysis_cache is not None and stats is not None:
+            stats.files_total += 1
+            try:
+                data = path.read_bytes()
+            except OSError as exc:
+                parse_failure(path, exc)
+                continue
+            digest = hash_bytes(data)
+            file_hashes[key] = digest
+            hit = analysis_cache.lookup_file(key, digest)
+            if hit is not None:
+                stats.files_reused += 1
+                contexts[key] = hit
+                for finding in hit.findings:
+                    admit(hit, finding)
+                continue
+            try:
+                ctx = ModuleContext.from_source(path, data.decode("utf-8"))
+            except (SyntaxError, ValueError, UnicodeDecodeError) as exc:
+                parse_failure(path, exc)
+                continue  # never cached: must re-judge until it parses
+        else:
+            try:
+                ctx = ModuleContext.from_path(path)
+            except (SyntaxError, ValueError, UnicodeDecodeError) as exc:
+                parse_failure(path, exc)
+                continue
+        contexts[key] = ctx
+        parsed[key] = ctx
+        raw: list[Finding] = []
         for rule in module_rules:
             if not rule.in_scope(ctx):
                 continue
-            for finding in rule.check(ctx):
-                admit(ctx, finding)
+            raw.extend(rule.check(ctx))
+        for finding in raw:
+            admit(ctx, finding)
+        if analysis_cache is not None:
+            analysis_cache.store_file(key, file_hashes[key], ctx, raw)
 
     if deep and project_rules and contexts:
-        project = build_project(list(contexts.values()))
+        package_rels = {
+            key: ctx.package_rel for key, ctx in contexts.items()
+        }
+        deep_plan: list[
+            tuple[ProjectRule, str | None, list[Finding] | None]
+        ] = []
+        any_miss = False
         for rule in project_rules:
-            for finding in rule.check_project(project):
+            dep: str | None = None
+            replay: list[Finding] | None = None
+            if analysis_cache is not None and stats is not None:
+                stats.deep_rules_total += 1
+                dep = analysis_cache.dep_digest(
+                    rule, file_hashes, package_rels
+                )
+                replay = analysis_cache.lookup_deep(rule.rule_id, dep)
+                if replay is not None:
+                    stats.deep_rules_reused += 1
+            if replay is None:
+                any_miss = True
+            deep_plan.append((rule, dep, replay))
+
+        project: ProjectContext | None = None
+        if any_miss:
+            # A deep miss needs the whole project index; re-parse the
+            # cache-hit files (they hashed identical to a prior clean
+            # parse) in walk order so the index — and therefore every
+            # tie in the final stable sort — matches a cold run's.
+            for key, ctx_like in contexts.items():
+                if key not in parsed and isinstance(ctx_like, CachedModule):
+                    parsed[key] = ModuleContext.from_path(ctx_like.path)
+            project = build_project(
+                [parsed[key] for key in contexts if key in parsed]
+            )
+
+        for rule, dep, replay in deep_plan:
+            if replay is None:
+                assert project is not None  # any_miss built it above
+                replay = list(rule.check_project(project))
+                if analysis_cache is not None and dep is not None:
+                    analysis_cache.store_deep(rule.rule_id, dep, replay)
+            for finding in replay:
                 admit(contexts.get(finding.path), finding)
 
     # Unused suppressions are only a fact on full runs: under --select a
@@ -233,6 +338,10 @@ def lint_paths(
                     )
                 )
 
+    if analysis_cache is not None:
+        analysis_cache.drop_stale_files(set(file_hashes))
+        analysis_cache.save()
+
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
     return LintResult(
         findings,
@@ -240,6 +349,7 @@ def lint_paths(
         suppressed,
         suppressed_by_rule=suppressed_by_rule,
         baselined=baselined,
+        cache_stats=stats,
     )
 
 

@@ -465,6 +465,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             select=args.select,
             ignore=args.ignore,
             deep=args.deep,
+            cache=args.cache,
         )
         count = write_baseline(target, result.findings)
         print(f"wrote {count} baseline entr{'y' if count == 1 else 'ies'} to {target}")
@@ -475,6 +476,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         ignore=args.ignore,
         deep=args.deep,
         baseline=baseline,
+        cache=args.cache,
     )
     if args.format == "json":
         print(render_json(result))
@@ -711,6 +713,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--write-baseline", action="store_true",
         help="record the current findings as the new baseline "
         "(to --baseline, default .opaqlint-baseline.json) and exit 0",
+    )
+    p.add_argument(
+        "--cache", metavar="FILE", nargs="?",
+        const=".opaqlint-cache.json", default=None,
+        help="reuse results for unchanged files from this incremental "
+        "cache file (default name when given bare: .opaqlint-cache.json); "
+        "output is byte-identical to an uncached run",
     )
     p.add_argument(
         "--list-rules", action="store_true",

@@ -89,7 +89,9 @@ class JsonlSink:
 
     def __init__(self, target: str | Path | IO[str]) -> None:
         if isinstance(target, (str, Path)):
-            self._stream: IO[str] = open(target, "w", encoding="utf-8")
+            self._stream: IO[str] = open(  # opaq: transfer[self._stream] sink owns it; released in close()
+                target, "w", encoding="utf-8"
+            )
             self._owns = True
         else:
             self._stream = target

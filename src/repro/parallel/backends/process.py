@@ -75,6 +75,19 @@ class _ShmArray:
     dtype: str
 
 
+def _unlink_quietly(segment: shared_memory.SharedMemory) -> None:
+    """Unlink ``segment``, tolerating a racing unlink.
+
+    Split out so the release is *summarised*: callers passing a segment
+    here provably release it (the analysis sees ``unlink`` through the
+    call edge), and the FileNotFoundError tolerance lives in one place.
+    """
+    try:
+        segment.unlink()  # also unregisters from the resource tracker
+    except FileNotFoundError:
+        pass
+
+
 def _pack(obj: Any, threshold: int) -> Any:
     """Recursively park large arrays in shared memory, returning descriptors."""
     if (
@@ -83,12 +96,23 @@ def _pack(obj: Any, threshold: int) -> Any:
         and obj.nbytes >= threshold
     ):
         segment = shared_memory.SharedMemory(create=True, size=max(1, obj.nbytes))
-        view: np.ndarray = np.ndarray(obj.shape, dtype=obj.dtype, buffer=segment.buf)
-        view[...] = obj
-        # The segment stays registered with the (tree-wide) resource
-        # tracker until the consumer's unlink() unregisters it — so an
-        # abandoned segment on an error path is still reclaimed at exit.
-        handle = _ShmArray(segment.name, tuple(obj.shape), obj.dtype.str)
+        try:
+            view: np.ndarray = np.ndarray(
+                obj.shape, dtype=obj.dtype, buffer=segment.buf
+            )
+            view[...] = obj
+            # Shipping the segment *name* is the ownership transfer:
+            # exactly one consumer attaches and unlinks (see _ShmArray).
+            handle = _ShmArray(  # opaq: transfer[segment] consumer unlinks
+                segment.name, tuple(obj.shape), obj.dtype.str
+            )
+        except BaseException:  # noqa: B036  # opaq: ignore[exception-broad-except] re-raised: segment cleanup must cover every failure
+            # A mid-copy failure must not strand a named segment: unlink
+            # here, before the exception leaves the only frame that still
+            # knows the name.
+            segment.close()
+            segment.unlink()
+            raise
         segment.close()
         return handle
     if isinstance(obj, tuple):
@@ -110,14 +134,18 @@ def _unpack(obj: Any) -> Any:
                 f"shared-memory segment {obj.name!r} vanished before its "
                 "consumer read it (was the producer terminated?)"
             ) from None
-        arr = np.ndarray(
-            obj.shape, dtype=np.dtype(obj.dtype), buffer=segment.buf
-        ).copy()
-        segment.close()
         try:
-            segment.unlink()  # also unregisters from the resource tracker
-        except FileNotFoundError:
-            pass
+            arr = np.ndarray(
+                obj.shape, dtype=np.dtype(obj.dtype), buffer=segment.buf
+            ).copy()
+        except BaseException:  # noqa: B036  # opaq: ignore[exception-broad-except] re-raised: segment cleanup must cover every failure
+            # The consumer owns the segment from attach onward; a failed
+            # copy-out must still detach and unlink it.
+            segment.close()
+            _unlink_quietly(segment)
+            raise
+        segment.close()
+        _unlink_quietly(segment)
         return arr
     if isinstance(obj, tuple):
         return tuple(_unpack(item) for item in obj)

@@ -155,7 +155,7 @@ class DatasetWriter:
         self.path = Path(path)
         self.dtype = dtype
         self.count = 0
-        self._file = open(self.path, "wb")
+        self._file = open(self.path, "wb")  # opaq: transfer[self._file] writer owns it; released in close()
         self._file.write(_HEADER.pack(_MAGIC, _DTYPE_CODES[dtype], -1))
         self._closed = False
 

@@ -1,0 +1,22 @@
+"""OPQ752 shapes: an unbounded blocking call with a lock provably held —
+directly, and through a callee whose summary reaches one."""
+
+import queue
+import threading
+
+
+class Worker:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._queue = queue.Queue(maxsize=1024)
+
+    def drain_directly(self):
+        with self._lock:
+            return self._queue.get()  # blocks forever with the lock held
+
+    def _pull(self):
+        return self._queue.get()
+
+    def drain_through_helper(self):
+        with self._lock:
+            return self._pull()  # the callee's summary carries the block

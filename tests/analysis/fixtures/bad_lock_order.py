@@ -1,0 +1,23 @@
+"""OPQ751 shapes: the same two locks acquired in opposite orders —
+directly, and through a callee whose summary carries the acquisition."""
+
+import threading
+
+_ingest_lock = threading.Lock()
+_publish_lock = threading.Lock()
+
+
+def publish_under_ingest():
+    with _ingest_lock:
+        with _publish_lock:
+            pass
+
+
+def ingest_under_publish():
+    with _publish_lock:
+        _take_ingest()  # the cycle closes through the call edge
+
+
+def _take_ingest():
+    with _ingest_lock:
+        pass

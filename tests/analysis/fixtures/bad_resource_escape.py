@@ -1,0 +1,14 @@
+"""OPQ253 shapes: ownership leaves the acquiring function with no
+``# opaq: transfer[name]`` annotation documenting the handoff."""
+
+_REGISTRY = {}
+
+
+def stash(path):
+    handle = open(path, "rb")
+    _REGISTRY[path] = handle  # stored: the registry owns it now — says who?
+
+
+def hand_back(path):
+    handle = open(path, "rb")
+    return handle  # returned: the caller owns it now — undocumented

@@ -1,0 +1,15 @@
+"""OPQ252 shapes: the release exists but does not post-dominate the
+acquisition, or never happens at all."""
+
+
+def released_on_one_branch(path, verbose):
+    handle = open(path, "rb")
+    data = handle.read()
+    if verbose:
+        handle.close()  # the else path reaches the exit with it live
+    return data
+
+
+def never_released(path):
+    handle = open(path, "rb")
+    return handle.read()

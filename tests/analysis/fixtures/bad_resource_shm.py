@@ -1,0 +1,41 @@
+"""Regression fixture: the process backend's shm pack/unpack *before*
+the lifetime fix.
+
+Both functions release their segment only on the straight-line path: a
+failure between acquire and release (the copy raising, the dtype being
+bogus) unwinds out of the frame with a *named* segment still registered
+— it outlives the process.  The descriptor hand-off in ``pack`` also
+ships the segment's name (the unlink capability) with no documented
+ownership transfer.
+"""
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ShmArray:
+    name: str
+    shape: tuple
+    dtype: str
+
+
+def pack(obj):
+    segment = shared_memory.SharedMemory(create=True, size=max(1, obj.nbytes))
+    view = np.ndarray(obj.shape, dtype=obj.dtype, buffer=segment.buf)
+    view[...] = obj  # a failing copy strands the named segment
+    handle = ShmArray(segment.name, tuple(obj.shape), obj.dtype.str)
+    segment.close()
+    return handle
+
+
+def unpack(handle):
+    segment = shared_memory.SharedMemory(name=handle.name)
+    arr = np.ndarray(
+        handle.shape, dtype=np.dtype(handle.dtype), buffer=segment.buf
+    ).copy()  # a failing copy leaks the attachment
+    segment.close()
+    segment.unlink()
+    return arr

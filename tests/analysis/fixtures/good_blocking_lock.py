@@ -1,0 +1,21 @@
+"""Blocking and locking that compose: the wait is bounded, or the lock
+is released before the wait."""
+
+import queue
+import threading
+
+
+class Worker:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._queue = queue.Queue(maxsize=1024)
+        self._draining = False
+
+    def drain_bounded(self):
+        with self._lock:
+            return self._queue.get(timeout=1.0)
+
+    def drain_outside(self):
+        with self._lock:
+            self._draining = True
+        return self._queue.get(timeout=1.0)

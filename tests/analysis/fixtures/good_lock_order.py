@@ -1,0 +1,23 @@
+"""Nested locking with one global order: every path that holds both
+locks acquires ingest before publish, so the order graph is acyclic."""
+
+import threading
+
+_ingest_lock = threading.Lock()
+_publish_lock = threading.Lock()
+
+
+def publish_under_ingest():
+    with _ingest_lock:
+        with _publish_lock:
+            pass
+
+
+def also_in_order():
+    with _ingest_lock:
+        _take_publish()
+
+
+def _take_publish():
+    with _publish_lock:
+        pass

@@ -1,0 +1,45 @@
+"""The fixed shm pack/unpack shape: release post-dominates acquisition
+on every path, and the descriptor hand-off is a documented transfer."""
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ShmArray:
+    name: str
+    shape: tuple
+    dtype: str
+
+
+def pack(obj):
+    segment = shared_memory.SharedMemory(create=True, size=max(1, obj.nbytes))
+    try:
+        view = np.ndarray(obj.shape, dtype=obj.dtype, buffer=segment.buf)
+        view[...] = obj
+        handle = ShmArray(  # opaq: transfer[segment] consumer unlinks
+            segment.name, tuple(obj.shape), obj.dtype.str
+        )
+    except BaseException:  # opaq: ignore[exception-broad-except] re-raised: segment cleanup must cover every failure
+        segment.close()
+        segment.unlink()
+        raise
+    segment.close()
+    return handle
+
+
+def unpack(handle):
+    segment = shared_memory.SharedMemory(name=handle.name)
+    try:
+        arr = np.ndarray(
+            handle.shape, dtype=np.dtype(handle.dtype), buffer=segment.buf
+        ).copy()
+    except BaseException:  # opaq: ignore[exception-broad-except] re-raised: segment cleanup must cover every failure
+        segment.close()
+        segment.unlink()
+        raise
+    segment.close()
+    segment.unlink()
+    return arr

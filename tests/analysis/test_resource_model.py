@@ -1,0 +1,96 @@
+"""The OPQ25x family must *derive* the parallel backend's documented
+shared-memory lifetime contract — not restate it.
+
+``docs/parallel.md`` promises: every ``SharedMemory`` segment the
+process backend creates is closed and unlinked on every path, with
+ownership of large-array segments transferred by name to exactly one
+consumer.  These tests build the resource model over the real
+``repro.parallel`` sources and assert that contract as facts the
+analyzer proved on its own.
+"""
+
+from pathlib import Path
+
+import repro
+from repro.analysis import build_project
+from repro.analysis.framework import ModuleContext
+from repro.analysis.rules_resources import function_resource_facts
+from repro.analysis.runner import iter_python_files
+
+PARALLEL = Path(repro.__file__).parent / "parallel"
+
+
+def parallel_project():
+    modules = [
+        ModuleContext.from_path(p) for p in iter_python_files([PARALLEL])
+    ]
+    return build_project(modules)
+
+
+def facts_of(project, qualname_suffix):
+    for fn in project.iter_functions():
+        if fn.qualname.endswith(qualname_suffix):
+            return fn, function_resource_facts(project, fn)
+    raise AssertionError(f"no function {qualname_suffix}")
+
+
+class TestShmLifetimeContract:
+    def test_every_shm_acquisition_in_process_py_is_released_on_all_paths(
+        self,
+    ):
+        """The headline proof: no path — normal or unwinding — leaves a
+        named segment behind anywhere in the process backend."""
+        project = parallel_project()
+        checked = 0
+        for fn in project.iter_functions():
+            if fn.module.path.name != "process.py":
+                continue
+            for fact in function_resource_facts(project, fn):
+                if not fact.acquisition.kind.startswith("shm-"):
+                    continue
+                checked += 1
+                assert fact.released_on_all_paths, (
+                    fn.qualname,
+                    fact.acquisition.token,
+                )
+                assert fact.exception_safe, (fn.qualname, fact.acquisition)
+        assert checked >= 2  # _pack creates, _unpack attaches
+
+    def test_pack_transfers_the_segment_name_sanctioned(self):
+        """_pack ships the segment name inside the descriptor — that
+        capability escape must carry the transfer annotation."""
+        project = parallel_project()
+        _, facts = facts_of(project, ":_pack")
+        (fact,) = [
+            f for f in facts if f.acquisition.kind == "shm-create"
+        ]
+        capability = [e for e in fact.escapes if e.via == "capability"]
+        assert capability, "the name hand-off must be visible as an escape"
+        assert all(e.sanctioned for e in capability)
+
+    def test_unpack_attaches_and_unlinks(self):
+        """_unpack owns the attached segment end-to-end: its release is
+        recorded (through the _unlink_quietly helper's summary) and
+        nothing escapes."""
+        project = parallel_project()
+        _, facts = facts_of(project, ":_unpack")
+        (fact,) = [
+            f for f in facts if f.acquisition.kind == "shm-attach"
+        ]
+        assert fact.release_lines
+        assert fact.released_on_all_paths
+        assert all(e.sanctioned for e in fact.escapes)
+
+    def test_unlink_helper_summary_counts_as_release(self):
+        """The `_unlink_quietly(segment)` call is a release *because of
+        the callee's summary*, not its name."""
+        project = parallel_project()
+        index = project.summaries()
+        helper = next(
+            fn
+            for fn in project.iter_functions()
+            if fn.qualname.endswith(":_unlink_quietly")
+        )
+        summary = index.summary_of(helper)
+        assert "segment" in summary.releases_params
+        assert "segment" in summary.unlinks_params

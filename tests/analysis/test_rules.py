@@ -34,6 +34,14 @@ DEEP_BAD = [
     ("bad_thread_roles.py", "thread-concurrent-rmw", 1),
     ("bad_double_consume.py", "one-pass-double-consume", 2),
     ("bad_consumed_reentry.py", "one-pass-consumed-reentry", 2),
+    # The pre-fix shm pack/unpack shape (kept as a regression of the
+    # real bug the OPQ25x family found in the process backend).
+    ("bad_resource_shm.py", "resource-leak-exception-path", 2),
+    ("bad_resource_shm.py", "resource-escape-undocumented", 1),
+    ("bad_resource_release.py", "resource-release-not-postdominating", 2),
+    ("bad_resource_escape.py", "resource-escape-undocumented", 2),
+    ("bad_lock_order.py", "lock-order-cycle", 1),
+    ("bad_blocking_lock.py", "blocking-while-holding-lock", 2),
 ]
 
 #: fixtures that must be fully clean under the whole deep rule set
@@ -42,6 +50,9 @@ DEEP_GOOD = [
     "good_double_consume.py",
     "good_service.py",
     "good_broad_except.py",
+    "good_resource_shm.py",
+    "good_lock_order.py",
+    "good_blocking_lock.py",
 ]
 
 #: (fixture file, rule that must stay silent there)

@@ -32,12 +32,15 @@ def test_suppressions_are_rare_and_justified():
     # broad-except guards (wire-layer 500 guard, shard worker loop), the
     # execution backends' worker isolation boundaries — the one place a
     # catch MUST be total, because every worker failure has to become a
-    # typed ParallelError rather than a hang or a bare traceback — and
-    # the sample-merge argsort, which sorts already-selected samples,
-    # not the run.  This ceiling forces a conversation before anyone
-    # sprinkles new ones.
+    # typed ParallelError rather than a hang or a bare traceback — the
+    # shared-memory cleanup guards in ``_pack``/``_unpack``, whose
+    # ``except BaseException: release; raise`` is exactly the shape
+    # OPQ251 demands (a narrower catch would strand a named segment on
+    # KeyboardInterrupt) — and the sample-merge argsort, which sorts
+    # already-selected samples, not the run.  This ceiling forces a
+    # conversation before anyone sprinkles new ones.
     result = lint_paths([SRC])
-    assert result.suppressed <= 15
+    assert result.suppressed <= 17
 
 
 def test_repro_package_is_deep_lint_clean():

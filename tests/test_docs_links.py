@@ -18,7 +18,9 @@ sys.path.insert(0, str(REPO_ROOT / "tools"))
 from check_docs_links import (  # noqa: E402
     anchors_in,
     check_file,
+    check_rule_catalogue,
     default_targets,
+    registered_codes,
     slugify,
 )
 
@@ -94,3 +96,50 @@ def test_docs_tree_is_nonempty():
 def test_new_docs_are_linked_from_readme(page):
     readme = (REPO_ROOT / "README.md").read_text()
     assert f"docs/{page}" in readme
+
+
+def _rule_tree(tmp_path, doc_codes, src_codes):
+    (tmp_path / "docs").mkdir()
+    (tmp_path / "docs" / "static_analysis.md").write_text(
+        "# catalogue\n\n" + " ".join(doc_codes) + "\n", encoding="utf-8"
+    )
+    rules = tmp_path / "src" / "repro" / "analysis"
+    rules.mkdir(parents=True)
+    body = "\n\n".join(
+        f'class R{code}:\n    code = "{code}"' for code in src_codes
+    )
+    (rules / "rules_x.py").write_text(body + "\n", encoding="utf-8")
+
+
+def test_undocumented_rule_code_is_reported(tmp_path):
+    _rule_tree(tmp_path, doc_codes=["OPQ101"], src_codes=["OPQ101", "OPQ251"])
+    problems = check_rule_catalogue(tmp_path)
+    assert len(problems) == 1
+    assert "OPQ251" in problems[0] and "never documented" in problems[0]
+
+
+def test_phantom_documented_code_is_reported(tmp_path):
+    _rule_tree(tmp_path, doc_codes=["OPQ101", "OPQ999"], src_codes=["OPQ101"])
+    problems = check_rule_catalogue(tmp_path)
+    assert len(problems) == 1
+    assert "OPQ999" in problems[0] and "no rule module" in problems[0]
+
+
+def test_registered_codes_reads_without_importing_repro(tmp_path):
+    # The docs-check CI job has no dependencies installed: the scan must
+    # be textual.  A module whose import would explode still counts.
+    rules = tmp_path / "src" / "repro" / "analysis"
+    rules.mkdir(parents=True)
+    (rules / "rules_broken.py").write_text(
+        'import does_not_exist\n\nclass R:\n    code = "OPQ123"\n',
+        encoding="utf-8",
+    )
+    assert registered_codes(tmp_path) == {"OPQ123"}
+
+
+def test_repo_rule_catalogue_is_in_sync():
+    """The real gate: every registered OPQ code is documented and every
+    documented code exists — including the OPQ25x/OPQ75x families."""
+    assert check_rule_catalogue(REPO_ROOT) == []
+    codes = registered_codes(REPO_ROOT)
+    assert {"OPQ251", "OPQ252", "OPQ253", "OPQ751", "OPQ752"} <= codes

@@ -16,6 +16,14 @@ fetched — this is a *consistency* check for the docs tree, meant to run
 in CI (the ``docs-check`` job) and in tier-1 via
 ``tests/test_docs_links.py``.
 
+It also keeps the opaqlint rule catalogue honest: every ``OPQ###`` code
+defined in ``src/repro/analysis/rules_*.py`` must be documented in
+``docs/static_analysis.md``, and every code the doc mentions must still
+exist in a rule module.  The codes are read *textually* (a regex over
+the rule sources) on purpose: the docs-check CI job runs on a bare
+interpreter with no dependencies installed, so this script must never
+import ``repro``.
+
 Exit status: 0 when every reference resolves, 1 with one line per
 dangling reference otherwise.
 """
@@ -116,6 +124,42 @@ def check_file(path: Path, repo_root: Path) -> list[str]:
     return problems
 
 
+#: An OPQ code *definition* in a rule module: ``code = "OPQ251"``.
+_CODE_DEF = re.compile(r'code\s*=\s*"(OPQ\d{3})"')
+#: Any OPQ code mention in the catalogue document.
+_CODE_MENTION = re.compile(r"\bOPQ\d{3}\b")
+
+
+def registered_codes(repo_root: Path) -> set[str]:
+    """Every OPQ code defined by a rule module (textual, import-free)."""
+    codes: set[str] = set()
+    rules_dir = repo_root / "src" / "repro" / "analysis"
+    for path in sorted(rules_dir.glob("rules_*.py")):
+        codes.update(_CODE_DEF.findall(path.read_text(encoding="utf-8")))
+    return codes
+
+
+def check_rule_catalogue(repo_root: Path) -> list[str]:
+    """Both directions of the registry <-> docs/static_analysis.md sync."""
+    doc = repo_root / "docs" / "static_analysis.md"
+    if not doc.exists():
+        return [f"{doc}: missing (the opaqlint rule catalogue)"]
+    defined = registered_codes(repo_root)
+    documented = set(_CODE_MENTION.findall(doc.read_text(encoding="utf-8")))
+    problems = []
+    for code in sorted(defined - documented):
+        problems.append(
+            f"{doc}: rule {code} is registered in src/repro/analysis but "
+            "never documented — add it to the catalogue"
+        )
+    for code in sorted(documented - defined):
+        problems.append(
+            f"{doc}: documents {code}, but no rule module defines that "
+            "code — remove it or restore the rule"
+        )
+    return problems
+
+
 def default_targets(repo_root: Path) -> list[Path]:
     docs = sorted((repo_root / "docs").glob("*.md"))
     return [repo_root / "README.md", *docs]
@@ -131,6 +175,7 @@ def main(argv: list[str]) -> int:
     problems: list[str] = []
     for path in paths:
         problems.extend(check_file(path, repo_root))
+    problems.extend(check_rule_catalogue(repo_root))
     for problem in problems:
         print(problem, file=sys.stderr)
     if not problems:
