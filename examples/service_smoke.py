@@ -1,14 +1,16 @@
-"""Smoke the sharded quantile service over its real wire protocol.
+"""Smoke the sharded quantile service over its real wire protocols.
 
-Boots `opaq serve` as a child process on a free port, streams 100k
-elements at it over HTTP, snapshots, and checks the served median
-against ground truth computed in this process: the true median must lie
-inside the returned ``[e_l, e_u]`` with at most ``2 x guarantee``
-elements between the bounds (the paper's Lemma 3, recomputed for the
-merged shard layout).  Then SIGTERMs the server — which must exit 0
-after flushing a final snapshot — boots a second server on the same
-snapshot directory, and verifies the warm restart serves the identical
-answer without re-ingesting anything.
+Boots ``opaq serve`` as a child process on a free port speaking the
+default **binary protocol v2**, streams 100k elements at it in numpy
+batches through the asyncio server, snapshots, and checks the served
+quantile vector against ground truth computed in this process: each true
+quantile must lie inside the returned ``[e_l, e_u]`` with at most
+``2 x guarantee`` elements between the bounds (the paper's Lemma 3,
+recomputed for the merged shard layout).  Then SIGTERMs the server —
+which must exit 0 after flushing a final snapshot — boots a second
+server on the same snapshot directory speaking the **HTTP compatibility
+protocol**, and verifies the warm restart serves byte-identical bounds
+through the other wire without re-ingesting anything.
 
 Run:  python examples/service_smoke.py
 """
@@ -30,7 +32,7 @@ BATCH = 5_000
 PHIS = [0.25, 0.5, 0.75]
 
 
-def start_server(snapshot_dir: str) -> tuple[subprocess.Popen, str]:
+def start_server(snapshot_dir: str, proto: str) -> tuple[subprocess.Popen, str]:
     """Launch `opaq serve` on a free port; return (process, base URL)."""
     env = dict(os.environ)
     src = str(Path(repro.__file__).resolve().parent.parent)
@@ -41,6 +43,8 @@ def start_server(snapshot_dir: str) -> tuple[subprocess.Popen, str]:
             "-m",
             "repro.cli",
             "serve",
+            "--proto",
+            proto,
             "--port",
             "0",
             "--shards",
@@ -87,54 +91,62 @@ def main() -> None:
     sorted_data = np.sort(data)
 
     with tempfile.TemporaryDirectory() as snapshot_dir:
-        print(f"first life (ingest {N:,} elements over HTTP):")
-        proc, url = start_server(snapshot_dir)
+        print(f"first life (ingest {N:,} elements over binary protocol v2):")
+        proc, url = start_server(snapshot_dir, proto="binary")
         try:
+            check("server speaks opaq:// by default", url.startswith("opaq://"))
             client = ServiceClient(url)
             for start in range(0, N, BATCH):
-                client.ingest(data[start : start + BATCH].tolist())
+                # Batched array ingest: numpy in, framed bytes on the wire.
+                client.ingest(data[start : start + BATCH])
             epoch = client.snapshot()
             check(f"epoch 1 covers all {N:,} elements", epoch["count"] == N)
 
-            answer = client.quantile(PHIS)
-            guarantee = answer["guarantee"]
+            # One round-trip answers the whole fraction vector.
+            vec = client.quantiles(PHIS)
             print(
-                f"  served epoch {answer['epoch']}: n={answer['count']:,}, "
-                f"guarantee n/s ~= {guarantee}"
+                f"  served epoch {vec.epoch}: n={vec.count:,}, "
+                f"guarantee n/s ~= {vec.guarantee}"
             )
-            for r in answer["results"]:
-                true_value = sorted_data[r["rank"] - 1]
-                enclosed = r["lower"] <= true_value <= r["upper"]
+            for i, phi in enumerate(PHIS):
+                lower, upper = vec.lower[i], vec.upper[i]
+                true_value = sorted_data[vec.ranks[i] - 1]
+                enclosed = lower <= true_value <= upper
                 between = int(
-                    np.searchsorted(sorted_data, r["upper"], side="left")
-                    - np.searchsorted(sorted_data, r["lower"], side="right")
+                    np.searchsorted(sorted_data, upper, side="left")
+                    - np.searchsorted(sorted_data, lower, side="right")
                 )
                 print(
-                    f"  phi={r['phi']:.2f}: [{r['lower']:.5f}, {r['upper']:.5f}] "
+                    f"  phi={phi:.2f}: [{lower:.5f}, {upper:.5f}] "
                     f"true={true_value:.5f}, {between} elements between "
-                    f"(budget {2 * guarantee})"
+                    f"(budget {2 * vec.guarantee})"
                 )
                 check(
-                    f"phi={r['phi']:.2f} enclosed within deterministic window",
-                    enclosed and between <= 2 * guarantee,
+                    f"phi={phi:.2f} enclosed within deterministic window",
+                    enclosed and between <= 2 * vec.guarantee,
                 )
-            first_answer = answer
+            first_vec = vec
         finally:
             output = stop_server(proc)
         check("SIGTERM shut the server down cleanly", "cleanly" in output)
 
-        print("second life (warm restart from the snapshot directory):")
-        proc, url = start_server(snapshot_dir)
+        print("second life (warm restart, served over the HTTP shim):")
+        proc, url = start_server(snapshot_dir, proto="http")
         try:
-            restarted = ServiceClient(url).quantile(PHIS)
+            check("compat server speaks http://", url.startswith("http://"))
+            restarted = ServiceClient(url).quantiles(PHIS)
             check(
                 "warm restart serves the identical epoch",
-                restarted["epoch"] == first_answer["epoch"]
-                and restarted["count"] == first_answer["count"],
+                restarted.epoch == first_vec.epoch
+                and restarted.count == first_vec.count,
             )
+            # Byte-identical across the restart AND across the protocols:
+            # both wires frame the same vectorised kernel's answer.
             check(
-                "warm restart serves identical bounds",
-                restarted["results"] == first_answer["results"],
+                "warm restart serves bit-identical bounds over HTTP",
+                restarted.lower.tobytes() == first_vec.lower.tobytes()
+                and restarted.upper.tobytes() == first_vec.upper.tobytes()
+                and restarted.guarantee == first_vec.guarantee,
             )
         finally:
             stop_server(proc)

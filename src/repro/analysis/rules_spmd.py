@@ -193,17 +193,22 @@ class UnboundedBlockingRule(Rule):
     the send and the receive.  Only zero-argument attribute calls are
     flagged: ``dict.get(key)``, ``str.join(parts)`` and ``worker.join(5.0)``
     all pass positional arguments and are out of scope.
+
+    The asyncio wire layer (``service/aio.py``) makes the same promise —
+    a stalled shard must surface as a typed error frame, never wedge the
+    event loop — so it is in scope too; its blocking service calls run
+    under ``asyncio.wait_for``.
     """
 
     rule_id = "spmd-unbounded-blocking"
     code = "OPQ404"
     description = (
         "blocking primitive (get/wait/join/acquire) called with no "
-        "timeout in a real execution backend; a dead peer turns the "
-        "call into a hang instead of a typed ParallelError"
+        "timeout in a real execution backend or the asyncio wire layer; "
+        "a dead peer turns the call into a hang instead of a typed error"
     )
     paper_ref = "backends contract (fail typed, never hang)"
-    scope_prefixes = ("parallel/backends/",)
+    scope_prefixes = ("parallel/backends/", "service/aio.py")
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         for node in ast.walk(ctx.tree):

@@ -16,7 +16,9 @@
     opaq sort keys.opaq sorted.opaq --memory 2000000
     opaq report            # regenerate EXPERIMENTS.md content on stdout
     opaq lint src/repro    # enforce the paper's disciplines statically
-    opaq serve --shards 4 --snapshot-dir snaps/   # sharded quantile server
+    opaq serve --shards 4 --snapshot-dir snaps/   # binary protocol v2 server
+    opaq serve --proto http                       # JSON compatibility layer
+    opaq query --server opaq://127.0.0.1:8629 --dectiles
     opaq query --server http://127.0.0.1:8629 --dectiles
 
 Every subcommand is also reachable as ``python -m repro.cli ...``.
@@ -216,7 +218,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
     if args.server:
         from repro.service import ServiceClient
 
-        answer = ServiceClient(args.server).quantile(_phis_from(args))
+        answer = ServiceClient(args.server).quantiles(_phis_from(args)).to_dict()
         print(
             f"epoch {answer['epoch']}: {answer['count']:,} keys served, "
             f"guarantee {answer['guarantee']:,} ranks per bound, "
@@ -245,7 +247,12 @@ def _cmd_query(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     import signal
 
-    from repro.service import QuantileService, ServiceConfig, make_server
+    from repro.service import (
+        QuantileService,
+        ServiceConfig,
+        ThreadedBinaryServer,
+        make_server,
+    )
 
     config = ServiceConfig(
         num_shards=args.shards,
@@ -256,6 +263,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_merged_samples=args.max_merged_samples,
         snapshot_every=args.snapshot_every,
         snapshot_dir=args.snapshot_dir,
+        kernel=args.kernel,
+        router_policy=args.router_policy,
     )
     service = QuantileService(config)
     if service.restored_epoch is not None:
@@ -265,23 +274,42 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"({restored.count:,} keys) restored from {args.snapshot_dir}",
             flush=True,
         )
-    server = make_server(service, host=args.host, port=args.port, verbose=args.verbose)
 
     def _terminate(signum, frame):  # pragma: no cover - signal path
         raise SystemExit(0)
 
     signal.signal(signal.SIGTERM, _terminate)
+    if args.proto == "binary":
+        server = ThreadedBinaryServer(service, host=args.host, port=args.port)
+        server.start()
+        print(
+            f"serving on {server.url} (binary protocol v2, "
+            f"shards={config.num_shards}, s={config.sample_size})",
+            flush=True,
+        )
+        try:
+            signal.pause()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            server.stop()
+            service.close(final_snapshot=True)
+            print("shut down cleanly (final snapshot flushed)", flush=True)
+        return 0
+    http_server = make_server(
+        service, host=args.host, port=args.port, verbose=args.verbose
+    )
     print(
-        f"serving on {server.url} (shards={config.num_shards}, "
-        f"s={config.sample_size})",
+        f"serving on {http_server.url} (HTTP compatibility protocol, "
+        f"shards={config.num_shards}, s={config.sample_size})",
         flush=True,
     )
     try:
-        server.serve_forever()
+        http_server.serve_forever()
     except KeyboardInterrupt:
         pass
     finally:
-        server.server_close()
+        http_server.server_close()
         service.close(final_snapshot=True)
         print("shut down cleanly (final snapshot flushed)", flush=True)
     return 0
@@ -538,14 +566,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "serve",
-        help="run the sharded quantile-serving subsystem over HTTP",
+        help="run the sharded quantile-serving subsystem (binary or HTTP)",
         description=(
-            "Start a QuantileService: hash-routed ingest across N shard "
+            "Start a QuantileService: routed ingest across N shard "
             "workers (bounded queues, backpressure), epoch-based snapshot "
-            "merging, and a JSON wire protocol (/ingest, /quantile, "
-            "/stats, /snapshot).  With --snapshot-dir the server persists "
-            "every epoch and warm-restarts from the newest one; SIGTERM/"
-            "Ctrl-C flushes a final snapshot.  See docs/service.md."
+            "merging, and a wire layer — the framed binary protocol v2 "
+            "(default; opaq://host:port) or the JSON/HTTP compatibility "
+            "protocol (/ingest, /quantile, /stats, /snapshot).  With "
+            "--snapshot-dir the server persists every epoch and "
+            "warm-restarts from the newest one; SIGTERM/Ctrl-C flushes a "
+            "final snapshot.  See docs/service.md."
         ),
     )
     p.add_argument("--host", default="127.0.0.1")
@@ -553,7 +583,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--port", type=int, default=8629,
         help="TCP port (0 picks a free one and prints it)",
     )
+    p.add_argument(
+        "--proto", choices=("binary", "http"), default="binary",
+        help="wire protocol: binary (framed protocol v2, default) or "
+        "http (JSON compatibility layer)",
+    )
     p.add_argument("--shards", type=int, default=4, help="ingest shards")
+    p.add_argument(
+        "--kernel", choices=("python", "numpy"), default="numpy",
+        help="shard estimator hot path (numpy is vectorised and "
+        "bit-identical to the python reference; serving defaults to it)",
+    )
+    p.add_argument(
+        "--router-policy", choices=("hash", "chunk"), default="hash",
+        help="ingest partitioning: hash (per-key, batch-boundary-"
+        "independent) or chunk (contiguous slices, zero routing cost)",
+    )
     p.add_argument(
         "--sample-size", type=int, default=1000, help="s: samples per run"
     )

@@ -12,6 +12,7 @@ from repro.core.exact import exact_quantiles, refine_exact
 from repro.core.incremental import IncrementalOPAQ
 from repro.core.protocols import DataSource, QuantileEstimator
 from repro.core.quantile_phase import (
+    bounds_arrays,
     bounds_for,
     lower_bound_index,
     quantile_bounds,
@@ -32,6 +33,7 @@ __all__ = [
     "estimate_quantiles",
     "quantile_bounds",
     "bounds_for",
+    "bounds_arrays",
     "splitters",
     "lower_bound_index",
     "upper_bound_index",

@@ -4,8 +4,8 @@ The summary that one pass produces (:class:`~repro.core.OPAQSummary`) is
 mergeable, compactable and serialisable — exactly the properties a
 production serving system needs.  This package turns them into one:
 
-- :class:`ShardRouter` — deterministic hash (or user-keyed) partitioning
-  of ingest batches across shards;
+- :class:`ShardRouter` — deterministic hash, chunk, or user-keyed
+  partitioning of ingest batches across shards;
 - :class:`ShardWorker` — per-shard worker threads feeding
   :class:`~repro.core.IncrementalOPAQ` through **bounded** queues whose
   blocking is the backpressure signal;
@@ -13,21 +13,29 @@ production serving system needs.  This package turns them into one:
   the shard summaries into one compacted, queryable summary, swapped in
   atomically (readers never block on writers) and persisted in a
   versioned on-disk format for warm restarts;
-- :class:`QuantileService` — the assembled engine: ``ingest`` /
-  ``query`` / ``stats`` / ``snapshot`` / ``close``;
-- :mod:`repro.service.http` — a stdlib JSON wire layer
-  (``opaq serve`` / ``opaq query --server``).
+- :class:`QuantileService` — the assembled engine: batched ``ingest`` /
+  ``quantiles`` / ``stats`` / ``snapshot`` / ``close``;
+- :mod:`repro.service.proto` + :mod:`repro.service.aio` — wire protocol
+  v2: compact binary frames served by an asyncio loop
+  (:class:`ThreadedBinaryServer`, ``opaq serve``);
+- :mod:`repro.service.http` — the JSON/HTTP compatibility layer
+  (protocol v1), byte-identical answers to the binary path;
+- :class:`ServiceClient` — one batched client for both transports,
+  selected by address scheme (``opaq://`` or ``http://``).
 
 Every query carries the paper's deterministic guarantee, recomputed
 exactly for the merged run layout: the true φ-quantile of the served
 epoch lies in ``[lower, upper]`` with at most ``2·guarantee`` elements
 between the bounds.  See ``docs/service.md`` for the architecture and
-wire protocol.
+the wire-level protocol reference.
 """
 
+from repro.service.aio import AsyncServiceServer, ThreadedBinaryServer
+from repro.service.client import ServiceClient
 from repro.service.config import ServiceConfig
 from repro.service.engine import QuantileService, QueryResult
-from repro.service.http import ServiceClient, ServiceHTTPServer, make_server
+from repro.service.http import ServiceHTTPServer, make_server
+from repro.service.proto import QuantileVector
 from repro.service.router import ShardRouter, hash_shard_indices
 from repro.service.shard import ShardWorker
 from repro.service.snapshot import EpochSnapshot, SnapshotStore, Snapshotter
@@ -36,6 +44,7 @@ __all__ = [
     "ServiceConfig",
     "QuantileService",
     "QueryResult",
+    "QuantileVector",
     "ShardRouter",
     "hash_shard_indices",
     "ShardWorker",
@@ -44,5 +53,7 @@ __all__ = [
     "Snapshotter",
     "ServiceClient",
     "ServiceHTTPServer",
+    "AsyncServiceServer",
+    "ThreadedBinaryServer",
     "make_server",
 ]

@@ -1,0 +1,325 @@
+"""The asyncio wire layer: protocol v2 served over plain TCP.
+
+:class:`AsyncServiceServer` is an ``asyncio.start_server`` loop speaking
+the framed binary protocol of :mod:`repro.service.proto`.  One coroutine
+per connection reads frames with ``readexactly``, dispatches on the
+opcode, and writes one reply frame per request — in request order, so
+clients may pipeline: send K frames, then read K replies.
+
+Error discipline (mirrors the protocol module's contract):
+
+* **Framing errors** — truncated header, wrong magic, version skew,
+  oversized length — poison the byte stream.  The server sends one typed
+  error frame (best effort) and **closes the connection**; nothing after
+  a bad header can be trusted.
+* **Application errors** — NaN ingest, query before the first epoch,
+  backpressure timeout — are request-scoped.  The server replies with a
+  typed error frame and **keeps the connection open**; the stream is
+  still in sync because the declared payload was consumed.
+
+Blocking service calls (ingest backpressure, snapshot barriers) run in
+the default executor under ``asyncio.wait_for`` so a stalled shard can
+never wedge the event loop (lint rule OPQ404 covers this module);
+queries are lock-free reads and run inline.
+
+:class:`ThreadedBinaryServer` hosts the loop on a daemon thread with the
+same start/stop surface as the HTTP server — what ``opaq serve`` and the
+tests use.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+from repro.errors import DataError, ReproError, ServiceError
+from repro.obs import current_tracer
+from repro.service import proto
+from repro.service.engine import QuantileService
+
+__all__ = ["AsyncServiceServer", "ThreadedBinaryServer"]
+
+#: Ceiling for one blocking service call on the executor.  Generous —
+#: the ingest path has its own (configurable, shorter) backpressure
+#: timeout; this is the event loop's last-resort protection.
+_REQUEST_TIMEOUT = 120.0
+
+
+class AsyncServiceServer:
+    """Protocol v2 over TCP for one :class:`QuantileService`."""
+
+    def __init__(
+        self,
+        service: QuantileService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_payload: int = proto.MAX_PAYLOAD,
+        request_timeout: float = _REQUEST_TIMEOUT,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self.max_payload = max_payload
+        self.request_timeout = request_timeout
+        self._server: asyncio.base_events.Server | None = None
+        # Encoded-reply cache for QUANTILES, keyed on (epoch, staleness,
+        # raw request payload).  Sound because an epoch's summary is
+        # immutable once published and staleness participates in the key,
+        # so a hit is byte-identical to recomputing.  Dashboards polling
+        # a fixed φ-vector hit this on every request after the first.
+        self._reply_cache: dict[tuple[int, int, bytes], bytes] = {}
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the listening socket (``port=0``: OS-assigned)."""
+        # _server is only ever touched from the event loop's own thread
+        # (start/serve_forever/close are coroutines on that loop).
+        self._server = await asyncio.start_server(  # opaq: ignore[thread-unguarded-write] event-loop-confined state
+            self._serve_connection, self.host, self.port
+        )
+        sock = self._server.sockets[0]
+        self.host, self.port = sock.getsockname()[:2]
+
+    @property
+    def url(self) -> str:
+        """Address of the bound socket, as ``opaq://host:port``."""
+        return f"opaq://{self.host}:{self.port}"
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None  # opaq: ignore[thread-unguarded-write] event-loop-confined state
+
+    # -- connection loop -----------------------------------------------
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            await self._frame_loop(reader, writer)
+        except asyncio.CancelledError:
+            pass  # server shutdown: the connection is simply dropped
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass  # peer (or loop) already gone; nothing left to flush
+
+    async def _frame_loop(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        tracer = current_tracer()
+        tracer.count("service.proto.connections", 1)
+        while True:
+            try:
+                header = await reader.readexactly(proto.HEADER.size)
+            except asyncio.IncompleteReadError:
+                return  # EOF between frames (or a torn header): close
+            try:
+                opcode, length = proto.parse_header(
+                    header, max_payload=self.max_payload
+                )
+                payload = await reader.readexactly(length)
+            except (DataError, asyncio.IncompleteReadError) as exc:
+                # Framing failure: reply if possible, then close —
+                # the stream can no longer be trusted.
+                if isinstance(exc, asyncio.IncompleteReadError):
+                    exc = ServiceError(
+                        "connection closed mid-frame: "
+                        f"{len(exc.partial)} of {length} payload bytes"
+                    )
+                tracer.count("service.proto.errors", 1, fatal=True)
+                await self._send_error(writer, exc)
+                return
+            reply = await self._dispatch(opcode, payload)
+            writer.write(reply)
+            await writer.drain()
+
+    async def _send_error(
+        self, writer: asyncio.StreamWriter, exc: BaseException
+    ) -> None:
+        """Best-effort error frame; swallow transport failures."""
+        try:
+            writer.write(proto.encode_frame(proto.ERROR_OP, proto.encode_error(exc)))
+            await writer.drain()
+        except (ConnectionError, OSError):  # pragma: no cover
+            pass  # the peer is gone; the close below is all that is left
+
+    async def _dispatch(self, opcode: int, payload: bytes) -> bytes:
+        """One request frame in, one reply frame out (never raises)."""
+        tracer = current_tracer()
+        tracer.count("service.proto.requests", 1, opcode=opcode)
+        try:
+            name = proto.Op(opcode).name.lower()
+        except ValueError:
+            # The header parsed and the payload was consumed, so the
+            # stream is still in sync: request-scoped error, stay open.
+            tracer.count("service.proto.errors", 1, opcode=opcode)
+            return proto.encode_frame(
+                proto.ERROR_OP,
+                proto.encode_error(
+                    DataError(f"unknown opcode {opcode:#x} in a v2 frame")
+                ),
+            )
+        try:
+            with tracer.span(f"service.proto.{name}", bytes=len(payload)):
+                body = await self._handle(opcode, payload)
+            return proto.encode_frame(opcode | proto.REPLY_BIT, body)
+        except ReproError as exc:
+            tracer.count("service.proto.errors", 1, opcode=opcode)
+            return proto.encode_frame(proto.ERROR_OP, proto.encode_error(exc))
+
+    async def _handle(self, opcode: int, payload: bytes) -> bytes:
+        if opcode == proto.Op.PING:
+            return b""
+        if opcode == proto.Op.QUANTILES:
+            # Lock-free snapshot read + one vectorised searchsorted sweep:
+            # cheap enough to answer inline on the event loop.
+            return self._answer_quantiles(payload)
+        if opcode == proto.Op.INGEST:
+            values = proto.decode_ingest_request(payload)
+            result = await self._blocking(lambda: self.service.ingest(values))
+            return proto.encode_ingest_reply(
+                int(result["accepted"]), int(result["epoch"])
+            )
+        if opcode == proto.Op.SNAPSHOT:
+            snapshot = await self._blocking(self.service.snapshot)
+            return proto.encode_snapshot_reply(
+                snapshot.epoch,
+                snapshot.count,
+                snapshot.guarantee,
+                snapshot.summary.num_samples,
+            )
+        if opcode == proto.Op.STATS:
+            return proto.encode_stats_reply(self.service.stats())
+        raise DataError(f"unknown opcode {opcode:#x} in a v2 frame")
+
+    _REPLY_CACHE_MAX = 128
+
+    def _answer_quantiles(self, payload: bytes) -> bytes:
+        snapshot = self.service.current_epoch
+        key = None
+        if snapshot is not None:
+            key = (snapshot.epoch, self.service.staleness, payload)
+            cached = self._reply_cache.get(key)
+            if cached is not None:
+                return cached
+        phis = proto.decode_quantiles_request(payload)
+        body = proto.encode_quantiles_reply(self.service.query_arrays(phis))
+        if key is not None:
+            if len(self._reply_cache) >= self._REPLY_CACHE_MAX:
+                # FIFO eviction; entries for dead epochs age out with it.
+                self._reply_cache.pop(next(iter(self._reply_cache)))
+            self._reply_cache[key] = body
+        return body
+
+    async def _blocking(self, fn):  # noqa: ANN001, ANN202 - thin shim
+        """Run a blocking service call off the event loop, bounded."""
+        loop = asyncio.get_running_loop()
+        try:
+            return await asyncio.wait_for(
+                loop.run_in_executor(None, fn), timeout=self.request_timeout
+            )
+        except asyncio.TimeoutError:
+            raise ServiceError(
+                f"service call exceeded the {self.request_timeout:g}s "
+                "request ceiling; the shards may be wedged"
+            ) from None
+
+
+class ThreadedBinaryServer:
+    """Hosts :class:`AsyncServiceServer` on a daemon thread.
+
+    The synchronous face of the binary wire layer — same start/stop
+    shape as :class:`~repro.service.http.ServiceHTTPServer`, used by
+    ``opaq serve --proto binary`` and anything else that is not itself
+    an asyncio application.
+    """
+
+    def __init__(
+        self,
+        service: QuantileService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_payload: int = proto.MAX_PAYLOAD,
+    ) -> None:
+        self._async = AsyncServiceServer(
+            service, host=host, port=port, max_payload=max_payload
+        )
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._main_task: asyncio.Task | None = None
+        self._thread = threading.Thread(
+            target=self._run, name="opaq-binary-server", daemon=True
+        )
+
+    @property
+    def service(self) -> QuantileService:
+        return self._async.service
+
+    @property
+    def url(self) -> str:
+        """``opaq://host:port`` of the bound socket (after start)."""
+        return self._async.url
+
+    def start(self, timeout: float = 10.0) -> None:
+        """Bind and serve; returns once the socket is accepting."""
+        if self._thread.ident is not None:
+            raise ServiceError(
+                "binary server already started; create a new instance "
+                "to serve again"
+            )
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise ServiceError(
+                f"binary server did not come up within {timeout:g}s"
+            )
+        if self._startup_error is not None:
+            raise ServiceError(
+                f"binary server failed to start: {self._startup_error}"
+            ) from self._startup_error
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Cancel the serve loop and join the thread.  Idempotent."""
+        loop, task = self._loop, self._main_task
+        if loop is not None and task is not None and self._thread.is_alive():
+            loop.call_soon_threadsafe(task.cancel)
+        self._thread.join(timeout)
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._main_task = asyncio.current_task()
+        try:
+            await self._async.start()
+        except BaseException as exc:  # opaq: ignore[exception-broad-except] surfaced to start() on the caller's thread
+            self._startup_error = exc
+            self._ready.set()
+            return
+        self._ready.set()
+        try:
+            await self._async.serve_forever()
+        except asyncio.CancelledError:
+            pass  # stop() requested
+        finally:
+            await self._async.close()
+
+    def __enter__(self) -> "ThreadedBinaryServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()

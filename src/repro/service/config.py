@@ -17,6 +17,7 @@ from pathlib import Path
 from repro.core.config import OPAQConfig
 from repro.errors import ConfigError
 from repro.parallel.backends import validate_backend
+from repro.service.router import ROUTER_POLICIES
 
 __all__ = ["ServiceConfig"]
 
@@ -79,6 +80,13 @@ class ServiceConfig:
         ``"thread"``, ``"process"`` or ``"simulated"`` (see
         :mod:`repro.parallel.backends`).  The streaming ingest path always
         uses its own shard worker threads regardless.
+    router_policy:
+        How ingest batches are partitioned across shards: ``"hash"``
+        (default; per-key SplitMix64, batch-boundary-independent) or
+        ``"chunk"`` (contiguous slices, zero routing cost — the serving
+        layer's high-throughput choice).  Either way the merged epoch
+        summary covers exactly the ingested multiset; see
+        :mod:`repro.service.router`.
     """
 
     num_shards: int = 4
@@ -94,6 +102,7 @@ class ServiceConfig:
     snapshot_retain: int = 3
     kernel: str = "python"
     backend: str = "serial"
+    router_policy: str = "hash"
 
     def __post_init__(self) -> None:
         if self.num_shards < 1:
@@ -118,6 +127,11 @@ class ServiceConfig:
         # names resolve against the parallel layer's registry.
         self.opaq_config()
         validate_backend(self.backend)
+        if self.router_policy not in ROUTER_POLICIES:
+            raise ConfigError(
+                f"unknown router_policy {self.router_policy!r}; choose from "
+                f"{ROUTER_POLICIES}"
+            )
 
     def opaq_config(self) -> OPAQConfig:
         """The per-shard estimator configuration."""

@@ -22,21 +22,23 @@ never silently mixed into an answer.
 from __future__ import annotations
 
 import threading
+import warnings
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
 import numpy as np
 
 from repro.core.bounds import QuantileBounds
-from repro.core.quantile_phase import bounds_for
-from repro.errors import EstimationError, ServiceError
+from repro.core.quantile_phase import bounds_arrays
+from repro.errors import DataError, EstimationError, ServiceError
 from repro.obs import current_tracer
 from repro.service.config import ServiceConfig
+from repro.service.proto import QuantileVector
 from repro.service.router import ShardRouter
 from repro.service.shard import ShardWorker
 from repro.service.snapshot import EpochSnapshot, SnapshotStore, Snapshotter
 
-__all__ = ["QuantileService", "QueryResult"]
+__all__ = ["QuantileService", "QueryResult", "QuantileVector"]
 
 
 @dataclass(frozen=True)
@@ -80,7 +82,11 @@ class QuantileService:
         key_fn: Callable[[np.ndarray], np.ndarray] | None = None,
     ) -> None:
         self.config = config or ServiceConfig()
-        self._router = ShardRouter(self.config.num_shards, key_fn=key_fn)
+        self._router = ShardRouter(
+            self.config.num_shards,
+            key_fn=key_fn,
+            policy=self.config.router_policy,
+        )
         self._workers = [
             ShardWorker(shard, self.config)
             for shard in range(self.config.num_shards)
@@ -118,12 +124,25 @@ class QuantileService:
     ) -> dict[str, int]:
         """Route one batch across the shards (blocking backpressure).
 
+        The primary signature is array-in: pass a 1-D ``np.ndarray`` (or
+        any numeric sequence).  Scalar ingest is deprecated — wrap the
+        value in an array; per-element calls are exactly the per-request
+        overhead the batched API exists to amortise.
+
         Returns ``{"accepted": n, "epoch": current}``; raises
         :class:`~repro.errors.ServiceError` when a shard queue stays full
         past the backpressure timeout and
         :class:`~repro.errors.DataError` for NaN or non-1-D input.
         """
         self._check_open()
+        if isinstance(values, (int, float)):
+            warnings.warn(
+                "scalar ingest(x) is deprecated; pass a batched "
+                "np.ndarray (ingest(np.asarray([x])))",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            values = np.asarray([values], dtype=np.float64)
         parts = self._router.split(values)
         accepted = 0
         for worker, part in zip(self._workers, parts):
@@ -173,28 +192,93 @@ class QuantileService:
     # Query path (lock-free; never blocks on writers)
     # ------------------------------------------------------------------
 
-    def query(self, phis: Sequence[float] | float) -> QueryResult:
-        """Quantile bounds from the current epoch's merged summary."""
-        fractions = [phis] if isinstance(phis, (int, float)) else list(phis)
+    def quantiles(self, phis: Sequence[float] | np.ndarray) -> QueryResult:
+        """Quantile bounds for a whole φ-vector — the primary query call.
+
+        Array-in/array-out: every fraction is answered in one vectorised
+        ``searchsorted`` sweep over the merged summary
+        (:func:`~repro.core.quantile_phase.bounds_arrays`), bit-identical
+        to the scalar path but with per-call cost independent of the
+        number of fractions.
+        """
+        vector = self.query_arrays(phis)
+        bounds = [
+            QuantileBounds(
+                phi=float(vector.phis[i]),
+                rank=int(vector.ranks[i]),
+                lower=float(vector.lower[i]),
+                upper=float(vector.upper[i]),
+                max_below=int(vector.max_below[i]),
+                max_above=int(vector.max_above[i]),
+            )
+            for i in range(len(vector.phis))
+        ]
+        return QueryResult(
+            epoch=vector.epoch,
+            count=vector.count,
+            guarantee=vector.guarantee,
+            staleness=vector.staleness,
+            bounds=bounds,
+        )
+
+    def query_arrays(
+        self, phis: Sequence[float] | np.ndarray
+    ) -> QuantileVector:
+        """The wire-native form of :meth:`quantiles`: parallel arrays.
+
+        This is the serving hot path — no per-φ object construction, so
+        protocol v2 can frame the answer straight from the arrays.
+        """
         snapshot = self._snapshotter.current
         if snapshot is None:
             raise EstimationError(
                 "no epoch snapshot to serve yet: ingest data and call "
                 "snapshot() (or configure snapshot_every)"
             )
+        try:
+            wanted = np.ascontiguousarray(phis, dtype=np.float64)
+        except (TypeError, ValueError) as exc:
+            raise DataError(
+                f"unparseable quantile fractions: {exc}"
+            ) from None
         tracer = current_tracer()
-        with tracer.span("service.query", queries=len(fractions)):
-            bounds = bounds_for(snapshot.summary, fractions)
+        with tracer.span("service.query", queries=int(wanted.size)):
+            psi, lower, upper, max_below, max_above, fractions = bounds_arrays(
+                snapshot.summary, wanted
+            )
         with self._state_lock:
-            self._queries += len(fractions)
-        tracer.count("service.query.count", len(fractions), epoch=snapshot.epoch)
-        return QueryResult(
+            self._queries += fractions.size
+        tracer.count(
+            "service.query.count", fractions.size, epoch=snapshot.epoch
+        )
+        return QuantileVector(
             epoch=snapshot.epoch,
             count=snapshot.count,
             guarantee=snapshot.guarantee,
             staleness=self.staleness,
-            bounds=bounds,
+            phis=fractions,
+            ranks=psi,
+            lower=lower,
+            upper=upper,
+            max_below=max_below,
+            max_above=max_above,
         )
+
+    def query(self, phis: Sequence[float] | float) -> QueryResult:
+        """Deprecated-compat spelling of :meth:`quantiles`.
+
+        Vector input delegates unchanged; scalar input (``query(0.5)``)
+        is deprecated — pass ``quantiles([0.5])``.
+        """
+        if isinstance(phis, (int, float)):
+            warnings.warn(
+                "scalar query(phi) is deprecated; call quantiles([phi]) "
+                "with a fraction vector",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            phis = [float(phis)]
+        return self.quantiles(phis)
 
     def estimate(
         self, source: np.ndarray, phis: Sequence[float]
@@ -254,6 +338,17 @@ class QuantileService:
                     "samples": (
                         w.summary.num_samples if w.summary is not None else 0
                     ),
+                    # The shard's own error budget.  The merged epoch's
+                    # "guarantee" above is NOT the max of these: merging
+                    # composes the budgets (see the accounting pinned in
+                    # tests/core/test_merge_algebra.py), which is why it
+                    # degrades as shards rise — reported separately here
+                    # so the trade is visible, never hidden.
+                    "guarantee": (
+                        w.summary.guaranteed_rank_error()
+                        if w.summary is not None
+                        else None
+                    ),
                 }
                 for w in self._workers
             ],
@@ -281,7 +376,9 @@ class QuantileService:
                 pass  # nothing ingested: nothing to persist
         for worker in self._workers:
             worker.stop()
-        self._closed = True
+        # A monotonic bool latch: racing readers see either open or
+        # closed, both of which are coherent states.
+        self._closed = True  # opaq: ignore[thread-unguarded-write] monotonic latch
         current_tracer().count("service.closed", 1)
 
     def _check_open(self) -> None:

@@ -1,4 +1,11 @@
-"""The wire layer: a stdlib JSON/HTTP front end for the quantile service.
+"""The compatibility wire layer: JSON/HTTP (wire protocol v1).
+
+The primary transport is the framed binary protocol v2
+(:mod:`repro.service.proto`) served by :mod:`repro.service.aio`; this
+module remains as the compatibility front end — curl-able, debuggable
+with any HTTP tooling, and the bridge for peers that have not migrated
+(``docs/service.md`` has the migration note).  Both layers answer from
+the same vectorised query path, so their bounds are byte-identical.
 
 Deliberately thin — ``ThreadingHTTPServer`` plus a request handler that
 translates JSON bodies to :class:`~repro.service.QuantileService` calls
@@ -20,16 +27,14 @@ Status codes: ``400`` for malformed requests (bad JSON, NaN, unknown φ),
 ``409`` for queries before the first epoch, ``503`` for backpressure
 timeouts (retryable), ``404`` for unknown paths.
 
-:class:`ServiceClient` is the matching urllib-based client used by
-``opaq query --server`` and the smoke tests.
+:class:`~repro.service.ServiceClient` (re-exported here for protocol v1
+import sites) speaks this transport when given an ``http://`` address.
 """
 
 from __future__ import annotations
 
 import json
-import urllib.error
 import urllib.parse
-import urllib.request
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 
@@ -40,6 +45,7 @@ from repro.errors import (
     ReproError,
     ServiceError,
 )
+from repro.service.client import ServiceClient  # noqa: F401 - v1 import compat
 from repro.service.engine import QuantileService
 
 __all__ = ["ServiceClient", "ServiceHTTPServer", "make_server"]
@@ -154,7 +160,9 @@ class _Handler(BaseHTTPRequestHandler):
             phis = [float(p) for p in raw]
         except (TypeError, ValueError):
             raise DataError(f"unparseable quantile fractions: {raw!r}") from None
-        self._reply(200, self.service.query(phis).to_dict())
+        # Same vectorised kernel as the binary layer (bounds_arrays), so
+        # the two transports serve byte-identical bounds.
+        self._reply(200, self.service.query_arrays(phis).to_dict())
 
     def _ep_snapshot(self, query: dict[str, list[str]]) -> None:
         snapshot = self.service.snapshot()
@@ -214,51 +222,3 @@ def make_server(
     :attr:`ServiceHTTPServer.url`.
     """
     return ServiceHTTPServer(service, host=host, port=port, verbose=verbose)
-
-
-class ServiceClient:
-    """Minimal urllib client for the wire protocol (no dependencies)."""
-
-    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
-        self.base_url = base_url.rstrip("/")
-        self.timeout = timeout
-
-    def _request(
-        self, method: str, path: str, payload: dict[str, Any] | None = None
-    ) -> dict[str, Any]:
-        request = urllib.request.Request(
-            self.base_url + path,
-            method=method,
-            data=None if payload is None else json.dumps(payload).encode(),
-            headers={"Content-Type": "application/json"},
-        )
-        try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
-                return dict(json.loads(resp.read()))
-        except urllib.error.HTTPError as exc:
-            try:
-                message = json.loads(exc.read()).get("error", str(exc))
-            except ValueError:
-                message = str(exc)
-            raise ServiceError(
-                f"{method} {path} failed with HTTP {exc.code}: {message}"
-            ) from None
-        except urllib.error.URLError as exc:
-            raise ServiceError(
-                f"cannot reach {self.base_url}: {exc.reason}"
-            ) from None
-
-    def health(self) -> bool:
-        return bool(self._request("GET", "/healthz").get("ok"))
-
-    def ingest(self, values: list[float]) -> dict[str, Any]:
-        return self._request("POST", "/ingest", {"values": list(values)})
-
-    def quantile(self, phis: list[float]) -> dict[str, Any]:
-        return self._request("POST", "/quantile", {"phis": list(phis)})
-
-    def snapshot(self) -> dict[str, Any]:
-        return self._request("POST", "/snapshot")
-
-    def stats(self) -> dict[str, Any]:
-        return self._request("GET", "/stats")

@@ -6,14 +6,25 @@ purely a parallelism decision.  What matters is determinism: the same
 batch must always split the same way, so that a replayed ingest schedule
 reproduces byte-identical epoch snapshots.
 
-Two policies are provided:
+Three policies are provided:
 
 ``hash``
     The default.  Each key's IEEE-754 bit pattern runs through a
     SplitMix64-style avalanche (vectorised over numpy's uint64 wrap-around
-    arithmetic) and the result is reduced modulo the shard count.  This is
-    process- and platform-independent — unlike ``hash(float)``, which is
-    stable only within one interpreter configuration.
+    arithmetic) and the result is reduced to a shard index with the
+    multiply-shift trick (``(z >> 32) * shards >> 32`` — no integer
+    division on the hot path).  This is process- and platform-independent
+    — unlike ``hash(float)``, which is stable only within one interpreter
+    configuration — and batch-boundary-independent: a key lands on the
+    same shard however the stream is batched.
+
+``chunk``
+    Contiguous equal slices of each batch, one per shard — zero hashing,
+    zero masking, views instead of copies.  The cheapest split there is,
+    chosen by the serving layer's high-throughput ingest path.  Still
+    deterministic for a replayed schedule, but the placement of a key
+    depends on where its batch was cut, so per-key affinity (e.g. future
+    tenant routing) needs ``hash`` or a ``key_fn``.
 
 user-supplied ``key_fn``
     Any callable mapping a key array to an integer shard-index array
@@ -29,19 +40,23 @@ import numpy as np
 
 from repro.errors import ConfigError, DataError
 
-__all__ = ["ShardRouter", "hash_shard_indices"]
+__all__ = ["ShardRouter", "hash_shard_indices", "ROUTER_POLICIES"]
 
 _MIX1 = np.uint64(0x9E3779B97F4A7C15)
 _MIX2 = np.uint64(0xBF58476D1CE4E5B9)
 _MIX3 = np.uint64(0x94D049BB133111EB)
 
+ROUTER_POLICIES = ("hash", "chunk")
+
 
 def hash_shard_indices(values: np.ndarray, num_shards: int) -> np.ndarray:
-    """SplitMix64 of each key's bit pattern, reduced mod ``num_shards``.
+    """SplitMix64 of each key's bit pattern, reduced to ``[0, num_shards)``.
 
     Deterministic across processes and platforms; uniform enough that the
     per-shard loads stay within a few percent of each other for any real
-    key distribution (adjacent floats land on unrelated shards).
+    key distribution (adjacent floats land on unrelated shards).  The
+    reduction is multiply-shift on the avalanche's top 32 bits rather
+    than a modulo — the same uniformity without a vector integer divide.
     """
     if num_shards < 1:
         raise ConfigError("num_shards must be at least 1")
@@ -50,7 +65,8 @@ def hash_shard_indices(values: np.ndarray, num_shards: int) -> np.ndarray:
     z = (z ^ (z >> np.uint64(30))) * _MIX2
     z = (z ^ (z >> np.uint64(27))) * _MIX3
     z ^= z >> np.uint64(31)
-    return (z % np.uint64(num_shards)).astype(np.int64)
+    reduced = ((z >> np.uint64(32)) * np.uint64(num_shards)) >> np.uint64(32)
+    return reduced.astype(np.int64)
 
 
 class ShardRouter:
@@ -60,11 +76,23 @@ class ShardRouter:
         self,
         num_shards: int,
         key_fn: Callable[[np.ndarray], np.ndarray] | None = None,
+        policy: str = "hash",
     ) -> None:
         if num_shards < 1:
             raise ConfigError("num_shards must be at least 1")
+        if policy not in ROUTER_POLICIES:
+            raise ConfigError(
+                f"unknown router policy {policy!r}; choose from "
+                f"{ROUTER_POLICIES}"
+            )
+        if key_fn is not None and policy != "hash":
+            raise ConfigError(
+                "key_fn replaces the routing policy; pass policy='hash' "
+                "(the default) alongside it"
+            )
         self.num_shards = num_shards
         self.key_fn = key_fn
+        self.policy = policy
 
     def shard_indices(self, values: np.ndarray) -> np.ndarray:
         """The shard index of each key (vectorised, deterministic)."""
@@ -101,5 +129,8 @@ class ShardRouter:
             raise DataError("ingest batch contains NaN; NaNs have no rank")
         if self.num_shards == 1:
             return [arr]
+        if self.policy == "chunk" and self.key_fn is None:
+            # Contiguous views — no hash, no masks, no copies.
+            return np.array_split(arr, self.num_shards)
         indices = self.shard_indices(arr)
         return [arr[indices == shard] for shard in range(self.num_shards)]

@@ -80,7 +80,9 @@ class ShardWorker:
 
     def start(self) -> None:
         self._thread.start()
-        self._started = True
+        # Written once by the constructing thread before the worker is
+        # shared; a monotonic bool latch thereafter.
+        self._started = True  # opaq: ignore[thread-unguarded-write] monotonic latch
 
     def submit(self, batch: np.ndarray, timeout: float | None = None) -> None:
         """Enqueue one routed sub-batch; blocks when the queue is full.
@@ -111,29 +113,50 @@ class ShardWorker:
 
     def flush(self, timeout: float = 60.0) -> None:
         """Barrier: fold everything submitted before this call."""
+        self.finish_flush(self.begin_flush(timeout), timeout)
+
+    def begin_flush(self, timeout: float = 60.0) -> _Control:
+        """Enqueue a flush barrier without waiting for it.
+
+        Returns the control message; pass it to :meth:`finish_flush` to
+        wait.  Splitting the barrier lets the snapshotter issue one flush
+        per shard *concurrently* — the tail folds of N shards overlap
+        instead of serialising, which is what keeps epoch latency flat as
+        shards rise.
+        """
         self._check_alive()
-        self._control("flush", timeout)
+        message = _Control("flush")
+        self._enqueue_control(message, timeout)
+        return message
+
+    def finish_flush(self, message: _Control, timeout: float = 60.0) -> None:
+        """Wait for a barrier from :meth:`begin_flush` to complete."""
+        self._await_control(message, timeout)
 
     def stop(self, timeout: float = 60.0) -> None:
         """Flush, then terminate the worker thread."""
         if not self._started or not self._thread.is_alive():
             return
-        self._control("stop", timeout)
+        message = _Control("stop")
+        self._enqueue_control(message, timeout)
+        self._await_control(message, timeout)
         self._thread.join(timeout)
 
-    def _control(self, kind: str, timeout: float) -> None:
-        message = _Control(kind)
+    def _enqueue_control(self, message: _Control, timeout: float) -> None:
         try:
             self._queue.put(message, timeout=timeout)
         except queue.Full:
             raise ServiceError(
-                f"shard {self.shard_id} queue full; cannot deliver {kind}"
+                f"shard {self.shard_id} queue full; cannot deliver "
+                f"{message.kind}"
             ) from None
+
+    def _await_control(self, message: _Control, timeout: float) -> None:
         if not message.done.wait(timeout):
             self._check_alive()
             raise ServiceError(
-                f"shard {self.shard_id} did not acknowledge {kind} within "
-                f"{timeout:g}s"
+                f"shard {self.shard_id} did not acknowledge {message.kind} "
+                f"within {timeout:g}s"
             )
         self._check_alive()
 

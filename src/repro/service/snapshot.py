@@ -22,6 +22,7 @@ identically before and after the restart.
 
 from __future__ import annotations
 
+import functools
 import json
 import os
 import threading
@@ -52,11 +53,16 @@ class EpochSnapshot:
         """Elements covered by this epoch."""
         return self.summary.count
 
-    @property
+    @functools.cached_property
     def guarantee(self) -> int:
         """Worst-case rank distance of either served bound from the truth
         (the paper's ``n/s``, recomputed exactly for the merged run
-        layout; ``2×`` this bounds the elements between the bounds)."""
+        layout; ``2×`` this bounds the elements between the bounds).
+
+        Cached: the summary is immutable once the epoch is published, and
+        the reduction over its bookkeeping arrays is pure query-path
+        overhead if repeated per request.
+        """
         return self.summary.guaranteed_rank_error()
 
 
@@ -186,8 +192,12 @@ class Snapshotter:
         tracer = current_tracer()
         with self._lock:
             if flush:
-                for worker in self._workers:
-                    worker.flush()
+                # Two-phase barrier: enqueue every shard's flush first,
+                # then wait — the tail folds run concurrently instead of
+                # shard-by-shard.
+                controls = [w.begin_flush() for w in self._workers]
+                for worker, control in zip(self._workers, controls):
+                    worker.finish_flush(control)
             parts = [w.summary for w in self._workers]
             merged = self._base
             with tracer.span("service.snapshot.merge", shards=len(parts)):

@@ -36,11 +36,17 @@ def test_suppressions_are_rare_and_justified():
     # shared-memory cleanup guards in ``_pack``/``_unpack``, whose
     # ``except BaseException: release; raise`` is exactly the shape
     # OPQ251 demands (a narrower catch would strand a named segment on
-    # KeyboardInterrupt) — and the sample-merge argsort, which sorts
-    # already-selected samples, not the run.  This ceiling forces a
-    # conversation before anyone sprinkles new ones.
+    # KeyboardInterrupt) — the binary server's startup isolation boundary
+    # (``service/aio.py``: a bind failure on the server thread must be
+    # carried back to ``start()`` on the caller's thread, whatever it is)
+    # — the sample-merge argsort, which sorts already-selected
+    # samples, not the run — and the multiselect kernel's dense-rank
+    # sort, which sorts ONE in-memory run during the sample phase (the
+    # measured-faster alternative to multi-pivot introselect), never the
+    # dataset.  This ceiling forces a conversation before anyone
+    # sprinkles new ones.
     result = lint_paths([SRC])
-    assert result.suppressed <= 17
+    assert result.suppressed <= 19
 
 
 def test_repro_package_is_deep_lint_clean():

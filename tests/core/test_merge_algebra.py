@@ -104,6 +104,45 @@ def test_merge_commutes_pairwise(rng):
     assert ab.guaranteed_rank_error() == ba.guaranteed_rank_error()
 
 
+@pytest.mark.parametrize("k", [2, 4, 8])
+def test_merge_guarantee_accounting(rng, k):
+    """Merge-time error accounting: the merged epoch's guarantee is
+    bracketed by the per-shard budgets —
+
+        max(per-shard)  <=  merged  <=  sum(per-shard)
+
+    Sharding cannot *improve* on the worst shard's budget (the merged
+    summary still has to answer inside that shard's data), and in the
+    worst case the budgets compose additively (every shard's uncertainty
+    window can land on the same rank).  This is why the service reports
+    per-shard and merged guarantees as separate fields
+    (``QuantileService.stats()``) instead of pretending the merged number
+    is the per-shard one: the degradation as shards rise is real and this
+    test pins its envelope.
+    """
+    shards = make_shards(rng, k)
+    per_shard = [s.guaranteed_rank_error() for s in shards]
+    merged = fold(shards).guaranteed_rank_error()
+    assert max(per_shard) <= merged <= sum(per_shard), (per_shard, merged)
+
+
+def test_service_stats_reports_both_guarantee_levels(rng):
+    """The serving layer surfaces the accounting honestly: stats() carries
+    each shard's own budget and the merged epoch's budget separately, and
+    they satisfy the merge-accounting envelope."""
+    from repro.service import QuantileService, ServiceConfig
+
+    config = ServiceConfig(num_shards=4, run_size=1_000, sample_size=50)
+    with QuantileService(config) as service:
+        service.ingest(rng.normal(size=40_000))
+        service.snapshot()
+        stats = service.stats()
+    per_shard = [s["guarantee"] for s in stats["per_shard"]]
+    assert all(g is not None and g >= 1 for g in per_shard)
+    merged = stats["guarantee"]
+    assert max(per_shard) <= merged <= sum(per_shard), (per_shard, merged)
+
+
 def test_compaction_is_deterministic_on_canonical_merge(rng):
     """Compaction is NOT part of the merge algebra: it reads the internal
     tie-layout (gaps/floors), which legitimately depends on fold order.

@@ -7,6 +7,7 @@ from hypothesis import given, settings, strategies as st
 from repro.core import (
     OPAQ,
     OPAQConfig,
+    bounds_arrays,
     lower_bound_index,
     quantile_bounds,
     splitters,
@@ -122,6 +123,50 @@ class TestBoundsAtRank:
             bounds_at_rank(summary, 0)
         with pytest.raises(EstimationError):
             bounds_at_rank(summary, 1001)
+
+
+class TestBoundsArrays:
+    """The vectorised φ-vector kernel must be bit-identical to the
+    scalar path — it is what both wire protocols serve from."""
+
+    PHI_GRID = [0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0]
+
+    @pytest.mark.parametrize(
+        "run_size,sample_size", [(100, 10), (5000, 500), (64, 1), (97, 13)]
+    )
+    def test_bit_identical_to_scalar_path(self, rng, run_size, sample_size):
+        data = rng.normal(size=10_000)
+        # Quantised duplicates stress the tie-handling searchsorted sides;
+        # ``+ 0.0`` canonicalises the -0.0 that np.round produces (equal
+        # zeros tie-break differently between min() and np.minimum, which
+        # byte-comparison would flag on the sign bit alone).
+        data[::3] = np.round(data[::3]) + 0.0
+        config = OPAQConfig(run_size=run_size, sample_size=sample_size)
+        summary = OPAQ(config).summarize(data)
+        psi, lower, upper, below, above, phis = bounds_arrays(
+            summary, self.PHI_GRID
+        )
+        for i, phi in enumerate(self.PHI_GRID):
+            b = quantile_bounds(summary, phi)
+            assert psi[i] == b.rank
+            # Byte-level equality, not approx: same IEEE-754 doubles.
+            assert lower[i].tobytes() == np.float64(b.lower).tobytes()
+            assert upper[i].tobytes() == np.float64(b.upper).tobytes()
+            assert below[i] == b.max_below
+            assert above[i] == b.max_above
+
+    def test_all_equal_data_vectorised(self):
+        config = OPAQConfig(run_size=100, sample_size=10)
+        summary = OPAQ(config).summarize(np.full(1000, 7.0))
+        _, lower, upper, _, _, _ = bounds_arrays(summary, [0.25, 0.5, 0.75])
+        assert np.all(lower == 7.0) and np.all(upper == 7.0)
+
+    def test_validation(self, rng):
+        config = OPAQConfig(run_size=100, sample_size=10)
+        summary = OPAQ(config).summarize(rng.uniform(size=1000))
+        for bad in ([], [0.0], [1.5], [[0.5]]):
+            with pytest.raises(EstimationError):
+                bounds_arrays(summary, bad)
 
 
 class TestSplitters:

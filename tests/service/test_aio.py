@@ -1,0 +1,298 @@
+"""End-to-end tests for the binary asyncio server and batched client.
+
+These drive a live ``ThreadedBinaryServer`` over real sockets — the same
+path ``opaq serve`` (default protocol) uses — and pin the error
+discipline: application errors keep the connection alive; framing errors
+answer with an error frame and then close it; and a hostile peer can
+never wedge the server for other connections.
+
+The final class is the bit-identity gate required by the API redesign:
+the binary protocol and the legacy HTTP shim must serve byte-identical
+(e_l, e_u) bounds for the same ingest sequence, because both are thin
+wire layers over the one vectorised ``query_arrays`` kernel.
+"""
+
+import json
+import socket
+import threading
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, DataError, EstimationError, ServiceError
+from repro.service import (
+    QuantileService,
+    ServiceClient,
+    ServiceConfig,
+    ThreadedBinaryServer,
+    make_server,
+)
+from repro.service import proto
+
+PHI_GRID = [0.1, 0.25, 0.5, 0.75, 0.9]
+
+
+@pytest.fixture
+def served():
+    """A live binary server (port 0 → free port) plus a matching client."""
+    config = ServiceConfig(num_shards=2, run_size=1_000, sample_size=50)
+    service = QuantileService(config)
+    server = ThreadedBinaryServer(service, port=0)
+    server.start()
+    client = ServiceClient(server.url, timeout=10.0)
+    try:
+        yield service, server, client
+    finally:
+        client.close()
+        server.stop()
+        service.close(final_snapshot=False)
+
+
+def raw_exchange(server, payload_bytes, read_frames=1):
+    """Open a raw socket, send arbitrary bytes, read up to ``read_frames``
+    reply frames (or until EOF).  Returns (frames, eof_seen)."""
+    host, port = server.url.removeprefix("opaq://").rsplit(":", 1)
+    frames, eof = [], False
+    with socket.create_connection((host, int(port)), timeout=10.0) as sock:
+        sock.sendall(payload_bytes)
+        sock.shutdown(socket.SHUT_WR)
+        buf = b""
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                eof = True
+                break
+            buf += chunk
+        while len(buf) >= proto.HEADER.size and len(frames) < read_frames:
+            opcode, length = proto.parse_header(buf[: proto.HEADER.size])
+            total = proto.HEADER.size + length
+            frames.append((opcode, buf[proto.HEADER.size : total]))
+            buf = buf[total:]
+    return frames, eof
+
+
+class TestBinaryEndToEnd:
+    def test_health_ping(self, served):
+        _, _, client = served
+        assert client.health() is True
+
+    def test_ingest_snapshot_quantiles_roundtrip(self, served, rng):
+        _, _, client = served
+        data = rng.normal(size=50_000)
+        receipt = client.ingest(data)
+        assert receipt["accepted"] == 50_000
+        snapshot = client.snapshot()
+        assert snapshot["epoch"] == 1 and snapshot["count"] == 50_000
+
+        vec = client.quantiles(PHI_GRID)
+        assert vec.epoch == 1 and vec.count == 50_000
+        sorted_data = np.sort(data)
+        for i in range(len(PHI_GRID)):
+            true = sorted_data[vec.ranks[i] - 1]
+            assert vec.lower[i] <= true <= vec.upper[i]
+
+    def test_stats_carries_both_guarantee_levels(self, served, rng):
+        _, _, client = served
+        client.ingest(rng.uniform(size=8_000))
+        client.snapshot()
+        stats = client.stats()
+        assert stats["accepted"] == 8_000
+        assert len(stats["per_shard"]) == 2
+        assert all(s["guarantee"] >= 1 for s in stats["per_shard"])
+
+    def test_pipelined_quantiles_many(self, served, rng):
+        _, _, client = served
+        client.ingest(rng.uniform(size=10_000))
+        client.snapshot()
+        vecs = client.quantiles_many([PHI_GRID] * 4)
+        assert len(vecs) == 4
+        ref = vecs[0]
+        for vec in vecs[1:]:
+            assert vec.lower.tobytes() == ref.lower.tobytes()
+            assert vec.upper.tobytes() == ref.upper.tobytes()
+
+    def test_scalar_aliases_deprecated(self, served, rng):
+        _, _, client = served
+        with pytest.deprecated_call():
+            client.ingest(1.5)
+        client.ingest(rng.uniform(size=5_000))
+        client.snapshot()
+        with pytest.deprecated_call():
+            answer = client.quantile(0.5)
+        assert [r["phi"] for r in answer["results"]] == [0.5]
+
+
+class TestErrorDiscipline:
+    def test_app_error_keeps_connection_alive(self, served, rng):
+        """A bad φ is the *application's* problem: typed error to the
+        client, connection stays usable for the next request."""
+        _, _, client = served
+        client.ingest(rng.uniform(size=2_000))
+        client.snapshot()
+        with pytest.raises(EstimationError, match="phi"):
+            client.quantiles([1.5])
+        # Same socket still answers.
+        vec = client.quantiles([0.5])
+        assert vec.count == 2_000
+
+    def test_query_before_epoch_is_typed(self, served):
+        _, _, client = served
+        with pytest.raises(EstimationError, match="no epoch"):
+            client.quantiles([0.5])
+
+    def test_nan_ingest_is_typed_and_connection_survives(self, served):
+        _, _, client = served
+        with pytest.raises(DataError, match="NaN"):
+            client.ingest(np.array([1.0, np.nan]))
+        assert client.health() is True
+
+    def test_junk_bytes_get_error_frame_then_close(self, served):
+        _, server, _ = served
+        frames, eof = raw_exchange(server, b"GET / HTTP/1.1\r\n\r\n" * 2)
+        assert eof
+        assert len(frames) == 1
+        opcode, payload = frames[0]
+        assert opcode == proto.ERROR_OP
+        assert json.loads(payload)["kind"] == "data"
+
+    def test_version_skew_reported_then_close(self, served):
+        _, server, _ = served
+        v1 = proto.HEADER.pack(proto.MAGIC, 1, proto.Op.PING, 0, 0)
+        frames, eof = raw_exchange(server, v1)
+        assert eof and frames[0][0] == proto.ERROR_OP
+        assert b"version skew" in frames[0][1]
+
+    def test_oversized_length_reported_then_close(self, served):
+        _, server, _ = served
+        huge = proto.HEADER.pack(
+            proto.MAGIC, proto.WIRE_VERSION, proto.Op.INGEST, 0, 1 << 31
+        )
+        frames, eof = raw_exchange(server, huge)
+        assert eof and frames[0][0] == proto.ERROR_OP
+
+    def test_truncated_frame_never_hangs(self, served):
+        """A frame that promises more payload than it delivers must end in
+        a clean close (readexactly fails at EOF), not a hang."""
+        _, server, _ = served
+        header = proto.HEADER.pack(
+            proto.MAGIC, proto.WIRE_VERSION, proto.Op.INGEST, 0, 1024
+        )
+        frames, eof = raw_exchange(server, header + b"short")
+        assert eof
+        assert frames and frames[0][0] == proto.ERROR_OP
+        assert b"mid-frame" in frames[0][1]
+
+    def test_unknown_opcode_stays_open(self, served):
+        _, server, _ = served
+        bogus = proto.HEADER.pack(proto.MAGIC, proto.WIRE_VERSION, 0x42, 0, 0)
+        ping = proto.encode_frame(proto.Op.PING)
+        frames, _ = raw_exchange(server, bogus + ping, read_frames=2)
+        assert frames[0][0] == proto.ERROR_OP
+        assert frames[1][0] == proto.Op.PING | proto.REPLY_BIT
+
+    def test_server_survives_hostile_peer(self, served, rng):
+        """After a framing-error close, other clients are unaffected."""
+        _, server, client = served
+        raw_exchange(server, b"\x00" * 64)
+        client.ingest(rng.uniform(size=1_000))
+        assert client.health() is True
+
+    def test_concurrent_clients(self, served, rng):
+        _, server, client = served
+        client.ingest(rng.uniform(size=10_000))
+        client.snapshot()
+        errors = []
+
+        def worker():
+            try:
+                with ServiceClient(server.url, timeout=10.0) as c:
+                    for _ in range(5):
+                        c.quantiles(PHI_GRID)
+            except Exception as exc:  # noqa: BLE001 - collected for assert
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30.0)
+        assert not errors
+
+
+class TestClientAddressing:
+    def test_bad_scheme_rejected(self):
+        with pytest.raises(ConfigError, match="scheme"):
+            ServiceClient("ftp://127.0.0.1:9")
+
+    def test_missing_port_rejected(self):
+        with pytest.raises(ConfigError, match="host and port"):
+            ServiceClient("opaq://127.0.0.1")
+
+    def test_unreachable_binary_endpoint(self):
+        client = ServiceClient("opaq://127.0.0.1:1", timeout=0.5)
+        with pytest.raises(ServiceError):
+            client.health()
+
+    def test_double_start_rejected(self):
+        config = ServiceConfig(num_shards=1, run_size=500, sample_size=25)
+        with QuantileService(config) as service:
+            server = ThreadedBinaryServer(service, port=0)
+            server.start()
+            try:
+                with pytest.raises(ServiceError, match="already"):
+                    server.start()
+            finally:
+                server.stop()
+
+
+class TestBitIdentityGate:
+    """Binary and legacy-HTTP answers must be byte-identical doubles."""
+
+    def test_binary_and_http_serve_identical_bounds(self, rng):
+        data = rng.normal(size=60_000)
+        data[::4] = np.round(data[::4]) + 0.0  # duplicate-heavy, no -0.0
+        phis = [0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99]
+
+        def serve_and_query(protocol):
+            config = ServiceConfig(
+                num_shards=2, run_size=1_000, sample_size=50
+            )
+            service = QuantileService(config)
+            try:
+                if protocol == "binary":
+                    server = ThreadedBinaryServer(service, port=0)
+                    server.start()
+                    stop = server.stop
+                else:
+                    server = make_server(service, port=0)
+                    thread = threading.Thread(
+                        target=server.serve_forever, daemon=True
+                    )
+                    thread.start()
+
+                    def stop():
+                        server.shutdown()
+                        server.server_close()
+                        thread.join(timeout=10.0)
+
+                try:
+                    with ServiceClient(server.url, timeout=10.0) as client:
+                        client.ingest(data)
+                        client.snapshot()
+                        return client.quantiles(phis)
+                finally:
+                    stop()
+            finally:
+                service.close(final_snapshot=False)
+
+        binary = serve_and_query("binary")
+        http = serve_and_query("http")
+
+        # The gate: raw IEEE-754 bytes, no approx, no repr rounding.
+        assert binary.lower.tobytes() == http.lower.tobytes()
+        assert binary.upper.tobytes() == http.upper.tobytes()
+        assert binary.ranks.tobytes() == http.ranks.tobytes()
+        assert binary.max_below.tobytes() == http.max_below.tobytes()
+        assert binary.max_above.tobytes() == http.max_above.tobytes()
+        assert binary.guarantee == http.guarantee
+        assert binary.epoch == http.epoch and binary.count == http.count

@@ -58,12 +58,20 @@ class TestEndpoints:
         snapshot = client.snapshot()
         assert snapshot["epoch"] == 1 and snapshot["count"] == 10_000
 
-        answer = client.quantile([0.5])
-        assert answer["epoch"] == 1
-        (median,) = answer["results"]
+        vec = client.quantiles([0.5])
+        assert vec.epoch == 1
         sorted_data = np.sort(data)
-        assert median["lower"] <= sorted_data[median["rank"] - 1] <= median["upper"]
-        assert median["max_between"] <= 2 * answer["guarantee"]
+        assert vec.lower[0] <= sorted_data[vec.ranks[0] - 1] <= vec.upper[0]
+        assert vec.max_below[0] + vec.max_above[0] <= 2 * vec.guarantee
+
+    def test_deprecated_quantile_alias_still_answers(self, served, rng):
+        _, _, client = served
+        client.ingest(rng.uniform(size=2_000))
+        client.snapshot()
+        with pytest.deprecated_call():
+            answer = client.quantile([0.5])
+        assert answer["epoch"] == 1
+        assert [r["phi"] for r in answer["results"]] == [0.5]
 
     def test_quantile_get_with_params(self, served, rng):
         _, server, client = served
@@ -136,7 +144,7 @@ class TestErrorMapping:
     def test_client_raises_service_error_with_server_message(self, served):
         _, _, client = served
         with pytest.raises(ServiceError, match="HTTP 409"):
-            client.quantile([0.5])
+            client.quantiles([0.5])
 
     def test_client_unreachable_host(self):
         client = ServiceClient("http://127.0.0.1:1", timeout=0.5)

@@ -1,0 +1,250 @@
+"""Wire protocol v2: framing, codecs, and hostile-bytes robustness.
+
+Every decoder in :mod:`repro.service.proto` must hold the contract that
+malformed input raises a *typed* repro error (DataError for corrupt or
+hostile bytes), never an IndexError/struct.error leak, never a silent
+truncation, and — at the server — never a hang.  The fuzz cases here are
+seeded and deterministic so a failure is a repro, not a flake.
+"""
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    ConfigError,
+    DataError,
+    EstimationError,
+    ReproError,
+    ServiceError,
+)
+from repro.service import proto
+
+
+def frame_of(opcode=proto.Op.PING, payload=b"", version=proto.WIRE_VERSION,
+             magic=proto.MAGIC, flags=0, length=None):
+    """Hand-rolled frame with any field corrupted on demand."""
+    return proto.HEADER.pack(
+        magic, version, opcode, flags,
+        len(payload) if length is None else length,
+    ) + payload
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        frame = proto.encode_frame(proto.Op.INGEST, b"abc")
+        opcode, length = proto.parse_header(frame[: proto.HEADER.size])
+        assert opcode == proto.Op.INGEST
+        assert length == 3
+        assert frame[proto.HEADER.size :] == b"abc"
+
+    def test_empty_payload(self):
+        frame = proto.encode_frame(proto.Op.PING)
+        assert len(frame) == proto.HEADER.size
+        assert proto.parse_header(frame) == (proto.Op.PING, 0)
+
+    def test_oversized_payload_refused_on_encode(self):
+        with pytest.raises(DataError, match="frame limit"):
+            proto.encode_frame(proto.Op.INGEST, b"x" * (proto.MAX_PAYLOAD + 1))
+
+    def test_truncated_header(self):
+        with pytest.raises(DataError, match="truncated frame header"):
+            proto.parse_header(b"OPAQ\x02")
+
+    def test_wrong_magic(self):
+        with pytest.raises(DataError, match="not an OPAQ frame"):
+            proto.parse_header(frame_of(magic=b"HTTP"))
+
+    def test_version_skew_names_both_versions(self):
+        with pytest.raises(DataError, match=r"v1.*v2|version skew"):
+            proto.parse_header(frame_of(version=1))
+        with pytest.raises(DataError, match="version skew"):
+            proto.parse_header(frame_of(version=99))
+
+    def test_reserved_flags_rejected(self):
+        with pytest.raises(DataError, match="reserved"):
+            proto.parse_header(frame_of(flags=0x0001))
+
+    def test_oversized_declared_length_rejected(self):
+        with pytest.raises(DataError, match="exceeds"):
+            proto.parse_header(frame_of(length=proto.MAX_PAYLOAD + 1))
+
+    def test_custom_max_payload(self):
+        header = frame_of(length=2048)
+        assert proto.parse_header(header) == (proto.Op.PING, 2048)
+        with pytest.raises(DataError, match="exceeds"):
+            proto.parse_header(header, max_payload=1024)
+
+
+class TestArrayBlocks:
+    @pytest.mark.parametrize(
+        "arr",
+        [
+            np.arange(10, dtype=np.float64),
+            np.array([], dtype=np.float64),
+            np.arange(6, dtype=np.int64).reshape(2, 3),
+            np.array([1.5, -0.0, np.inf], dtype=np.float32),
+            np.array([True, False]),
+        ],
+    )
+    def test_roundtrip(self, arr):
+        back = proto.unpack_single_array(proto.pack_array(arr))
+        assert back.dtype == arr.dtype
+        assert back.shape == arr.shape
+        assert back.tobytes() == np.ascontiguousarray(arr).tobytes()
+
+    def test_returned_array_is_writable(self):
+        back = proto.unpack_single_array(proto.pack_array(np.arange(4.0)))
+        back.sort()  # frombuffer views are read-only; the codec must copy
+
+    def test_object_dtype_refused(self):
+        with pytest.raises(DataError, match="object"):
+            proto.pack_array(np.array(["a", object()], dtype=object))
+
+    def test_excess_ndim_refused(self):
+        with pytest.raises(DataError, match="dimensions"):
+            proto.pack_array(np.zeros((2, 2, 2)))
+
+    def test_truncated_data_detected(self):
+        blob = proto.pack_array(np.arange(100, dtype=np.float64))
+        with pytest.raises(DataError, match="truncated"):
+            proto.unpack_single_array(blob[:-1])
+
+    def test_trailing_bytes_detected(self):
+        blob = proto.pack_array(np.arange(4, dtype=np.float64))
+        with pytest.raises(DataError, match="trailing"):
+            proto.unpack_single_array(blob + b"\x00")
+
+    def test_unknown_dtype_string_refused(self):
+        bad = struct.pack("!B", 3) + b"zz9" + struct.pack("!B", 1) + struct.pack("!Q", 0)
+        with pytest.raises(DataError, match="dtype"):
+            proto.unpack_single_array(bad)
+
+    def test_huge_declared_shape_cannot_overread(self):
+        # Declares 2**40 elements but supplies none: must be a typed
+        # error, not an allocation attempt or a garbage array.
+        bad = (
+            struct.pack("!B", 3) + b"<f8"
+            + struct.pack("!B", 1) + struct.pack("!Q", 1 << 40)
+        )
+        with pytest.raises(DataError, match="truncated"):
+            proto.unpack_single_array(bad)
+
+    def test_fuzz_random_corruption_never_leaks_foreign_errors(self):
+        """Seeded fuzz: bit flips, truncations and splices of valid
+        blocks must always surface as repro errors (or decode, for
+        corruptions that happen to keep the block well-formed)."""
+        rng = np.random.default_rng(0xC0FFEE)
+        base = proto.pack_array(rng.normal(size=64))
+        for _ in range(400):
+            blob = bytearray(base)
+            mode = rng.integers(0, 3)
+            if mode == 0:  # truncate
+                blob = blob[: rng.integers(0, len(blob))]
+            elif mode == 1:  # flip bytes
+                for _ in range(int(rng.integers(1, 8))):
+                    blob[int(rng.integers(0, len(blob)))] = int(
+                        rng.integers(0, 256)
+                    )
+            else:  # splice two blocks
+                cut = int(rng.integers(0, len(blob)))
+                blob = blob[:cut] + base[: int(rng.integers(0, len(base)))]
+            try:
+                proto.unpack_single_array(bytes(blob))
+            except ReproError:
+                pass  # typed: the contract holds
+
+
+class TestOpcodeCodecs:
+    def test_ingest_roundtrip(self):
+        values = np.linspace(-5, 5, 1000)
+        decoded = proto.decode_ingest_request(
+            proto.encode_ingest_request(values)
+        )
+        assert decoded.tobytes() == values.tobytes()
+        reply = proto.decode_ingest_reply(proto.encode_ingest_reply(1000, 7))
+        assert reply == {"accepted": 1000, "epoch": 7}
+
+    def test_ingest_rejects_non_numeric_payload(self):
+        blob = proto.pack_array(np.array([b"ab", b"cd"]))
+        with pytest.raises(DataError, match="numeric"):
+            proto.decode_ingest_request(blob)
+
+    def test_quantiles_roundtrip(self):
+        vec = proto.QuantileVector(
+            epoch=3,
+            count=10_000,
+            guarantee=99,
+            staleness=5,
+            phis=np.array([0.25, 0.5, 0.75]),
+            ranks=np.array([2500, 5000, 7500], dtype=np.int64),
+            lower=np.array([-0.7, -0.0, 0.7]),
+            upper=np.array([-0.6, 0.1, 0.8]),
+            max_below=np.array([9, 9, 9], dtype=np.int64),
+            max_above=np.array([8, 8, 8], dtype=np.int64),
+        )
+        back = proto.decode_quantiles_reply(proto.encode_quantiles_reply(vec))
+        assert back.epoch == 3 and back.count == 10_000
+        assert back.guarantee == 99 and back.staleness == 5
+        for field in ("phis", "ranks", "lower", "upper", "max_below", "max_above"):
+            assert getattr(back, field).tobytes() == getattr(vec, field).tobytes()
+        row = back.to_dict()["results"][1]
+        assert row["max_between"] == 17
+
+    def test_quantiles_reply_truncation_detected(self):
+        vec = proto.QuantileVector(
+            epoch=1, count=10, guarantee=1, staleness=0,
+            phis=np.array([0.5]), ranks=np.array([5], dtype=np.int64),
+            lower=np.array([0.0]), upper=np.array([1.0]),
+            max_below=np.array([0], dtype=np.int64),
+            max_above=np.array([0], dtype=np.int64),
+        )
+        blob = proto.encode_quantiles_reply(vec)
+        with pytest.raises(DataError):
+            proto.decode_quantiles_reply(blob[:-3])
+        with pytest.raises(DataError, match="trailing"):
+            proto.decode_quantiles_reply(blob + b"!")
+
+    def test_snapshot_and_stats_roundtrip(self):
+        snap = proto.decode_snapshot_reply(
+            proto.encode_snapshot_reply(2, 500, 41, 100)
+        )
+        assert snap == {"epoch": 2, "count": 500, "guarantee": 41, "samples": 100}
+        stats = proto.decode_stats_reply(
+            proto.encode_stats_reply({"shards": 4, "accepted": 9})
+        )
+        assert stats["shards"] == 4
+        with pytest.raises(DataError, match="malformed"):
+            proto.decode_stats_reply(b"{nope")
+        with pytest.raises(DataError, match="object"):
+            proto.decode_stats_reply(b"[1,2]")
+
+
+class TestErrorCodec:
+    @pytest.mark.parametrize(
+        "exc,kind,retryable",
+        [
+            (DataError("bad bytes"), "data", False),
+            (ConfigError("bad knob"), "config", False),
+            (EstimationError("no epoch"), "estimation", False),
+            (ServiceError("queue full"), "service", True),
+            (ReproError("generic"), "repro", False),
+        ],
+    )
+    def test_taxonomy_roundtrips(self, exc, kind, retryable):
+        import json
+
+        body = json.loads(proto.encode_error(exc))
+        assert body["kind"] == kind
+        assert body["retryable"] is retryable
+        with pytest.raises(type(exc), match=str(exc)):
+            proto.raise_remote_error(proto.encode_error(exc))
+
+    def test_unknown_kind_degrades_to_service_error(self):
+        with pytest.raises(ServiceError, match="mystery"):
+            proto.raise_remote_error(b'{"kind": "alien", "error": "mystery"}')
+
+    def test_unreadable_error_frame_is_typed(self):
+        with pytest.raises(ServiceError, match="unreadable"):
+            proto.raise_remote_error(b"\xff\xfe not json")

@@ -76,6 +76,45 @@ class TestSplit:
             ShardRouter(2).split(np.zeros((3, 3)))
 
 
+class TestChunkPolicy:
+    """The zero-cost ingest partitioning policy: contiguous views."""
+
+    def test_partitions_exactly_and_preserves_order(self, rng):
+        values = rng.uniform(size=5_003)  # deliberately not divisible
+        parts = ShardRouter(4, policy="chunk").split(values)
+        assert len(parts) == 4
+        np.testing.assert_array_equal(np.concatenate(parts), values)
+
+    def test_near_even_sizes(self, rng):
+        parts = ShardRouter(8, policy="chunk").split(rng.uniform(size=10_001))
+        sizes = [p.size for p in parts]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_parts_are_views_not_copies(self, rng):
+        values = rng.uniform(size=1_000)
+        parts = ShardRouter(4, policy="chunk").split(values)
+        assert all(p.base is not None for p in parts if p.size)
+
+    def test_deterministic(self, rng):
+        values = rng.uniform(size=2_000)
+        a = ShardRouter(3, policy="chunk").split(values)
+        b = ShardRouter(3, policy="chunk").split(values.copy())
+        for pa, pb in zip(a, b):
+            np.testing.assert_array_equal(pa, pb)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigError, match="policy"):
+            ShardRouter(2, policy="round-robin")
+
+    def test_key_fn_with_chunk_policy_rejected(self):
+        with pytest.raises(ConfigError, match="key_fn"):
+            ShardRouter(2, policy="chunk", key_fn=lambda v: v.astype(np.int64))
+
+    def test_same_validation_as_hash(self):
+        with pytest.raises(DataError, match="NaN"):
+            ShardRouter(2, policy="chunk").split([1.0, float("nan")])
+
+
 class TestKeyFn:
     def test_custom_key_fn_controls_placement(self):
         router = ShardRouter(2, key_fn=lambda v: (v >= 0).astype(np.int64))

@@ -46,7 +46,7 @@ class TestIngestAndQuery:
             assert snapshot.epoch == 1
             assert snapshot.count == 20_000
 
-            result = service.query([0.25, 0.5, 0.75])
+            result = service.quantiles([0.25, 0.5, 0.75])
             assert result.epoch == 1
             assert result.count == 20_000
             assert result.staleness == 0
@@ -60,15 +60,22 @@ class TestIngestAndQuery:
         with QuantileService(small_config()) as service:
             service.ingest([1.0, 2.0, 3.0])
             with pytest.raises(EstimationError, match="no epoch"):
-                service.query(0.5)
+                service.quantiles([0.5])
 
-    def test_scalar_phi_accepted(self, rng):
+    def test_scalar_phi_deprecated_but_answered(self, rng):
         with QuantileService(small_config()) as service:
             service.ingest(rng.uniform(size=4_000))
             service.snapshot()
-            result = service.query(0.5)
+            with pytest.deprecated_call():
+                result = service.query(0.5)
             assert len(result.bounds) == 1
             assert result.bounds[0].phi == 0.5
+
+    def test_scalar_ingest_deprecated_but_accepted(self, rng):
+        with QuantileService(small_config()) as service:
+            with pytest.deprecated_call():
+                receipt = service.ingest(1.5)
+            assert receipt["accepted"] == 1
 
     def test_staleness_counts_unsnapshotted_elements(self, rng):
         with QuantileService(small_config()) as service:
@@ -76,7 +83,7 @@ class TestIngestAndQuery:
             service.snapshot()
             service.ingest(rng.uniform(size=1_234))
             assert service.staleness == 1_234
-            assert service.query(0.5).staleness == 1_234
+            assert service.quantiles([0.5]).staleness == 1_234
             service.snapshot()
             assert service.staleness == 0
 
@@ -122,7 +129,7 @@ class TestShardPartitioning:
             with QuantileService(small_config(num_shards=shards)) as service:
                 service.ingest(data)
                 service.snapshot()
-                result = service.query([0.1, 0.5, 0.9])
+                result = service.quantiles([0.1, 0.5, 0.9])
                 for b in result.bounds:
                     assert b.lower <= sorted_data[b.rank - 1] <= b.upper
 
@@ -198,7 +205,7 @@ class TestLifecycle:
         service = QuantileService(small_config())
         service.ingest(rng.uniform(size=2_000))
         service.close()
-        assert service.query(0.5).count == 2_000
+        assert service.quantiles([0.5]).count == 2_000
 
 
 class TestObservability:
@@ -208,7 +215,7 @@ class TestObservability:
             with QuantileService(small_config()) as service:
                 service.ingest(rng.uniform(size=6_000))
                 service.snapshot()
-                service.query([0.5, 0.9])
+                service.quantiles([0.5, 0.9])
         assert sink.counter_total("service.ingest.elements") == 6_000
         assert sink.counter_total("service.ingest.batches") == 1
         assert sink.counter_total("service.snapshot.epoch") == 1

@@ -58,6 +58,7 @@ SERVICE = {
     "ServiceConfig",
     "QuantileService",
     "QueryResult",
+    "QuantileVector",
     "ShardRouter",
     "hash_shard_indices",
     "ShardWorker",
@@ -66,6 +67,8 @@ SERVICE = {
     "Snapshotter",
     "ServiceClient",
     "ServiceHTTPServer",
+    "AsyncServiceServer",
+    "ThreadedBinaryServer",
     "make_server",
 }
 
@@ -84,6 +87,24 @@ def test_service_surface_is_exactly_the_snapshot():
     import repro.service
 
     assert set(repro.service.__all__) == SERVICE
+
+
+def test_service_client_batched_surface():
+    """The redesigned client keeps both the batched primary methods and
+    the deprecated v1 alias through its deprecation cycle."""
+    from repro.service import ServiceClient
+
+    for method in (
+        "ingest",
+        "quantiles",
+        "quantiles_many",
+        "snapshot",
+        "stats",
+        "health",
+        "close",
+        "quantile",  # deprecated v1 alias
+    ):
+        assert callable(getattr(ServiceClient, method)), method
 
 
 def test_streaming_baseline_registry_is_stable():
