@@ -197,7 +197,10 @@ class UnboundedBlockingRule(Rule):
     The asyncio wire layer (``service/aio.py``) makes the same promise —
     a stalled shard must surface as a typed error frame, never wedge the
     event loop — so it is in scope too; its blocking service calls run
-    under ``asyncio.wait_for``.
+    under ``asyncio.wait_for``.  So does the multi-tenant registry
+    (``service/tenancy/``): its shard locks sit on the keyed request
+    path, where an unbounded ``acquire()`` would wedge every tenant
+    behind one stuck key.
     """
 
     rule_id = "spmd-unbounded-blocking"
@@ -208,7 +211,7 @@ class UnboundedBlockingRule(Rule):
         "a dead peer turns the call into a hang instead of a typed error"
     )
     paper_ref = "backends contract (fail typed, never hang)"
-    scope_prefixes = ("parallel/backends/", "service/aio.py")
+    scope_prefixes = ("parallel/backends/", "service/aio.py", "service/tenancy/")
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         for node in ast.walk(ctx.tree):

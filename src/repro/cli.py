@@ -253,6 +253,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         ThreadedBinaryServer,
         make_server,
     )
+    from repro.service.tenancy import RegistryConfig
 
     config = ServiceConfig(
         num_shards=args.shards,
@@ -265,6 +266,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         snapshot_dir=args.snapshot_dir,
         kernel=args.kernel,
         router_policy=args.router_policy,
+        tenancy=RegistryConfig(
+            memory_budget=args.tenancy_budget,
+            num_shards=args.tenancy_shards,
+            per_key_epsilon=args.tenancy_epsilon,
+            spill_dir=args.tenancy_spill_dir,
+        ),
     )
     service = QuantileService(config)
     if service.restored_epoch is not None:
@@ -624,6 +631,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--snapshot-dir", default=None,
         help="persist epochs here and warm-restart from the newest",
+    )
+    p.add_argument(
+        "--tenancy-budget", type=int, default=8_000_000, metavar="SLOTS",
+        help="global memory budget of the multi-tenant registry, in "
+        "float64 slots shared by every (tenant, metric) key",
+    )
+    p.add_argument(
+        "--tenancy-shards", type=int, default=8,
+        help="lock shards of the multi-tenant registry",
+    )
+    p.add_argument(
+        "--tenancy-epsilon", type=float, default=0.01, metavar="EPS",
+        help="per-key rank-error budget: every keyed answer serves "
+        "(guarantee - 1) <= EPS * count for its own key",
+    )
+    p.add_argument(
+        "--tenancy-spill-dir", default=None, metavar="DIR",
+        help="spill cold keys here under budget pressure and "
+        "warm-restart keyed answers from it (without it, keyed ingest "
+        "over budget reports backpressure instead of spilling)",
     )
     p.add_argument(
         "--verbose", action="store_true", help="log every HTTP request"

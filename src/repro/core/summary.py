@@ -66,7 +66,6 @@ class OPAQSummary:
     #: ``-inf`` (sound for hand-built summaries, maximally pessimistic).
     floors: np.ndarray | None = None
     _cum: np.ndarray = field(init=False, repr=False, compare=False)
-    _maxlt: np.ndarray = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         samples = np.asarray(self.samples, dtype=np.float64)
@@ -103,7 +102,27 @@ class OPAQSummary:
                 f"{self.count} elements"
             )
         object.__setattr__(self, "_cum", cum)
-        object.__setattr__(self, "_maxlt", self._build_maxlt(samples, gaps, floors, cum))
+
+    @property
+    def _maxlt(self) -> np.ndarray:
+        """The ``maxlt`` array, built on first use and cached.
+
+        Summary construction is hot in the multi-tenant registry: a fold
+        builds several short-lived summaries per key (the exact delta,
+        then one candidate per compaction width), and only the survivor
+        ever answers a rank query.  Deferring the argsort/searchsorted
+        sweep here cuts construction to its validation cost.  Two
+        threads racing on first use both build the same idempotent
+        array, so the benign race costs one redundant build, never a
+        wrong answer.
+        """
+        cached: np.ndarray | None = self.__dict__.get("_maxlt_cache")
+        if cached is None:
+            cached = self._build_maxlt(
+                self.samples, self.gaps, self.floors, self._cum
+            )
+            object.__setattr__(self, "_maxlt_cache", cached)
+        return cached
 
     @staticmethod
     def _build_maxlt(

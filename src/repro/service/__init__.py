@@ -21,7 +21,13 @@ production serving system needs.  This package turns them into one:
 - :mod:`repro.service.http` — the JSON/HTTP compatibility layer
   (protocol v1), byte-identical answers to the binary path;
 - :class:`ServiceClient` — one batched client for both transports,
-  selected by address scheme (``opaq://`` or ``http://``).
+  selected by address scheme (``opaq://`` or ``http://``);
+- :mod:`repro.service.tenancy` — the multi-tenant registry behind the
+  keyed opcodes: millions of ``(tenant, metric)`` summaries under one
+  memory budget, with LRU spill to disk, per-key error budgets and an
+  aggregation tree for ``tenant="*"`` rollups
+  (:class:`SummaryRegistry`, :class:`RegistryConfig`,
+  :class:`KeyAnswer`).
 
 Every query carries the paper's deterministic guarantee, recomputed
 exactly for the merged run layout: the true φ-quantile of the served
@@ -39,6 +45,7 @@ from repro.service.proto import QuantileVector
 from repro.service.router import ShardRouter, hash_shard_indices
 from repro.service.shard import ShardWorker
 from repro.service.snapshot import EpochSnapshot, SnapshotStore, Snapshotter
+from repro.service.tenancy import KeyAnswer, RegistryConfig, SummaryRegistry
 
 __all__ = [
     "ServiceConfig",
@@ -56,4 +63,7 @@ __all__ = [
     "AsyncServiceServer",
     "ThreadedBinaryServer",
     "make_server",
+    "RegistryConfig",
+    "SummaryRegistry",
+    "KeyAnswer",
 ]

@@ -192,6 +192,22 @@ class AsyncServiceServer:
             return proto.encode_ingest_reply(
                 int(result["accepted"]), int(result["epoch"])
             )
+        if opcode == proto.Op.INGEST_KEYED:
+            keys, counts, values = proto.decode_ingest_keyed_request(payload)
+            result = await self._blocking(
+                lambda: self.service.ingest_keyed(keys, counts, values)
+            )
+            return proto.encode_ingest_keyed_reply(
+                int(result["elements"]), int(result["keys"])
+            )
+        if opcode == proto.Op.QUANTILES_KEYED:
+            # Keyed queries may fold pending data, restore a spilled key
+            # or trigger evictions — registry work, off the event loop.
+            keys, phis = proto.decode_quantiles_keyed_request(payload)
+            answers = await self._blocking(
+                lambda: self.service.quantiles_keyed(keys, phis)
+            )
+            return proto.encode_quantiles_keyed_reply(answers)
         if opcode == proto.Op.SNAPSHOT:
             snapshot = await self._blocking(self.service.snapshot)
             return proto.encode_snapshot_reply(

@@ -18,9 +18,16 @@ The API is array-in/array-out::
         vec = client.quantiles([0.25, 0.5, 0.75, 0.99])
         vec.lower, vec.upper, vec.guarantee
 
-Scalar ``ingest(x)`` and the dict-returning ``quantile(phis)`` remain as
-deprecated aliases (one :class:`DeprecationWarning` each) so protocol v1
-call sites keep working during migration — see ``docs/service.md``.
+The deprecation cycle for the protocol v1 spellings is complete: scalar
+``ingest(x)`` and the dict-returning ``quantile(phis)`` were removed
+after one release of :class:`DeprecationWarning` — pass an array to
+``ingest`` and call ``quantiles`` (``.to_dict()`` recovers the old
+shape).  See ``docs/api.md``.
+
+Keyed (multi-tenant) calls ride the same transports:
+``ingest_keyed({(tenant, metric): values, ...})`` and
+``quantiles_keyed([(tenant, metric), ...], phis)``, with ``"*"``
+selecting server-side rollups — see ``docs/service.md``.
 
 Server-side failures arrive as their typed repro exceptions
 (:class:`~repro.errors.DataError` and friends, re-raised by
@@ -36,28 +43,36 @@ import socket
 import urllib.error
 import urllib.parse
 import urllib.request
-import warnings
-from typing import Any, Sequence
+from typing import Any, Mapping, Sequence
 
 import numpy as np
 
 from repro.errors import ConfigError, DataError, ServiceError
 from repro.service import proto
 from repro.service.proto import QuantileVector
+from repro.service.tenancy.keys import compose_key, split_key
+from repro.service.tenancy.registry import KeyAnswer
 
 __all__ = ["ServiceClient"]
 
+#: One keyed ingest call's input: a mapping from ``(tenant, metric)``
+#: to that key's values, or a sequence of ``(tenant, metric, values)``.
+KeyedBatches = (
+    Mapping[tuple[str, str], "np.ndarray | Sequence[float]"]
+    | Sequence[tuple[str, str, "np.ndarray | Sequence[float]"]]
+)
+
 
 def _as_batch(values: Any) -> np.ndarray:
-    """Coerce ingest input to a 1-D float64 array (deprecating scalars)."""
+    """Coerce ingest input to a 1-D float64 array."""
     if isinstance(values, (int, float)):
-        warnings.warn(
-            "scalar ingest(x) is deprecated; pass a batched np.ndarray "
-            "(ingest(np.asarray([x])))",
-            DeprecationWarning,
-            stacklevel=3,
+        # Scalar ingest completed its deprecation cycle (one release of
+        # DeprecationWarning); per-element calls are exactly the
+        # per-request overhead the batched API exists to amortise.
+        raise DataError(
+            "scalar ingest(x) was removed; pass a batched np.ndarray "
+            "(ingest(np.asarray([x])))"
         )
-        values = [values]
     try:
         arr = np.ascontiguousarray(values, dtype=np.float64)
     except (TypeError, ValueError) as exc:
@@ -75,6 +90,27 @@ def _as_phis(phis: Any) -> np.ndarray:
     if arr.ndim != 1:
         raise DataError("pass quantile fractions as a one-dimensional vector")
     return arr
+
+
+def _as_keyed_frame(
+    batches: KeyedBatches,
+) -> tuple[list[str], np.ndarray, np.ndarray]:
+    """Flatten keyed batches into the wire frame (keys, counts, values)."""
+    if isinstance(batches, Mapping):
+        items = [(t, m, v) for (t, m), v in batches.items()]
+    else:
+        items = [(t, m, v) for t, m, v in batches]
+    keys = [compose_key(tenant, metric) for tenant, metric, _ in items]
+    arrays = [_as_batch(values) for _, _, values in items]
+    counts = np.array([a.size for a in arrays], dtype=np.int64)
+    values = (
+        np.concatenate(arrays) if arrays else np.empty(0, dtype=np.float64)
+    )
+    return keys, counts, values
+
+
+def _composite_pairs(pairs: Sequence[tuple[str, str]]) -> list[str]:
+    return [compose_key(tenant, metric) for tenant, metric in pairs]
 
 
 # ----------------------------------------------------------------------
@@ -215,6 +251,24 @@ class _BinaryTransport:
             for _ in phi_vectors
         ]
 
+    def ingest_keyed(
+        self, keys: list[str], counts: np.ndarray, values: np.ndarray
+    ) -> dict[str, int]:
+        reply = self.request(
+            proto.Op.INGEST_KEYED,
+            proto.encode_ingest_keyed_request(keys, counts, values),
+        )
+        return proto.decode_ingest_keyed_reply(reply)
+
+    def quantiles_keyed(
+        self, keys: list[str], phis: np.ndarray
+    ) -> list[KeyAnswer]:
+        reply = self.request(
+            proto.Op.QUANTILES_KEYED,
+            proto.encode_quantiles_keyed_request(keys, phis),
+        )
+        return proto.decode_quantiles_keyed_reply(reply)
+
     def snapshot(self) -> dict[str, int]:
         return proto.decode_snapshot_reply(self.request(proto.Op.SNAPSHOT))
 
@@ -293,6 +347,53 @@ class _HttpTransport:
         # HTTP/1.1 request/response cannot pipeline here: sequential.
         return [self.quantiles(phis) for phis in phi_vectors]
 
+    def ingest_keyed(
+        self, keys: list[str], counts: np.ndarray, values: np.ndarray
+    ) -> dict[str, int]:
+        reply = self._request(
+            "POST",
+            "/ingest_keyed",
+            {
+                "keys": [list(split_key(key)) for key in keys],
+                "counts": np.asarray(counts).tolist(),
+                "values": np.asarray(values).tolist(),
+            },
+        )
+        return {"elements": int(reply["elements"]), "keys": int(reply["keys"])}
+
+    def quantiles_keyed(
+        self, keys: list[str], phis: np.ndarray
+    ) -> list[KeyAnswer]:
+        reply = self._request(
+            "POST",
+            "/quantile_keyed",
+            {
+                "keys": [list(split_key(key)) for key in keys],
+                "phis": phis.tolist(),
+            },
+        )
+        answers = reply.get("answers", [])
+        # JSON round-trips float64 exactly, so these answers are
+        # bit-identical to the binary transport's.
+        return [
+            KeyAnswer(
+                tenant=str(a["tenant"]),
+                metric=str(a["metric"]),
+                source=str(a["source"]),
+                count=int(a["count"]),
+                guarantee=int(a["guarantee"]),
+                epsilon_bound=float(a["epsilon_bound"]),
+                compactions=int(a["compactions"]),
+                phis=np.array(a["phis"], dtype=np.float64),
+                psi=np.array(a["psi"], dtype=np.int64),
+                lower=np.array(a["lower"], dtype=np.float64),
+                upper=np.array(a["upper"], dtype=np.float64),
+                max_below=np.array(a["max_below"], dtype=np.int64),
+                max_above=np.array(a["max_above"], dtype=np.int64),
+            )
+            for a in answers
+        ]
+
     def snapshot(self) -> dict[str, int]:
         reply = self._request("POST", "/snapshot")
         return {key: int(reply[key]) for key in ("epoch", "count", "guarantee", "samples")}
@@ -334,15 +435,46 @@ class ServiceClient:
     # -- primary API (array-in / array-out) ---------------------------
 
     def ingest(
-        self, values: Sequence[float] | np.ndarray | float
+        self, values: Sequence[float] | np.ndarray
     ) -> dict[str, int]:
         """Send one batch; returns ``{"accepted": n, "epoch": current}``.
 
-        Pass a 1-D array (or numeric sequence).  Scalar input is
-        deprecated — per-element calls are exactly the per-request
-        overhead the batched API exists to amortise.
+        Pass a 1-D array (or numeric sequence).  Scalar input was
+        removed after its deprecation cycle — per-element calls are
+        exactly the per-request overhead the batched API amortises.
         """
         return self._transport.ingest(_as_batch(values))
+
+    def ingest_keyed(self, batches: KeyedBatches) -> dict[str, int]:
+        """Send one multi-tenant frame; returns ``{"elements", "keys"}``.
+
+        ``batches`` maps ``(tenant, metric)`` pairs to value arrays (or
+        is a sequence of ``(tenant, metric, values)`` triples).  The
+        whole frame travels as one request — composite keys, per-key
+        counts and the concatenated values — and lands in the server's
+        :class:`~repro.service.tenancy.SummaryRegistry` under its global
+        memory budget.  Keyed data is independent of the unkeyed epoch
+        stream.
+        """
+        keys, counts, values = _as_keyed_frame(batches)
+        return self._transport.ingest_keyed(keys, counts, values)
+
+    def quantiles_keyed(
+        self,
+        pairs: Sequence[tuple[str, str]],
+        phis: Sequence[float] | np.ndarray,
+    ) -> list[KeyAnswer]:
+        """One :class:`~repro.service.tenancy.KeyAnswer` per key pair.
+
+        Each answer carries its own ``count``/``guarantee``/
+        ``epsilon_bound`` and provenance (``resident``, ``restored``, or
+        a rollup).  Pass ``("*", metric)`` for a cross-tenant metric
+        rollup and ``("*", "*")`` for the global rollup — served from
+        the aggregation tree without touching cold keys.
+        """
+        return self._transport.quantiles_keyed(
+            _composite_pairs(pairs), _as_phis(phis)
+        )
 
     def quantiles(
         self, phis: Sequence[float] | np.ndarray
@@ -378,25 +510,6 @@ class ServiceClient:
     def close(self) -> None:
         """Drop the transport connection (reconnects on next call)."""
         self._transport.close()
-
-    # -- deprecated protocol v1 spellings ------------------------------
-
-    def quantile(self, phis: Sequence[float] | float) -> dict[str, Any]:
-        """Deprecated: the v1 dict-returning query.
-
-        Use :meth:`quantiles`, which answers the whole vector as arrays;
-        this alias survives one deprecation cycle for v1 call sites.
-        """
-        warnings.warn(
-            "ServiceClient.quantile(phis) is deprecated; call "
-            "quantiles(phis) (returns a QuantileVector; .to_dict() for "
-            "the old shape)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        if isinstance(phis, (int, float)):
-            phis = [float(phis)]
-        return self._transport.quantiles(_as_phis(phis)).to_dict()
 
     # -- lifecycle -----------------------------------------------------
 

@@ -18,6 +18,7 @@ from repro.core.config import OPAQConfig
 from repro.errors import ConfigError
 from repro.parallel.backends import validate_backend
 from repro.service.router import ROUTER_POLICIES
+from repro.service.tenancy.config import RegistryConfig
 
 __all__ = ["ServiceConfig"]
 
@@ -87,6 +88,14 @@ class ServiceConfig:
         layer's high-throughput choice).  Either way the merged epoch
         summary covers exactly the ingested multiset; see
         :mod:`repro.service.router`.
+    tenancy:
+        Configuration of the multi-tenant summary registry serving the
+        keyed opcodes (``INGEST_KEYED`` / ``QUANTILES_KEYED``):
+        memory budget, shard count, per-key epsilon, spill directory
+        (see :class:`~repro.service.tenancy.RegistryConfig`).  ``None``
+        runs the registry with its defaults — in-memory only, so under
+        budget pressure keyed ingest reports backpressure instead of
+        spilling.
     """
 
     num_shards: int = 4
@@ -103,6 +112,7 @@ class ServiceConfig:
     kernel: str = "python"
     backend: str = "serial"
     router_policy: str = "hash"
+    tenancy: RegistryConfig | None = None
 
     def __post_init__(self) -> None:
         if self.num_shards < 1:

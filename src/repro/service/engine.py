@@ -37,6 +37,9 @@ from repro.service.proto import QuantileVector
 from repro.service.router import ShardRouter
 from repro.service.shard import ShardWorker
 from repro.service.snapshot import EpochSnapshot, SnapshotStore, Snapshotter
+from repro.service.tenancy.config import RegistryConfig
+from repro.service.tenancy.keys import split_key
+from repro.service.tenancy.registry import KeyAnswer, SummaryRegistry
 
 __all__ = ["QuantileService", "QueryResult", "QuantileVector"]
 
@@ -103,6 +106,11 @@ class QuantileService:
             retain=self.config.snapshot_retain,
         )
         self._restored = self._snapshotter.restore()
+        # The multi-tenant registry behind the keyed opcodes.  Built
+        # eagerly: with a spill directory configured it replays the
+        # spill manifest here, so a warm restart serves keyed answers
+        # before the first keyed ingest.
+        self._registry = SummaryRegistry(self.config.tenancy or RegistryConfig())
         #: Guards the operational counters below: ingest() and query() run
         #: on whatever thread calls them — under the HTTP layer that is a
         #: thread per request — so the += updates race without it.
@@ -165,6 +173,50 @@ class QuantileService:
             "accepted": accepted,
             "epoch": current.epoch if current else 0,
         }
+
+    # ------------------------------------------------------------------
+    # Keyed (multi-tenant) path
+    # ------------------------------------------------------------------
+
+    @property
+    def registry(self) -> SummaryRegistry:
+        """The multi-tenant summary registry behind the keyed opcodes."""
+        return self._registry
+
+    def ingest_keyed(
+        self,
+        keys: Sequence[str],
+        counts: Sequence[int] | np.ndarray,
+        values: Sequence[float] | np.ndarray,
+    ) -> dict[str, int]:
+        """Route one keyed frame into the registry.
+
+        ``keys`` are composite ``tenant\\x1fmetric`` strings (the wire
+        form; see :func:`~repro.service.tenancy.compose_key`), ``counts``
+        the per-key element counts and ``values`` the concatenation of
+        every key's elements in key order.  Returns
+        ``{"elements": n, "keys": k}``.  Keyed data lives entirely in the
+        registry — it does not advance the epoch machinery or appear in
+        the unkeyed quantile answers.
+        """
+        self._check_open()
+        return self._registry.ingest_frame(keys, counts, values)
+
+    def quantiles_keyed(
+        self,
+        keys: Sequence[str],
+        phis: Sequence[float] | np.ndarray,
+    ) -> list[KeyAnswer]:
+        """One :class:`~repro.service.tenancy.KeyAnswer` per composite key.
+
+        Wildcard components (``"*"``) select aggregation-tree rollups;
+        concrete keys are served resident or restored from the spill
+        store, each with the rank-error guarantee its own compaction
+        history justifies.
+        """
+        self._check_open()
+        pairs = [split_key(key) for key in keys]
+        return self._registry.quantiles_many(pairs, phis)
 
     # ------------------------------------------------------------------
     # Snapshot / epoch control
@@ -329,6 +381,7 @@ class QuantileService:
             "staleness": self.staleness,
             "samples": snapshot.summary.num_samples if snapshot else 0,
             "closed": self._closed,
+            "tenancy": self._registry.stats(),
             "per_shard": [
                 {
                     "shard": w.shard_id,
@@ -376,6 +429,9 @@ class QuantileService:
                 pass  # nothing ingested: nothing to persist
         for worker in self._workers:
             worker.stop()
+        # Registry shutdown spills every resident key when a spill
+        # directory is configured — the keyed half of the warm restart.
+        self._registry.close()
         # A monotonic bool latch: racing readers see either open or
         # closed, both of which are coherent states.
         self._closed = True  # opaq: ignore[thread-unguarded-write] monotonic latch

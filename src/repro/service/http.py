@@ -14,14 +14,16 @@ subsystem stays importable anywhere the library is.
 
 Endpoints (see ``docs/service.md`` for the full protocol):
 
-====================  =====================================================
-``POST /ingest``      body ``{"values": [..]}`` → ``{"accepted", "epoch"}``
-``GET  /quantile``    ``?phi=0.5&phi=0.99`` → bounds + epoch metadata
-``POST /quantile``    body ``{"phis": [..]}`` → same
-``POST /snapshot``    advance one epoch → ``{"epoch", "count", ...}``
-``GET  /stats``       operational counters
-``GET  /healthz``     liveness probe
-====================  =====================================================
+==========================  ===============================================
+``POST /ingest``            body ``{"values": [..]}`` → ``{"accepted", "epoch"}``
+``GET  /quantile``          ``?phi=0.5&phi=0.99`` → bounds + epoch metadata
+``POST /quantile``          body ``{"phis": [..]}`` → same
+``POST /ingest_keyed``      body ``{"keys": [[tenant, metric], ..], "counts": [..], "values": [..]}`` → ``{"elements", "keys"}``
+``POST /quantile_keyed``    body ``{"keys": [[tenant, metric], ..], "phis": [..]}`` → ``{"answers": [..]}``
+``POST /snapshot``          advance one epoch → ``{"epoch", "count", ...}``
+``GET  /stats``             operational counters
+``GET  /healthz``           liveness probe
+==========================  ===============================================
 
 Status codes: ``400`` for malformed requests (bad JSON, NaN, unknown φ),
 ``409`` for queries before the first epoch, ``503`` for backpressure
@@ -47,6 +49,7 @@ from repro.errors import (
 )
 from repro.service.client import ServiceClient  # noqa: F401 - v1 import compat
 from repro.service.engine import QuantileService
+from repro.service.tenancy.keys import compose_key
 
 __all__ = ["ServiceClient", "ServiceHTTPServer", "make_server"]
 
@@ -164,6 +167,42 @@ class _Handler(BaseHTTPRequestHandler):
         # the two transports serve byte-identical bounds.
         self._reply(200, self.service.query_arrays(phis).to_dict())
 
+    @staticmethod
+    def _composite_keys(raw: Any) -> list[str]:
+        if not isinstance(raw, list) or not raw:
+            raise DataError(
+                'body must carry {"keys": [[tenant, metric], ...]}'
+            )
+        keys: list[str] = []
+        for pair in raw:
+            if not isinstance(pair, (list, tuple)) or len(pair) != 2:
+                raise DataError(
+                    f"each key must be a [tenant, metric] pair, got {pair!r}"
+                )
+            keys.append(compose_key(str(pair[0]), str(pair[1])))
+        return keys
+
+    def _ep_ingest_keyed(self, query: dict[str, list[str]]) -> None:
+        payload = self._read_json()
+        keys = self._composite_keys(payload.get("keys"))
+        counts = payload.get("counts")
+        values = payload.get("values")
+        if not isinstance(counts, list) or not isinstance(values, list):
+            raise DataError(
+                'body must be {"keys": [[tenant, metric], ...], '
+                '"counts": [n, ...], "values": [number, ...]}'
+            )
+        self._reply(200, dict(self.service.ingest_keyed(keys, counts, values)))
+
+    def _ep_quantile_keyed(self, query: dict[str, list[str]]) -> None:
+        payload = self._read_json()
+        keys = self._composite_keys(payload.get("keys"))
+        phis = payload.get("phis")
+        if not isinstance(phis, list) or not phis:
+            raise DataError('body must carry {"phis": [fraction, ...]}')
+        answers = self.service.quantiles_keyed(keys, phis)
+        self._reply(200, {"answers": [answer.to_dict() for answer in answers]})
+
     def _ep_snapshot(self, query: dict[str, list[str]]) -> None:
         snapshot = self.service.snapshot()
         self._reply(
@@ -183,6 +222,8 @@ _ROUTES = {
     ("POST", "/ingest"): _Handler._ep_ingest,
     ("GET", "/quantile"): _Handler._ep_quantile_get,
     ("POST", "/quantile"): _Handler._ep_quantile_post,
+    ("POST", "/ingest_keyed"): _Handler._ep_ingest_keyed,
+    ("POST", "/quantile_keyed"): _Handler._ep_quantile_keyed,
     ("POST", "/snapshot"): _Handler._ep_snapshot,
 }
 

@@ -42,7 +42,9 @@ from __future__ import annotations
 import enum
 import json
 import struct
+from collections.abc import Sequence
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -53,6 +55,10 @@ from repro.errors import (
     ReproError,
     ServiceError,
 )
+from repro.service.tenancy.keys import KEY_SEP
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.service.tenancy.registry import KeyAnswer
 
 __all__ = [
     "MAGIC",
@@ -76,6 +82,14 @@ __all__ = [
     "decode_quantiles_request",
     "encode_quantiles_reply",
     "decode_quantiles_reply",
+    "encode_ingest_keyed_request",
+    "decode_ingest_keyed_request",
+    "encode_ingest_keyed_reply",
+    "decode_ingest_keyed_reply",
+    "encode_quantiles_keyed_request",
+    "decode_quantiles_keyed_request",
+    "encode_quantiles_keyed_reply",
+    "decode_quantiles_keyed_reply",
     "encode_snapshot_reply",
     "decode_snapshot_reply",
     "encode_stats_reply",
@@ -110,6 +124,8 @@ class Op(enum.IntEnum):
     QUANTILES = 0x03
     SNAPSHOT = 0x04
     STATS = 0x05
+    INGEST_KEYED = 0x06
+    QUANTILES_KEYED = 0x07
 
 
 # ----------------------------------------------------------------------
@@ -396,6 +412,261 @@ def decode_quantiles_reply(payload: bytes) -> QuantileVector:
         max_below=max_below,
         max_above=max_above,
     )
+
+
+# ----------------------------------------------------------------------
+# Keyed (multi-tenant) codecs
+# ----------------------------------------------------------------------
+
+#: accepted element count, accepted key count.
+_INGEST_KEYED_REPLY = struct.Struct("!QQ")
+#: count, guarantee, compactions (signed: -1 for rollups),
+#: epsilon_bound, source code.
+_KEYED_ANSWER_HEAD = struct.Struct("!QQqdB")
+_KEY_BLOB_LEN = struct.Struct("!Q")
+_KEY_ECHO_LEN = struct.Struct("!H")
+_ANSWER_COUNT = struct.Struct("!I")
+
+#: ``KeyAnswer.source`` <-> its one-byte wire code.  Order is the code.
+_SOURCE_NAMES = ("resident", "restored", "rollup:metric", "rollup:global")
+_SOURCE_CODES = {name: code for code, name in enumerate(_SOURCE_NAMES)}
+
+
+def _pack_keys(keys: Sequence[str]) -> bytes:
+    """Key block: ``u64`` blob length + UTF-8 blob + i4 length array.
+
+    Composite keys (``tenant\\x1fmetric``) travel concatenated; the
+    length array carves the blob back apart.  One encode for the whole
+    frame — no per-key framing overhead beyond 4 bytes.
+    """
+    encoded = [key.encode("utf-8") for key in keys]
+    blob = b"".join(encoded)
+    lengths = np.array([len(e) for e in encoded], dtype=np.int32)
+    return _KEY_BLOB_LEN.pack(len(blob)) + blob + pack_array(lengths)
+
+
+def _unpack_keys(buf: bytes, offset: int = 0) -> tuple[list[str], int]:
+    """Inverse of :func:`_pack_keys`; returns ``(keys, next_offset)``."""
+    try:
+        (blob_len,) = _KEY_BLOB_LEN.unpack_from(buf, offset)
+    except struct.error as exc:
+        raise DataError(f"truncated key block: {exc}") from None
+    offset += _KEY_BLOB_LEN.size
+    blob = bytes(buf[offset : offset + blob_len])
+    if len(blob) != blob_len:
+        raise DataError(
+            f"truncated key block: {blob_len} blob bytes declared, "
+            f"{len(blob)} present"
+        )
+    offset += blob_len
+    lengths, offset = unpack_array(buf, offset)
+    if lengths.ndim != 1 or lengths.dtype.kind not in "iu":
+        raise DataError("key lengths must be a 1-D integer array")
+    if lengths.size and int(lengths.min()) < 0:
+        raise DataError("key lengths cannot be negative")
+    if int(lengths.sum()) != blob_len:
+        raise DataError(
+            f"key lengths sum to {int(lengths.sum())} but the blob "
+            f"carries {blob_len} bytes"
+        )
+    try:
+        text = blob.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise DataError(f"key blob is not valid UTF-8: {exc}") from None
+    keys: list[str] = []
+    # Slice by character when the blob is pure ASCII (the common case);
+    # otherwise re-decode per key so byte lengths stay authoritative.
+    if len(text) == blob_len:
+        pos = 0
+        for n in lengths.tolist():
+            keys.append(text[pos : pos + n])
+            pos += n
+    else:
+        pos = 0
+        for n in lengths.tolist():
+            keys.append(blob[pos : pos + n].decode("utf-8"))
+            pos += n
+    return keys, offset
+
+
+def encode_ingest_keyed_request(
+    keys: Sequence[str],
+    counts: np.ndarray,
+    values: np.ndarray,
+) -> bytes:
+    """Request payload: key block + i8 per-key counts + f8 values.
+
+    ``values`` is the concatenation of every key's elements in key
+    order — the registry's native frame shape, framed verbatim.
+    """
+    return (
+        _pack_keys(keys)
+        + pack_array(np.ascontiguousarray(counts, dtype=np.int64))
+        + pack_array(np.ascontiguousarray(values, dtype=np.float64))
+    )
+
+
+def decode_ingest_keyed_request(
+    payload: bytes,
+) -> tuple[list[str], np.ndarray, np.ndarray]:
+    keys, offset = _unpack_keys(payload)
+    counts, offset = unpack_array(payload, offset)
+    values, offset = unpack_array(payload, offset)
+    if offset != len(payload):
+        raise DataError(
+            f"{len(payload) - offset} trailing bytes after the keyed frame"
+        )
+    if counts.dtype.kind not in "iu" or counts.ndim != 1:
+        raise DataError("keyed counts must be a 1-D integer array")
+    if values.dtype.kind not in "fiu" or values.ndim != 1:
+        raise DataError("keyed values must be a 1-D numeric array")
+    return (
+        keys,
+        np.ascontiguousarray(counts, dtype=np.int64),
+        np.ascontiguousarray(values, dtype=np.float64),
+    )
+
+
+def encode_ingest_keyed_reply(accepted: int, keys: int) -> bytes:
+    """Reply payload: ``!QQ`` (accepted elements, accepted keys)."""
+    return _INGEST_KEYED_REPLY.pack(accepted, keys)
+
+
+def decode_ingest_keyed_reply(payload: bytes) -> dict[str, int]:
+    try:
+        accepted, keys = _INGEST_KEYED_REPLY.unpack(payload)
+    except struct.error as exc:
+        raise DataError(f"malformed keyed ingest reply: {exc}") from None
+    return {"elements": int(accepted), "keys": int(keys)}
+
+
+def encode_quantiles_keyed_request(
+    keys: Sequence[str], phis: np.ndarray
+) -> bytes:
+    """Request payload: key block + one f8 array block of fractions."""
+    return _pack_keys(keys) + pack_array(
+        np.ascontiguousarray(phis, dtype=np.float64)
+    )
+
+
+def decode_quantiles_keyed_request(
+    payload: bytes,
+) -> tuple[list[str], np.ndarray]:
+    keys, offset = _unpack_keys(payload)
+    phis, offset = unpack_array(payload, offset)
+    if offset != len(payload):
+        raise DataError(
+            f"{len(payload) - offset} trailing bytes after the keyed query"
+        )
+    if phis.dtype.kind not in "fiu":
+        raise DataError(
+            f"quantile fractions must be numeric, got {phis.dtype.str!r}"
+        )
+    return keys, np.ascontiguousarray(phis, dtype=np.float64)
+
+
+def encode_quantiles_keyed_reply(answers: Sequence["KeyAnswer"]) -> bytes:
+    """Reply payload: shared φ block, then one record per answer.
+
+    Each record: ``u16`` key-echo length + composite key bytes +
+    ``!QQqdB`` head (count, guarantee, compactions, epsilon_bound,
+    source code) + five array blocks (psi i8, lower f8, upper f8,
+    max_below i8, max_above i8).  The φ vector is hoisted — every
+    answer in one reply shares the request's fractions.
+    """
+    phis = answers[0].phis if answers else np.empty(0, dtype=np.float64)
+    parts = [
+        pack_array(np.ascontiguousarray(phis, dtype=np.float64)),
+        _ANSWER_COUNT.pack(len(answers)),
+    ]
+    for ans in answers:
+        code = _SOURCE_CODES.get(ans.source)
+        if code is None:
+            raise DataError(f"unknown answer source {ans.source!r}")
+        key = (ans.tenant + KEY_SEP + ans.metric).encode("utf-8")
+        parts.append(_KEY_ECHO_LEN.pack(len(key)))
+        parts.append(key)
+        parts.append(
+            _KEYED_ANSWER_HEAD.pack(
+                ans.count,
+                ans.guarantee,
+                ans.compactions,
+                ans.epsilon_bound,
+                code,
+            )
+        )
+        for arr, dtype in (
+            (ans.psi, np.int64),
+            (ans.lower, np.float64),
+            (ans.upper, np.float64),
+            (ans.max_below, np.int64),
+            (ans.max_above, np.int64),
+        ):
+            parts.append(pack_array(np.ascontiguousarray(arr, dtype=dtype)))
+    return b"".join(parts)
+
+
+def decode_quantiles_keyed_reply(payload: bytes) -> list["KeyAnswer"]:
+    from repro.service.tenancy.registry import KeyAnswer
+
+    phis, offset = unpack_array(payload)
+    try:
+        (n_answers,) = _ANSWER_COUNT.unpack_from(payload, offset)
+    except struct.error as exc:
+        raise DataError(f"malformed keyed quantiles reply: {exc}") from None
+    offset += _ANSWER_COUNT.size
+    answers: list[KeyAnswer] = []
+    for _ in range(n_answers):
+        try:
+            (key_len,) = _KEY_ECHO_LEN.unpack_from(payload, offset)
+            offset += _KEY_ECHO_LEN.size
+            key_bytes = bytes(payload[offset : offset + key_len])
+            if len(key_bytes) != key_len:
+                raise DataError("truncated key echo in keyed reply")
+            offset += key_len
+            head = _KEYED_ANSWER_HEAD.unpack_from(payload, offset)
+            offset += _KEYED_ANSWER_HEAD.size
+        except struct.error as exc:
+            raise DataError(
+                f"malformed keyed quantiles reply: {exc}"
+            ) from None
+        count, guarantee, compactions, epsilon_bound, code = head
+        if code >= len(_SOURCE_NAMES):
+            raise DataError(f"unknown answer source code {code:#x}")
+        try:
+            key = key_bytes.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise DataError(f"key echo is not valid UTF-8: {exc}") from None
+        tenant, sep, metric = key.partition(KEY_SEP)
+        if not sep:
+            raise DataError(f"malformed key echo {key!r} in keyed reply")
+        arrays = []
+        for _ in range(5):
+            arr, offset = unpack_array(payload, offset)
+            arrays.append(arr)
+        psi, lower, upper, max_below, max_above = arrays
+        answers.append(
+            KeyAnswer(
+                tenant=tenant,
+                metric=metric,
+                source=_SOURCE_NAMES[code],
+                count=int(count),
+                guarantee=int(guarantee),
+                epsilon_bound=float(epsilon_bound),
+                compactions=int(compactions),
+                phis=phis,
+                psi=psi,
+                lower=lower,
+                upper=upper,
+                max_below=max_below,
+                max_above=max_above,
+            )
+        )
+    if offset != len(payload):
+        raise DataError(
+            f"{len(payload) - offset} trailing bytes after the keyed answers"
+        )
+    return answers
 
 
 def encode_snapshot_reply(

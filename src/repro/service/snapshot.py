@@ -83,6 +83,12 @@ class SnapshotStore:
     def __init__(self, directory: str | os.PathLike) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        # Sweep temporaries torn off by a crash mid-save: a *.tmp.npz
+        # or LATEST.json.tmp can only be an incomplete write (the commit
+        # point is the os.replace), so removing them is always safe.
+        for torn in self.directory.glob("*.tmp.npz"):
+            torn.unlink(missing_ok=True)
+        (self.directory / "LATEST.json.tmp").unlink(missing_ok=True)
 
     def _epoch_path(self, epoch: int) -> Path:
         return self.directory / f"epoch-{epoch:08d}.npz"
@@ -114,7 +120,10 @@ class SnapshotStore:
     def load_latest(self) -> EpochSnapshot | None:
         """The newest complete snapshot, or ``None`` on a fresh store."""
         if not self.manifest_path.exists():
-            return None
+            # No manifest but epoch archives present: a crash landed an
+            # epoch before the first manifest swap (or the manifest was
+            # deleted).  Serve the newest complete archive over nothing.
+            return self._latest_from_files()
         try:
             manifest = json.loads(self.manifest_path.read_text())
         except (OSError, ValueError) as exc:
@@ -134,13 +143,57 @@ class SnapshotStore:
                 f"{_MANIFEST_VERSION} — upgrade the library or discard the "
                 "snapshot directory"
             )
-        summary = OPAQSummary.load(self.directory / str(manifest["file"]))
+        referenced = self.directory / str(manifest["file"])
+        try:
+            summary = OPAQSummary.load(referenced)
+        except (OSError, DataError):
+            # The referenced archive vanished out from under the manifest
+            # (external meddling, partial copy): fall back to the newest
+            # epoch file that still loads rather than refusing to start.
+            return self._latest_from_files()
         return EpochSnapshot(epoch=int(manifest["epoch"]), summary=summary)
 
+    def _latest_from_files(self) -> EpochSnapshot | None:
+        """Newest loadable ``epoch-*.npz``, ignoring the manifest.
+
+        The recovery path for a store whose manifest is missing or
+        points at a vanished file — e.g. a crash after the epoch archive
+        landed but before the ``LATEST.json`` swap committed it.
+        """
+        for path in sorted(self.directory.glob("epoch-*.npz"), reverse=True):
+            try:
+                summary = OPAQSummary.load(path)
+            except (OSError, DataError):
+                continue  # torn or foreign file: keep scanning backwards
+            epoch_digits = path.stem.rsplit("-", 1)[-1]
+            if not epoch_digits.isdigit():
+                continue
+            return EpochSnapshot(epoch=int(epoch_digits), summary=summary)
+        return None
+
+    def _referenced_file(self) -> str | None:
+        """Filename the manifest currently commits to, if readable."""
+        try:
+            manifest = json.loads(self.manifest_path.read_text())
+        except (OSError, ValueError):
+            return None
+        name = manifest.get("file")
+        return str(name) if name is not None else None
+
     def prune(self, retain: int) -> None:
-        """Drop all but the ``retain`` newest persisted epochs."""
+        """Drop all but the ``retain`` newest persisted epochs.
+
+        The manifest-referenced archive is never unlinked, whatever its
+        sort position: after a crash between an epoch write and the
+        manifest swap, the newest *file* is an uncommitted orphan and
+        the manifest still points one epoch back — pruning by recency
+        alone could delete the only epoch a warm restart can serve.
+        """
+        keep = self._referenced_file()
         epochs = sorted(self.directory.glob("epoch-*.npz"))
-        for stale in epochs[:-retain]:
+        for stale in epochs[:-retain] if retain > 0 else epochs:
+            if stale.name == keep:
+                continue
             stale.unlink(missing_ok=True)
 
 

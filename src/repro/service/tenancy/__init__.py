@@ -1,0 +1,48 @@
+"""Multi-tenant quantile registry: keyed summaries under one budget.
+
+The tenancy subsystem scales :mod:`repro.service` from one stream to
+millions of ``(tenant, metric)`` keys without abandoning the paper's
+deterministic guarantees: each key serves the rank-error bound its own
+compaction history justifies (``(g-1) <= ε·count`` per key), cold keys
+spill to disk and restore byte-identically, and cross-key rollups are
+served from an aggregation tree that never touches cold keys.
+
+Entry points:
+
+* :class:`SummaryRegistry` — the registry itself (ingest/query/spill).
+* :class:`RegistryConfig` — budget, sharding, epsilon, spill directory.
+* :class:`SpillStore` — crash-safe on-disk home of cold summaries.
+* :class:`AggregationTree` — shard → node → global rollups.
+* :class:`KeyAnswer` — one keyed answer with provenance + guarantee.
+"""
+
+from repro.service.tenancy.config import RegistryConfig
+from repro.service.tenancy.keys import (
+    KEY_SEP,
+    WILDCARD,
+    compose_key,
+    split_key,
+    validate_component,
+)
+from repro.service.tenancy.registry import (
+    KeyAnswer,
+    SummaryRegistry,
+    compact_within_budget,
+)
+from repro.service.tenancy.store import SpillRecord, SpillStore
+from repro.service.tenancy.tree import AggregationTree
+
+__all__ = [
+    "KEY_SEP",
+    "WILDCARD",
+    "AggregationTree",
+    "KeyAnswer",
+    "RegistryConfig",
+    "SpillRecord",
+    "SpillStore",
+    "SummaryRegistry",
+    "compact_within_budget",
+    "compose_key",
+    "split_key",
+    "validate_component",
+]

@@ -1,0 +1,343 @@
+"""The spill store: cold key summaries on disk, byte-identical back.
+
+Spilled summaries reuse the epoch snapshot machinery's on-disk format —
+each key's :class:`~repro.core.OPAQSummary` is one versioned ``.npz``
+archive (magic ``OPAQSUM``), exactly the payload
+:class:`~repro.service.SnapshotStore` persists per epoch — plus an
+append-only JSONL manifest mapping keys to files.  The write discipline
+makes every crash window safe:
+
+* **spill** — the archive is written to a temporary name, ``os.replace``d
+  into place, and only then recorded in the manifest.  A crash between
+  the two leaves an *orphan* file (no record): garbage, collected on the
+  next open.  A recorded file is always complete.
+* **restore** — the manifest records the restore *before* the file is
+  unlinked.  A crash between the two leaves an orphan again; a crash
+  before the record leaves the key spilled, and the next open restores
+  the same bytes.
+
+The manifest is replayed on open (torn trailing line: ignored — it can
+only be the record of an operation whose effects are orphan-safe) and
+rewritten compactly once history outgrows the live set, so a registry
+that churns keys for months does not replay an unbounded log.
+
+Restores are **byte-identical**: ``samples``/``gaps``/``floors`` travel
+as raw arrays and the scalar metadata round-trips through ``repr``-exact
+JSON floats, so a spilled-and-restored key answers queries with the same
+bytes as one that never left memory (pinned by the determinism property
+tests).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.summary import OPAQSummary
+from repro.errors import DataError
+from repro.obs import current_tracer
+
+__all__ = ["SpillStore", "SpillRecord"]
+
+_MANIFEST = "SPILLS.jsonl"
+_MAGIC = "OPAQSPILL"
+_VERSION = 1
+#: Rewrite the manifest once it holds this many times the live records.
+_COMPACT_FACTOR = 4
+_COMPACT_MIN_LINES = 64
+
+
+@dataclass(frozen=True)
+class SpillRecord:
+    """One spilled key as the manifest describes it."""
+
+    key: str
+    file: str
+    count: int
+    compactions: int
+    epsilon: float
+
+
+class SpillStore:
+    """Directory-backed spill/restore of keyed summaries.
+
+    Thread-safe: one internal lock serialises manifest appends and the
+    live map.  Callers (registry shards) may spill and restore
+    concurrently; the store never calls back into them, so the
+    ``shard lock -> store lock`` order is acyclic by construction.
+    """
+
+    def __init__(self, directory: str | os.PathLike) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._live: dict[str, SpillRecord] = {}
+        self._aux: dict[str, str] = {}  # name -> file (rollup persistence)
+        self._seq = 0
+        self._lines = 0
+        self._replay()
+        self._collect_orphans()
+        if self._lines == 0:
+            self._append(
+                {"op": "head", "magic": _MAGIC, "version": _VERSION}
+            )
+
+    # ------------------------------------------------------------------
+    # Paths and startup replay
+    # ------------------------------------------------------------------
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.directory / _MANIFEST
+
+    def _replay(self) -> None:
+        if not self.manifest_path.exists():
+            return
+        try:
+            raw = self.manifest_path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise DataError(
+                f"unreadable spill manifest {self.manifest_path}: {exc}"
+            ) from None
+        for line in raw.splitlines():
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                break  # torn trailing line: the op it recorded is orphan-safe
+            self._lines += 1  # opaq: ignore[thread-unguarded-write] init-confined: replay precedes sharing
+            op = record.get("op")
+            if op == "head":
+                if record.get("magic") != _MAGIC:
+                    raise DataError(
+                        f"{self.manifest_path} is not an OPAQ spill manifest "
+                        f"(magic {record.get('magic')!r})"
+                    )
+                if record.get("version") != _VERSION:
+                    raise DataError(
+                        f"spill manifest version {record.get('version')!r} "
+                        f"is not {_VERSION}; upgrade or discard the spill dir"
+                    )
+            elif op == "spill":
+                self._live[str(record["key"])] = SpillRecord(  # opaq: ignore[thread-unguarded-write] init-confined: replay precedes sharing
+                    key=str(record["key"]),
+                    file=str(record["file"]),
+                    count=int(record["count"]),
+                    compactions=int(record["compactions"]),
+                    epsilon=float(record["epsilon"]),
+                )
+                self._note_seq(str(record["file"]))
+            elif op == "restore":
+                self._live.pop(str(record["key"]), None)  # opaq: ignore[thread-unguarded-write] init-confined: replay precedes sharing
+            elif op == "aux":
+                self._aux[str(record["name"])] = str(record["file"])  # opaq: ignore[thread-unguarded-write] init-confined: replay precedes sharing
+                self._note_seq(str(record["file"]))
+        # Drop records whose file vanished out from under the manifest
+        # (external meddling); better an honest cold key than a crash.
+        for key in [
+            k for k, r in self._live.items()
+            if not (self.directory / r.file).exists()
+        ]:
+            del self._live[key]
+        for name in [
+            n for n, f in self._aux.items()
+            if not (self.directory / f).exists()
+        ]:
+            del self._aux[name]
+
+    def _note_seq(self, filename: str) -> None:
+        stem = Path(filename).stem
+        tail = stem.rsplit("-", 1)[-1]
+        if tail.isdigit():
+            self._seq = max(self._seq, int(tail) + 1)  # opaq: ignore[thread-unguarded-write] init-confined: replay precedes sharing
+
+    def _collect_orphans(self) -> None:
+        referenced = {r.file for r in self._live.values()}
+        referenced.update(self._aux.values())
+        for path in self.directory.glob("spill-*.npz"):
+            if path.name not in referenced:
+                path.unlink(missing_ok=True)
+
+    # ------------------------------------------------------------------
+    # Manifest plumbing
+    # ------------------------------------------------------------------
+
+    def _append(self, record: dict[str, object]) -> None:
+        # One self-contained open/write/close per record: no long-lived
+        # handle to leak or to hand between threads, and the close is
+        # the flush.  Spill traffic is dominated by the .npz writes, so
+        # the extra open is noise.
+        with open(self.manifest_path, "a", encoding="utf-8") as log:
+            log.write(json.dumps(record) + "\n")
+        self._lines += 1  # opaq: ignore[thread-unguarded-write,thread-concurrent-rmw] caller holds self._lock at every call site
+
+    def _maybe_compact(self) -> None:
+        live = len(self._live) + len(self._aux) + 1
+        if self._lines < max(_COMPACT_MIN_LINES, _COMPACT_FACTOR * live):
+            return
+        tmp = self.manifest_path.with_name(_MANIFEST + ".tmp")
+        with open(tmp, "w", encoding="utf-8") as fresh:
+            fresh.write(
+                json.dumps({"op": "head", "magic": _MAGIC, "version": _VERSION})
+                + "\n"
+            )
+            for record in self._live.values():
+                fresh.write(
+                    json.dumps(
+                        {
+                            "op": "spill",
+                            "key": record.key,
+                            "file": record.file,
+                            "count": record.count,
+                            "compactions": record.compactions,
+                            "epsilon": record.epsilon,
+                        }
+                    )
+                    + "\n"
+                )
+            for name, filename in self._aux.items():
+                fresh.write(
+                    json.dumps({"op": "aux", "name": name, "file": filename})
+                    + "\n"
+                )
+        os.replace(tmp, self.manifest_path)
+        self._lines = len(self._live) + len(self._aux) + 1  # opaq: ignore[thread-unguarded-write] caller holds self._lock at every call site
+
+    def _next_file(self) -> str:
+        name = f"spill-{self._seq:010d}.npz"
+        self._seq += 1  # opaq: ignore[thread-unguarded-write,thread-concurrent-rmw] caller holds self._lock at every call site
+        return name
+
+    def _write_summary(self, summary: OPAQSummary, filename: str) -> int:
+        path = self.directory / filename
+        tmp = path.with_name(path.name + ".tmp.npz")
+        summary.save(tmp)
+        os.replace(tmp, path)
+        return path.stat().st_size
+
+    # ------------------------------------------------------------------
+    # Spill / restore
+    # ------------------------------------------------------------------
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._live
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._live)
+
+    def keys(self) -> list[str]:
+        """Spilled keys, in manifest (spill) order."""
+        with self._lock:
+            return list(self._live)
+
+    def spill(
+        self,
+        key: str,
+        summary: OPAQSummary,
+        *,
+        compactions: int,
+        epsilon: float,
+    ) -> int:
+        """Persist one key's summary; returns bytes written.
+
+        Re-spilling a key replaces its previous archive (keep-last-1 per
+        key): the new file lands and is recorded before the old one is
+        unlinked, so every crash point leaves a loadable version.
+        """
+        with self._lock:
+            filename = self._next_file()
+            nbytes = self._write_summary(summary, filename)
+            previous = self._live.get(key)
+            self._live[key] = SpillRecord(
+                key=key,
+                file=filename,
+                count=summary.count,
+                compactions=compactions,
+                epsilon=epsilon,
+            )
+            self._append(
+                {
+                    "op": "spill",
+                    "key": key,
+                    "file": filename,
+                    "count": summary.count,
+                    "compactions": compactions,
+                    "epsilon": epsilon,
+                }
+            )
+            if previous is not None:
+                (self.directory / previous.file).unlink(missing_ok=True)
+            self._maybe_compact()
+        current_tracer().count("service.tenancy.spill.bytes", nbytes)
+        return nbytes
+
+    def restore(self, key: str) -> tuple[OPAQSummary, SpillRecord, int]:
+        """Load one key back; returns ``(summary, record, bytes_read)``.
+
+        The restore is recorded before the archive is unlinked, so a
+        crash in between leaves only an orphan file.
+        """
+        with self._lock:
+            record = self._live.get(key)
+            if record is None:
+                raise DataError(f"key {key!r} is not spilled in {self.directory}")
+            path = self.directory / record.file
+            nbytes = path.stat().st_size
+            summary = OPAQSummary.load(path)
+            del self._live[key]
+            self._append({"op": "restore", "key": key})
+            path.unlink(missing_ok=True)
+        current_tracer().count("service.tenancy.restore.bytes", nbytes)
+        return summary, record, nbytes
+
+    # ------------------------------------------------------------------
+    # Aux summaries (aggregation-tree rollups across restarts)
+    # ------------------------------------------------------------------
+
+    def save_aux(self, name: str, summary: OPAQSummary) -> None:
+        """Persist a named non-key summary (e.g. a shard rollup)."""
+        with self._lock:
+            filename = self._next_file()
+            self._write_summary(summary, filename)
+            previous = self._aux.get(name)
+            self._aux[name] = filename
+            self._append({"op": "aux", "name": name, "file": filename})
+            if previous is not None:
+                (self.directory / previous).unlink(missing_ok=True)
+            self._maybe_compact()
+
+    def load_aux(self, name: str) -> OPAQSummary | None:
+        """Load a named summary saved by :meth:`save_aux`, if present."""
+        with self._lock:
+            filename = self._aux.get(name)
+            if filename is None:
+                return None
+            return OPAQSummary.load(self.directory / filename)
+
+    def aux_names(self) -> list[str]:
+        with self._lock:
+            return list(self._aux)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the store.  Idempotent.
+
+        Appends are self-contained (each opens, writes and closes the
+        manifest), so there is no handle to release — the method exists
+        for lifecycle symmetry with the registry that owns the store.
+        """
+
+    def __enter__(self) -> "SpillStore":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

@@ -1,0 +1,204 @@
+"""The aggregation tree: shard → node → global rollups over cold keys.
+
+Cross-key queries (``tenant=*``) must not touch cold keys — restoring a
+million spilled summaries to answer "global p99" would defeat the point
+of spilling them.  Instead the registry feeds every ingest frame's data
+into this tree as an *exact delta summary* (one sorted run, unit gaps)
+at the moment it arrives, while the per-key summaries go their own way.
+
+The tree leans entirely on the merge algebra pinned by
+``tests/core/test_merge_algebra.py``: merge is associative and
+order-insensitive *in its bounds*, so folding deltas shard-by-shard and
+then merging shards through an intermediate node level yields the same
+class of guarantee as one flat merge — but recomputes only the paths
+whose shard versions actually moved.  Each level is compacted to
+``max_samples``; the resulting guarantee is the **rollup's own** (it is
+reported per answer) and is deliberately *not* covered by the per-key
+epsilon contract: a rollup summarises unbounded cross-key mass in
+bounded space, which is exactly the trade the Cormode–Veselý lower
+bound says must cost either memory or guarantee.
+
+Alongside the shard level the tree keeps one rollup per *metric*
+(``tenant=*, metric=m``).  Metric cardinality is assumed small (it is a
+schema axis, not a data axis); per-tenant rollups are intentionally
+absent — they would scale with key count, which is the thing this
+subsystem exists to avoid.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+
+from repro.core.summary import OPAQSummary
+from repro.errors import ConfigError
+from repro.service.tenancy.store import SpillStore
+
+__all__ = ["AggregationTree"]
+
+_SHARD_AUX = "rollup-shard-"
+_METRIC_AUX = "rollup-metric-"
+
+
+class AggregationTree:
+    """Two cached levels over per-shard rollup summaries.
+
+    ``absorb`` is called on the ingest path (per frame, per shard) and
+    touches only that shard's lock.  ``global_summary`` rebuilds node
+    and root caches lazily, keyed by the vector of shard versions — an
+    idle tree answers from cache, a busy one recomputes only the nodes
+    whose shards moved.  Summaries are frozen dataclasses, so a
+    reference read under a lock stays valid outside it.
+    """
+
+    def __init__(self, num_shards: int, max_samples: int) -> None:
+        if num_shards < 1:
+            raise ConfigError("num_shards must be at least 1")
+        self._num_shards = num_shards
+        self._max_samples = max_samples
+        self._fanout = max(2, math.isqrt(max(num_shards - 1, 0)) + 1)
+        self._num_nodes = -(-num_shards // self._fanout)
+        self._shards: list[OPAQSummary | None] = [None] * num_shards
+        self._versions: list[int] = [0] * num_shards
+        self._shard_locks = [threading.Lock() for _ in range(num_shards)]
+        # node cache[i] = (shard-version vector it was built from, summary)
+        self._nodes: list[tuple[tuple[int, ...], OPAQSummary | None] | None]
+        self._nodes = [None] * self._num_nodes
+        self._root: tuple[tuple[int, ...], OPAQSummary | None] | None = None
+        self._cache_lock = threading.Lock()
+        self._metrics: dict[str, OPAQSummary] = {}
+        self._metric_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Ingest side
+    # ------------------------------------------------------------------
+
+    def absorb(self, shard: int, delta: OPAQSummary) -> None:
+        """Fold one shard's frame delta into its level-0 rollup."""
+        with self._shard_locks[shard]:
+            current = self._shards[shard]
+            merged = delta if current is None else current.merge(delta)
+            self._shards[shard] = merged.compact_to(self._max_samples)  # opaq: ignore[thread-unguarded-write] guarded by _shard_locks[shard]
+            self._versions[shard] += 1  # opaq: ignore[thread-unguarded-write,thread-concurrent-rmw] guarded by _shard_locks[shard]
+
+    def absorb_metric(self, metric: str, delta: OPAQSummary) -> None:
+        """Fold one frame's per-metric slice into that metric's rollup."""
+        with self._metric_lock:
+            current = self._metrics.get(metric)
+            merged = delta if current is None else current.merge(delta)
+            self._metrics[metric] = merged.compact_to(self._max_samples)
+
+    # ------------------------------------------------------------------
+    # Query side
+    # ------------------------------------------------------------------
+
+    def shard_summary(self, shard: int) -> OPAQSummary | None:
+        with self._shard_locks[shard]:
+            return self._shards[shard]
+
+    def metric_summary(self, metric: str) -> OPAQSummary | None:
+        with self._metric_lock:
+            return self._metrics.get(metric)
+
+    def metrics(self) -> list[str]:
+        with self._metric_lock:
+            return sorted(self._metrics)
+
+    def _shard_state(
+        self, lo: int, hi: int
+    ) -> tuple[tuple[int, ...], list[OPAQSummary]]:
+        versions: list[int] = []
+        summaries: list[OPAQSummary] = []
+        for i in range(lo, hi):
+            with self._shard_locks[i]:
+                versions.append(self._versions[i])
+                if self._shards[i] is not None:
+                    summaries.append(self._shards[i])  # type: ignore[arg-type]
+        return tuple(versions), summaries
+
+    @staticmethod
+    def _merge_all(
+        parts: list[OPAQSummary], max_samples: int
+    ) -> OPAQSummary | None:
+        merged: OPAQSummary | None = None
+        for part in parts:
+            merged = part if merged is None else merged.merge(part)
+        if merged is not None:
+            merged = merged.compact_to(max_samples)
+        return merged
+
+    def global_summary(self) -> OPAQSummary | None:
+        """The root rollup: everything ever ingested, in bounded space.
+
+        Lock order is strictly ``cache lock -> shard lock``; ``absorb``
+        takes only shard locks, so the orders compose without a cycle.
+        """
+        with self._cache_lock:
+            node_parts: list[OPAQSummary] = []
+            all_versions: list[int] = []
+            for node in range(self._num_nodes):
+                lo = node * self._fanout
+                hi = min(lo + self._fanout, self._num_shards)
+                versions, summaries = self._shard_state(lo, hi)
+                all_versions.extend(versions)
+                cached = self._nodes[node]
+                if cached is None or cached[0] != versions:
+                    cached = (versions, self._merge_all(summaries, self._max_samples))
+                    self._nodes[node] = cached
+                if cached[1] is not None:
+                    node_parts.append(cached[1])
+            key = tuple(all_versions)
+            if self._root is None or self._root[0] != key:
+                self._root = (key, self._merge_all(node_parts, self._max_samples))
+            return self._root[1]
+
+    # ------------------------------------------------------------------
+    # Introspection / persistence
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict[str, object]:
+        root = self.global_summary()
+        with self._metric_lock:
+            metric_count = len(self._metrics)
+        return {
+            "num_shards": self._num_shards,
+            "num_nodes": self._num_nodes,
+            "fanout": self._fanout,
+            "metrics": metric_count,
+            "global_count": 0 if root is None else root.count,
+            "global_samples": 0 if root is None else root.num_samples,
+            "global_guarantee": (
+                0 if root is None else root.guaranteed_rank_error()
+            ),
+        }
+
+    def save_to(self, store: SpillStore) -> None:
+        """Persist shard and metric rollups so a warm restart serves the
+        same cross-key answers (node/root levels are derived caches)."""
+        for i in range(self._num_shards):
+            with self._shard_locks[i]:
+                summary = self._shards[i]
+            if summary is not None:
+                store.save_aux(f"{_SHARD_AUX}{i}", summary)
+        with self._metric_lock:
+            metrics = dict(self._metrics)
+        for metric, summary in metrics.items():
+            store.save_aux(f"{_METRIC_AUX}{metric}", summary)
+
+    def load_from(self, store: SpillStore) -> None:
+        """Reload rollups saved by :meth:`save_to`.
+
+        A shard rollup is just a partition of the ingest history, so if
+        the shard count changed across the restart the extra partitions
+        fold into ``index % num_shards`` — the global and metric answers
+        do not depend on the partitioning.
+        """
+        for name in store.aux_names():
+            summary = store.load_aux(name)
+            if summary is None:
+                continue
+            if name.startswith(_SHARD_AUX):
+                index = int(name[len(_SHARD_AUX):]) % self._num_shards
+                self.absorb(index, summary)
+            elif name.startswith(_METRIC_AUX):
+                self.absorb_metric(name[len(_METRIC_AUX):], summary)

@@ -1,0 +1,60 @@
+"""The key model: composition, splitting, validation, wildcards."""
+
+import pytest
+
+from repro.errors import DataError
+from repro.service.tenancy import (
+    KEY_SEP,
+    WILDCARD,
+    compose_key,
+    split_key,
+    validate_component,
+)
+
+
+class TestComponents:
+    def test_roundtrip(self):
+        key = compose_key("acme", "latency_ms")
+        assert key == "acme" + KEY_SEP + "latency_ms"
+        assert split_key(key) == ("acme", "latency_ms")
+
+    def test_unicode_components_roundtrip(self):
+        key = compose_key("tenant-éè", "métrique")
+        assert split_key(key) == ("tenant-éè", "métrique")
+
+    def test_empty_component_rejected(self):
+        with pytest.raises(DataError, match="non-empty"):
+            validate_component("", "tenant")
+        with pytest.raises(DataError, match="non-empty"):
+            compose_key("", "latency")
+
+    def test_separator_inside_component_rejected(self):
+        with pytest.raises(DataError, match="reserved key separator"):
+            compose_key("a" + KEY_SEP + "b", "latency")
+
+    def test_overlong_component_rejected(self):
+        with pytest.raises(DataError, match="UTF-8 bytes"):
+            validate_component("x" * 256, "metric")
+        # 255 bytes is the documented wire bound: accepted.
+        assert validate_component("x" * 255, "metric")
+
+    def test_byte_bound_counts_encoded_bytes(self):
+        # 200 two-byte characters = 400 UTF-8 bytes: over the bound.
+        with pytest.raises(DataError, match="UTF-8 bytes"):
+            validate_component("é" * 200, "tenant")
+
+    def test_non_string_rejected(self):
+        with pytest.raises(DataError, match="non-empty string"):
+            validate_component(42, "tenant")
+
+
+class TestWildcards:
+    def test_wildcards_pass_through_compose(self):
+        assert split_key(compose_key(WILDCARD, "latency")) == (WILDCARD, "latency")
+        assert split_key(compose_key(WILDCARD, WILDCARD)) == (WILDCARD, WILDCARD)
+
+    def test_split_rejects_malformed(self):
+        for bad in ("no-separator", KEY_SEP + "metric", "tenant" + KEY_SEP,
+                    "a" + KEY_SEP + "b" + KEY_SEP + "c"):
+            with pytest.raises(DataError, match="malformed registry key"):
+                split_key(bad)

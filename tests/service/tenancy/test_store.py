@@ -1,0 +1,139 @@
+"""The spill store: byte-identical restore, crash-window replay, GC."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import OPAQ, OPAQConfig
+from repro.errors import DataError
+from repro.service.tenancy import SpillStore
+
+
+def summary_fingerprint(summary) -> bytes:
+    """Byte-exact identity of a summary: arrays as raw IEEE-754 + scalars."""
+    floors = summary.floors
+    return b"|".join(
+        [
+            summary.samples.tobytes(),
+            summary.gaps.tobytes(),
+            b"" if floors is None else floors.tobytes(),
+            repr(
+                (summary.num_runs, summary.count, summary.minimum, summary.maximum)
+            ).encode(),
+        ]
+    )
+
+
+def make_summary(rng, n=2_000):
+    return OPAQ(OPAQConfig(run_size=500, sample_size=40)).summarize(
+        rng.uniform(size=n)
+    )
+
+
+class TestSpillRestore:
+    def test_restore_is_byte_identical(self, rng, tmp_path):
+        summary = make_summary(rng)
+        with SpillStore(tmp_path) as store:
+            store.spill("k", summary, compactions=3, epsilon=0.01)
+            restored, record, nbytes = store.restore("k")
+        assert nbytes > 0
+        assert record.compactions == 3 and record.epsilon == 0.01
+        assert summary_fingerprint(restored) == summary_fingerprint(summary)
+        np.testing.assert_array_equal(restored.samples, summary.samples)
+        np.testing.assert_array_equal(restored.gaps, summary.gaps)
+
+    def test_restore_consumes_the_spill(self, rng, tmp_path):
+        with SpillStore(tmp_path) as store:
+            store.spill("k", make_summary(rng), compactions=0, epsilon=0.01)
+            assert "k" in store and len(store) == 1
+            store.restore("k")
+            assert "k" not in store and len(store) == 0
+            with pytest.raises(DataError, match="not spilled"):
+                store.restore("k")
+
+    def test_respill_keeps_last_one_file_per_key(self, rng, tmp_path):
+        with SpillStore(tmp_path) as store:
+            for _ in range(4):
+                store.spill("k", make_summary(rng), compactions=0, epsilon=0.01)
+            assert len(list(tmp_path.glob("spill-*.npz"))) == 1
+
+    def test_reopen_replays_manifest(self, rng, tmp_path):
+        summary = make_summary(rng)
+        with SpillStore(tmp_path) as store:
+            store.spill("a", summary, compactions=1, epsilon=0.02)
+            store.spill("b", make_summary(rng), compactions=0, epsilon=0.02)
+            store.restore("b")
+        with SpillStore(tmp_path) as reopened:
+            assert reopened.keys() == ["a"]
+            restored, record, _ = reopened.restore("a")
+            assert record.compactions == 1
+            assert summary_fingerprint(restored) == summary_fingerprint(summary)
+
+
+class TestCrashWindows:
+    def test_torn_trailing_manifest_line_ignored(self, rng, tmp_path):
+        with SpillStore(tmp_path) as store:
+            store.spill("a", make_summary(rng), compactions=0, epsilon=0.01)
+        manifest = tmp_path / "SPILLS.jsonl"
+        manifest.write_text(manifest.read_text() + '{"op": "spill", "key"')
+        with SpillStore(tmp_path) as reopened:
+            assert reopened.keys() == ["a"]
+
+    def test_orphan_archives_collected_on_open(self, rng, tmp_path):
+        with SpillStore(tmp_path) as store:
+            store.spill("a", make_summary(rng), compactions=0, epsilon=0.01)
+        # A crash between npz write and manifest append leaves an orphan.
+        orphan = tmp_path / "spill-0000009999.npz"
+        make_summary(rng).save(orphan)
+        with SpillStore(tmp_path) as reopened:
+            assert not orphan.exists()
+            assert reopened.keys() == ["a"]
+
+    def test_record_with_vanished_file_dropped(self, rng, tmp_path):
+        with SpillStore(tmp_path) as store:
+            store.spill("a", make_summary(rng), compactions=0, epsilon=0.01)
+            record = store._live["a"]
+        (tmp_path / record.file).unlink()
+        with SpillStore(tmp_path) as reopened:
+            assert reopened.keys() == []
+
+    def test_foreign_manifest_rejected(self, tmp_path):
+        (tmp_path / "SPILLS.jsonl").write_text(
+            json.dumps({"op": "head", "magic": "NOTSPILL", "version": 1}) + "\n"
+        )
+        with pytest.raises(DataError, match="not an OPAQ spill manifest"):
+            SpillStore(tmp_path)
+
+    def test_future_manifest_version_rejected(self, tmp_path):
+        (tmp_path / "SPILLS.jsonl").write_text(
+            json.dumps({"op": "head", "magic": "OPAQSPILL", "version": 99}) + "\n"
+        )
+        with pytest.raises(DataError, match="version 99"):
+            SpillStore(tmp_path)
+
+
+class TestManifestCompaction:
+    def test_churn_compacts_the_log(self, rng, tmp_path):
+        summary = make_summary(rng, n=200)
+        with SpillStore(tmp_path) as store:
+            for _ in range(80):
+                store.spill("hot", summary, compactions=0, epsilon=0.01)
+            lines = (tmp_path / "SPILLS.jsonl").read_text().splitlines()
+            # 80 spill appends, but the rewritten log holds the live set.
+            assert len(lines) < 70
+        with SpillStore(tmp_path) as reopened:
+            assert reopened.keys() == ["hot"]
+
+
+class TestAux:
+    def test_aux_roundtrip_and_replacement(self, rng, tmp_path):
+        first, second = make_summary(rng), make_summary(rng)
+        with SpillStore(tmp_path) as store:
+            store.save_aux("rollup-shard-0", first)
+            store.save_aux("rollup-shard-0", second)
+            assert store.aux_names() == ["rollup-shard-0"]
+        with SpillStore(tmp_path) as reopened:
+            loaded = reopened.load_aux("rollup-shard-0")
+            assert summary_fingerprint(loaded) == summary_fingerprint(second)
+            assert reopened.load_aux("missing") is None

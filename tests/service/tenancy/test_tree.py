@@ -1,0 +1,97 @@
+"""The aggregation tree: rollup correctness, caching, persistence."""
+
+import numpy as np
+
+from repro.core.quantile_phase import bounds_arrays
+from repro.service.tenancy import AggregationTree, SpillStore
+from repro.service.tenancy.registry import _exact_delta
+
+
+def exact_delta(data):
+    return _exact_delta(np.sort(np.asarray(data, dtype=np.float64)))
+
+
+class TestRollups:
+    def test_global_count_is_exact(self, rng):
+        tree = AggregationTree(num_shards=4, max_samples=256)
+        total = 0
+        for shard in range(4):
+            for _ in range(3):
+                chunk = rng.uniform(size=500)
+                tree.absorb(shard, exact_delta(chunk))
+                total += chunk.size
+        root = tree.global_summary()
+        assert root.count == total
+
+    def test_global_bounds_enclose_truth(self, rng):
+        tree = AggregationTree(num_shards=4, max_samples=512)
+        everything = []
+        for shard in range(4):
+            chunk = rng.normal(size=2_000)
+            tree.absorb(shard, exact_delta(chunk))
+            everything.append(chunk)
+        data = np.sort(np.concatenate(everything))
+        root = tree.global_summary()
+        phis = np.array([0.1, 0.5, 0.9])
+        _, lower, upper, _, _, _ = bounds_arrays(root, phis)
+        for i, phi in enumerate(phis):
+            truth = data[int(np.ceil(phi * data.size)) - 1]
+            assert lower[i] <= truth <= upper[i]
+
+    def test_metric_rollups_are_per_metric(self, rng):
+        tree = AggregationTree(num_shards=2, max_samples=128)
+        tree.absorb_metric("latency", exact_delta(rng.uniform(size=300)))
+        tree.absorb_metric("bytes", exact_delta(rng.uniform(size=200)))
+        assert tree.metrics() == ["bytes", "latency"]
+        assert tree.metric_summary("latency").count == 300
+        assert tree.metric_summary("bytes").count == 200
+        assert tree.metric_summary("missing") is None
+
+    def test_empty_tree_has_no_root(self):
+        assert AggregationTree(num_shards=3, max_samples=64).global_summary() is None
+
+
+class TestCaching:
+    def test_cache_hit_returns_same_object(self, rng):
+        tree = AggregationTree(num_shards=4, max_samples=128)
+        for shard in range(4):
+            tree.absorb(shard, exact_delta(rng.uniform(size=100)))
+        first = tree.global_summary()
+        assert tree.global_summary() is first
+
+    def test_absorb_invalidates_only_downstream(self, rng):
+        tree = AggregationTree(num_shards=4, max_samples=128)
+        for shard in range(4):
+            tree.absorb(shard, exact_delta(rng.uniform(size=100)))
+        before = tree.global_summary()
+        tree.absorb(0, exact_delta(rng.uniform(size=50)))
+        after = tree.global_summary()
+        assert after is not before
+        assert after.count == before.count + 50
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, rng, tmp_path):
+        tree = AggregationTree(num_shards=3, max_samples=256)
+        for shard in range(3):
+            tree.absorb(shard, exact_delta(rng.uniform(size=400)))
+        tree.absorb_metric("latency", exact_delta(rng.uniform(size=150)))
+        with SpillStore(tmp_path) as store:
+            tree.save_to(store)
+        with SpillStore(tmp_path) as store:
+            fresh = AggregationTree(num_shards=3, max_samples=256)
+            fresh.load_from(store)
+        assert fresh.global_summary().count == tree.global_summary().count
+        assert fresh.metric_summary("latency").count == 150
+
+    def test_load_folds_extra_partitions_on_shard_shrink(self, rng, tmp_path):
+        tree = AggregationTree(num_shards=4, max_samples=256)
+        for shard in range(4):
+            tree.absorb(shard, exact_delta(rng.uniform(size=250)))
+        with SpillStore(tmp_path) as store:
+            tree.save_to(store)
+        with SpillStore(tmp_path) as store:
+            narrower = AggregationTree(num_shards=2, max_samples=256)
+            narrower.load_from(store)
+        # Partition-invariance of the merge algebra: same global count.
+        assert narrower.global_summary().count == 1_000

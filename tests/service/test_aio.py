@@ -111,14 +111,16 @@ class TestBinaryEndToEnd:
             assert vec.lower.tobytes() == ref.lower.tobytes()
             assert vec.upper.tobytes() == ref.upper.tobytes()
 
-    def test_scalar_aliases_deprecated(self, served, rng):
+    def test_v1_spellings_removed_after_deprecation_cycle(self, served, rng):
+        """Scalar ingest(x) and quantile() completed their deprecation
+        cycle: scalars are rejected as data errors, the alias is gone."""
         _, _, client = served
-        with pytest.deprecated_call():
+        with pytest.raises(DataError, match="scalar ingest"):
             client.ingest(1.5)
+        assert not hasattr(client, "quantile")
         client.ingest(rng.uniform(size=5_000))
         client.snapshot()
-        with pytest.deprecated_call():
-            answer = client.quantile(0.5)
+        answer = client.quantiles([0.5]).to_dict()
         assert [r["phi"] for r in answer["results"]] == [0.5]
 
 
@@ -296,3 +298,74 @@ class TestBitIdentityGate:
         assert binary.max_above.tobytes() == http.max_above.tobytes()
         assert binary.guarantee == http.guarantee
         assert binary.epoch == http.epoch and binary.count == http.count
+
+
+class TestKeyedEndToEnd:
+    """INGEST_KEYED / QUANTILES_KEYED over the live binary server."""
+
+    def test_keyed_ingest_and_query(self, served, rng):
+        _, _, client = served
+        batches = {
+            ("acme", "latency"): rng.normal(10.0, 1.0, size=5_000),
+            ("acme", "errors"): rng.normal(0.0, 1.0, size=3_000),
+            ("globex", "latency"): rng.normal(20.0, 2.0, size=4_000),
+        }
+        receipt = client.ingest_keyed(batches)
+        assert receipt == {"elements": 12_000, "keys": 3}
+
+        answers = client.quantiles_keyed(list(batches), [0.25, 0.5, 0.75])
+        assert len(answers) == 3
+        for answer, ((tenant, metric), data) in zip(answers, batches.items()):
+            assert (answer.tenant, answer.metric) == (tenant, metric)
+            assert answer.count == len(data)
+            assert answer.source == "resident"
+            sorted_data = np.sort(data)
+            for i in range(3):
+                true = sorted_data[answer.psi[i] - 1]
+                assert answer.lower[i] <= true <= answer.upper[i]
+
+    def test_keyed_rollup_over_wire(self, served, rng):
+        _, _, client = served
+        client.ingest_keyed(
+            [("t1", "lat", rng.uniform(size=2_000)),
+             ("t2", "lat", rng.uniform(size=3_000))]
+        )
+        [metric_rollup] = client.quantiles_keyed([("*", "lat")], [0.5])
+        assert metric_rollup.source == "rollup:metric"
+        assert metric_rollup.count == 5_000
+        [global_rollup] = client.quantiles_keyed([("*", "*")], [0.5])
+        assert global_rollup.source == "rollup:global"
+        assert global_rollup.count == 5_000
+
+    def test_keyed_unknown_key_is_typed(self, served):
+        _, _, client = served
+        with pytest.raises(EstimationError, match="no data"):
+            client.quantiles_keyed([("ghost", "metric")], [0.5])
+
+    def test_keyed_stats_visible(self, served, rng):
+        _, _, client = served
+        client.ingest_keyed({("a", "m"): rng.uniform(size=1_000)})
+        tenancy = client.stats()["tenancy"]
+        assert tenancy["resident_keys"] == 1
+        assert tenancy["ingested_elements"] == 1_000
+
+    def test_keyed_answers_match_http_shim_bit_identically(self, served, rng):
+        """The HTTP compatibility layer must serve the same bytes as the
+        binary path for keyed queries too — one registry, two framings."""
+        service, _, client = served
+        client.ingest_keyed({("acme", "lat"): rng.normal(size=8_000)})
+        binary = client.quantiles_keyed([("acme", "lat")], PHI_GRID)
+
+        http_server = make_server(service, port=0)
+        thread = threading.Thread(target=http_server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            with ServiceClient(http_server.url, timeout=10.0) as http_client:
+                http = http_client.quantiles_keyed([("acme", "lat")], PHI_GRID)
+        finally:
+            http_server.shutdown()
+            http_server.server_close()
+            thread.join(timeout=10.0)
+        assert binary[0].to_dict() == http[0].to_dict()
+        assert binary[0].lower.tobytes() == http[0].lower.tobytes()
+        assert binary[0].upper.tobytes() == http[0].upper.tobytes()

@@ -64,12 +64,13 @@ class TestEndpoints:
         assert vec.lower[0] <= sorted_data[vec.ranks[0] - 1] <= vec.upper[0]
         assert vec.max_below[0] + vec.max_above[0] <= 2 * vec.guarantee
 
-    def test_deprecated_quantile_alias_still_answers(self, served, rng):
+    def test_quantile_alias_removed_after_deprecation_cycle(self, served, rng):
+        """quantiles().to_dict() replaces the removed v1 quantile()."""
         _, _, client = served
         client.ingest(rng.uniform(size=2_000))
         client.snapshot()
-        with pytest.deprecated_call():
-            answer = client.quantile([0.5])
+        assert not hasattr(client, "quantile")
+        answer = client.quantiles([0.5]).to_dict()
         assert answer["epoch"] == 1
         assert [r["phi"] for r in answer["results"]] == [0.5]
 
@@ -150,3 +151,48 @@ class TestErrorMapping:
         client = ServiceClient("http://127.0.0.1:1", timeout=0.5)
         with pytest.raises(ServiceError, match="cannot reach"):
             client.health()
+
+
+class TestKeyedEndpoints:
+    """POST /ingest_keyed and /quantile_keyed on the JSON shim."""
+
+    def test_keyed_roundtrip(self, served, rng):
+        _, _, client = served
+        data = rng.normal(size=4_000)
+        receipt = client.ingest_keyed({("acme", "lat"): data})
+        assert receipt == {"elements": 4_000, "keys": 1}
+        [answer] = client.quantiles_keyed([("acme", "lat")], [0.5])
+        assert (answer.tenant, answer.metric) == ("acme", "lat")
+        assert answer.count == 4_000
+        sorted_data = np.sort(data)
+        assert answer.lower[0] <= sorted_data[answer.psi[0] - 1] <= answer.upper[0]
+
+    def test_keyed_missing_fields_400(self, served):
+        _, server, _ = served
+        status, _ = raw_request(
+            f"{server.url}/ingest_keyed",
+            method="POST",
+            body=json.dumps({"keys": [["a", "b"]]}).encode(),
+        )
+        assert status == 400
+
+    def test_keyed_malformed_key_shape_400(self, served):
+        _, server, _ = served
+        status, body = raw_request(
+            f"{server.url}/quantile_keyed",
+            method="POST",
+            body=json.dumps({"keys": [["only-one"]], "phis": [0.5]}).encode(),
+        )
+        assert status == 400
+        assert "tenant, metric" in body["error"]
+
+    def test_keyed_unknown_key_409(self, served):
+        _, server, _ = served
+        status, _ = raw_request(
+            f"{server.url}/quantile_keyed",
+            method="POST",
+            body=json.dumps(
+                {"keys": [["ghost", "m"]], "phis": [0.5]}
+            ).encode(),
+        )
+        assert status == 409

@@ -248,3 +248,109 @@ class TestErrorCodec:
     def test_unreadable_error_frame_is_typed(self):
         with pytest.raises(ServiceError, match="unreadable"):
             proto.raise_remote_error(b"\xff\xfe not json")
+
+
+class TestKeyedCodecs:
+    """The multi-tenant opcodes: key blocks, frames, answer marshalling."""
+
+    KEYS = ["acme\x1flatency", "acme\x1férrors", "globex\x1flatency"]
+
+    def test_ingest_keyed_roundtrip(self):
+        counts = np.array([3, 2, 4], dtype=np.int64)
+        values = np.arange(9, dtype=np.float64)
+        payload = proto.encode_ingest_keyed_request(self.KEYS, counts, values)
+        keys, got_counts, got_values = proto.decode_ingest_keyed_request(payload)
+        assert keys == self.KEYS
+        assert got_counts.tobytes() == counts.tobytes()
+        assert got_values.tobytes() == values.tobytes()
+
+    def test_ingest_keyed_reply_roundtrip(self):
+        payload = proto.encode_ingest_keyed_reply(9_000, 17)
+        assert proto.decode_ingest_keyed_reply(payload) == {
+            "elements": 9_000,
+            "keys": 17,
+        }
+
+    def test_quantiles_keyed_roundtrip(self):
+        phis = np.array([0.25, 0.5, 0.99])
+        payload = proto.encode_quantiles_keyed_request(self.KEYS, phis)
+        keys, got_phis = proto.decode_quantiles_keyed_request(payload)
+        assert keys == self.KEYS
+        assert got_phis.tobytes() == np.asarray(phis).tobytes()
+
+    def test_key_block_rejects_corrupt_blob_length(self):
+        payload = bytearray(
+            proto.encode_ingest_keyed_request(
+                self.KEYS, [1, 1, 1], np.zeros(3)
+            )
+        )
+        payload[0:8] = struct.pack("!Q", 1 << 40)  # blob "longer" than frame
+        with pytest.raises(DataError):
+            proto.decode_ingest_keyed_request(bytes(payload))
+
+    def test_key_block_rejects_invalid_utf8(self):
+        payload = bytearray(
+            proto.encode_ingest_keyed_request(["ab\x1fcd"], [1], np.zeros(1))
+        )
+        payload[8] = 0xFF  # clobber first key byte: invalid UTF-8 start
+        with pytest.raises(DataError, match="UTF-8"):
+            proto.decode_ingest_keyed_request(bytes(payload))
+
+    def test_answers_roundtrip_bit_identical(self):
+        from repro.service.tenancy.registry import KeyAnswer
+
+        phis = np.array([0.1, 0.5, 0.9])
+        answers = [
+            KeyAnswer(
+                tenant="acme", metric=f"m{i}", count=1000 + i,
+                guarantee=7, compactions=i - 1,
+                epsilon_bound=0.006 + i * 1e-9, source=source,
+                phis=phis, psi=np.array([100, 500, 900], dtype=np.int64),
+                lower=np.array([0.1, 0.2, 0.3]) * (i + 1),
+                upper=np.array([0.4, 0.5, 0.6]) * (i + 1),
+                max_below=np.array([3, 3, 3], dtype=np.int64),
+                max_above=np.array([4, 4, 4], dtype=np.int64),
+            )
+            for i, source in enumerate(
+                ["resident", "restored", "rollup:metric", "rollup:global"]
+            )
+        ]
+        decoded = proto.decode_quantiles_keyed_reply(
+            proto.encode_quantiles_keyed_reply(answers)
+        )
+        assert len(decoded) == len(answers)
+        for got, want in zip(decoded, answers):
+            assert got.to_dict() == want.to_dict()
+            assert got.lower.tobytes() == want.lower.tobytes()
+            assert got.upper.tobytes() == want.upper.tobytes()
+
+    def test_empty_answers_reply(self):
+        payload = proto.encode_quantiles_keyed_reply([])
+        assert proto.decode_quantiles_keyed_reply(payload) == []
+
+    def test_answer_reply_trailing_bytes_detected(self):
+        from repro.service.tenancy.registry import KeyAnswer
+
+        answer = KeyAnswer(
+            tenant="t", metric="m", count=10, guarantee=1, compactions=0,
+            epsilon_bound=0.0, source="resident",
+            phis=np.array([0.5]), psi=np.array([5], dtype=np.int64),
+            lower=np.array([1.0]), upper=np.array([2.0]),
+            max_below=np.array([0], dtype=np.int64),
+            max_above=np.array([0], dtype=np.int64),
+        )
+        payload = proto.encode_quantiles_keyed_reply([answer]) + b"JUNK"
+        with pytest.raises(DataError, match="trailing"):
+            proto.decode_quantiles_keyed_reply(payload)
+
+    def test_fuzz_keyed_decoders_never_leak_foreign_errors(self):
+        rng = np.random.default_rng(99)
+        good = proto.encode_quantiles_keyed_request(self.KEYS, [0.5, 0.9])
+        for _ in range(200):
+            corrupt = bytearray(good)
+            for pos in rng.integers(0, len(corrupt), size=4):
+                corrupt[pos] = rng.integers(0, 256)
+            try:
+                proto.decode_quantiles_keyed_request(bytes(corrupt))
+            except ReproError:
+                pass  # typed: the contract

@@ -135,3 +135,88 @@ class TestWarmRestart:
         config = ServiceConfig(num_shards=2, run_size=1_000, sample_size=50)
         with QuantileService(config) as service:
             assert service.restored_epoch is None
+
+
+class TestCrashResilience:
+    """Injected-kill coverage of the npz-write -> manifest-swap window."""
+
+    @staticmethod
+    def _kill_manifest_swap(monkeypatch):
+        """Make os.replace die exactly at the manifest commit point."""
+        import os as os_module
+
+        real_replace = os_module.replace
+
+        def injected(src, dst, *args, **kwargs):
+            if str(dst).endswith("LATEST.json"):
+                raise OSError("injected kill before the manifest swap")
+            return real_replace(src, dst, *args, **kwargs)
+
+        monkeypatch.setattr("repro.service.snapshot.os.replace", injected)
+
+    def test_crash_between_epoch_write_and_manifest_swap(
+        self, rng, tmp_path, monkeypatch
+    ):
+        store = SnapshotStore(tmp_path)
+        committed = make_snapshot(rng, epoch=1)
+        store.save(committed)
+
+        self._kill_manifest_swap(monkeypatch)
+        with pytest.raises(OSError, match="injected kill"):
+            store.save(make_snapshot(rng, epoch=2))
+        monkeypatch.undo()
+
+        # The uncommitted epoch-2 archive landed, but the manifest still
+        # commits epoch 1 — and that is what a warm restart serves.
+        assert (tmp_path / "epoch-00000002.npz").exists()
+        loaded = store.load_latest()
+        assert loaded.epoch == 1
+        assert loaded.count == committed.count
+
+    def test_prune_never_drops_the_manifest_referenced_epoch(
+        self, rng, tmp_path, monkeypatch
+    ):
+        store = SnapshotStore(tmp_path)
+        store.save(make_snapshot(rng, epoch=1))
+        self._kill_manifest_swap(monkeypatch)
+        with pytest.raises(OSError, match="injected kill"):
+            store.save(make_snapshot(rng, epoch=2))
+        monkeypatch.undo()
+
+        # epoch-2 is the newest *file* but an orphan; retain=1 must keep
+        # the committed epoch-1, not prune it in favour of the orphan.
+        store.prune(retain=1)
+        assert (tmp_path / "epoch-00000001.npz").exists()
+        assert store.load_latest().epoch == 1
+
+        # Recovery: the next successful save commits epoch 2 for real.
+        recovered = make_snapshot(rng, epoch=2)
+        store.save(recovered, retain=1)
+        assert store.load_latest().epoch == 2
+
+    def test_missing_manifest_falls_back_to_newest_archive(
+        self, rng, tmp_path
+    ):
+        store = SnapshotStore(tmp_path)
+        store.save(make_snapshot(rng, epoch=1), retain=5)
+        store.save(make_snapshot(rng, epoch=2), retain=5)
+        store.manifest_path.unlink()
+        loaded = store.load_latest()
+        assert loaded is not None and loaded.epoch == 2
+
+    def test_vanished_referenced_archive_falls_back(self, rng, tmp_path):
+        store = SnapshotStore(tmp_path)
+        store.save(make_snapshot(rng, epoch=1), retain=5)
+        store.save(make_snapshot(rng, epoch=2), retain=5)
+        (tmp_path / "epoch-00000002.npz").unlink()
+        loaded = store.load_latest()
+        assert loaded is not None and loaded.epoch == 1
+
+    def test_open_sweeps_torn_temporaries(self, rng, tmp_path):
+        store = SnapshotStore(tmp_path)
+        store.save(make_snapshot(rng, epoch=1))
+        (tmp_path / "epoch-00000002.npz.tmp.npz").write_bytes(b"torn")
+        (tmp_path / "LATEST.json.tmp").write_text("torn")
+        reopened = SnapshotStore(tmp_path)
+        assert not list(tmp_path.glob("*.tmp*"))
+        assert reopened.load_latest().epoch == 1

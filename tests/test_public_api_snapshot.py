@@ -70,6 +70,24 @@ SERVICE = {
     "AsyncServiceServer",
     "ThreadedBinaryServer",
     "make_server",
+    "RegistryConfig",
+    "SummaryRegistry",
+    "KeyAnswer",
+}
+
+TENANCY = {
+    "KEY_SEP",
+    "WILDCARD",
+    "AggregationTree",
+    "KeyAnswer",
+    "RegistryConfig",
+    "SpillRecord",
+    "SpillStore",
+    "SummaryRegistry",
+    "compact_within_budget",
+    "compose_key",
+    "split_key",
+    "validate_component",
 }
 
 ESTIMATOR_METHODS = {"summarize", "bounds", "bound", "estimate"}
@@ -89,22 +107,32 @@ def test_service_surface_is_exactly_the_snapshot():
     assert set(repro.service.__all__) == SERVICE
 
 
+def test_tenancy_surface_is_exactly_the_snapshot():
+    import repro.service.tenancy
+
+    assert set(repro.service.tenancy.__all__) == TENANCY
+
+
 def test_service_client_batched_surface():
-    """The redesigned client keeps both the batched primary methods and
-    the deprecated v1 alias through its deprecation cycle."""
+    """The redesigned client: batched unkeyed methods plus the keyed
+    (multi-tenant) pair.  The v1 spellings — scalar ingest(x) and the
+    dict-returning quantile() — completed their deprecation cycle and
+    are gone (see docs/api.md)."""
     from repro.service import ServiceClient
 
     for method in (
         "ingest",
+        "ingest_keyed",
         "quantiles",
+        "quantiles_keyed",
         "quantiles_many",
         "snapshot",
         "stats",
         "health",
         "close",
-        "quantile",  # deprecated v1 alias
     ):
         assert callable(getattr(ServiceClient, method)), method
+    assert not hasattr(ServiceClient, "quantile")
 
 
 def test_streaming_baseline_registry_is_stable():
