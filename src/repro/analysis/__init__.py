@@ -36,6 +36,7 @@ from repro.analysis.reporters import (
     render_text,
 )
 from repro.analysis.runner import LintResult, lint_paths, parse_module
+from repro.analysis.rules_async import AsyncModel, build_async_model
 from repro.analysis.rules_threads import ThreadModel, build_thread_model
 from repro.analysis.sarif import render_sarif
 from repro.analysis.summaries import FunctionSummary, SummaryIndex
@@ -50,6 +51,7 @@ from repro.analysis import rules_service  # noqa: F401  (registration)
 from repro.analysis import rules_onepass_flow  # noqa: F401  (registration)
 from repro.analysis import rules_resources  # noqa: F401  (registration)
 from repro.analysis import rules_deadlock  # noqa: F401  (registration)
+from repro.analysis import rules_async  # noqa: F401  (registration)
 from repro.analysis import rules_meta  # noqa: F401  (registration)
 
 __all__ = [
@@ -62,6 +64,7 @@ __all__ = [
     "Suppressions",
     "SyntheticRule",
     "ThreadModel",
+    "AsyncModel",
     "FunctionSummary",
     "SummaryIndex",
     "LintResult",
@@ -69,6 +72,7 @@ __all__ = [
     "parse_module",
     "build_cfg",
     "build_project",
+    "build_async_model",
     "build_thread_model",
     "all_rules",
     "get_rule",

@@ -24,6 +24,13 @@ behaviour to them:
 ``except``
     A handler entry.  Every block of the guarded body gets an edge to
     every handler: any statement may raise.
+``await``
+    A coroutine suspension point.  Every ``ast.Await`` inside the
+    expressions an op evaluates gets its own event immediately after
+    that op, so a must-analysis can ask "what is held *here*, where the
+    event loop may run arbitrary other tasks".  ``async for`` iteration
+    and ``async with`` enter/exit suspend too; :attr:`Op.suspends`
+    unifies all of them for the OPQ77x rules.
 
 Abrupt exits (``return``/``raise``/``break``/``continue``) are routed
 through enclosing ``finally`` suites before reaching their target, so a
@@ -53,7 +60,8 @@ class Op:
 
     ``kind`` is one of ``stmt`` (a simple statement), ``branch`` (the test
     of an ``if``/``while``), ``for-iter``, ``with-enter``, ``with-exit``,
-    or ``except``; ``node`` is the AST node that produced the event.
+    ``except``, or ``await``; ``node`` is the AST node that produced the
+    event.
     """
 
     kind: str
@@ -65,6 +73,23 @@ class Op:
         if self.kind == "branch":
             return f"branch({type(self.node).__name__.lower()})"
         return self.kind
+
+    @property
+    def suspends(self) -> bool:
+        """True when this event may suspend the enclosing coroutine.
+
+        Suspension points are where the event loop regains control:
+        ``await`` expressions, ``async for`` iteration, and ``async
+        with`` enter/exit.  A ``threading.Lock`` held across one is held
+        across *arbitrary other tasks* — the OPQ772 hazard.
+        """
+        if self.kind == "await":
+            return True
+        if self.kind == "for-iter":
+            return isinstance(self.node, ast.AsyncFor)
+        if self.kind in ("with-enter", "with-exit"):
+            return isinstance(self.node, ast.AsyncWith)
+        return False
 
     def expr_roots(self) -> list[ast.AST]:
         """The expression subtrees this op actually evaluates.
@@ -89,6 +114,8 @@ class Op:
             node, (ast.With, ast.AsyncWith)
         ):
             return [item.context_expr for item in node.items]
+        # ``await`` ops are pure suspension markers: the expression they
+        # point into already belongs to the preceding op's roots.
         return []
 
 
@@ -112,6 +139,11 @@ class CFG:
         self._next_id = 0
         self.entry = self.new_block("entry").id
         self.exit = self.new_block("exit").id
+
+    @property
+    def is_coroutine(self) -> bool:
+        """True when the graphed function is an ``async def``."""
+        return isinstance(self.func, ast.AsyncFunctionDef)
 
     def new_block(self, label: str = "") -> Block:
         block = Block(id=self._next_id, label=label)
@@ -168,6 +200,26 @@ class CFG:
         return "\n".join(lines)
 
 
+def _awaits_under(root: ast.AST) -> list[ast.Await]:
+    """``Await`` nodes of ``root`` in source order, skipping nested defs.
+
+    A nested ``async def`` statement is a *definition* — its awaits
+    suspend the inner coroutine when it eventually runs, not the
+    function being graphed.
+    """
+    found: list[ast.Await] = []
+    stack: list[ast.AST] = [root]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        if isinstance(node, ast.Await):
+            found.append(node)
+        stack.extend(ast.iter_child_nodes(node))
+    found.sort(key=lambda a: (a.lineno, a.col_offset))
+    return found
+
+
 class _LoopContext:
     """Break/continue targets of the innermost enclosing loop."""
 
@@ -219,6 +271,15 @@ class _Builder:
             self.current = self.cfg.new_block("dead").id
         block = self.cfg.blocks[self.current]
         block.ops.append(op)
+        # Each ``await`` inside the expressions this op evaluates is a
+        # suspension event of its own, placed right after the op so the
+        # facts holding "at the await" include the op's own gens (the
+        # lock acquired by ``with ... :`` is held at an await in its
+        # first body statement).  Suspension cannot branch, so the event
+        # stays in the same basic block.
+        for root in op.expr_roots():
+            for sub in _awaits_under(root):
+                block.ops.append(Op("await", sub))
         # Any op inside a try body may raise into each of its handlers.
         for handlers in self.handler_stack:
             for handler in handlers:

@@ -39,6 +39,7 @@ __all__ = [
     "run_forward",
     "iter_ops_with_facts",
     "LockTracker",
+    "ThreadLockTracker",
     "lock_names_of",
 ]
 
@@ -200,6 +201,31 @@ class LockTracker(GenKill):
         if op.kind == "with-exit" and isinstance(
             op.node, (ast.With, ast.AsyncWith)
         ):
+            return frozenset(lock_names_of(op.node))
+        return EMPTY
+
+
+class ThreadLockTracker(GenKill):
+    """Must-analysis of held *threading* locks only.
+
+    The spelling is the discriminator: a ``threading.Lock`` is entered
+    with a plain ``with lock:``, an ``asyncio.Lock`` with ``async with
+    lock:`` (entering an asyncio lock under a plain ``with`` raises at
+    runtime).  The OPQ772 hazard — a lock held across a suspension point
+    parks every other task contending for it — only exists for the
+    thread kind: an asyncio lock held across an ``await`` is ordinary,
+    correct usage.
+    """
+
+    mode = "must"
+
+    def gen(self, op: Op) -> Fact:
+        if op.kind == "with-enter" and isinstance(op.node, ast.With):
+            return frozenset(lock_names_of(op.node))
+        return EMPTY
+
+    def kill(self, op: Op) -> Fact:
+        if op.kind == "with-exit" and isinstance(op.node, ast.With):
             return frozenset(lock_names_of(op.node))
         return EMPTY
 

@@ -38,8 +38,41 @@ __all__ = [
     "FunctionInfo",
     "ClassInfo",
     "ProjectContext",
+    "annotation_type",
     "build_project",
 ]
+
+
+def annotation_type(node: ast.expr | None) -> str | None:
+    """The dotted class name a simple annotation declares, if any.
+
+    Unwraps the optional spellings (``T | None``, ``Optional[T]``) and
+    string annotations; generics and genuine unions stay opaque —
+    a half-certain type is worse than none for call resolution.
+    """
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant):
+        if isinstance(node.value, str) and node.value:
+            try:
+                return annotation_type(
+                    ast.parse(node.value, mode="eval").body
+                )
+            except SyntaxError:
+                return None
+        return None
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        arms = [annotation_type(node.left), annotation_type(node.right)]
+        named = [a for a in arms if a is not None]
+        if len(named) == 1:
+            return named[0]
+        return None
+    if isinstance(node, ast.Subscript):
+        base = dotted_name(node.value)
+        if base is not None and base.rsplit(".", 1)[-1] == "Optional":
+            return annotation_type(node.slice)
+        return None
+    return dotted_name(node)
 
 
 @dataclass(frozen=True)
@@ -81,9 +114,13 @@ class ClassInfo:
     methods: dict[str, FunctionInfo] = field(default_factory=dict)
     #: ``self.<field>`` names assigned anywhere in ``__init__``.
     init_fields: set[str] = field(default_factory=set)
-    #: field -> dotted constructor name when ``__init__`` assigns
-    #: ``self.f = Ctor(...)`` (how the thread rules learn a field holds a
-    #: ``queue.Queue`` or a ``threading.Lock``).
+    #: field -> dotted type name, learned from ``__init__`` three ways:
+    #: ``self.f = Ctor(...)`` records the constructor, ``self.f = param``
+    #: records the parameter's annotation, and ``self.f: T = ...``
+    #: records the declared annotation (``T | None`` unwraps to ``T``).
+    #: This is how the thread rules learn a field holds a ``queue.Queue``
+    #: and how call resolution pins ``self.service.stats`` to the class
+    #: the constructor signature names.
     field_types: dict[str, str] = field(default_factory=dict)
 
     def base_names(self) -> set[str]:
@@ -155,6 +192,12 @@ class ProjectContext:
                 self._methods_by_name.setdefault(stmt.name, []).append(method)
         init = info.methods.get("__init__")
         if init is not None:
+            args = init.node.args
+            param_types = {
+                arg.arg: ann
+                for arg in args.posonlyargs + args.args + args.kwonlyargs
+                if (ann := annotation_type(arg.annotation)) is not None
+            }
             for sub in ast.walk(init.node):
                 targets: list[ast.expr] = []
                 if isinstance(sub, ast.Assign):
@@ -173,6 +216,19 @@ class ProjectContext:
                             ctor = dotted_name(value.func)
                             if ctor is not None:
                                 info.field_types.setdefault(target.attr, ctor)
+                        elif (
+                            isinstance(value, ast.Name)
+                            and value.id in param_types
+                        ):
+                            info.field_types.setdefault(
+                                target.attr, param_types[value.id]
+                            )
+                        if isinstance(sub, ast.AnnAssign):
+                            declared = annotation_type(sub.annotation)
+                            if declared is not None:
+                                info.field_types.setdefault(
+                                    target.attr, declared
+                                )
         self.classes.append(info)
 
     def _function_info(

@@ -207,13 +207,19 @@ class UnboundedBlockingRule(Rule):
     code = "OPQ404"
     description = (
         "blocking primitive (get/wait/join/acquire) called with no "
-        "timeout in a real execution backend or the asyncio wire layer; "
+        "timeout in a real execution backend or the service wire layer; "
         "a dead peer turns the call into a hang instead of a typed error"
     )
     paper_ref = "backends contract (fail typed, never hang)"
-    scope_prefixes = ("parallel/backends/", "service/aio.py", "service/tenancy/")
+    scope_prefixes = (
+        "parallel/backends/",
+        "service/aio.py",
+        "service/http.py",
+        "service/tenancy/",
+    )
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        bounded = self._wait_for_bounded(ctx.tree)
         for node in ast.walk(ctx.tree):
             if not (
                 isinstance(node, ast.Call)
@@ -225,6 +231,8 @@ class UnboundedBlockingRule(Rule):
                 continue
             if any(kw.arg == "timeout" for kw in node.keywords):
                 continue
+            if id(node) in bounded:
+                continue
             name = dotted_name(node.func) or node.func.attr
             yield ctx.finding(
                 self,
@@ -232,3 +240,33 @@ class UnboundedBlockingRule(Rule):
                 f"{name}() blocks forever if the peer died; pass "
                 "timeout= and convert expiry into a ParallelError",
             )
+
+    @staticmethod
+    def _wait_for_bounded(tree: ast.AST) -> set[int]:
+        """ids of calls bounded by an enclosing ``asyncio.wait_for``.
+
+        ``await asyncio.wait_for(queue.get(), timeout=t)`` is the asyncio
+        spelling of a bounded wait: the awaitable built by the inner call
+        is cancelled when the deadline passes, so the inner primitive
+        needs no timeout of its own.  A ``wait_for`` with no deadline
+        argument bounds nothing.
+        """
+        bounded: set[int] = set()
+        for node in ast.walk(tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, (ast.Attribute, ast.Name))
+                and (dotted_name(node.func) or "").rsplit(".", 1)[-1]
+                == "wait_for"
+            ):
+                continue
+            has_deadline = len(node.args) >= 2 or any(
+                kw.arg == "timeout" for kw in node.keywords
+            )
+            if not has_deadline:
+                continue
+            for arg in node.args[:1]:
+                for sub in ast.walk(arg):
+                    if isinstance(sub, ast.Call):
+                        bounded.add(id(sub))
+        return bounded

@@ -16,7 +16,10 @@ the effects a caller can observe through a call edge —
 - ``acquires_locks``: qualified lock names the function may acquire,
   including through callees (the deadlock family's edge source),
 - ``blocking_calls``: unbounded blocking call sites (``get``/``wait``/
-  ``join``/``acquire`` with no timeout) reachable from the function.
+  ``join``/``acquire`` with no timeout) reachable from the function,
+- ``offloads_params``: parameters handed to a worker thread via
+  ``asyncio.to_thread``/``run_in_executor`` (the async family's role
+  boundary), directly or transitively.
 
 Summaries are computed by worklist fixpoint.  Every field is a set that
 only ever grows and the universe (parameter names, lock names, call
@@ -44,6 +47,7 @@ from repro.analysis.project import FunctionInfo, ProjectContext
 __all__ = [
     "FunctionSummary",
     "SummaryIndex",
+    "offload_callable",
     "param_names",
     "matched_param",
     "qualified_lock",
@@ -99,6 +103,26 @@ def unbounded_blocking_attr(call: ast.Call) -> str | None:
     if any(kw.arg == "timeout" for kw in call.keywords):
         return None
     return call.func.attr
+
+
+def offload_callable(call: ast.Call) -> ast.expr | None:
+    """The callable ``call`` ships off the event loop, if it is one.
+
+    Recognises the two asyncio thread-handoff primitives:
+    ``asyncio.to_thread(fn, ...)`` (first positional argument) and
+    ``loop.run_in_executor(executor, fn, ...)`` (second).  The returned
+    expression runs in a worker thread — the role boundary of the
+    OPQ77x coroutine model.
+    """
+    callee = dotted_name(call.func)
+    if callee is None:
+        return None
+    last = callee.rsplit(".", 1)[-1]
+    if last == "to_thread" and call.args:
+        return call.args[0]
+    if last == "run_in_executor" and len(call.args) >= 2:
+        return call.args[1]
+    return None
 
 
 def param_names(fn: FunctionInfo) -> list[str]:
@@ -161,6 +185,12 @@ class FunctionSummary:
     acquires_locks: set[str] = field(default_factory=set)
     #: Human-readable sites: ``"queue.get() at shard.py:92"``.
     blocking_calls: set[str] = field(default_factory=set)
+    #: Parameters the function hands to a worker thread — directly via
+    #: ``asyncio.to_thread``/``run_in_executor``, or by passing them on
+    #: to a callee that does.  A callable argument bound to one of these
+    #: runs in the thread role, not the caller's (the async family's
+    #: role boundary: ``AsyncServiceServer._blocking`` offloads ``fn``).
+    offloads_params: set[str] = field(default_factory=set)
 
     def snapshot(self) -> tuple[frozenset[str], ...]:
         """Immutable view used to detect fixpoint convergence."""
@@ -171,6 +201,7 @@ class FunctionSummary:
             frozenset(self.escapes_params),
             frozenset(self.acquires_locks),
             frozenset(self.blocking_calls),
+            frozenset(self.offloads_params),
         )
 
 
@@ -390,6 +421,12 @@ class SummaryIndex:
             for arg in call.args:
                 if isinstance(arg, ast.Name) and arg.id in params:
                     summary.consumes_params.add(arg.id)
+        offloaded = offload_callable(call)
+        if (
+            isinstance(offloaded, ast.Name)
+            and offloaded.id in params
+        ):
+            summary.offloads_params.add(offloaded.id)
         attr = unbounded_blocking_attr(call)
         if attr is not None:
             receiver_name = dotted_name(func) or attr
@@ -494,6 +531,8 @@ class SummaryIndex:
                         summary.unlinks_params.add(name)
                     if target in callee_summary.escapes_params:
                         summary.escapes_params.add(name)
+                    if target in callee_summary.offloads_params:
+                        summary.offloads_params.add(name)
 
 
 def _bare_names_of(value: ast.expr | None) -> list[str]:

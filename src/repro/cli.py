@@ -501,6 +501,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             ignore=args.ignore,
             deep=args.deep,
             cache=args.cache,
+            jobs=args.jobs,
         )
         count = write_baseline(target, result.findings)
         print(f"wrote {count} baseline entr{'y' if count == 1 else 'ies'} to {target}")
@@ -512,6 +513,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         deep=args.deep,
         baseline=baseline,
         cache=args.cache,
+        jobs=args.jobs,
     )
     if args.format == "json":
         print(render_json(result))
@@ -792,6 +794,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="reuse results for unchanged files from this incremental "
         "cache file (default name when given bare: .opaqlint-cache.json); "
         "output is byte-identical to an uncached run",
+    )
+    p.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="analyse files across N worker processes (default 1); "
+        "composes with --cache (only cache misses are fanned out) and "
+        "output is byte-identical for every N",
     )
     p.add_argument(
         "--list-rules", action="store_true",

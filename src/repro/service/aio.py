@@ -184,8 +184,10 @@ class AsyncServiceServer:
             return b""
         if opcode == proto.Op.QUANTILES:
             # Lock-free snapshot read + one vectorised searchsorted sweep:
-            # cheap enough to answer inline on the event loop.
-            return self._answer_quantiles(payload)
+            # cheap enough to answer inline on the event loop.  The only
+            # lock on the path is the uncontended-by-design state-lock
+            # bump of the query counter, never held across I/O.
+            return self._answer_quantiles(payload)  # opaq: ignore[async-blocking-call]
         if opcode == proto.Op.INGEST:
             values = proto.decode_ingest_request(payload)
             result = await self._blocking(lambda: self.service.ingest(values))
@@ -217,7 +219,10 @@ class AsyncServiceServer:
                 snapshot.summary.num_samples,
             )
         if opcode == proto.Op.STATS:
-            return proto.encode_stats_reply(self.service.stats())
+            # stats() folds per-tenant shards under their locks and may
+            # touch spill files — registry work, off the event loop.
+            stats = await self._blocking(self.service.stats)
+            return proto.encode_stats_reply(stats)
         raise DataError(f"unknown opcode {opcode:#x} in a v2 frame")
 
     _REPLY_CACHE_MAX = 128

@@ -1,0 +1,29 @@
+"""Known-bad: state written by both the event-loop and thread roles.
+
+``_latest`` is assigned by the polling thread and by a coroutine with no
+common lock and no loop-safe handoff — the loop can read a torn update.
+"""
+
+import threading
+
+
+class Collector:
+    def __init__(self) -> None:
+        self._thread = threading.Thread(target=self._drain)
+        self._latest = None
+        self._total = 0
+
+    def _drain(self) -> None:
+        while True:
+            # Thread-role write.
+            self._latest = self._poll()
+            self._total += 1
+
+    def _poll(self):
+        return object()
+
+    async def report(self) -> dict:
+        # BAD: event-loop-role write to the same field, no guard on
+        # either side.
+        self._latest = None
+        return {"total": self._total}

@@ -1,0 +1,33 @@
+"""Known-bad: a ``threading.Lock`` held across suspension points.
+
+While the coroutine is parked at the ``await``, the loop runs arbitrary
+other tasks — any of them (or any real thread) touching the lock blocks
+for an unbounded time.  ``asyncio.Lock`` under ``async with`` is the
+correct spelling and is exempt (see the good fixture).
+"""
+
+import asyncio
+import threading
+
+
+class Cache:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._entries: dict = {}
+
+    async def refresh(self, key: str):
+        with self._lock:
+            # BAD: the lock is pinned while _fetch suspends.
+            value = await self._fetch(key)
+            self._entries[key] = value
+        return value
+
+    async def drain(self, source) -> None:
+        with self._lock:
+            # BAD: every iteration suspends with the lock held.
+            async for item in source:
+                self._entries[item] = item
+
+    async def _fetch(self, key: str):
+        await asyncio.sleep(0)
+        return key

@@ -1,0 +1,46 @@
+"""Known-bad: a coroutine calls blocking synchronous code inline.
+
+The first shape is the real finding OPQ771 surfaced in
+``service/aio.py``: the STATS opcode answered on the event loop through
+a callee that folds registry shards under their locks (and may touch
+spill files).  Pinned here exactly as found, pre-fix.
+"""
+
+import asyncio
+import threading
+import time
+
+
+class Registry:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._folds = 0
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {"folds": self._folds}
+
+
+class Server:
+    def __init__(self, registry: Registry) -> None:
+        self.registry = registry
+        self.request_timeout = 5.0
+
+    async def _blocking(self, fn):
+        loop = asyncio.get_running_loop()
+        return await asyncio.wait_for(
+            loop.run_in_executor(None, fn), timeout=self.request_timeout
+        )
+
+    async def handle_stats(self) -> dict:
+        # BAD: folds every shard under its lock, inline on the loop.
+        return self.registry.stats()
+
+    async def handle_backoff(self) -> None:
+        # BAD: parks the loop (and every connection) for the duration.
+        time.sleep(0.05)
+
+    async def handle_dump(self, path: str) -> int:
+        # BAD: synchronous file I/O on the loop.
+        with open(path, "w") as sink:
+            return sink.write("stats")

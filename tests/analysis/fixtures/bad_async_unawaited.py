@@ -1,0 +1,25 @@
+"""Known-bad: coroutine calls whose objects are discarded unawaited.
+
+Calling a coroutine function only builds the coroutine object; as a bare
+statement it is dropped on the floor and the body never runs — the
+classic silent no-op asyncio bug.
+"""
+
+
+class Notifier:
+    async def publish(self, event: str) -> None:
+        return None
+
+    async def run(self, events) -> None:
+        for event in events:
+            # BAD: builds a coroutine object and discards it.
+            self.publish(event)
+
+
+async def flush(sink) -> None:
+    return None
+
+
+def shutdown(sink) -> None:
+    # BAD: same bug from synchronous code; nothing ever awaits it.
+    flush(sink)

@@ -7,3 +7,9 @@ def collect(outcome_queue, barrier, worker, lock):
     outcome = outcome_queue.get()
     worker.join()
     return outcome
+
+
+async def collect_async(outcome_queue):
+    # Not wrapped in asyncio.wait_for: the thread-queue get() hangs the
+    # whole event loop forever on a dead peer.
+    return outcome_queue.get()

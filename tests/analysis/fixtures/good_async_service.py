@@ -1,0 +1,49 @@
+"""Known-good: the post-fix ``service/aio.py`` shape.
+
+Every blocking callee crosses the ``_blocking`` offload boundary
+(``run_in_executor`` under a ``wait_for`` deadline), loop-side state is
+guarded by an ``asyncio.Lock`` — which may correctly be held across a
+suspension — and thread-shared counters publish under a threading lock.
+"""
+
+import asyncio
+import threading
+
+
+class Registry:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._folds = 0
+
+    def fold(self) -> None:
+        with self._lock:
+            self._folds += 1
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {"folds": self._folds}
+
+
+class Server:
+    def __init__(self, registry: Registry) -> None:
+        self.registry = registry
+        self.request_timeout = 5.0
+        self._reply_lock = asyncio.Lock()
+        self._replies = 0
+
+    async def _blocking(self, fn):
+        loop = asyncio.get_running_loop()
+        return await asyncio.wait_for(
+            loop.run_in_executor(None, fn), timeout=self.request_timeout
+        )
+
+    async def handle_stats(self) -> dict:
+        stats = await self._blocking(self.registry.stats)
+        async with self._reply_lock:
+            # An asyncio lock across a suspension is ordinary usage.
+            self._replies += 1
+            await asyncio.sleep(0)
+        return stats
+
+    async def handle_fold(self) -> None:
+        await self._blocking(self.registry.fold)

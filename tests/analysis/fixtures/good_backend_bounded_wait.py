@@ -12,3 +12,14 @@ def collect(outcome_queue, barrier, worker, lock, labels, options):
     # mean dict.get / str.join / a bounded join, not a blocking primitive.
     label = ", ".join(labels)
     return outcome, options.get("mode", label)
+
+
+async def collect_async(outcome_queue, event):
+    import asyncio
+
+    # The asyncio spelling of a bounded wait: wait_for cancels the inner
+    # awaitable at the deadline, so the primitive needs no timeout= of
+    # its own.
+    outcome = await asyncio.wait_for(outcome_queue.get(), timeout=5.0)
+    await asyncio.wait_for(event.wait(), 5.0)
+    return outcome

@@ -180,6 +180,109 @@ class TestStructuralProperties:
         assert cfg.exit not in inner_fin.succs
         assert cfg.exit in outer_fin.succs
 
+    def test_await_emits_suspension_ops_in_statement_order(self):
+        cfg = cfg_of(
+            """
+            async def f(client, key):
+                value = await client.fetch(key)
+                if value is None:
+                    value = await client.refetch(key)
+                return value
+            """
+        )
+        assert cfg.is_coroutine
+        assert cfg.describe() == textwrap.dedent(
+            """\
+            B0<entry> -> B2
+            B1<exit>
+            B2<body>: assign await branch(if) -> B3 B4
+            B3<then>: assign await -> B4
+            B4<after-if>: return -> B1"""
+        )
+        # Every await op is a suspension point and evaluates nothing
+        # itself (its operand belongs to the carrying statement).
+        awaits = [
+            op
+            for block in cfg.iter_blocks()
+            for op in block.ops
+            if op.kind == "await"
+        ]
+        assert len(awaits) == 2
+        assert all(op.suspends for op in awaits)
+        assert all(op.expr_roots() == [] for op in awaits)
+
+    def test_async_with_enter_and_exit_are_suspension_points(self):
+        cfg = cfg_of(
+            """
+            async def g(pool):
+                async with pool.acquire() as conn:
+                    rows = await conn.execute()
+                return rows
+            """
+        )
+        assert cfg.describe() == textwrap.dedent(
+            """\
+            B0<entry> -> B2
+            B1<exit>
+            B2<body> -> B3
+            B3<with>: with-enter assign await -> B4
+            B4<with-exit>: with-exit return -> B1"""
+        )
+        suspends = [
+            (op.kind, getattr(op.node, "lineno", None))
+            for block in cfg.iter_blocks()
+            for op in block.ops
+            if op.suspends
+        ]
+        assert suspends == [("with-enter", 3), ("await", 4), ("with-exit", 3)]
+
+    def test_async_for_iteration_suspends_each_trip(self):
+        cfg = cfg_of(
+            """
+            async def h(source, sink):
+                async for item in source:
+                    await sink.put(item)
+            """
+        )
+        assert cfg.describe() == textwrap.dedent(
+            """\
+            B0<entry> -> B2
+            B1<exit>
+            B2<body> -> B3
+            B3<loop-head>: for-iter -> B4 B5
+            B4<after-loop> -> B1
+            B5<loop-body>: expr await -> B3"""
+        )
+        head = next(
+            b
+            for b in cfg.iter_blocks()
+            if any(o.kind == "for-iter" for o in b.ops)
+        )
+        assert all(op.suspends for op in head.ops if op.kind == "for-iter")
+
+    def test_sync_shapes_never_suspend_and_nested_awaits_stay_inner(self):
+        cfg = cfg_of(
+            """
+            def f(lock, items):
+                with lock:
+                    total = sum(items)
+
+                async def helper(q):
+                    return await q.get()
+
+                return total
+            """
+        )
+        assert not cfg.is_coroutine
+        # The nested coroutine's await belongs to *its* CFG, not to the
+        # enclosing sync function's.
+        assert all(
+            not op.suspends
+            for block in cfg.iter_blocks()
+            for op in block.ops
+        )
+        assert "await" not in cfg.describe()
+
     def test_code_after_return_is_unreachable(self):
         cfg = cfg_of(
             """

@@ -20,7 +20,7 @@ BAD = [
     ("bad_spmd_self_message.py", "spmd-self-message", 2),
     ("bad_spmd_unmatched_send.py", "spmd-unmatched-send", 2),
     ("bad_spmd_reordered_send.py", "spmd-reordered-send", 1),
-    ("bad_backend_unbounded_wait.py", "spmd-unbounded-blocking", 4),
+    ("bad_backend_unbounded_wait.py", "spmd-unbounded-blocking", 5),
     ("bad_exceptions.py", "exception-foreign-raise", 2),
     ("bad_exceptions.py", "exception-bare-except", 1),
     ("bad_service_queue.py", "service-unbounded-queue", 4),
@@ -42,6 +42,12 @@ DEEP_BAD = [
     ("bad_resource_escape.py", "resource-escape-undocumented", 2),
     ("bad_lock_order.py", "lock-order-cycle", 1),
     ("bad_blocking_lock.py", "blocking-while-holding-lock", 2),
+    # The pre-fix shape of the real OPQ771 finding in service/aio.py
+    # (STATS answered inline on the loop through a lock-taking callee).
+    ("bad_async_stats_on_loop.py", "async-blocking-call", 3),
+    ("bad_async_lock_across_await.py", "async-lock-across-await", 2),
+    ("bad_async_unawaited.py", "async-unawaited-coroutine", 2),
+    ("bad_async_cross_role.py", "async-cross-role-write", 2),
 ]
 
 #: fixtures that must be fully clean under the whole deep rule set
@@ -53,6 +59,7 @@ DEEP_GOOD = [
     "good_resource_shm.py",
     "good_lock_order.py",
     "good_blocking_lock.py",
+    "good_async_service.py",
 ]
 
 #: (fixture file, rule that must stay silent there)
