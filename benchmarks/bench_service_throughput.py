@@ -1,4 +1,4 @@
-"""Serving throughput at the wire: binary protocol v2 vs the HTTP shim.
+"""Serving throughput at the wire: binary protocol v3 vs the HTTP shim.
 
 Not a paper experiment — release engineering for :mod:`repro.service`.
 Unlike the pre-redesign version of this bench (which timed in-process

@@ -1,7 +1,7 @@
 """Smoke the sharded quantile service over its real wire protocols.
 
 Boots ``opaq serve`` as a child process on a free port speaking the
-default **binary protocol v2**, streams 100k elements at it in numpy
+default **binary protocol v3**, streams 100k elements at it in numpy
 batches through the asyncio server, snapshots, and checks the served
 quantile vector against ground truth computed in this process: each true
 quantile must lie inside the returned ``[e_l, e_u]`` with at most
@@ -91,7 +91,7 @@ def main() -> None:
     sorted_data = np.sort(data)
 
     with tempfile.TemporaryDirectory() as snapshot_dir:
-        print(f"first life (ingest {N:,} elements over binary protocol v2):")
+        print(f"first life (ingest {N:,} elements over binary protocol v3):")
         proc, url = start_server(snapshot_dir, proto="binary")
         try:
             check("server speaks opaq:// by default", url.startswith("opaq://"))

@@ -12,11 +12,14 @@
     opaq run keys.opaq --dectiles --trace --metrics-out metrics.json
     opaq run keys.opaq --phi 0.5 --procs 8 --merge bitonic
     opaq run keys.opaq --phi 0.5 --procs 4 --backend process --kernel numpy
+    opaq run keys.opaq --dectiles --engine kll        # portfolio engines
+    opaq run keys.opaq --dectiles --engine smallest-memory   # policy alias
     opaq experiment table11 --metrics-out t11.json
     opaq sort keys.opaq sorted.opaq --memory 2000000
     opaq report            # regenerate EXPERIMENTS.md content on stdout
     opaq lint src/repro    # enforce the paper's disciplines statically
-    opaq serve --shards 4 --snapshot-dir snaps/   # binary protocol v2 server
+    opaq serve --shards 4 --snapshot-dir snaps/   # binary protocol v3 server
+    opaq serve --tenant-engine acme=mergeable-sketch   # per-tenant engines
     opaq serve --proto http                       # JSON compatibility layer
     opaq query --server opaq://127.0.0.1:8629 --dectiles
     opaq query --server http://127.0.0.1:8629 --dectiles
@@ -255,6 +258,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
     from repro.service.tenancy import RegistryConfig
 
+    tenant_engines = {}
+    for spec in args.tenant_engine:
+        tenant, sep, engine = spec.partition("=")
+        if not sep or not tenant or not engine:
+            raise ConfigError(
+                f"--tenant-engine {spec!r} must look like TENANT=ENGINE"
+            )
+        tenant_engines[tenant] = engine
     config = ServiceConfig(
         num_shards=args.shards,
         run_size=args.run_size or 100_000,
@@ -271,6 +282,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             num_shards=args.tenancy_shards,
             per_key_epsilon=args.tenancy_epsilon,
             spill_dir=args.tenancy_spill_dir,
+            engine=args.tenancy_engine,
+            tenant_engines=tenant_engines,
         ),
     )
     service = QuantileService(config)
@@ -290,7 +303,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         server = ThreadedBinaryServer(service, host=args.host, port=args.port)
         server.start()
         print(
-            f"serving on {server.url} (binary protocol v2, "
+            f"serving on {server.url} (binary protocol v3, "
             f"shards={config.num_shards}, s={config.sample_size})",
             flush=True,
         )
@@ -347,9 +360,44 @@ def _cmd_exact(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.portfolio import ENGINES, resolve_engine
+
     ds = DiskDataset.open(args.data)
     config = _config_for(ds.count, args)
     phis = _phis_from(args)
+    engine_name = resolve_engine(args.engine)
+
+    if engine_name != "opaq":
+        if args.procs > 1 or args.backend != "simulated":
+            raise ConfigError(
+                f"--engine {engine_name} runs single-process; the parallel "
+                "machine (--procs/--backend) is OPAQ-only"
+            )
+        # Equal-memory hand-off: the alternative engine gets exactly the
+        # slots the OPAQ configuration would retain (3 per sample across
+        # every run), so `opaq run --engine X` answers "same memory,
+        # different algorithm" by construction.
+        budget = 3 * config.sample_size * config.num_runs(ds.count)
+        spec = ENGINES[engine_name]
+        engine = spec.for_budget(budget, n_hint=ds.count)
+
+        def sketch_work():
+            summary = engine.summarize(ds)
+            return engine.bounds(summary, phis), summary
+
+        bounds, summary = _run_traced(args, sketch_work)
+        print(f"{'phi':>6}  {'lower':>18}  {'upper':>18}  {'max between':>12}")
+        for phi, b in zip(phis, bounds):
+            print(
+                f"{phi:>6.3f}  {b.lower:>18.6f}  {b.upper:>18.6f}  "
+                f"{b.max_between:>12,}"
+            )
+        print(
+            f"engine {engine_name} ({spec.guarantee} guarantee): "
+            f"{summary.memory_footprint:,} of {budget:,} equal-memory "
+            f"slots, rank guarantee {summary.guaranteed_rank_error():,}"
+        )
+        return 0
 
     def work():
         if args.procs > 1 or args.backend != "simulated":
@@ -579,7 +627,7 @@ def build_parser() -> argparse.ArgumentParser:
         description=(
             "Start a QuantileService: routed ingest across N shard "
             "workers (bounded queues, backpressure), epoch-based snapshot "
-            "merging, and a wire layer — the framed binary protocol v2 "
+            "merging, and a wire layer — the framed binary protocol v3 "
             "(default; opaq://host:port) or the JSON/HTTP compatibility "
             "protocol (/ingest, /quantile, /stats, /snapshot).  With "
             "--snapshot-dir the server persists every epoch and "
@@ -594,7 +642,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--proto", choices=("binary", "http"), default="binary",
-        help="wire protocol: binary (framed protocol v2, default) or "
+        help="wire protocol: binary (framed protocol v3, default) or "
         "http (JSON compatibility layer)",
     )
     p.add_argument("--shards", type=int, default=4, help="ingest shards")
@@ -655,6 +703,18 @@ def build_parser() -> argparse.ArgumentParser:
         "over budget reports backpressure instead of spilling)",
     )
     p.add_argument(
+        "--tenancy-engine", default="opaq", metavar="NAME",
+        help="default portfolio engine for keyed summaries: opaq, kll, "
+        "gk, as95, or a policy alias (deterministic-guarantee, "
+        "mergeable-sketch, smallest-memory); see docs/portfolio.md",
+    )
+    p.add_argument(
+        "--tenant-engine", action="append", default=[],
+        metavar="TENANT=ENGINE",
+        help="pin one tenant's keys to a specific engine (repeatable); "
+        "tenants not listed use --tenancy-engine",
+    )
+    p.add_argument(
         "--verbose", action="store_true", help="log every HTTP request"
     )
     p.set_defaults(fn=_cmd_serve)
@@ -702,6 +762,15 @@ def build_parser() -> argparse.ArgumentParser:
         default="simulated",
         help="execution substrate for the parallel run: the SP-2 cost "
         "model (simulated, default) or real workers (see docs/parallel.md)",
+    )
+    p.add_argument(
+        "--engine",
+        default="opaq",
+        metavar="NAME",
+        help="estimation engine: opaq (default), kll, gk, as95, or a "
+        "policy alias (deterministic-guarantee, mergeable-sketch, "
+        "smallest-memory); non-opaq engines run at OPAQ's memory budget "
+        "(see docs/portfolio.md)",
     )
     _add_config_flags(p)
     _add_obs_flags(p)

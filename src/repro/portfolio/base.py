@@ -1,0 +1,303 @@
+"""Shared machinery of the algorithm portfolio.
+
+Every engine in :mod:`repro.portfolio` answers the same four-method
+surface as :class:`~repro.core.OPAQ` — the structural
+:class:`~repro.core.QuantileEstimator` protocol: ``summarize`` a data
+source into a queryable summary, ``bounds``/``bound`` that summary for
+quantile fractions, ``estimate`` both in one call.  What differs per
+engine is the *summary object* behind that surface; this module pins the
+duck-typed contract every portfolio summary honours:
+
+``count`` / ``memory_footprint`` / ``minimum`` / ``maximum``
+    Elements described, resident float64 slots, and the exact tracked
+    extremes.
+
+``guaranteed_rank_error()``
+    The engine's documented rank-error guarantee ``g`` for the whole
+    summary, with OPAQ's convention: the true rank distance of any served
+    bound is **less than** ``g`` (so ``g == 1`` means exact).  For KLL the
+    claim is probabilistic (holds per query except with probability
+    ``delta``); for AS95 it is vacuous (``g == count`` — no guarantee,
+    stated honestly).  ``guarantee_kind`` names which reading applies.
+
+``bounds_arrays(phis)``
+    The vectorised query: the same 6-tuple of parallel arrays
+    ``(psi, lower, upper, max_below, max_above, phis)`` that
+    :func:`repro.core.quantile_phase.bounds_arrays` produces for OPAQ
+    summaries, so the serving layer can answer from any engine through
+    one code path.
+
+``merge(other)`` / ``absorb(chunk)`` / ``save(path)`` / ``load(path)``
+    Mergeability (engines that do not support it raise
+    :class:`~repro.errors.EstimationError`), streaming ingest for the
+    multi-tenant registry's fold path, and versioned ``.npz``
+    serialisation with a per-engine magic — the same
+    magic-and-version discipline as ``OPAQSUM`` archives, enforced by the
+    :func:`save_archive` / :func:`load_archive` helpers here.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from repro.baselines.base import StreamingQuantileEstimator, consume
+from repro.core.bounds import QuantileBounds
+from repro.core.protocols import DataSource
+from repro.errors import DataError, EstimationError
+from repro.obs import current_tracer
+
+__all__ = [
+    "SketchSummary",
+    "SketchEngine",
+    "validate_phis",
+    "target_ranks",
+    "save_archive",
+    "load_archive",
+]
+
+
+def validate_phis(phis: np.ndarray | Sequence[float]) -> np.ndarray:
+    """Validate a φ-vector exactly like the core quantile phase does."""
+    fractions = np.ascontiguousarray(phis, dtype=np.float64)
+    if fractions.ndim != 1:
+        raise EstimationError("phis must be a one-dimensional vector")
+    if fractions.size == 0:
+        raise EstimationError("pass at least one quantile fraction")
+    if not bool(np.all((fractions > 0.0) & (fractions <= 1.0))):
+        raise EstimationError(
+            f"every phi must lie in (0, 1]; got {fractions!r}"
+        )
+    return fractions
+
+
+def target_ranks(fractions: np.ndarray, count: int) -> np.ndarray:
+    """``psi = clamp(ceil(phi*n), 1, n)`` — the core's rank arithmetic."""
+    return np.minimum(
+        count, np.maximum(1, np.ceil(fractions * count).astype(np.int64))
+    )
+
+
+# ----------------------------------------------------------------------
+# Versioned .npz archives (the OPAQSUM discipline, parameterised)
+# ----------------------------------------------------------------------
+
+
+def save_archive(
+    path: str | os.PathLike,
+    *,
+    magic: str,
+    version: int,
+    arrays: dict[str, np.ndarray],
+    meta: dict[str, object],
+) -> None:
+    """Persist one summary as a versioned ``.npz`` archive.
+
+    Same layout as :meth:`repro.core.OPAQSummary.save`: named arrays plus
+    a ``meta`` JSON blob carrying the magic, the format version and the
+    scalar state.  ``magic`` marks the file as this engine's; ``version``
+    gates compatibility on load.
+    """
+    body = dict(meta)
+    body["magic"] = magic
+    body["format"] = version
+    np.savez(
+        path,
+        meta=np.frombuffer(json.dumps(body).encode(), dtype=np.uint8),
+        **arrays,
+    )
+
+
+def load_archive(
+    path: str | os.PathLike,
+    *,
+    magic: str,
+    supported: tuple[int, ...],
+) -> tuple[dict[str, np.ndarray], dict[str, object]]:
+    """Load an archive written by :func:`save_archive`.
+
+    Returns ``(arrays, meta)``.  A missing file, a wrong magic or an
+    unknown version raises :class:`~repro.errors.DataError` with a
+    message naming the problem — the same contract as
+    :meth:`repro.core.OPAQSummary.load`, so a mixed-engine spill
+    directory fails loudly instead of mis-parsing a foreign archive.
+    """
+    path = Path(path)
+    if path.suffix != ".npz" and not path.exists():
+        path = path.with_suffix(path.suffix + ".npz")
+    try:
+        with np.load(path) as archive:
+            arrays = {
+                name: archive[name]
+                for name in archive.files
+                if name != "meta"
+            }
+            meta = json.loads(bytes(archive["meta"].tobytes()).decode())
+    except FileNotFoundError:
+        raise DataError(f"summary file does not exist: {path}") from None
+    except (KeyError, ValueError) as exc:
+        raise DataError(f"malformed summary file {path}: {exc}") from None
+    found = meta.get("magic")
+    if found != magic:
+        raise DataError(
+            f"{path} is not a {magic} summary file (magic {found!r}, "
+            f"expected {magic!r})"
+        )
+    version = meta.get("format")
+    if version not in supported:
+        raise DataError(
+            f"summary file {path} has format version {version!r}; this "
+            f"build reads versions {supported} — upgrade the library or "
+            "re-create the summary"
+        )
+    return arrays, meta
+
+
+# ----------------------------------------------------------------------
+# The portfolio summary contract
+# ----------------------------------------------------------------------
+
+
+class SketchSummary(StreamingQuantileEstimator):
+    """A mutable sketch that doubles as its own queryable summary.
+
+    OPAQ separates the estimator (stateless config) from the summary (the
+    immutable artifact of one pass).  The sketch engines fuse the two: a
+    :class:`SketchSummary` *is* the ingest state — feed it chunks through
+    the inherited :meth:`update` — and *is* the queryable artifact.  That
+    duality is what lets the multi-tenant registry hold one object per
+    key regardless of engine.
+    """
+
+    #: ``"deterministic"`` (the bound always holds), ``"randomized"``
+    #: (holds per query except with probability ``delta``) or ``"none"``
+    #: (``guaranteed_rank_error() == count``: no claim at all).
+    guarantee_kind = "deterministic"
+    #: Per-query failure probability for ``guarantee_kind="randomized"``.
+    delta: float | None = None
+
+    FORMAT_MAGIC = "SKETCH"
+    FORMAT_VERSION = 1
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._compactions = 0
+
+    # -- bookkeeping shared by every engine ----------------------------
+
+    @property
+    def count(self) -> int:
+        """Elements described (the summary-side name for ``n``)."""
+        return self._n
+
+    @property
+    def compactions(self) -> int:
+        """Lossy compaction events absorbed so far."""
+        return self._compactions
+
+    def absorb(self, chunk: np.ndarray) -> None:
+        """Registry fold hook: ingest one (sorted) chunk in place."""
+        self.update(chunk)
+
+    # -- per-engine surface --------------------------------------------
+
+    @property
+    def minimum(self) -> float:
+        raise NotImplementedError
+
+    @property
+    def maximum(self) -> float:
+        raise NotImplementedError
+
+    def guaranteed_rank_error(self) -> int:
+        """Summary-wide rank guarantee ``g`` (distance < ``g``)."""
+        raise NotImplementedError
+
+    def bounds_arrays(
+        self, phis: np.ndarray | Sequence[float]
+    ) -> tuple[np.ndarray, ...]:
+        """``(psi, lower, upper, max_below, max_above, phis)`` arrays."""
+        raise NotImplementedError
+
+    def merge(self, other: "SketchSummary") -> "SketchSummary":
+        raise NotImplementedError
+
+    def save(self, path: str | os.PathLike) -> None:
+        raise NotImplementedError
+
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> "SketchSummary":
+        raise NotImplementedError
+
+
+def bounds_list(
+    summary: SketchSummary, phis: Sequence[float]
+) -> list[QuantileBounds]:
+    """Assemble :class:`~repro.core.QuantileBounds` rows from a summary's
+    vectorised ``bounds_arrays`` (indices 0: sketches do not expose
+    sample positions)."""
+    psi, lower, upper, max_below, max_above, fractions = (
+        summary.bounds_arrays(phis)
+    )
+    return [
+        QuantileBounds(
+            phi=float(fractions[i]),
+            rank=int(psi[i]),
+            lower=float(lower[i]),
+            upper=float(upper[i]),
+            max_below=int(max_below[i]),
+            max_above=int(max_above[i]),
+        )
+        for i in range(fractions.size)
+    ]
+
+
+class SketchEngine:
+    """Base engine: the :class:`~repro.core.QuantileEstimator` surface
+    over a :class:`SketchSummary` subclass.
+
+    Subclasses set ``name``/``summary_cls`` and build their summary in
+    :meth:`_new_summary`; everything else — source normalisation, obs
+    counters, bounds assembly — is shared.
+    """
+
+    name = "abstract"
+    guarantee_kind = "deterministic"
+    summary_cls: type[SketchSummary] = SketchSummary
+
+    #: Chunk size used when chopping arrays/datasets into a stream.
+    run_size = 1 << 17
+
+    def _new_summary(self) -> SketchSummary:
+        raise NotImplementedError
+
+    def summarize(self, source: DataSource) -> SketchSummary:
+        """One pass over ``source`` into a fresh sketch summary."""
+        sketch = self._new_summary()
+        tracer = current_tracer()
+        with tracer.span(f"portfolio.{self.name}.summarize"):
+            consume(sketch, source, run_size=self.run_size)
+        tracer.count(f"portfolio.{self.name}.ingest.elements", sketch.n)
+        return sketch
+
+    def bounds(
+        self, summary: SketchSummary, phis: Sequence[float]
+    ) -> list[QuantileBounds]:
+        """Quantile bounds for many fractions."""
+        out = bounds_list(summary, phis)
+        current_tracer().count(f"portfolio.{self.name}.queries", len(out))
+        return out
+
+    def bound(self, summary: SketchSummary, phi: float) -> QuantileBounds:
+        """Quantile bounds for a single fraction."""
+        return self.bounds(summary, [phi])[0]
+
+    def estimate(
+        self, source: DataSource, phis: Sequence[float]
+    ) -> list[QuantileBounds]:
+        """``summarize`` + ``bounds`` in one call."""
+        return self.bounds(self.summarize(source), phis)

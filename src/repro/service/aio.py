@@ -1,4 +1,4 @@
-"""The asyncio wire layer: protocol v2 served over plain TCP.
+"""The asyncio wire layer: protocol v3 served over plain TCP.
 
 :class:`AsyncServiceServer` is an ``asyncio.start_server`` loop speaking
 the framed binary protocol of :mod:`repro.service.proto`.  One coroutine

@@ -3,7 +3,7 @@
 One :class:`ServiceClient` speaks both wire generations, chosen by the
 address scheme:
 
-* ``opaq://host:port`` — protocol v2, the framed binary transport of
+* ``opaq://host:port`` — protocol v3, the framed binary transport of
   :mod:`repro.service.proto` over one persistent TCP socket.  Arrays
   travel as raw bytes; per-request cost is a 12-byte header.
 * ``http://host:port`` — the JSON/HTTP compatibility transport
@@ -114,12 +114,12 @@ def _composite_pairs(pairs: Sequence[tuple[str, str]]) -> list[str]:
 
 
 # ----------------------------------------------------------------------
-# Binary transport (protocol v2)
+# Binary transport (protocol v3)
 # ----------------------------------------------------------------------
 
 
 class _BinaryTransport:
-    """One persistent socket speaking framed protocol v2."""
+    """One persistent socket speaking framed protocol v3."""
 
     def __init__(self, host: str, port: int, timeout: float) -> None:
         self.host = host
@@ -426,7 +426,7 @@ class ServiceClient:
         else:
             raise ConfigError(
                 f"unknown service address scheme {parsed.scheme!r} in "
-                f"{address!r}: use opaq://host:port (binary protocol v2) "
+                f"{address!r}: use opaq://host:port (binary protocol v3) "
                 "or http://host:port (compatibility)"
             )
         self.address = address

@@ -279,7 +279,7 @@ class QuantileService:
         """The wire-native form of :meth:`quantiles`: parallel arrays.
 
         This is the serving hot path — no per-φ object construction, so
-        protocol v2 can frame the answer straight from the arrays.
+        protocol v3 can frame the answer straight from the arrays.
         """
         snapshot = self._snapshotter.current
         if snapshot is None:

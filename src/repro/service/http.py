@@ -1,6 +1,6 @@
 """The compatibility wire layer: JSON/HTTP (wire protocol v1).
 
-The primary transport is the framed binary protocol v2
+The primary transport is the framed binary protocol v3
 (:mod:`repro.service.proto`) served by :mod:`repro.service.aio`; this
 module remains as the compatibility front end — curl-able, debuggable
 with any HTTP tooling, and the bridge for peers that have not migrated

@@ -1,21 +1,23 @@
-"""Wire protocol v2: compact binary framing for the quantile service.
+"""Wire protocol v3: compact binary framing for the quantile service.
 
 The JSON/HTTP layer (:mod:`repro.service.http`, protocol v1) spends its
 time encoding numbers as text; at one million elements per ingest call
-that dominates the wire cost by an order of magnitude.  Protocol v2
+that dominates the wire cost by an order of magnitude.  Protocol v2+
 frames numpy payloads directly, with the same dtype discipline as the
 process backend's shared-memory transport
 (:mod:`repro.parallel.backends.process`): every array travels as its
 ``dtype.str`` + shape + raw C-order bytes, and is rebuilt with
 ``np.dtype(...)`` on the far side — never pickled, never guessed.
+Protocol v3 extends the keyed answer record with one byte naming the
+portfolio engine that served the answer (see ``docs/portfolio.md``).
 
 Frame layout (all integers big-endian)::
 
     offset  size  field
     0       4     magic    b"OPAQ"
-    4       1     version  2
+    4       1     version  3
     5       1     opcode   (request: Op.*; reply: Op.* | REPLY_BIT; error: ERROR_OP)
-    6       2     flags    reserved, must be 0 in v2
+    6       2     flags    reserved, must be 0 in v3
     8       4     payload length in bytes (bounded by max_payload)
     12      ...   payload
 
@@ -99,7 +101,7 @@ __all__ = [
 ]
 
 MAGIC = b"OPAQ"
-WIRE_VERSION = 2
+WIRE_VERSION = 3
 
 #: magic, version, opcode, flags (reserved), payload length.
 HEADER = struct.Struct("!4sBBHI")
@@ -117,7 +119,7 @@ ERROR_OP = 0xFF
 
 
 class Op(enum.IntEnum):
-    """Request opcodes of wire protocol v2."""
+    """Request opcodes of wire protocol v3."""
 
     PING = 0x01
     INGEST = 0x02
@@ -170,7 +172,10 @@ def parse_header(
             "layer remains available as a compatibility transport)"
         )
     if flags != 0:
-        raise DataError(f"reserved frame flags must be 0 in v2, got {flags:#x}")
+        raise DataError(
+            f"reserved frame flags must be 0 in v{WIRE_VERSION}, "
+            f"got {flags:#x}"
+        )
     if length > max_payload:
         raise DataError(
             f"declared payload of {length} bytes exceeds the "
@@ -274,7 +279,7 @@ class QuantileVector:
 
     The array-of-objects view (:class:`~repro.service.QueryResult`) costs
     one dataclass per φ; this form is what the vectorised query path
-    produces and what protocol v2 frames — construction cost independent
+    produces and what protocol v3 frames — construction cost independent
     of the number of fractions.
     """
 
@@ -421,8 +426,8 @@ def decode_quantiles_reply(payload: bytes) -> QuantileVector:
 #: accepted element count, accepted key count.
 _INGEST_KEYED_REPLY = struct.Struct("!QQ")
 #: count, guarantee, compactions (signed: -1 for rollups),
-#: epsilon_bound, source code.
-_KEYED_ANSWER_HEAD = struct.Struct("!QQqdB")
+#: epsilon_bound, source code, engine code (v3).
+_KEYED_ANSWER_HEAD = struct.Struct("!QQqdBB")
 _KEY_BLOB_LEN = struct.Struct("!Q")
 _KEY_ECHO_LEN = struct.Struct("!H")
 _ANSWER_COUNT = struct.Struct("!I")
@@ -430,6 +435,11 @@ _ANSWER_COUNT = struct.Struct("!I")
 #: ``KeyAnswer.source`` <-> its one-byte wire code.  Order is the code.
 _SOURCE_NAMES = ("resident", "restored", "rollup:metric", "rollup:global")
 _SOURCE_CODES = {name: code for code, name in enumerate(_SOURCE_NAMES)}
+
+#: ``KeyAnswer.engine`` <-> its one-byte wire code.  Order is the code;
+#: append-only (codes are wire format, not an alphabetical roster).
+_ENGINE_NAMES = ("opaq", "kll", "gk", "as95")
+_ENGINE_CODES = {name: code for code, name in enumerate(_ENGINE_NAMES)}
 
 
 def _pack_keys(keys: Sequence[str]) -> bytes:
@@ -569,10 +579,10 @@ def encode_quantiles_keyed_reply(answers: Sequence["KeyAnswer"]) -> bytes:
     """Reply payload: shared φ block, then one record per answer.
 
     Each record: ``u16`` key-echo length + composite key bytes +
-    ``!QQqdB`` head (count, guarantee, compactions, epsilon_bound,
-    source code) + five array blocks (psi i8, lower f8, upper f8,
-    max_below i8, max_above i8).  The φ vector is hoisted — every
-    answer in one reply shares the request's fractions.
+    ``!QQqdBB`` head (count, guarantee, compactions, epsilon_bound,
+    source code, engine code) + five array blocks (psi i8, lower f8,
+    upper f8, max_below i8, max_above i8).  The φ vector is hoisted —
+    every answer in one reply shares the request's fractions.
     """
     phis = answers[0].phis if answers else np.empty(0, dtype=np.float64)
     parts = [
@@ -583,6 +593,9 @@ def encode_quantiles_keyed_reply(answers: Sequence["KeyAnswer"]) -> bytes:
         code = _SOURCE_CODES.get(ans.source)
         if code is None:
             raise DataError(f"unknown answer source {ans.source!r}")
+        engine_code = _ENGINE_CODES.get(ans.engine)
+        if engine_code is None:
+            raise DataError(f"unknown answer engine {ans.engine!r}")
         key = (ans.tenant + KEY_SEP + ans.metric).encode("utf-8")
         parts.append(_KEY_ECHO_LEN.pack(len(key)))
         parts.append(key)
@@ -593,6 +606,7 @@ def encode_quantiles_keyed_reply(answers: Sequence["KeyAnswer"]) -> bytes:
                 ans.compactions,
                 ans.epsilon_bound,
                 code,
+                engine_code,
             )
         )
         for arr, dtype in (
@@ -630,9 +644,11 @@ def decode_quantiles_keyed_reply(payload: bytes) -> list["KeyAnswer"]:
             raise DataError(
                 f"malformed keyed quantiles reply: {exc}"
             ) from None
-        count, guarantee, compactions, epsilon_bound, code = head
+        count, guarantee, compactions, epsilon_bound, code, engine_code = head
         if code >= len(_SOURCE_NAMES):
             raise DataError(f"unknown answer source code {code:#x}")
+        if engine_code >= len(_ENGINE_NAMES):
+            raise DataError(f"unknown answer engine code {engine_code:#x}")
         try:
             key = key_bytes.decode("utf-8")
         except UnicodeDecodeError as exc:
@@ -660,6 +676,7 @@ def decode_quantiles_keyed_reply(payload: bytes) -> list["KeyAnswer"]:
                 upper=upper,
                 max_below=max_below,
                 max_above=max_above,
+                engine=_ENGINE_NAMES[engine_code],
             )
         )
     if offset != len(payload):

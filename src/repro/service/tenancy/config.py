@@ -17,10 +17,12 @@ and it is what the benchmark's resident-set numbers report against.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Mapping
 
 from repro.errors import ConfigError
+from repro.portfolio import resolve_engine
 
 __all__ = ["RegistryConfig"]
 
@@ -73,6 +75,22 @@ class RegistryConfig:
         Slots charged per resident key on top of its payload, standing
         in for entry bookkeeping.  Part of the budget arithmetic so a
         million empty keys cannot claim to cost nothing.
+    engine:
+        Default portfolio engine backing each key's summary — a name
+        from :data:`repro.portfolio.ENGINES` (``opaq``/``kll``/``gk``/
+        ``as95``) or a policy alias from
+        :data:`repro.portfolio.ENGINE_POLICIES`
+        (``deterministic-guarantee``/``mergeable-sketch``/
+        ``smallest-memory``).  Resolved to a canonical engine name at
+        construction.  Note the guarantee semantics differ per engine —
+        see ``docs/guarantees.md``; the per-key epsilon contract is
+        honoured by ``opaq``/``gk`` deterministically and by ``kll``
+        probabilistically, and is vacuous for ``as95``.
+    tenant_engines:
+        Per-tenant engine overrides: a mapping (or tuple of pairs)
+        ``tenant -> engine-or-policy``.  Tenants not listed use
+        ``engine``.  The registry records the serving engine in every
+        answer's provenance, so mixed-engine deployments stay auditable.
     """
 
     memory_budget: int = 8_000_000
@@ -83,6 +101,10 @@ class RegistryConfig:
     rollup_max_samples: int = 8_192
     spill_dir: str | Path | None = None
     per_key_overhead: int = 4
+    engine: str = "opaq"
+    tenant_engines: tuple[tuple[str, str], ...] | Mapping[str, str] = field(
+        default=()
+    )
 
     def __post_init__(self) -> None:
         if self.num_shards < 1:
@@ -111,6 +133,31 @@ class RegistryConfig:
                 f"{self.num_shards} shards leaves an empty shard budget; "
                 "lower num_shards or raise the budget"
             )
+        # Resolve engine names (and policy aliases) once, at the edge:
+        # a typo fails construction, not the first fold hours later.
+        object.__setattr__(self, "engine", resolve_engine(self.engine))
+        pairs = (
+            tuple(self.tenant_engines.items())
+            if isinstance(self.tenant_engines, Mapping)
+            else tuple(tuple(pair) for pair in self.tenant_engines)
+        )
+        resolved: list[tuple[str, str]] = []
+        for pair in pairs:
+            if len(pair) != 2:
+                raise ConfigError(
+                    f"tenant_engines entries must be (tenant, engine) "
+                    f"pairs; got {pair!r}"
+                )
+            tenant, name = pair
+            if not tenant:
+                raise ConfigError("tenant_engines tenant cannot be empty")
+            resolved.append((str(tenant), resolve_engine(str(name))))
+        object.__setattr__(self, "tenant_engines", tuple(resolved))
+        object.__setattr__(self, "_engine_map", dict(resolved))
+
+    def engine_for(self, tenant: str) -> str:
+        """The canonical engine name serving ``tenant``'s keys."""
+        return self._engine_map.get(tenant, self.engine)
 
     @property
     def shard_budget(self) -> int:

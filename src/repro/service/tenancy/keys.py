@@ -9,7 +9,7 @@ it selects the aggregation tree's rollups at query time
 
 Components are UTF-8 strings of 1–255 encoded bytes.  The byte bound is
 a wire decision (key blocks frame one length byte per component on
-protocol v2), enforced here so a key that the registry accepts can
+protocol v3), enforced here so a key that the registry accepts can
 always travel.
 """
 

@@ -36,6 +36,15 @@ Cross-key queries (``tenant="*"``) are answered by the
 :class:`~repro.service.tenancy.AggregationTree`, which is fed one exact
 delta per ingest frame per shard — rollups never touch (or restore)
 cold keys.
+
+The summary behind each key is pluggable: any engine in the algorithm
+portfolio (:data:`repro.portfolio.ENGINES`) can serve a tenant's keys,
+selected by :class:`~repro.service.tenancy.RegistryConfig` — the fold
+paragraph above describes the default ``opaq`` engine; sketch engines
+absorb the same sorted pending chunks into their own state, and every
+answer records which engine served it.  Rollups always fold OPAQ deltas
+regardless of per-key engines (mergeability across millions of keys is
+exactly OPAQ's strength).
 """
 
 from __future__ import annotations
@@ -48,40 +57,22 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.quantile_phase import bounds_arrays
 from repro.core.summary import OPAQSummary
 from repro.errors import DataError, EstimationError, ServiceError
 from repro.obs import current_tracer
+from repro.portfolio import ENGINES, EngineSpec
+
+# The canonical fold primitives live with the OPAQ portfolio engine now;
+# re-exported here (and aliased for ``_exact_delta``) so every historical
+# import path through the registry keeps working.
+from repro.portfolio.opaq import OpaqKeyState, compact_within_budget
+from repro.portfolio.opaq import exact_delta as _exact_delta
 from repro.service.tenancy.config import RegistryConfig
 from repro.service.tenancy.keys import KEY_SEP, WILDCARD, compose_key
 from repro.service.tenancy.store import SpillStore
 from repro.service.tenancy.tree import AggregationTree
 
 __all__ = ["SummaryRegistry", "KeyAnswer", "compact_within_budget"]
-
-
-def compact_within_budget(
-    summary: OPAQSummary, *, epsilon: float, target: int
-) -> tuple[OPAQSummary, bool]:
-    """Compact toward ``target`` samples without breaking the key's epsilon.
-
-    Returns ``(summary, compacted)``.  The accuracy contract is
-    ``(g - 1) <= epsilon * count`` where ``g`` is the deterministic
-    rank-error guarantee; when the target compaction would break it the
-    sample budget doubles until a compliant width is found, falling back
-    to no compaction at all (the caller then pays for the extra resident
-    samples — the budget squeezes residency, never accuracy).
-    """
-    if summary.num_samples <= target:
-        return summary, False
-    allowed = epsilon * summary.count
-    width = target
-    while width < summary.num_samples:
-        candidate = summary.compact_to(width)
-        if candidate.guaranteed_rank_error() - 1 <= allowed:
-            return candidate, True
-        width *= 2
-    return summary, False
 
 
 @dataclass(frozen=True)
@@ -93,6 +84,11 @@ class KeyAnswer:
     (wildcard answers — their guarantee is the rollup's own, not the
     per-key epsilon).  ``epsilon_bound`` is the served
     ``(guarantee - 1) / count``, the number the per-key contract caps.
+
+    ``engine`` names the portfolio engine that served the answer — it
+    also fixes how ``guarantee`` reads: deterministic for ``opaq``/
+    ``gk``, per-query-probabilistic for ``kll``, vacuous for ``as95``
+    (see ``docs/guarantees.md``).
     """
 
     tenant: str
@@ -108,6 +104,7 @@ class KeyAnswer:
     upper: np.ndarray
     max_below: np.ndarray
     max_above: np.ndarray
+    engine: str = "opaq"
 
     def to_dict(self) -> dict[str, object]:
         """JSON-serialisable form (the HTTP compatibility shim's body).
@@ -119,6 +116,7 @@ class KeyAnswer:
             "tenant": self.tenant,
             "metric": self.metric,
             "source": self.source,
+            "engine": self.engine,
             "count": self.count,
             "guarantee": self.guarantee,
             "epsilon_bound": self.epsilon_bound,
@@ -152,14 +150,21 @@ class _Block:
 
 
 class _KeyEntry:
-    __slots__ = ("summary", "pending", "pending_count", "compactions", "charged")
+    __slots__ = ("spec", "state", "pending", "pending_count", "charged")
 
-    def __init__(self) -> None:
-        self.summary: OPAQSummary | None = None
+    def __init__(self, spec: EngineSpec) -> None:
+        self.spec = spec
+        # The engine's per-key fold state (None until first fold or
+        # restore).  For OPAQ it wraps an OPAQSummary with the
+        # epsilon-gated fold; for the sketch engines it IS the sketch.
+        self.state = None
         self.pending: list[tuple[_Block, int, int]] = []
         self.pending_count = 0
-        self.compactions = 0
         self.charged = 0  # slots currently billed against the shard
+
+    @property
+    def compactions(self) -> int:
+        return 0 if self.state is None else int(self.state.compactions)
 
 
 class _Shard:
@@ -177,27 +182,6 @@ class _Shard:
         self.spills = 0
         self.restores = 0
         self.evictions = 0
-
-
-def _exact_delta(data: np.ndarray) -> OPAQSummary:
-    """Sorted data -> exact summary (unit gaps, rank guarantee 1).
-
-    ``data`` must already be sorted and owned by the caller.  Each
-    element is its own group, so its floor IS the element — without
-    explicit floors they default to the conservative ``-inf``, which is
-    harmless while gaps are 1 but makes every group a straddler for
-    every value after compaction, blowing the guarantee up to ``~s·(k-1)``
-    instead of ``~k`` and defeating ``compact_within_budget``.
-    """
-    return OPAQSummary(
-        samples=data,
-        gaps=np.ones(data.size, dtype=np.int64),
-        num_runs=1,
-        count=data.size,
-        minimum=float(data[0]),
-        maximum=float(data[-1]),
-        floors=data,
-    )
 
 
 def _strided_delta(data: np.ndarray, max_samples: int) -> OPAQSummary:
@@ -237,7 +221,15 @@ def _strided_delta(data: np.ndarray, max_samples: int) -> OPAQSummary:
 
 
 class SummaryRegistry:
-    """Keyed OPAQ summaries under one global budget; thread-safe."""
+    """Keyed summaries under one global budget; thread-safe.
+
+    Each key is served by a portfolio engine (:data:`repro.portfolio.
+    ENGINES`), selected per tenant via :class:`RegistryConfig` —
+    ``opaq`` by default.  Pending-buffer accounting, folding, spilling
+    and the budget arithmetic are engine-uniform; only the per-key fold
+    state differs (an epsilon-gated OPAQ summary, a KLL/GK sketch, or
+    an AS95 interval histogram).
+    """
 
     def __init__(self, config: RegistryConfig | None = None) -> None:
         self._cfg = config or RegistryConfig()
@@ -247,7 +239,12 @@ class SummaryRegistry:
         )
         self._store: SpillStore | None = None
         if self._cfg.spill_dir is not None:
-            self._store = SpillStore(self._cfg.spill_dir)
+            self._store = SpillStore(
+                self._cfg.spill_dir,
+                loaders={
+                    name: spec.load for name, spec in ENGINES.items()
+                },
+            )
             self._tree.load_from(self._store)
         self._closed = False
 
@@ -259,6 +256,11 @@ class SummaryRegistry:
         # CRC-32 is process- and run-independent, so a replayed ingest
         # reproduces the same placement and the same shard rollups.
         return zlib.crc32(key.encode("utf-8")) % self._cfg.num_shards
+
+    def _spec_for(self, key: str) -> EngineSpec:
+        """The portfolio engine serving this key (per-tenant config)."""
+        tenant = key.partition(KEY_SEP)[0]
+        return ENGINES[self._cfg.engine_for(tenant)]
 
     # ------------------------------------------------------------------
     # Ingest
@@ -429,7 +431,7 @@ class SummaryRegistry:
             entry = entries.get(key)
             if entry is None:
                 self._validate_key(key)
-                entry = _KeyEntry()
+                entry = _KeyEntry(self._spec_for(key))
                 entries[key] = entry
                 entry.charged = overhead
                 shard.used += overhead
@@ -473,13 +475,19 @@ class SummaryRegistry:
         self, shard: _Shard, key: str, entry: _KeyEntry
     ) -> None:
         """Merge a key's pending data (and any spilled residue) into its
-        summary, compacting under the key's own error budget."""
-        if entry.summary is None and self._store is not None and key in self._store:
+        engine state, compacting under the key's own error budget."""
+        cfg = self._cfg
+        if entry.state is None and self._store is not None and key in self._store:
             restored, record, _ = self._store.restore(key)
-            entry.summary = restored
-            entry.compactions = record.compactions
-            entry.charged += restored.memory_footprint
-            shard.used += restored.memory_footprint
+            entry.state = entry.spec.restored_key_state(
+                restored,
+                record.compactions,
+                epsilon=cfg.per_key_epsilon,
+                max_samples=cfg.max_key_samples,
+            )
+            footprint = entry.state.memory_footprint
+            entry.charged += footprint
+            shard.used += footprint
             shard.restores += 1
         if entry.pending_count == 0:
             return
@@ -494,23 +502,21 @@ class SummaryRegistry:
         entry.pending = []
         entry.pending_count = 0
         data.sort()
-        delta = _exact_delta(data)
-        merged = delta if entry.summary is None else entry.summary.merge(delta)
-        old_footprint = (
-            0 if entry.summary is None else entry.summary.memory_footprint
-        )
-        merged, compacted = compact_within_budget(
-            merged,
-            epsilon=self._cfg.per_key_epsilon,
-            target=self._cfg.max_key_samples,
-        )
-        if compacted:
-            entry.compactions += 1
-        entry.summary = merged
-        delta_slots = merged.memory_footprint - old_footprint
+        if entry.state is None:
+            # Seed randomized engines from the key bytes: deterministic
+            # across restarts and replays, decorrelated across keys.
+            entry.state = entry.spec.key_state(
+                cfg.per_key_epsilon,
+                cfg.max_key_samples,
+                seed=zlib.crc32(key.encode("utf-8")),
+            )
+        old_footprint = entry.state.memory_footprint
+        entry.state.absorb(data)
+        delta_slots = entry.state.memory_footprint - old_footprint
         entry.charged += delta_slots
         shard.used += delta_slots
         shard.folds += 1
+        current_tracer().count(f"service.tenancy.fold.{entry.spec.name}")
 
     def _enforce_budget_locked(self, shard: _Shard) -> None:
         budget = self._cfg.shard_budget
@@ -530,12 +536,13 @@ class SummaryRegistry:
         while shard.used > budget and shard.entries:
             key, entry = shard.entries.popitem(last=False)
             self._fold_entry_locked(shard, key, entry)
-            if entry.summary is not None and self._store is not None:
+            if entry.state is not None and self._store is not None:
                 self._store.spill(
                     key,
-                    entry.summary,
+                    entry.state,
                     compactions=entry.compactions,
                     epsilon=self._cfg.per_key_epsilon,
+                    engine=entry.spec.name,
                 )
                 shard.spills += 1
             shard.used -= entry.charged
@@ -570,7 +577,7 @@ class SummaryRegistry:
             entry = shard.entries.get(key)
             if entry is None:
                 if self._store is not None and key in self._store:
-                    entry = _KeyEntry()
+                    entry = _KeyEntry(self._spec_for(key))
                     shard.entries[key] = entry
                     entry.charged = self._cfg.per_key_overhead
                     shard.used += self._cfg.per_key_overhead
@@ -582,16 +589,17 @@ class SummaryRegistry:
             else:
                 shard.entries.move_to_end(key)
             self._fold_entry_locked(shard, key, entry)
-            summary = entry.summary
+            state = entry.state
             compactions = entry.compactions
+            engine = entry.spec.name
             self._enforce_budget_locked(shard)
-        if summary is None:
+        if state is None:
             raise EstimationError(
                 f"no data for tenant={tenant!r} metric={metric!r}"
             )
         current_tracer().count("service.tenancy.query")
         return self._answer(
-            tenant, metric, source, summary, compactions, phis
+            tenant, metric, source, engine, state, compactions, phis
         )
 
     def quantiles_many(
@@ -616,28 +624,38 @@ class SummaryRegistry:
                 f"no rollup data for metric={metric!r}"
             )
         current_tracer().count("service.tenancy.query.rollup")
-        return self._answer(WILDCARD, metric, source, summary, -1, phis)
+        # Rollups are always OPAQ summaries (the tree folds exact deltas
+        # regardless of per-key engines); wrap one so the answer path is
+        # engine-uniform.  Epsilon 1.0: the rollup's guarantee is its
+        # own, not a per-key contract, and this state never absorbs.
+        state = OpaqKeyState(
+            epsilon=1.0,
+            max_samples=summary.num_samples,
+            summary=summary,
+        )
+        return self._answer(WILDCARD, metric, source, "opaq", state, -1, phis)
 
     @staticmethod
     def _answer(
         tenant: str,
         metric: str,
         source: str,
-        summary: OPAQSummary,
+        engine: str,
+        state: object,
         compactions: int,
         phis: Sequence[float] | np.ndarray,
     ) -> KeyAnswer:
-        psi, lower, upper, max_below, max_above, fractions = bounds_arrays(
-            summary, phis
+        psi, lower, upper, max_below, max_above, fractions = (
+            state.bounds_arrays(phis)
         )
-        guarantee = summary.guaranteed_rank_error()
+        guarantee = int(state.guaranteed_rank_error())
         return KeyAnswer(
             tenant=tenant,
             metric=metric,
             source=source,
-            count=summary.count,
+            count=state.count,
             guarantee=guarantee,
-            epsilon_bound=(guarantee - 1) / summary.count,
+            epsilon_bound=(guarantee - 1) / state.count,
             compactions=compactions,
             phis=fractions,
             psi=psi,
@@ -645,6 +663,7 @@ class SummaryRegistry:
             upper=upper,
             max_below=max_below,
             max_above=max_above,
+            engine=engine,
         )
 
     # ------------------------------------------------------------------
@@ -655,13 +674,15 @@ class SummaryRegistry:
         """Registry-wide gauges and counters (one consistent-ish pass)."""
         resident = pending = used = 0
         elements = folds = spills = restores = evictions = 0
+        engines: dict[str, int] = {}
         for shard in self._shards:
             with shard.lock:
                 resident += len(shard.entries)
                 used += shard.used
-                pending += sum(
-                    e.pending_count for e in shard.entries.values()
-                )
+                for e in shard.entries.values():
+                    pending += e.pending_count
+                    name = e.spec.name
+                    engines[name] = engines.get(name, 0) + 1
                 elements += shard.elements
                 folds += shard.folds
                 spills += shard.spills
@@ -669,6 +690,8 @@ class SummaryRegistry:
                 evictions += shard.evictions
         return {
             "resident_keys": resident,
+            "resident_keys_by_engine": engines,
+            "default_engine": self._cfg.engine,
             "spilled_keys": 0 if self._store is None else len(self._store),
             "pending_elements": pending,
             "used_slots": used,
@@ -698,12 +721,13 @@ class SummaryRegistry:
                 while shard.entries:
                     key, entry = shard.entries.popitem(last=False)
                     self._fold_entry_locked(shard, key, entry)
-                    if entry.summary is not None:
+                    if entry.state is not None:
                         self._store.spill(
                             key,
-                            entry.summary,
+                            entry.state,
                             compactions=entry.compactions,
                             epsilon=self._cfg.per_key_epsilon,
+                            engine=entry.spec.name,
                         )
                         shard.spills += 1
                         spilled += 1

@@ -35,6 +35,7 @@ import os
 import threading
 from dataclasses import dataclass
 from pathlib import Path
+from typing import Any, Callable, Mapping
 
 from repro.core.summary import OPAQSummary
 from repro.errors import DataError
@@ -52,13 +53,19 @@ _COMPACT_MIN_LINES = 64
 
 @dataclass(frozen=True)
 class SpillRecord:
-    """One spilled key as the manifest describes it."""
+    """One spilled key as the manifest describes it.
+
+    ``engine`` names the portfolio engine that produced the archive (and
+    therefore the loader that can read it back); manifests written
+    before the portfolio carry no engine field and replay as ``opaq``.
+    """
 
     key: str
     file: str
     count: int
     compactions: int
     epsilon: float
+    engine: str = "opaq"
 
 
 class SpillStore:
@@ -70,9 +77,18 @@ class SpillStore:
     ``shard lock -> store lock`` order is acyclic by construction.
     """
 
-    def __init__(self, directory: str | os.PathLike) -> None:
+    def __init__(
+        self,
+        directory: str | os.PathLike,
+        loaders: Mapping[str, Callable[[Path], Any]] | None = None,
+    ) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        # engine name -> archive loader; the registry passes the full
+        # portfolio, a bare store reads the historical OPAQ format.
+        self._loaders: dict[str, Callable[[Path], Any]] = dict(
+            loaders if loaders is not None else {"opaq": OPAQSummary.load}
+        )
         self._lock = threading.Lock()
         self._live: dict[str, SpillRecord] = {}
         self._aux: dict[str, str] = {}  # name -> file (rollup persistence)
@@ -129,6 +145,7 @@ class SpillStore:
                     count=int(record["count"]),
                     compactions=int(record["compactions"]),
                     epsilon=float(record["epsilon"]),
+                    engine=str(record.get("engine", "opaq")),
                 )
                 self._note_seq(str(record["file"]))
             elif op == "restore":
@@ -195,6 +212,7 @@ class SpillStore:
                             "count": record.count,
                             "compactions": record.compactions,
                             "epsilon": record.epsilon,
+                            "engine": record.engine,
                         }
                     )
                     + "\n"
@@ -212,7 +230,7 @@ class SpillStore:
         self._seq += 1  # opaq: ignore[thread-unguarded-write,thread-concurrent-rmw] caller holds self._lock at every call site
         return name
 
-    def _write_summary(self, summary: OPAQSummary, filename: str) -> int:
+    def _write_summary(self, summary: Any, filename: str) -> int:
         path = self.directory / filename
         tmp = path.with_name(path.name + ".tmp.npz")
         summary.save(tmp)
@@ -239,16 +257,19 @@ class SpillStore:
     def spill(
         self,
         key: str,
-        summary: OPAQSummary,
+        summary: Any,
         *,
         compactions: int,
         epsilon: float,
+        engine: str = "opaq",
     ) -> int:
         """Persist one key's summary; returns bytes written.
 
         Re-spilling a key replaces its previous archive (keep-last-1 per
         key): the new file lands and is recorded before the old one is
         unlinked, so every crash point leaves a loadable version.
+        ``engine`` names the portfolio engine whose ``save`` produced the
+        archive; it selects the loader at restore time.
         """
         with self._lock:
             filename = self._next_file()
@@ -260,6 +281,7 @@ class SpillStore:
                 count=summary.count,
                 compactions=compactions,
                 epsilon=epsilon,
+                engine=engine,
             )
             self._append(
                 {
@@ -269,6 +291,7 @@ class SpillStore:
                     "count": summary.count,
                     "compactions": compactions,
                     "epsilon": epsilon,
+                    "engine": engine,
                 }
             )
             if previous is not None:
@@ -277,19 +300,29 @@ class SpillStore:
         current_tracer().count("service.tenancy.spill.bytes", nbytes)
         return nbytes
 
-    def restore(self, key: str) -> tuple[OPAQSummary, SpillRecord, int]:
+    def restore(self, key: str) -> tuple[Any, SpillRecord, int]:
         """Load one key back; returns ``(summary, record, bytes_read)``.
 
         The restore is recorded before the archive is unlinked, so a
-        crash in between leaves only an orphan file.
+        crash in between leaves only an orphan file.  The loader is
+        selected by the record's engine; a record written by an engine
+        this store was not given a loader for fails loudly instead of
+        mis-parsing the archive.
         """
         with self._lock:
             record = self._live.get(key)
             if record is None:
                 raise DataError(f"key {key!r} is not spilled in {self.directory}")
+            loader = self._loaders.get(record.engine)
+            if loader is None:
+                raise DataError(
+                    f"spilled key {key!r} was written by engine "
+                    f"{record.engine!r}, but this store only loads "
+                    f"{sorted(self._loaders)}"
+                )
             path = self.directory / record.file
             nbytes = path.stat().st_size
-            summary = OPAQSummary.load(path)
+            summary = loader(path)
             del self._live[key]
             self._append({"op": "restore", "key": key})
             path.unlink(missing_ok=True)

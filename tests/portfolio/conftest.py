@@ -1,0 +1,85 @@
+"""Shared helpers of the cross-engine conformance suite.
+
+The portfolio's whole point is that every engine answers the same
+surface with engine-specific semantics behind it; these helpers score a
+summary's served bounds against exact ground truth using the shared
+guarantee convention (true rank distance of any served bound < ``g``,
+with ``rank(v)`` = count of elements ``<= v``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.quantile_phase import bounds_arrays as _opaq_bounds_arrays
+
+
+def bounds_arrays_of(summary, phis):
+    """Vectorised bounds for any portfolio summary.
+
+    Sketch summaries carry ``bounds_arrays`` themselves; the core
+    :class:`~repro.core.OPAQSummary` answers through the free function.
+    """
+    method = getattr(summary, "bounds_arrays", None)
+    if method is not None:
+        return method(phis)
+    return _opaq_bounds_arrays(summary, phis)
+
+
+def observed_rank_error(
+    data: np.ndarray,
+    psi: np.ndarray,
+    lower: np.ndarray,
+    upper: np.ndarray,
+) -> int:
+    """Worst true-rank distance of any served bound from its target rank.
+
+    Duplicates credit a bound with the friendliest rank of its value —
+    the guarantee is about the *value* served, and any occurrence of
+    that value witnesses it.
+    """
+    ground = np.sort(np.asarray(data, dtype=np.float64))
+    rank_lo = np.searchsorted(ground, lower, side="right")
+    rank_hi = np.searchsorted(ground, upper, side="left") + 1
+    below = np.maximum(psi - rank_lo, 0)
+    above = np.maximum(rank_hi - psi, 0)
+    return int(max(below.max(), above.max()))
+
+
+def enclosure_holds(
+    data: np.ndarray,
+    psi: np.ndarray,
+    lower: np.ndarray,
+    upper: np.ndarray,
+) -> bool:
+    """True when every exact phi-quantile lies inside [lower, upper]."""
+    ground = np.sort(np.asarray(data, dtype=np.float64))
+    exact = ground[np.asarray(psi, dtype=np.int64) - 1]
+    return bool(np.all(lower <= exact) and np.all(exact <= upper))
+
+
+def assert_summary_sound(summary, data: np.ndarray, phis) -> None:
+    """The portfolio-wide soundness check for one summary and dataset."""
+    psi, lower, upper, max_below, max_above, fractions = bounds_arrays_of(
+        summary, phis
+    )
+    n = int(np.asarray(data).size)
+    assert int(summary.count) == n
+    guarantee = int(summary.guaranteed_rank_error())
+    assert 1 <= guarantee <= n
+    observed = observed_rank_error(data, psi, lower, upper)
+    assert observed < guarantee, (observed, guarantee)
+    assert np.all(lower <= upper)
+    assert np.all(psi >= 1) and np.all(psi <= n)
+    assert np.all(np.asarray(max_below) >= 0)
+    assert np.all(np.asarray(max_above) >= 0)
+    assert np.allclose(np.asarray(fractions), np.asarray(phis, dtype=float))
+    ground = np.sort(np.asarray(data, dtype=np.float64))
+    assert float(summary.minimum) == float(ground[0])
+    assert float(summary.maximum) == float(ground[-1])
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(19970825)

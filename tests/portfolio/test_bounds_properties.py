@@ -1,0 +1,104 @@
+"""Bound soundness as machine-checked properties, for every engine.
+
+The portfolio's one behavioural promise is that a summary's served
+bounds never stray further (in true rank) than its own
+``guaranteed_rank_error()`` claims — deterministically for OPAQ and GK,
+per seeded query for KLL, vacuously for AS95.  Hypothesis drives that
+promise across adversarial inputs: heavy duplication, signed zeros,
+constant streams, sorted and reversed orders.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.portfolio import ENGINES
+
+from tests.portfolio.conftest import (
+    assert_summary_sound,
+    bounds_arrays_of,
+    enclosure_holds,
+)
+
+PHIS = [0.01, 0.25, 0.5, 0.75, 0.99, 1.0]
+
+datasets = st.one_of(
+    # uniform-ish floats
+    st.lists(
+        st.floats(min_value=-1e9, max_value=1e9, allow_nan=False),
+        min_size=8,
+        max_size=400,
+    ),
+    # heavy duplication: few distinct values, many repeats
+    st.lists(
+        st.sampled_from([-2.5, -1.0, -0.0, 0.0, 1.0, 7.25]),
+        min_size=8,
+        max_size=400,
+    ),
+    # signed zeros and denormal-ish magnitudes
+    st.lists(
+        st.sampled_from([-0.0, 0.0, 5e-324, -5e-324, 1e-308]),
+        min_size=8,
+        max_size=200,
+    ),
+)
+
+orderings = st.sampled_from(["given", "sorted", "reversed"])
+
+
+def _arrange(values: list[float], order: str) -> np.ndarray:
+    data = np.asarray(values, dtype=np.float64)
+    if order == "sorted":
+        return np.sort(data)
+    if order == "reversed":
+        return np.sort(data)[::-1].copy()
+    return data
+
+
+@pytest.mark.parametrize("name", sorted(ENGINES), ids=sorted(ENGINES))
+@given(values=datasets, order=orderings)
+@settings(max_examples=60, deadline=None)
+def test_observed_rank_error_within_guarantee(name, values, order):
+    data = _arrange(values, order)
+    summary = ENGINES[name].make().summarize(data)
+    assert_summary_sound(summary, data, PHIS)
+
+
+@pytest.mark.parametrize(
+    "name",
+    [n for n, spec in sorted(ENGINES.items()) if spec.guarantee == "deterministic"],
+)
+@given(values=datasets, order=orderings)
+@settings(max_examples=60, deadline=None)
+def test_deterministic_engines_enclose_the_exact_quantile(name, values, order):
+    data = _arrange(values, order)
+    summary = ENGINES[name].make().summarize(data)
+    psi, lower, upper, _, _, _ = bounds_arrays_of(summary, PHIS)
+    assert enclosure_holds(data, psi, lower, upper)
+
+
+@pytest.mark.parametrize("name", sorted(ENGINES), ids=sorted(ENGINES))
+def test_constant_stream_is_answered_exactly(name):
+    data = np.full(5_000, 3.25)
+    summary = ENGINES[name].make().summarize(data)
+    psi, lower, upper, _, _, _ = bounds_arrays_of(summary, PHIS)
+    np.testing.assert_array_equal(lower, np.full(len(PHIS), 3.25))
+    np.testing.assert_array_equal(upper, np.full(len(PHIS), 3.25))
+
+
+@pytest.mark.parametrize("name", sorted(ENGINES), ids=sorted(ENGINES))
+def test_signed_zero_streams_stay_ordered(name):
+    """-0.0 == 0.0 compares equal; no engine may emit lower > upper or
+    lose the exact extremes over a signed-zero-heavy stream."""
+    rng = np.random.default_rng(3)
+    data = rng.permutation(
+        np.concatenate([np.full(600, -0.0), np.full(600, 0.0), [-1.0, 1.0]])
+    )
+    summary = ENGINES[name].make().summarize(data)
+    assert float(summary.minimum) == -1.0
+    assert float(summary.maximum) == 1.0
+    psi, lower, upper, _, _, _ = bounds_arrays_of(summary, PHIS)
+    assert np.all(lower <= upper)
+    assert np.all(lower >= -1.0) and np.all(upper <= 1.0)

@@ -302,6 +302,69 @@ class TestRunCommand:
         assert rc == 0
         assert list(tmp_path.glob("*.json")) == []
 
+    @pytest.mark.parametrize("engine", ["kll", "gk", "as95"])
+    def test_run_alternative_engines(self, dataset, engine, capsys):
+        rc = main(
+            [
+                "run", str(dataset), "--phi", "0.5",
+                "--sample-size", "200", "--engine", engine,
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "0.500" in out
+        assert f"engine {engine}" in out
+        assert "equal-memory" in out
+
+    def test_run_engine_policy_alias(self, dataset, capsys):
+        rc = main(
+            [
+                "run", str(dataset), "--phi", "0.5",
+                "--sample-size", "200", "--engine", "smallest-memory",
+            ]
+        )
+        assert rc == 0
+        assert "engine gk" in capsys.readouterr().out
+
+    def test_run_default_engine_output_is_unchanged(self, dataset, capsys):
+        rc = main(["run", str(dataset), "--phi", "0.5", "--engine", "opaq"])
+        assert rc == 0
+        assert "engine" not in capsys.readouterr().out
+
+    def test_non_opaq_engine_refuses_parallel_flags(self, dataset, capsys):
+        rc = main(
+            [
+                "run", str(dataset), "--phi", "0.5",
+                "--engine", "kll", "--procs", "4",
+            ]
+        )
+        assert rc == 2
+        assert "OPAQ-only" in capsys.readouterr().err
+
+    def test_unknown_engine_is_a_config_error(self, dataset, capsys):
+        rc = main(["run", str(dataset), "--phi", "0.5", "--engine", "nope"])
+        assert rc == 2
+        assert "unknown engine" in capsys.readouterr().err
+
+
+class TestServeEngineFlags:
+    """Engine selection fails fast — before any socket is bound."""
+
+    def test_malformed_tenant_engine_pair(self, capsys):
+        rc = main(["serve", "--tenant-engine", "acme:kll"])
+        assert rc == 2
+        assert "TENANT=ENGINE" in capsys.readouterr().err
+
+    def test_unknown_tenancy_engine(self, capsys):
+        rc = main(["serve", "--tenancy-engine", "quantum"])
+        assert rc == 2
+        assert "unknown engine" in capsys.readouterr().err
+
+    def test_unknown_per_tenant_engine(self, capsys):
+        rc = main(["serve", "--tenant-engine", "acme=quantum"])
+        assert rc == 2
+        assert "unknown engine" in capsys.readouterr().err
+
 
 class TestExperimentCommand:
     def test_unknown_experiment(self, capsys):

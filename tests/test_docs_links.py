@@ -17,6 +17,7 @@ sys.path.insert(0, str(REPO_ROOT / "tools"))
 
 from check_docs_links import (  # noqa: E402
     anchors_in,
+    check_engine_catalogue,
     check_file,
     check_rule_catalogue,
     default_targets,
@@ -143,3 +144,66 @@ def test_repo_rule_catalogue_is_in_sync():
     assert check_rule_catalogue(REPO_ROOT) == []
     codes = registered_codes(REPO_ROOT)
     assert {"OPQ251", "OPQ252", "OPQ253", "OPQ751", "OPQ752"} <= codes
+
+
+def _engine_tree(tmp_path, doc_body, engines=("opaq", "kll")):
+    (tmp_path / "docs").mkdir()
+    (tmp_path / "docs" / "portfolio.md").write_text(
+        doc_body, encoding="utf-8"
+    )
+    pkg = tmp_path / "src" / "repro" / "portfolio"
+    pkg.mkdir(parents=True)
+    specs = "\n".join(
+        f'    "{name}": EngineSpec(\n'
+        f'        summary_magic="{name.upper()}SUM",\n'
+        "    ),"
+        for name in engines
+    )
+    (pkg / "__init__.py").write_text(
+        "ENGINES = {\n" + specs + "\n}\n\n"
+        'ENGINE_POLICIES = {\n    "mergeable-sketch": "kll",\n}\n',
+        encoding="utf-8",
+    )
+
+
+_FULL_DOC = (
+    "# catalogue\n\n"
+    "| engine | magic |\n|---|---|\n"
+    "| `opaq` | `OPAQSUM` |\n| `kll` | `KLLSUM` |\n\n"
+    "policy `mergeable-sketch` picks kll\n"
+)
+
+
+def test_engine_catalogue_in_sync_passes(tmp_path):
+    _engine_tree(tmp_path, _FULL_DOC)
+    assert check_engine_catalogue(tmp_path) == []
+
+
+def test_undocumented_engine_is_reported(tmp_path):
+    _engine_tree(tmp_path, _FULL_DOC, engines=("opaq", "kll", "gk"))
+    problems = check_engine_catalogue(tmp_path)
+    assert any("'gk'" in p and "no catalogue-table row" in p for p in problems)
+    # Its magic is missing from the doc too.
+    assert any("GKSUM" in p for p in problems)
+
+
+def test_phantom_catalogue_row_is_reported(tmp_path):
+    _engine_tree(
+        tmp_path, _FULL_DOC + "| `quantum` | `QSUM` |\n"
+    )
+    problems = check_engine_catalogue(tmp_path)
+    assert len(problems) == 1
+    assert "'quantum'" in problems[0] and "does not define" in problems[0]
+
+
+def test_unmentioned_policy_alias_is_reported(tmp_path):
+    _engine_tree(tmp_path, _FULL_DOC.replace("`mergeable-sketch`", "merging"))
+    problems = check_engine_catalogue(tmp_path)
+    assert len(problems) == 1
+    assert "mergeable-sketch" in problems[0]
+
+
+def test_repo_engine_catalogue_is_in_sync():
+    """The real gate: ENGINES, the policy aliases and the archive magics
+    all appear in docs/portfolio.md, and no phantom rows exist."""
+    assert check_engine_catalogue(REPO_ROOT) == []

@@ -90,6 +90,26 @@ TENANCY = {
     "validate_component",
 }
 
+PORTFOLIO = {
+    "ENGINES",
+    "ENGINE_POLICIES",
+    "EngineSpec",
+    "resolve_engine",
+    "make_engine",
+    "OPAQEngine",
+    "OpaqKeyState",
+    "KLLEngine",
+    "KLLSummary",
+    "GKEngine",
+    "GKSummary",
+    "AS95Engine",
+    "IntervalSummary",
+    "SketchEngine",
+    "SketchSummary",
+    "compact_within_budget",
+    "exact_delta",
+}
+
 ESTIMATOR_METHODS = {"summarize", "bounds", "bound", "estimate"}
 
 
@@ -111,6 +131,25 @@ def test_tenancy_surface_is_exactly_the_snapshot():
     import repro.service.tenancy
 
     assert set(repro.service.tenancy.__all__) == TENANCY
+
+
+def test_portfolio_surface_is_exactly_the_snapshot():
+    import repro.portfolio
+
+    assert set(repro.portfolio.__all__) == PORTFOLIO
+
+
+def test_engine_registry_is_stable():
+    """The engine names and policy aliases are wire/CLI surface: the
+    proto v3 engine byte and ``--engine`` both key off these names."""
+    from repro.portfolio import ENGINES, ENGINE_POLICIES
+
+    assert set(ENGINES) == {"opaq", "kll", "gk", "as95"}
+    assert ENGINE_POLICIES == {
+        "deterministic-guarantee": "opaq",
+        "mergeable-sketch": "kll",
+        "smallest-memory": "gk",
+    }
 
 
 def test_service_client_batched_surface():

@@ -16,13 +16,19 @@ fetched — this is a *consistency* check for the docs tree, meant to run
 in CI (the ``docs-check`` job) and in tier-1 via
 ``tests/test_docs_links.py``.
 
-It also keeps the opaqlint rule catalogue honest: every ``OPQ###`` code
-defined in ``src/repro/analysis/rules_*.py`` must be documented in
-``docs/static_analysis.md``, and every code the doc mentions must still
-exist in a rule module.  The codes are read *textually* (a regex over
-the rule sources) on purpose: the docs-check CI job runs on a bare
-interpreter with no dependencies installed, so this script must never
-import ``repro``.
+It also keeps two registries honest against their prose catalogues:
+
+* every ``OPQ###`` code defined in ``src/repro/analysis/rules_*.py``
+  must be documented in ``docs/static_analysis.md``, and every code the
+  doc mentions must still exist in a rule module;
+* every engine registered in ``repro.portfolio.ENGINES`` must have a
+  catalogue-table row in ``docs/portfolio.md`` (and vice versa), and
+  every policy alias and serialisation magic the registry declares must
+  be mentioned there.
+
+Both registries are read *textually* (regexes over the sources) on
+purpose: the docs-check CI job runs on a bare interpreter with no
+dependencies installed, so this script must never import ``repro``.
 
 Exit status: 0 when every reference resolves, 1 with one line per
 dangling reference otherwise.
@@ -160,6 +166,60 @@ def check_rule_catalogue(repo_root: Path) -> list[str]:
     return problems
 
 
+#: An engine registration in the portfolio registry:
+#: ``"kll": EngineSpec(``.
+_ENGINE_DEF = re.compile(r'"(\w+)":\s*EngineSpec\(')
+#: A serialisation magic declared by an EngineSpec.
+_MAGIC_DEF = re.compile(r'summary_magic="(\w+)"')
+#: The ENGINE_POLICIES block and its ``"alias": "engine"`` pairs.
+_POLICY_BLOCK = re.compile(r"ENGINE_POLICIES[^{]*\{(.*?)\}", re.DOTALL)
+_POLICY_PAIR = re.compile(r'"([\w-]+)":\s*"(\w+)"')
+#: A table row in docs/portfolio.md whose first cell names an engine:
+#: ``| `kll` | ...``.
+_CATALOGUE_ROW = re.compile(r"^\|\s*`(\w+)`\s*\|", re.MULTILINE)
+
+
+def check_engine_catalogue(repo_root: Path) -> list[str]:
+    """Both directions of the portfolio <-> docs/portfolio.md sync."""
+    registry = repo_root / "src" / "repro" / "portfolio" / "__init__.py"
+    doc = repo_root / "docs" / "portfolio.md"
+    if not registry.exists():
+        return [f"{registry}: missing (the engine registry)"]
+    if not doc.exists():
+        return [f"{doc}: missing (the engine catalogue)"]
+    source = registry.read_text(encoding="utf-8")
+    text = doc.read_text(encoding="utf-8")
+    engines = set(_ENGINE_DEF.findall(source))
+    rows = set(_CATALOGUE_ROW.findall(text))
+    problems: list[str] = []
+    for name in sorted(engines - rows):
+        problems.append(
+            f"{doc}: engine {name!r} is registered in repro.portfolio but "
+            "has no catalogue-table row — document it"
+        )
+    for name in sorted(rows - engines):
+        problems.append(
+            f"{doc}: table row names engine {name!r}, but the registry "
+            "does not define it — remove the row or add the engine"
+        )
+    for magic in sorted(set(_MAGIC_DEF.findall(source))):
+        if f"`{magic}`" not in text:
+            problems.append(
+                f"{doc}: serialisation magic {magic!r} is declared by the "
+                "registry but never mentioned — add it to the catalogue"
+            )
+    block = _POLICY_BLOCK.search(source)
+    policies = dict(_POLICY_PAIR.findall(block.group(1))) if block else {}
+    for alias, engine in sorted(policies.items()):
+        if f"`{alias}`" not in text:
+            problems.append(
+                f"{doc}: policy alias {alias!r} (-> {engine!r}) is defined "
+                "by ENGINE_POLICIES but never mentioned — add it to the "
+                "decision table"
+            )
+    return problems
+
+
 def default_targets(repo_root: Path) -> list[Path]:
     docs = sorted((repo_root / "docs").glob("*.md"))
     return [repo_root / "README.md", *docs]
@@ -176,6 +236,7 @@ def main(argv: list[str]) -> int:
     for path in paths:
         problems.extend(check_file(path, repo_root))
     problems.extend(check_rule_catalogue(repo_root))
+    problems.extend(check_engine_catalogue(repo_root))
     for problem in problems:
         print(problem, file=sys.stderr)
     if not problems:
